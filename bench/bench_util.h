@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/clock.h"
+
+/// \file bench_util.h
+/// Shared harness for the figure-reproduction benchmarks. Each bench binary
+/// regenerates one table/figure of §6: it sweeps the paper's parameter,
+/// feeds generated streams through the engine (or a baseline), and prints
+/// the measured series in a paper-style table. EXPERIMENTS.md records the
+/// measured shapes against the published ones.
+
+namespace saber::bench {
+
+/// Engine configuration used across figures unless a figure sweeps it.
+/// 8 CPU workers + the simulated GPGPU (6 executors, 8 GB/s PCIe, 4-deep
+/// pipeline) roughly mirrors the paper's 16-core + K5200 box at our scale.
+inline EngineOptions DefaultOptions(int cpu_workers = 8, bool use_gpu = true,
+                                    size_t task_size = 1 << 20) {
+  EngineOptions o;
+  o.num_cpu_workers = cpu_workers;
+  o.use_gpu = use_gpu;
+  o.task_size = task_size;
+  o.input_buffer_size = size_t{128} << 20;
+  o.device.num_executors = 6;
+  o.device.pipeline_depth = 4;
+  o.device.pace_transfers = true;
+  o.switch_threshold = 20;
+  return o;
+}
+
+struct RunResult {
+  double seconds = 0;
+  int64_t bytes_in = 0;
+  int64_t tuples_in = 0;
+  int64_t rows_out = 0;
+  int64_t cpu_bytes = 0;
+  int64_t gpu_bytes = 0;
+  int64_t p50_latency_us = 0;
+  int64_t p99_latency_us = 0;
+
+  double gbps() const { return seconds > 0 ? bytes_in / seconds / (1 << 30) : 0; }
+  double mtuples() const { return seconds > 0 ? tuples_in / seconds / 1e6 : 0; }
+  double gpu_share() const {
+    const int64_t total = cpu_bytes + gpu_bytes;
+    return total > 0 ? static_cast<double>(gpu_bytes) / total : 0;
+  }
+};
+
+/// Feeds `repeats` time-shifted copies of `data` into one query input.
+/// Count-based queries ignore timestamps; time-based queries see a
+/// continuous, monotone stream (each repetition is shifted by the block's
+/// time span).
+class StreamFeeder {
+ public:
+  StreamFeeder(const Schema& schema, const std::vector<uint8_t>& data)
+      : schema_(schema), data_(data), tsz_(schema.tuple_size()) {
+    const size_t n = data.size() / tsz_;
+    first_ts_ = n > 0 ? Ts(0) : 0;
+    last_ts_ = n > 0 ? Ts(n - 1) : 0;
+    span_ = last_ts_ - first_ts_ + 1;
+  }
+
+  /// `shift_timestamps` keeps repeated feeds time-monotone (required for
+  /// time-based windows and joins); count-based queries ignore timestamps,
+  /// so callers disable the shift to keep the producer at memcpy speed.
+  void Feed(QueryHandle* q, int input, int repeats,
+            bool shift_timestamps = true, size_t chunk_tuples = 16384) {
+    std::vector<uint8_t> shifted(chunk_tuples * tsz_);
+    const size_t n = data_.size() / tsz_;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const int64_t offset = shift_timestamps ? span_ * rep : 0;
+      for (size_t i = 0; i < n; i += chunk_tuples) {
+        const size_t m = std::min(chunk_tuples, n - i);
+        if (offset == 0) {
+          q->InsertInto(input, data_.data() + i * tsz_, m * tsz_);
+          continue;
+        }
+        std::memcpy(shifted.data(), data_.data() + i * tsz_, m * tsz_);
+        for (size_t k = 0; k < m; ++k) {
+          int64_t ts;
+          std::memcpy(&ts, shifted.data() + k * tsz_, sizeof(ts));
+          ts += offset;
+          std::memcpy(shifted.data() + k * tsz_, &ts, sizeof(ts));
+        }
+        q->InsertInto(input, shifted.data(), m * tsz_);
+      }
+    }
+  }
+
+ private:
+  int64_t Ts(size_t i) const {
+    int64_t ts;
+    std::memcpy(&ts, data_.data() + i * tsz_, sizeof(ts));
+    return ts;
+  }
+
+  const Schema& schema_;
+  const std::vector<uint8_t>& data_;
+  size_t tsz_;
+  int64_t first_ts_, last_ts_, span_;
+};
+
+inline RunResult Collect(QueryHandle* q, double seconds) {
+  RunResult r;
+  r.seconds = seconds;
+  r.bytes_in = q->bytes_in();
+  r.tuples_in = q->tuples_in();
+  r.rows_out = q->rows_out();
+  r.cpu_bytes = q->bytes_on(Processor::kCpu);
+  r.gpu_bytes = q->bytes_on(Processor::kGpu);
+  r.p50_latency_us = q->latency().PercentileNanos(50) / 1000;
+  r.p99_latency_us = q->latency().PercentileNanos(99) / 1000;
+  return r;
+}
+
+/// Runs one single-input query to completion over `repeats` copies of
+/// `data`.
+inline RunResult RunSaber(const EngineOptions& options, QueryDef def,
+                          const std::vector<uint8_t>& data, int repeats = 1) {
+  Engine engine(options);
+  QueryHandle* q = engine.AddQuery(std::move(def));
+  engine.Start();
+  StreamFeeder feeder(q->def().input_schema[0], data);
+  const bool shift = q->def().window[0].time_based();
+  Stopwatch wall;
+  feeder.Feed(q, 0, repeats, shift);
+  engine.Drain();
+  return Collect(q, wall.ElapsedSeconds());
+}
+
+/// Runs a two-input join query; both streams are fed in interleaved chunks
+/// so timestamp cuts keep forming.
+inline RunResult RunSaberJoin(const EngineOptions& options, QueryDef def,
+                              const std::vector<uint8_t>& left,
+                              const std::vector<uint8_t>& right,
+                              int repeats = 1) {
+  Engine engine(options);
+  QueryHandle* q = engine.AddQuery(std::move(def));
+  engine.Start();
+  const Schema& ls = q->def().input_schema[0];
+  const Schema& rs = q->def().input_schema[1];
+  const size_t ltsz = ls.tuple_size(), rtsz = rs.tuple_size();
+  Stopwatch wall;
+  const size_t chunk = 8192;
+  const size_t nl = left.size() / ltsz, nr = right.size() / rtsz;
+  for (int rep = 0; rep < repeats; ++rep) {
+    // The generators produce identical timestamp layouts for both streams,
+    // so chunk-interleaving keeps the dispatcher's cut moving.
+    size_t il = 0, ir = 0;
+    StreamFeeder lf(ls, left), rf(rs, right);
+    (void)lf;
+    (void)rf;
+    while (il < nl || ir < nr) {
+      if (il < nl) {
+        const size_t m = std::min(chunk, nl - il);
+        q->InsertInto(0, left.data() + il * ltsz, m * ltsz);
+        il += m;
+      }
+      if (ir < nr) {
+        const size_t m = std::min(chunk, nr - ir);
+        q->InsertInto(1, right.data() + ir * rtsz, m * rtsz);
+        ir += m;
+      }
+    }
+    if (repeats > 1) break;  // joins use single-pass data (monotone time)
+  }
+  engine.Drain();
+  RunResult r = Collect(q, wall.ElapsedSeconds());
+  return r;
+}
+
+/// Paper-style table row printing.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%16s", "---------");
+  std::printf("\n");
+}
+
+inline void PrintCell(double v) { std::printf("%16.3f", v); }
+inline void PrintCell(const std::string& s) { std::printf("%16s", s.c_str()); }
+inline void EndRow() { std::printf("\n"); }
+
+}  // namespace saber::bench

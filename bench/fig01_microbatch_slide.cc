@@ -1,0 +1,43 @@
+/// Figure 1: throughput of a streaming GROUP-BY query with a 5-second window
+/// under a micro-batch (Spark-Streaming-style) engine, as the window slide
+/// shrinks. The baseline couples its batch interval to the slide, so the
+/// fixed per-batch cost is amortised over less data — throughput collapses
+/// for fine-grained slides. (The paper's Fig. 1 shows the same shape with
+/// absolute numbers from a 60-node Spark cluster.)
+
+#include "baselines/microbatch_engine.h"
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+
+int main() {
+  // 5-unit window (the paper's 5-second window), slide swept downward.
+  syn::GeneratorOptions g;
+  g.tuples_per_ts = 50'000;  // data rate: 50k tuples per time unit
+  const size_t n = 4'000'000;  // 80 time units
+  auto data = syn::Generate(n, g);
+
+  Schema s = syn::SyntheticSchema();
+  MicroBatchOptions mo;
+  mo.num_workers = 8;
+  MicroBatchEngine engine(mo);
+
+  bench::PrintHeader("Fig. 1 — micro-batch GROUP-BY, 5s window, slide sweep",
+                     {"slide", "batches", "Mtuples/s", "GB/s"});
+  for (int64_t slide : {5, 4, 3, 2, 1}) {
+    QueryBuilder b("fig1", s);
+    b.Window(WindowDefinition::Time(5, slide));
+    b.GroupBy({Mod(Col(s, "a4"), Lit(64))});
+    b.Aggregate(AggregateFunction::kSum, Col(s, "a1"), "sum");
+    auto report = engine.Run(b.Build(), data);
+    bench::PrintCell(static_cast<double>(slide));
+    bench::PrintCell(static_cast<double>(report.batches));
+    bench::PrintCell(report.tuples_per_second() / 1e6);
+    bench::PrintCell(report.bytes_per_second() / (1 << 30));
+    bench::EndRow();
+  }
+  std::printf("\nExpected shape: throughput decreases monotonically as the "
+              "slide shrinks (Fig. 1).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Figure 8: throughput of the synthetic queries PROJ4, SELECT16, AGG*,
+/// GROUP-BY8 (w 32KB,32KB) and JOIN1 (w 4KB,4KB) under CPU-only, GPGPU-only
+/// and hybrid execution. Expected shape: hybrid >= max(single-processor) for
+/// every query, sub-additive due to dispatch/result-stage contention.
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+using namespace saber::bench;
+
+namespace {
+
+// 32 KB of 32-byte tuples = 1024; 4 KB = 128 (count-based windows).
+const WindowDefinition kW32 = WindowDefinition::Count(1024, 1024);
+const WindowDefinition kW4 = WindowDefinition::Count(128, 128);
+
+RunResult RunConfig(const QueryDef& def, const std::vector<uint8_t>& data,
+                    int cpu_workers, bool gpu, int repeats) {
+  return RunSaber(DefaultOptions(cpu_workers, gpu), def, data, repeats);
+}
+
+}  // namespace
+
+int main() {
+  auto data = syn::Generate(4'000'000);  // 128 MB
+  auto join_data_l = syn::Generate(400'000, {.seed = 1, .tuples_per_ts = 64});
+  auto join_data_r = syn::Generate(400'000, {.seed = 2, .tuples_per_ts = 64});
+
+  struct Case {
+    std::string name;
+    QueryDef def;
+    int repeats;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"PROJ4", syn::MakeProjection(4, 1, kW32), 4});
+  cases.push_back({"SELECT16", syn::MakeSelection(16, 100, kW32), 4});
+  cases.push_back({"AGG*", syn::MakeAggregationAll(kW32), 4});
+  cases.push_back({"GROUP-BY8", syn::MakeGroupBy(8, kW32), 4});
+
+  PrintHeader("Fig. 8 — synthetic queries: CPU-only / GPGPU-only / hybrid",
+              {"query", "CPU GB/s", "GPGPU GB/s", "hybrid GB/s"});
+  for (auto& c : cases) {
+    RunResult cpu = RunConfig(c.def, data, 8, false, c.repeats);
+    RunResult gpu = RunConfig(c.def, data, 0, true, c.repeats);
+    RunResult hybrid = RunConfig(c.def, data, 8, true, c.repeats);
+    PrintCell(c.name);
+    PrintCell(cpu.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(hybrid.gbps());
+    EndRow();
+  }
+
+  // JOIN1 runs on its own (two inputs, quadratic work, smaller data).
+  {
+    QueryDef join = syn::MakeJoin(1, kW4);
+    RunResult cpu = RunSaberJoin(DefaultOptions(8, false), join, join_data_l,
+                                 join_data_r);
+    RunResult gpu = RunSaberJoin(DefaultOptions(0, true), join, join_data_l,
+                                 join_data_r);
+    RunResult hybrid = RunSaberJoin(DefaultOptions(8, true), join, join_data_l,
+                                    join_data_r);
+    PrintCell(std::string("JOIN1"));
+    PrintCell(cpu.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(hybrid.gbps());
+    EndRow();
+  }
+  std::printf("\nExpected shape: hybrid >= max(CPU-only, GPGPU-only), "
+              "sub-additive (Fig. 8).\n");
+  return 0;
+}

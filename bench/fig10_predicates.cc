@@ -1,0 +1,53 @@
+/// Figure 10: the CPU/GPGPU trade-off as query complexity grows — SELECT_n
+/// (w 32KB,32KB) and JOIN_r (w 4KB,4KB) with the number of predicates swept
+/// 1..64, under CPU-only, GPGPU-only and hybrid execution (15-worker
+/// equivalent). Expected shape: CPU throughput degrades with the predicate
+/// count; the GPGPU stays flat until compute-bound (it is transfer-bound for
+/// cheap queries), so the curves cross; hybrid is near-additive.
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+using namespace saber::bench;
+
+int main() {
+  const WindowDefinition w32 = WindowDefinition::Count(1024, 1024);
+  const WindowDefinition w4 = WindowDefinition::Count(128, 128);
+
+  auto data = syn::Generate(4'000'000);  // 128 MB
+
+  PrintHeader("Fig. 10a — SELECT_n, throughput vs number of predicates",
+              {"n", "CPU GB/s", "GPGPU GB/s", "hybrid GB/s"});
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    QueryDef def = syn::MakeSelection(n, 100, w32);
+    RunResult cpu = RunSaber(DefaultOptions(8, false), def, data, 2);
+    RunResult gpu = RunSaber(DefaultOptions(0, true), def, data, 2);
+    RunResult hyb = RunSaber(DefaultOptions(8, true), def, data, 2);
+    PrintCell(static_cast<double>(n));
+    PrintCell(cpu.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(hyb.gbps());
+    EndRow();
+  }
+
+  auto jl = syn::Generate(300'000, {.seed = 1, .tuples_per_ts = 64});
+  auto jr = syn::Generate(300'000, {.seed = 2, .tuples_per_ts = 64});
+  PrintHeader("Fig. 10b — JOIN_r, throughput vs number of predicates",
+              {"r", "CPU GB/s", "GPGPU GB/s", "hybrid GB/s"});
+  for (int r : {1, 2, 4, 8, 16, 32, 64}) {
+    QueryDef def = syn::MakeJoin(r, w4);
+    RunResult cpu = RunSaberJoin(DefaultOptions(8, false), def, jl, jr);
+    RunResult gpu = RunSaberJoin(DefaultOptions(0, true), def, jl, jr);
+    RunResult hyb = RunSaberJoin(DefaultOptions(8, true), def, jl, jr);
+    PrintCell(static_cast<double>(r));
+    PrintCell(cpu.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(hyb.gbps());
+    EndRow();
+  }
+  std::printf("\nExpected shape: CPU degrades with predicate count; GPGPU "
+              "flat until compute-bound; crossover exists; hybrid "
+              "near-additive (Fig. 10).\n");
+  return 0;
+}

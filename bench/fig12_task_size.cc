@@ -1,0 +1,72 @@
+/// Figure 12: the impact of the query task size phi on throughput and
+/// latency for SELECT10, AGGavg GROUP-BY64 and JOIN4 (w 32KB,32KB), phi
+/// swept 64 KB .. 4 MB. Expected shape: throughput grows with phi and
+/// plateaus around 1 MB; latency grows with phi; the GPGPU-only JOIN
+/// collapses at large phi because its window-boundary computation runs on
+/// the CPU (§6.4).
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+using namespace saber::bench;
+
+namespace {
+const WindowDefinition kW32 = WindowDefinition::Count(1024, 1024);
+const size_t kSizes[] = {64 << 10, 256 << 10, 1 << 20, 4 << 20};
+}  // namespace
+
+int main() {
+  auto data = syn::Generate(4'000'000);
+
+  PrintHeader("Fig. 12a — SELECT10, task size sweep",
+              {"phi(KB)", "hybrid GB/s", "GPGPU GB/s", "p50 lat(us)",
+               "p99 lat(us)"});
+  for (size_t phi : kSizes) {
+    QueryDef def = syn::MakeSelection(10, 100, kW32);
+    RunResult hyb = RunSaber(DefaultOptions(8, true, phi), def, data, 2);
+    RunResult gpu = RunSaber(DefaultOptions(0, true, phi), def, data, 2);
+    PrintCell(static_cast<double>(phi >> 10));
+    PrintCell(hyb.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(static_cast<double>(hyb.p50_latency_us));
+    PrintCell(static_cast<double>(hyb.p99_latency_us));
+    EndRow();
+  }
+
+  PrintHeader("Fig. 12b — AGGavg GROUP-BY64, task size sweep",
+              {"phi(KB)", "hybrid GB/s", "GPGPU GB/s", "p50 lat(us)",
+               "p99 lat(us)"});
+  for (size_t phi : kSizes) {
+    QueryDef def = syn::MakeGroupBy(64, kW32);
+    RunResult hyb = RunSaber(DefaultOptions(8, true, phi), def, data, 2);
+    RunResult gpu = RunSaber(DefaultOptions(0, true, phi), def, data, 2);
+    PrintCell(static_cast<double>(phi >> 10));
+    PrintCell(hyb.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(static_cast<double>(hyb.p50_latency_us));
+    PrintCell(static_cast<double>(hyb.p99_latency_us));
+    EndRow();
+  }
+
+  auto jl = syn::Generate(400'000, {.seed = 1, .tuples_per_ts = 64});
+  auto jr = syn::Generate(400'000, {.seed = 2, .tuples_per_ts = 64});
+  PrintHeader("Fig. 12c — JOIN4, task size sweep",
+              {"phi(KB)", "hybrid GB/s", "GPGPU GB/s", "p50 lat(us)",
+               "p99 lat(us)"});
+  for (size_t phi : kSizes) {
+    QueryDef def = syn::MakeJoin(4, kW32);
+    RunResult hyb = RunSaberJoin(DefaultOptions(8, true, phi), def, jl, jr);
+    RunResult gpu = RunSaberJoin(DefaultOptions(0, true, phi), def, jl, jr);
+    PrintCell(static_cast<double>(phi >> 10));
+    PrintCell(hyb.gbps());
+    PrintCell(gpu.gbps());
+    PrintCell(static_cast<double>(hyb.p50_latency_us));
+    PrintCell(static_cast<double>(hyb.p99_latency_us));
+    EndRow();
+  }
+  std::printf("\nExpected shape: throughput plateaus around phi = 1 MB; "
+              "latency grows with phi; GPGPU-only join falls off at large "
+              "phi (CPU-side window-boundary computation, Fig. 12).\n");
+  return 0;
+}

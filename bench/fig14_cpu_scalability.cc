@@ -1,0 +1,35 @@
+/// Figure 14: CPU scalability — PROJ6 with w(32KB,32KB), CPU-only, sweeping
+/// the number of worker threads. Expected shape: near-linear scaling up to
+/// the physical core count, then a plateau (context switching beyond it).
+
+#include <thread>
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+using namespace saber::bench;
+
+int main() {
+  auto data = syn::Generate(4'000'000);
+  QueryDef def = syn::MakeProjection(6, 1, WindowDefinition::Count(1024, 1024));
+
+  std::printf("hardware threads on this host: %u\n",
+              std::thread::hardware_concurrency());
+  PrintHeader("Fig. 14 — PROJ6 CPU-only scalability",
+              {"workers", "GB/s", "Mtuples/s", "speedup vs 1"});
+  double base = 0;
+  for (int workers : {1, 2, 4, 8, 16, 32}) {
+    RunResult r = RunSaber(DefaultOptions(workers, /*use_gpu=*/false), def,
+                           data, 2);
+    if (workers == 1) base = r.gbps();
+    PrintCell(static_cast<double>(workers));
+    PrintCell(r.gbps());
+    PrintCell(r.mtuples());
+    PrintCell(base > 0 ? r.gbps() / base : 0);
+    EndRow();
+  }
+  std::printf("\nExpected shape: near-linear scaling to the physical core "
+              "count, then a plateau (Fig. 14).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Figure 15: the effect of HLS scheduling. Two two-query workloads run
+/// in sequence under FCFS, Static and HLS:
+///   W1 = { Q1 = PROJ6* (6 attrs x 100-op arithmetic chains, GPGPU-friendly),
+///          Q2 = AGGcnt GROUP-BY1 w(32KB,16KB) (CPU-friendly) }
+///   W2 = { Q3 = PROJ1, Q4 = AGGsum } — both cheap; Static underutilises one
+///          processor, HLS finds a better split.
+/// Expected shape: FCFS < Static < HLS on W1; HLS >= Static on W2.
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+using namespace saber::bench;
+
+namespace {
+
+double RunWorkload(SchedulerKind kind, const QueryDef& a, const QueryDef& b,
+                   const std::vector<uint8_t>& data, int repeats,
+                   std::map<int, Processor> assignment = {}) {
+  EngineOptions o = DefaultOptions();
+  o.scheduler = kind;
+  o.static_assignment = std::move(assignment);
+  o.switch_threshold = 20;
+  Engine engine(o);
+  QueryHandle* ha = engine.AddQuery(a);
+  QueryHandle* hb = engine.AddQuery(b);
+  engine.Start();
+  Stopwatch wall;
+  StreamFeeder feeder(ha->def().input_schema[0], data);
+  for (int rep = 0; rep < repeats; ++rep) {
+    feeder.Feed(ha, 0, 1, /*shift_timestamps=*/false);  // count windows
+    feeder.Feed(hb, 0, 1, /*shift_timestamps=*/false);
+  }
+  engine.Drain();
+  const double secs = wall.ElapsedSeconds();
+  return (ha->bytes_in() + hb->bytes_in()) / secs / (1 << 30);
+}
+
+}  // namespace
+
+int main() {
+  auto data = syn::Generate(2'000'000);  // 64 MB per query per repeat
+
+  // W1: opposite processor preferences (§6.6).
+  QueryDef q1 = syn::MakeProjection(6, /*expr_chain=*/100,
+                                    WindowDefinition::Count(1024, 1024));
+  QueryDef q2 = syn::MakeGroupBy(1, WindowDefinition::Count(1024, 512));
+  // W2: both cheap.
+  QueryDef q3 = syn::MakeProjection(1, 1, WindowDefinition::Count(1024, 1024));
+  QueryDef q4 = syn::MakeAggregation(AggregateFunction::kSum,
+                                     WindowDefinition::Count(1024, 1024));
+
+  PrintHeader("Fig. 15 — scheduling policies, aggregate throughput (GB/s)",
+              {"workload", "FCFS", "Static", "HLS"});
+
+  {
+    const double fcfs = RunWorkload(SchedulerKind::kFcfs, q1, q2, data, 2);
+    const double stat = RunWorkload(SchedulerKind::kStatic, q1, q2, data, 2,
+                                    {{0, Processor::kGpu}, {1, Processor::kCpu}});
+    const double hls = RunWorkload(SchedulerKind::kHls, q1, q2, data, 2);
+    PrintCell(std::string("W1"));
+    PrintCell(fcfs);
+    PrintCell(stat);
+    PrintCell(hls);
+    EndRow();
+  }
+  {
+    const double fcfs = RunWorkload(SchedulerKind::kFcfs, q3, q4, data, 2);
+    // The paper picks the better of the two static assignments for W2.
+    const double stat = RunWorkload(SchedulerKind::kStatic, q3, q4, data, 2,
+                                    {{0, Processor::kGpu}, {1, Processor::kCpu}});
+    const double hls = RunWorkload(SchedulerKind::kHls, q3, q4, data, 2);
+    PrintCell(std::string("W2"));
+    PrintCell(fcfs);
+    PrintCell(stat);
+    PrintCell(hls);
+    EndRow();
+  }
+  std::printf("\nExpected shape: on W1, FCFS < Static < HLS; on W2, HLS "
+              "matches or beats the best static split (Fig. 15).\n");
+  return 0;
+}

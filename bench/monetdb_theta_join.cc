@@ -1,0 +1,74 @@
+/// §6.2 (text experiment): SABER's windowed θ-join versus a MonetDB-like
+/// in-memory columnar engine. Two 1 MB tables of 32-byte tuples, ~1%
+/// selectivity; SABER emulates the one-off join by streaming the tables
+/// through a tumbling window covering each table. Three comparisons:
+///   (a) θ-join projecting only the join columns — comparable runtimes;
+///   (b) select * — the column store pays tuple reconstruction (~2x SABER);
+///   (c) equi-join — the column store's hash join wins (~2.7x).
+
+#include "baselines/columnar_engine.h"
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+using namespace saber::bench;
+
+int main() {
+  // 1 MB tables = 32768 tuples of 32 bytes.
+  const size_t kRows = 32768;
+  syn::GeneratorOptions g1{.seed = 21, .attr_range = 60, .tuples_per_ts = 64};
+  syn::GeneratorOptions g2{.seed = 22, .attr_range = 60, .tuples_per_ts = 64};
+  auto t1 = syn::Generate(kRows, g1);
+  auto t2 = syn::Generate(kRows, g2);
+  Schema s = syn::SyntheticSchema();
+
+  // θ predicate with ~1% selectivity over attr range 60:
+  // |a2_l - a2_r| < 1  <=>  equality on a 60-value domain (~1.7%).
+  QueryBuilder b("theta", s, s);
+  b.Window(WindowDefinition::Count(kRows, kRows));  // one window = the table
+  b.JoinOn(Eq(Col(s, "a2"), Col(s, "a2", Side::kRight)));
+  b.JoinSelect(Col(s, "timestamp"), "timestamp");
+  b.JoinSelect(Col(s, "a2"), "l_a2");
+  b.JoinSelect(Col(s, "a2", Side::kRight), "r_a2");
+  QueryDef def = b.Build();
+
+  EngineOptions o = DefaultOptions();
+  o.task_size = 256 << 10;
+  Stopwatch saber_sw;
+  RunResult sr = RunSaberJoin(o, def, t1, t2);
+  const double saber_ms = sr.seconds * 1e3;
+
+  ColumnarEngine col(8);
+  const int a2 = s.FieldIndex("a2");
+  ColumnTable ct1(s, t1), ct2(s, t2);
+  auto theta_narrow = col.ThetaJoin(ct1, ct2, a2, a2, CompareOp::kEq, false);
+  auto theta_wide = col.ThetaJoin(ct1, ct2, a2, a2, CompareOp::kEq, true);
+  auto hash = col.HashJoin(ct1, ct2, a2, a2, false);
+
+  PrintHeader("§6.2 — θ-join: SABER vs columnar (MonetDB-like), 2x1MB tables",
+              {"variant", "time(ms)", "pairs"});
+  PrintCell(std::string("SABER windowed θ-join"));
+  PrintCell(saber_ms);
+  PrintCell(static_cast<double>(sr.rows_out));
+  EndRow();
+  PrintCell(std::string("columnar θ (2 cols)"));
+  PrintCell(theta_narrow.total_seconds() * 1e3);
+  PrintCell(static_cast<double>(theta_narrow.output_pairs));
+  EndRow();
+  PrintCell(std::string("columnar θ (select *)"));
+  PrintCell(theta_wide.total_seconds() * 1e3);
+  PrintCell(static_cast<double>(theta_wide.output_pairs));
+  EndRow();
+  PrintCell(std::string("columnar hash equi-join"));
+  PrintCell(hash.total_seconds() * 1e3);
+  PrintCell(static_cast<double>(hash.output_pairs));
+  EndRow();
+
+  std::printf("\nreconstruction share of select*: %.0f%%\n",
+              100.0 * theta_wide.reconstruction_seconds /
+                  std::max(theta_wide.total_seconds(), 1e-9));
+  std::printf("Expected shape: θ parity-ish; select* slower than narrow "
+              "(reconstruction, paper: 40%% of runtime); hash equi-join "
+              "fastest (paper: 2.7x, §6.2).\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+/// Credit-card fraud detection (§2.1): "credit card fraud detection systems
+/// must process up to 40,000 transactions per second and detect fraudulent
+/// activity within 25 ms" [26]. This example runs a card-velocity check — a
+/// grouped sliding-window aggregation with a HAVING filter — under a paced
+/// 40 k tx/s feed and reports the end-to-end latency distribution against
+/// the paper's 25 ms bound.
+///
+///   select timestamp, card, count(*) as tx_cnt, sum(amount) as total
+///   from Transactions [range 5 slide 1]       -- 5 s window, 1 s slide
+///   group by card
+///   having tx_cnt > 25                        -- velocity rule
+///
+/// Build & run:  ./build/examples/fraud_detection
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/rate_limiter.h"
+
+using namespace saber;
+
+namespace {
+
+Schema TransactionSchema() {
+  return Schema::MakeStream({{"card", DataType::kInt64},
+                             {"merchant", DataType::kInt32},
+                             {"amount", DataType::kFloat},
+                             {"country", DataType::kInt32}});
+}
+
+/// ~40k transactions per second of application time; a small set of "hot"
+/// cards transacts at high velocity (the fraud pattern to catch).
+std::vector<uint8_t> GenerateTransactions(size_t n, uint32_t seed) {
+  Schema s = TransactionSchema();
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> card(0, 19'999);
+  std::uniform_int_distribution<int64_t> hot_card(0, 19);
+  std::uniform_int_distribution<int> hot(0, 999);
+  std::uniform_int_distribution<int> merchant(0, 4999);
+  std::uniform_real_distribution<float> amount(1.0f, 500.0f);
+  std::uniform_int_distribution<int> country(0, 40);
+  std::vector<uint8_t> out(n * s.tuple_size());
+  for (size_t i = 0; i < n; ++i) {
+    TupleWriter w(out.data() + i * s.tuple_size(), &s);
+    w.SetInt64(0, static_cast<int64_t>(i / 40'000));  // 40k tx per second
+    const bool is_hot = hot(rng) < 5;  // 0.5% of traffic on 20 hot cards
+    w.SetInt64(1, is_hot ? hot_card(rng) : card(rng) + 100);
+    w.SetInt32(2, merchant(rng));
+    w.SetFloat(3, amount(rng));
+    w.SetInt32(4, country(rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Schema s = TransactionSchema();
+  QueryDef query =
+      QueryBuilder("velocity_check", s)
+          .Window(WindowDefinition::Time(5, 1))
+          .GroupBy({Col(s, "card")}, {"card"})
+          .Aggregate(AggregateFunction::kCount, nullptr, "tx_cnt")
+          .Aggregate(AggregateFunction::kSum, Col(s, "amount"), "total")
+          .Build();
+  query.having = Gt(Col(query.output_schema, "tx_cnt"), Lit(25.0));
+  std::printf("output schema: %s\n", query.output_schema.ToString().c_str());
+
+  EngineOptions options;
+  options.num_cpu_workers = 4;
+  options.use_gpu = true;
+  // Small tasks keep latency low (§6.4's throughput/latency trade-off).
+  options.task_size = 32 * 1024;
+  Engine engine(options);
+  QueryHandle* q = engine.AddQuery(query);
+
+  int64_t alerts = 0;
+  const Schema& out = q->output_schema();
+  q->SetSink([&](const uint8_t* rows, size_t bytes) {
+    for (size_t off = 0; off < bytes; off += out.tuple_size()) {
+      TupleRef row(rows + off, &out);
+      if (alerts < 5) {
+        std::printf("  ALERT t=%-4lld card=%-4lld tx=%.0f total=%.2f\n",
+                    static_cast<long long>(row.timestamp()),
+                    static_cast<long long>(row.GetInt64(1)),
+                    row.GetDouble(2), row.GetDouble(3));
+      }
+      ++alerts;
+    }
+  });
+
+  engine.Start();
+  // Pace the feed at 40k tx/s of wall-clock time (~1.4 MB/s) so the
+  // measured latency reflects a live system, not a backlogged drain.
+  auto data = GenerateTransactions(600'000, 3);  // ~15 s of traffic
+  const size_t tsz = s.tuple_size();
+  RateLimiter limiter(40'000.0 * tsz);  // 40k tx/s of wall-clock time
+  const size_t chunk = 4'000 * tsz;     // 100 ms of traffic per chunk
+  for (size_t off = 0; off < data.size(); off += chunk) {
+    const size_t m = std::min(chunk, data.size() - off);
+    limiter.Acquire(m);
+    q->Insert(data.data() + off, m);
+  }
+  engine.Drain();
+
+  std::printf("...\n");
+  std::printf("transactions : %lld\n", static_cast<long long>(q->tuples_in()));
+  std::printf("alerts       : %lld\n", static_cast<long long>(alerts));
+  const int64_t p50 = q->latency().PercentileNanos(50) / 1'000'000;
+  const int64_t p90 = q->latency().PercentileNanos(90) / 1'000'000;
+  const int64_t p95 = q->latency().PercentileNanos(95) / 1'000'000;
+  const int64_t p99 = q->latency().PercentileNanos(99) / 1'000'000;
+  std::printf("latency p50  : %lld ms\n", static_cast<long long>(p50));
+  std::printf("latency p90  : %lld ms\n", static_cast<long long>(p90));
+  std::printf("latency p95  : %lld ms\n", static_cast<long long>(p95));
+  std::printf("latency p99  : %lld ms  (paper bound: 25 ms [26])\n",
+              static_cast<long long>(p99));
+  return p99 <= 25 ? 0 : 1;
+}

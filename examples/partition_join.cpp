@@ -1,0 +1,111 @@
+/// Partition-join UDF example (§2.4): match buy and sell orders per symbol
+/// inside 1-second tumbling windows. The n-ary partition join first
+/// partitions both windows by symbol and then joins the matching partitions
+/// — a shape that a standard θ-join cannot express efficiently (and, with
+/// per-partition logic, not at all).
+///
+///   -- conceptually:
+///   select window_ts, symbol, buy.price, sell.price
+///   from Buys  [range 1 slide 1] as buy,
+///        Sells [range 1 slide 1] as sell
+///   partition by symbol
+///   where buy.price >= sell.price     -- residual: crossing orders only
+///
+/// Build & run:  ./build/examples/partition_join
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/engine.h"
+#include "udf/partition_join.h"
+
+using namespace saber;
+
+namespace {
+
+Schema OrderSchema() {
+  // timestamp, symbol id, price (cents), quantity.
+  return Schema::MakeStream({{"symbol", DataType::kInt32},
+                             {"price", DataType::kInt32},
+                             {"qty", DataType::kInt32}});
+}
+
+std::vector<uint8_t> GenerateOrders(size_t n, uint32_t seed, int price_base) {
+  Schema s = OrderSchema();
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> symbol(0, 199);
+  std::uniform_int_distribution<int> jitter(-50, 50);
+  std::uniform_int_distribution<int> qty(1, 500);
+  std::vector<uint8_t> out(n * s.tuple_size());
+  for (size_t i = 0; i < n; ++i) {
+    TupleWriter w(out.data() + i * s.tuple_size(), &s);
+    w.SetInt64(0, static_cast<int64_t>(i / 1000));  // ~1000 orders per second
+    w.SetInt32(1, symbol(rng));
+    w.SetInt32(2, price_base + jitter(rng));
+    w.SetInt32(3, qty(rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Schema orders = OrderSchema();
+
+  // Partition key: the symbol. Residual: only crossing orders match.
+  QueryDef query = MakePartitionJoinQuery(
+      "order_matching", orders, orders,
+      WindowDefinition::Time(1, 1),  // 1 s tumbling windows
+      Col(orders, "symbol"), Col(orders, "symbol"),
+      Ge(Col(orders, "price"), Col(orders, "price", Side::kRight)));
+  std::printf("output schema: %s\n", query.output_schema.ToString().c_str());
+
+  EngineOptions options;
+  options.num_cpu_workers = 4;
+  options.use_gpu = true;
+  Engine engine(options);
+  QueryHandle* q = engine.AddQuery(query);
+
+  int64_t matches = 0;
+  const Schema& out = q->output_schema();
+  const int sym = out.FieldIndex("key");
+  const int buy_price = out.FieldIndex("l_price");
+  const int sell_price = out.FieldIndex("r_price");
+  q->SetSink([&](const uint8_t* rows, size_t bytes) {
+    for (size_t off = 0; off < bytes; off += out.tuple_size()) {
+      TupleRef row(rows + off, &out);
+      if (matches < 5) {
+        std::printf("  match: t=%-4lld symbol=%-4lld buy=%d sell=%d\n",
+                    static_cast<long long>(row.timestamp()),
+                    static_cast<long long>(row.GetInt64(sym)),
+                    row.GetInt32(buy_price), row.GetInt32(sell_price));
+      }
+      ++matches;
+    }
+  });
+
+  engine.Start();
+  // Buys priced slightly above sells so roughly half of same-symbol pairs
+  // cross.
+  auto buys = GenerateOrders(1'000'000, 1, 10'000);
+  auto sells = GenerateOrders(1'000'000, 2, 10'000);
+  const size_t tsz = orders.tuple_size();
+  const size_t chunk = 8192 * tsz;
+  for (size_t off = 0; off < buys.size(); off += chunk) {
+    const size_t m = std::min(chunk, buys.size() - off);
+    q->InsertInto(0, buys.data() + off, m);
+    q->InsertInto(1, sells.data() + off, m);
+  }
+  engine.Drain();
+
+  std::printf("...\n");
+  std::printf("orders in    : %lld x2\n",
+              static_cast<long long>(q->tuples_in() / 2));
+  std::printf("matches out  : %lld\n", static_cast<long long>(matches));
+  std::printf("CPU tasks    : %lld\n",
+              static_cast<long long>(q->tasks_on(Processor::kCpu)));
+  std::printf("GPGPU tasks  : %lld\n",
+              static_cast<long long>(q->tasks_on(Processor::kGpu)));
+  return 0;
+}

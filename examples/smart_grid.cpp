@@ -1,0 +1,77 @@
+/// Smart-grid anomaly detection (§6.1, Appendix A.2): the full SG operator
+/// graph — SG1 (global average load) and SG2 (per-plug average load) feed
+/// SG3, a stream join that flags plugs whose local average exceeds the
+/// global average, counted per house. Demonstrates query chaining
+/// (Engine::Connect) across four queries.
+
+#include <cstdio>
+#include <map>
+
+#include "core/engine.h"
+#include "runtime/clock.h"
+#include "workloads/smart_grid.h"
+
+using namespace saber;
+
+int main() {
+  sg::GridOptions grid;
+  grid.num_houses = 20;
+  grid.readings_per_second = 100'000;
+  const size_t num_readings = 2'000'000;  // 20 seconds of readings
+  std::printf("generating %zu smart-meter readings from %d houses...\n",
+              num_readings, grid.num_houses);
+  auto readings = sg::GenerateReadings(num_readings, grid);
+
+  // Scaled-down windows (the paper uses 3600 s over multi-hour traces).
+  QueryDef sg1 = sg::MakeSG1(/*window=*/5, /*slide=*/1);
+  QueryDef sg2 = sg::MakeSG2(5, 1);
+  sg::SG3Queries sg3 = sg::MakeSG3(sg1, sg2);
+
+  EngineOptions options;
+  options.num_cpu_workers = 6;
+  options.use_gpu = true;
+  options.task_size = 256 * 1024;
+
+  Engine engine(options);
+  QueryHandle* h1 = engine.AddQuery(sg1);
+  QueryHandle* h2 = engine.AddQuery(sg2);
+  QueryHandle* hj = engine.AddQuery(sg3.join);
+  QueryHandle* hc = engine.AddQuery(sg3.count);
+  engine.Connect(h1, hj, /*input=*/0);  // global averages -> join left
+  engine.Connect(h2, hj, /*input=*/1);  // local averages  -> join right
+  engine.Connect(hj, hc, /*input=*/0);  // outlier pairs   -> count
+
+  std::map<int64_t, double> outliers_by_house;
+  const Schema& out = hc->output_schema();
+  hc->SetSink([&](const uint8_t* rows, size_t bytes) {
+    for (size_t off = 0; off < bytes; off += out.tuple_size()) {
+      TupleRef row(rows + off, &out);
+      outliers_by_house[row.GetInt64(1)] += row.GetDouble(2);
+    }
+  });
+
+  engine.Start();
+  Stopwatch wall;
+  const size_t chunk = 8192 * 32;
+  for (size_t off = 0; off < readings.size(); off += chunk) {
+    const size_t n = std::min(chunk, readings.size() - off);
+    h1->Insert(readings.data() + off, n);
+    h2->Insert(readings.data() + off, n);
+  }
+  engine.Drain();
+  const double secs = wall.ElapsedSeconds();
+
+  const double gb = 2.0 * readings.size() / (1 << 30);
+  std::printf("\nprocessed %.2f GB through 4 chained queries in %.2fs "
+              "(%.2f GB/s)\n", gb, secs, gb / secs);
+  std::printf("outlier-plug observations per house (top 5):\n");
+  std::multimap<double, int64_t, std::greater<>> ranked;
+  for (auto& [house, cnt] : outliers_by_house) ranked.emplace(cnt, house);
+  int shown = 0;
+  for (auto& [cnt, house] : ranked) {
+    std::printf("  house %2lld : %8.0f\n", static_cast<long long>(house), cnt);
+    if (++shown == 5) break;
+  }
+  std::printf("(houses with house%%5==4 run hottest by construction)\n");
+  return 0;
+}

@@ -1,0 +1,679 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "cpu/cpu_operators.h"
+#include "runtime/clock.h"
+
+namespace saber {
+
+namespace {
+constexpr int kEmpty = 0;
+constexpr int kStored = 1;
+}  // namespace
+
+// ===========================================================================
+// QueryHandle forwarding.
+// ===========================================================================
+
+void QueryHandle::InsertInto(int input, const void* tuples, size_t bytes) {
+  engine_->InsertInto(index_, input, tuples, bytes);
+}
+void QueryHandle::SetSink(std::function<void(const uint8_t*, size_t)> sink) {
+  engine_->queries_[index_]->sink = std::move(sink);
+}
+const QueryDef& QueryHandle::def() const {
+  return engine_->queries_[index_]->def;
+}
+const Schema& QueryHandle::output_schema() const {
+  return engine_->queries_[index_]->def.output_schema;
+}
+int64_t QueryHandle::bytes_in() const {
+  return engine_->queries_[index_]->bytes_in.load();
+}
+int64_t QueryHandle::tuples_in() const {
+  return engine_->queries_[index_]->tuples_in.load();
+}
+int64_t QueryHandle::rows_out() const {
+  return engine_->queries_[index_]->rows_out.load();
+}
+int64_t QueryHandle::tasks_on(Processor p) const {
+  return engine_->queries_[index_]->tasks_on[static_cast<int>(p)].load();
+}
+int64_t QueryHandle::bytes_on(Processor p) const {
+  return engine_->queries_[index_]->bytes_on[static_cast<int>(p)].load();
+}
+const LatencyHistogram& QueryHandle::latency() const {
+  return engine_->queries_[index_]->latency;
+}
+size_t QueryHandle::current_task_size() const {
+  return engine_->queries_[index_]->dyn_task_size.load();
+}
+
+// ===========================================================================
+// Engine lifecycle.
+// ===========================================================================
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  if (options_.use_gpu) {
+    device_ = std::make_unique<SimDevice>(options_.device);
+  }
+  task_queue_ = std::make_unique<TaskQueue>(options_.task_queue_capacity);
+  task_pool_ = std::make_unique<ObjectPool<QueryTask>>(
+      [] { return std::make_unique<QueryTask>(); }, 64);
+  result_pool_ = std::make_unique<ObjectPool<TaskResult>>(
+      [] { return std::make_unique<TaskResult>(); }, 64);
+  switch (options_.scheduler) {
+    case SchedulerKind::kHls:
+      policy_ = std::make_unique<HlsScheduler>(
+          options_.switch_threshold, options_.hls_lookahead,
+          /*cpu_enabled=*/options_.num_cpu_workers > 0,
+          /*gpu_enabled=*/options_.use_gpu);
+      break;
+    case SchedulerKind::kFcfs:
+      policy_ = std::make_unique<FcfsScheduler>();
+      break;
+    case SchedulerKind::kStatic:
+      policy_ = std::make_unique<StaticScheduler>(options_.static_assignment);
+      break;
+  }
+}
+
+Engine::~Engine() { Stop(); }
+
+QueryHandle* Engine::AddQuery(QueryDef def) {
+  SABER_CHECK(!running_.load());
+  auto qs = std::make_unique<QueryState>();
+  qs->def = std::move(def);
+  qs->index = static_cast<int>(queries_.size());
+  const size_t tsz0 = qs->def.input_schema[0].tuple_size();
+  qs->task_size = std::max(tsz0, options_.task_size / tsz0 * tsz0);
+  qs->dyn_task_size.store(qs->task_size);
+  qs->last_adjust_nanos.store(NowNanos());
+  qs->cpu_op = MakeCpuOperator(&qs->def);
+  if (device_ != nullptr) {
+    qs->gpu_op = MakeGpuOperator(&qs->def, device_.get());
+  }
+  for (int i = 0; i < qs->def.num_inputs; ++i) {
+    qs->buffer[i] = std::make_unique<CircularBuffer>(
+        options_.input_buffer_size, qs->def.input_schema[i].tuple_size());
+  }
+  for (size_t i = 0; i < QueryState::kSlots; ++i) {
+    qs->slots.push_back(std::make_unique<Slot>());
+  }
+  qs->assembly_state = qs->cpu_op->MakeAssemblyState();
+  qs->concat_assembly = !qs->def.is_aggregation() && !qs->def.is_udf();
+  queries_.push_back(std::move(qs));
+  handles_.emplace_back(new QueryHandle(this, queries_.back()->index));
+  return handles_.back().get();
+}
+
+void Engine::Connect(QueryHandle* from, QueryHandle* to, int input) {
+  SABER_CHECK(!running_.load());
+  Engine* self = this;
+  const int to_index = to->index_;
+  // The upstream query's assembly (ordered, single-threaded via the assembly
+  // token) acts as the single logical producer for the downstream stream.
+  from->SetSink([self, to_index, input](const uint8_t* data, size_t bytes) {
+    self->InsertInto(to_index, input, data, bytes);
+  });
+}
+
+void Engine::Start() {
+  // A worker-less engine would accept inserts and then hang in Drain.
+  SABER_CHECK(options_.num_cpu_workers > 0 || options_.use_gpu);
+  SABER_CHECK(!running_.exchange(true));
+  matrix_ = std::make_unique<ThroughputMatrix>(queries_.size(),
+                                               options_.matrix_initial_rate,
+                                               options_.matrix_update_nanos);
+  stopping_.store(false);
+  for (int i = 0; i < options_.num_cpu_workers; ++i) {
+    workers_.emplace_back([this, i] { CpuWorkerLoop(i); });
+  }
+  if (device_ != nullptr) {
+    workers_.emplace_back([this] { GpuWorkerLoop(); });
+  }
+}
+
+void Engine::Drain() {
+  if (!running_.load()) return;
+  for (;;) {
+    bool idle = task_queue_->empty();
+    for (auto& qs : queries_) {
+      idle = idle &&
+             qs->tasks_assembled.load() == qs->tasks_dispatched.load();
+    }
+    if (idle) {
+      bool flushed = false;
+      for (auto& qs : queries_) flushed = FlushRemainder(*qs) || flushed;
+      if (!flushed) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop();
+}
+
+void Engine::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  task_queue_->Close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  for (QueryTask* t : task_queue_->DrainRemaining()) {
+    task_pool_->Release(std::unique_ptr<QueryTask>(t));
+  }
+  running_.store(false);
+}
+
+// ===========================================================================
+// Dispatching stage (§4.1).
+// ===========================================================================
+
+int64_t Engine::TsAt(const CircularBuffer& buf, const Schema& schema,
+                     int64_t pos) const {
+  int64_t ts;
+  buf.CopyOut(pos, sizeof(ts), &ts);  // timestamp is field 0
+  return ts;
+}
+
+void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) {
+  QueryState& qs = *queries_[query];
+  const Schema& schema = qs.def.input_schema[input];
+  const size_t tsz = schema.tuple_size();
+  SABER_CHECK(bytes % tsz == 0);
+  if (bytes == 0) return;
+  CircularBuffer& buf = *qs.buffer[input];
+  // A block larger than the circular buffer can never fit in one piece:
+  // split it so arbitrarily large inserts simply block on back-pressure.
+  const size_t max_chunk =
+      std::max(tsz, options_.input_buffer_size / 2 / tsz * tsz);
+  const uint8_t* src = static_cast<const uint8_t*>(tuples);
+  for (size_t off = 0; off < bytes;) {
+    const size_t chunk = std::min(max_chunk, bytes - off);
+    while (!buf.TryInsert(src + off, chunk)) {
+      // Back-pressure: the result stage frees space as assemblies complete.
+      // Make sure pending data has been turned into tasks workers can run.
+      TryCreateTasks(qs);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      if (stopping_.load()) return;
+    }
+    off += chunk;
+    const uint8_t* last = src + off - tsz;
+    int64_t last_ts;
+    std::memcpy(&last_ts, last, sizeof(last_ts));
+    {
+      std::lock_guard<std::mutex> lock(qs.dispatch_mu);
+      qs.last_ingest_ts[input] = last_ts;
+    }
+    qs.bytes_in.fetch_add(static_cast<int64_t>(chunk));
+    qs.tuples_in.fetch_add(static_cast<int64_t>(chunk / tsz));
+    TryCreateTasks(qs);
+  }
+}
+
+void Engine::TryCreateTasks(QueryState& qs) {
+  std::lock_guard<std::mutex> lock(qs.dispatch_mu);
+  if (qs.def.num_inputs == 2) {  // θ-join or two-input UDF
+    while (TryCreateJoinTask(qs, /*flush=*/false)) {
+    }
+    return;
+  }
+  const size_t tsz = qs.def.input_schema[0].tuple_size();
+  const size_t phi =
+      std::max(tsz, qs.dyn_task_size.load(std::memory_order_relaxed) / tsz * tsz);
+  CircularBuffer& buf = *qs.buffer[0];
+  while (static_cast<size_t>(buf.end() - qs.next_task_start[0]) >= phi) {
+    CreateSingleInputTask(qs,
+                          qs.next_task_start[0] + static_cast<int64_t>(phi));
+  }
+}
+
+bool Engine::FlushRemainder(QueryState& qs) {
+  std::lock_guard<std::mutex> lock(qs.dispatch_mu);
+  if (qs.def.num_inputs == 2) {
+    return TryCreateJoinTask(qs, /*flush=*/true);
+  }
+  CircularBuffer& buf = *qs.buffer[0];
+  if (buf.end() == qs.next_task_start[0]) return false;
+  CreateSingleInputTask(qs, buf.end());
+  return true;
+}
+
+/// Creates a single-input task for buffer bytes [next_task_start, end_pos).
+/// Caller holds dispatch_mu.
+void Engine::CreateSingleInputTask(QueryState& qs, int64_t end_pos) {
+  const Schema& schema = qs.def.input_schema[0];
+  const size_t tsz = schema.tuple_size();
+  CircularBuffer& buf = *qs.buffer[0];
+  const int64_t start_pos = qs.next_task_start[0];
+  const int64_t n = (end_pos - start_pos) / static_cast<int64_t>(tsz);
+  SABER_CHECK(n > 0);
+
+  std::unique_ptr<QueryTask> holder = task_pool_->Acquire();
+  QueryTask* t = holder.release();
+  t->id = qs.next_task_id++;
+  t->query_index = qs.index;
+  t->num_inputs = 1;
+  auto& in = t->in[0];
+  in.start_pos = start_pos;
+  in.end_pos = end_pos;
+  in.first_index = qs.tuples_dispatched[0];
+  in.first_ts = TsAt(buf, schema, start_pos);
+  in.last_ts = TsAt(buf, schema, end_pos - static_cast<int64_t>(tsz));
+  in.prev_last_ts = qs.prev_last_ts[0];
+  in.hist_start_pos = start_pos;
+  in.hist_first_index = in.first_index;
+  in.free_pos = end_pos;  // single-input operators never look back
+  t->dispatched_nanos = NowNanos();
+  t->total_bytes = end_pos - start_pos;
+
+  qs.tuples_dispatched[0] += n;
+  qs.prev_last_ts[0] = in.last_ts;
+  qs.next_task_start[0] = end_pos;
+  PushTask(qs, t);
+}
+
+/// Join dispatch (§5.3 + DESIGN.md): both streams are cut at a common
+/// timestamp T so that each task sees both inputs complete through T. The
+/// window extent (history) of each stream stays alive via the free pointer.
+/// Caller holds dispatch_mu.
+bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
+  CircularBuffer& b0 = *qs.buffer[0];
+  CircularBuffer& b1 = *qs.buffer[1];
+  const Schema& s0 = qs.def.input_schema[0];
+  const Schema& s1 = qs.def.input_schema[1];
+  const size_t tsz0 = s0.tuple_size();
+  const size_t tsz1 = s1.tuple_size();
+
+  const int64_t pend0 = b0.end() - qs.next_task_start[0];
+  const int64_t pend1 = b1.end() - qs.next_task_start[1];
+  if (pend0 + pend1 == 0) return false;
+  const int64_t phi = static_cast<int64_t>(
+      qs.dyn_task_size.load(std::memory_order_relaxed));
+  if (!flush && pend0 + pend1 < phi) {
+    return false;
+  }
+
+  // Common timestamp cut: both streams are complete for ts <= T.
+  int64_t T;
+  if (flush) {
+    T = std::numeric_limits<int64_t>::max();
+  } else {
+    if (qs.last_ingest_ts[0] < 0 || qs.last_ingest_ts[1] < 0) return false;
+    T = std::min(qs.last_ingest_ts[0], qs.last_ingest_ts[1]) - 1;
+  }
+
+  // Scan forward to the cut on both streams.
+  int64_t end_pos[2], first_ts[2] = {0, 0}, last_ts[2] = {0, 0};
+  int64_t ntup[2];
+  const Schema* schemas[2] = {&s0, &s1};
+  CircularBuffer* bufs[2] = {&b0, &b1};
+  const size_t tszs[2] = {tsz0, tsz1};
+  for (int i = 0; i < 2; ++i) {
+    int64_t pos = qs.next_task_start[i];
+    const int64_t end = bufs[i]->end();
+    int64_t count = 0;
+    int64_t lts = qs.prev_last_ts[i];
+    int64_t fts = 0;
+    while (pos < end) {
+      const int64_t ts = TsAt(*bufs[i], *schemas[i], pos);
+      if (ts > T) break;
+      if (count == 0) fts = ts;
+      lts = ts;
+      pos += static_cast<int64_t>(tszs[i]);
+      ++count;
+    }
+    end_pos[i] = pos;
+    ntup[i] = count;
+    first_ts[i] = fts;
+    last_ts[i] = lts;
+  }
+  if (ntup[0] + ntup[1] == 0) return false;
+
+  std::unique_ptr<QueryTask> holder = task_pool_->Acquire();
+  QueryTask* t = holder.release();
+  t->id = qs.next_task_id++;
+  t->query_index = qs.index;
+  t->num_inputs = 2;
+  for (int i = 0; i < 2; ++i) {
+    auto& in = t->in[i];
+    in.start_pos = qs.next_task_start[i];
+    in.end_pos = end_pos[i];
+    in.first_index = qs.tuples_dispatched[i];
+    in.first_ts = first_ts[i];
+    in.last_ts = last_ts[i];
+    in.prev_last_ts = qs.prev_last_ts[i];
+    in.hist_start_pos = qs.window_start_pos[i];
+    in.hist_first_index = qs.window_start_index[i];
+    qs.tuples_dispatched[i] += ntup[i];
+    qs.prev_last_ts[i] = last_ts[i];
+    qs.next_task_start[i] = end_pos[i];
+  }
+  t->dispatched_nanos = NowNanos();
+  t->total_bytes = (end_pos[0] - t->in[0].start_pos) +
+                   (end_pos[1] - t->in[1].start_pos);
+
+  // UDF tasks copy their panes into the task result, so no history has to
+  // stay alive in the input buffers (unlike the θ-join partner windows).
+  if (qs.def.is_udf()) {
+    for (int i = 0; i < 2; ++i) {
+      qs.window_start_pos[i] = end_pos[i];
+      qs.window_start_index[i] = qs.tuples_dispatched[i];
+      t->in[i].hist_start_pos = t->in[i].start_pos;
+      t->in[i].hist_first_index = t->in[i].first_index;
+      t->in[i].free_pos = end_pos[i];
+    }
+    PushTask(qs, t);
+    return true;
+  }
+
+  // Advance the window extents. Stream i's history serves as *partners* for
+  // future tuples of the other stream (§2.4: windows are paired by index j).
+  // The earliest window index any future other-stream tuple can open is
+  //   j_min = floor((next_other_axis - size_other) / slide_other) + 1,
+  // and stream i's partners for window j_min start at axis j_min * slide_i —
+  // so retention is governed by the *other* stream's window definition
+  // (asymmetric windows, e.g. LRB2, depend on this).
+  for (int i = 0; i < 2; ++i) {
+    const WindowDefinition& w_self = qs.def.window[i];
+    const WindowDefinition& w_other = qs.def.window[1 - i];
+    CircularBuffer& buf = *bufs[i];
+    int64_t pos = qs.window_start_pos[i];
+    int64_t idx = qs.window_start_index[i];
+    if (!flush && T != std::numeric_limits<int64_t>::max()) {
+      const int64_t next_other_axis =
+          w_other.time_based() ? T + 1 : qs.tuples_dispatched[1 - i];
+      const int64_t j_min = std::max<int64_t>(
+          0, FloorDiv(next_other_axis - w_other.size, w_other.slide) + 1);
+      if (w_self.time_based()) {
+        const int64_t keep_ts = j_min * w_self.slide;
+        while (pos < end_pos[i] && TsAt(buf, *schemas[i], pos) < keep_ts) {
+          pos += static_cast<int64_t>(tszs[i]);
+          ++idx;
+        }
+      } else {
+        const int64_t keep_idx = j_min * w_self.slide;
+        while (idx < keep_idx && pos < end_pos[i]) {
+          pos += static_cast<int64_t>(tszs[i]);
+          ++idx;
+        }
+      }
+    }
+    qs.window_start_pos[i] = pos;
+    qs.window_start_index[i] = idx;
+    t->in[i].free_pos = pos;
+  }
+  PushTask(qs, t);
+  return true;
+}
+
+void Engine::PushTask(QueryState& qs, QueryTask* task) {
+  qs.tasks_dispatched.fetch_add(1);
+  if (!task_queue_->Push(task)) {
+    // Engine stopping: recycle the task.
+    qs.tasks_dispatched.fetch_sub(1);
+    task_pool_->Release(std::unique_ptr<QueryTask>(task));
+  }
+}
+
+// ===========================================================================
+// Execution stage.
+// ===========================================================================
+
+SpanPair Engine::SpanFor(const CircularBuffer& buf, int64_t from,
+                         int64_t to) const {
+  SpanPair sp;
+  const size_t total = static_cast<size_t>(to - from);
+  if (total == 0) return sp;
+  sp.seg1 = buf.DataAt(from);
+  sp.len1 = std::min(total, buf.ContiguousBytes(from));
+  if (sp.len1 < total) {
+    sp.seg2 = buf.DataAt(from + static_cast<int64_t>(sp.len1));
+    sp.len2 = total - sp.len1;
+  }
+  return sp;
+}
+
+TaskContext Engine::BuildContext(QueryState& qs, const QueryTask& t) const {
+  TaskContext ctx;
+  ctx.task_id = t.id;
+  ctx.query = &qs.def;
+  ctx.num_inputs = t.num_inputs;
+  for (int i = 0; i < t.num_inputs; ++i) {
+    const auto& in = t.in[i];
+    StreamBatch& b = ctx.input[i];
+    b.data = SpanFor(*qs.buffer[i], in.start_pos, in.end_pos);
+    b.first_index = in.first_index;
+    b.first_ts = in.first_ts;
+    b.last_ts = in.last_ts;
+    b.prev_last_ts = in.prev_last_ts;
+    b.history = SpanFor(*qs.buffer[i], in.hist_start_pos, in.start_pos);
+    b.history_first_index = in.hist_first_index;
+    b.tuple_size = qs.def.input_schema[i].tuple_size();
+  }
+  return ctx;
+}
+
+void Engine::CpuWorkerLoop(int worker_id) {
+  for (;;) {
+    QueryTask* t = task_queue_->Select(*policy_, Processor::kCpu, *matrix_);
+    if (t == nullptr) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    QueryState& qs = *queries_[t->query_index];
+    TaskContext ctx = BuildContext(qs, *t);
+    std::unique_ptr<TaskResult> holder = result_pool_->Acquire();
+    TaskResult* r = holder.release();
+    r->Reset();
+    r->task_id = t->id;
+    r->dispatched_nanos = t->dispatched_nanos;
+    r->input_bytes = t->total_bytes;
+    qs.cpu_op->ProcessBatch(ctx, r);
+    matrix_->RecordCompletion(t->query_index, Processor::kCpu);
+    StoreAndAssemble(qs, t, r, Processor::kCpu);
+  }
+}
+
+void Engine::GpuWorkerLoop() {
+  struct Completed {
+    QueryTask* task;
+    TaskResult* result;
+  };
+  BlockingQueue<Completed> completed(0);
+  size_t inflight = 0;
+  const size_t depth = options_.device.pipeline_depth;
+
+  auto drain_one = [&](bool block) -> bool {
+    auto c = block ? completed.Pop() : completed.TryPop();
+    if (!c.has_value()) return false;
+    QueryState& qs = *queries_[c->task->query_index];
+    matrix_->RecordCompletion(c->task->query_index, Processor::kGpu);
+    StoreAndAssemble(qs, c->task, c->result, Processor::kGpu);
+    --inflight;
+    return true;
+  };
+
+  for (;;) {
+    bool progressed = false;
+    while (drain_one(/*block=*/false)) progressed = true;
+    if (stopping_.load() && inflight == 0) {
+      if (!drain_one(false)) return;
+    }
+    if (inflight < depth) {
+      QueryTask* t = task_queue_->Select(*policy_, Processor::kGpu, *matrix_,
+                                         /*wait=*/false);
+      if (t != nullptr) {
+        QueryState& qs = *queries_[t->query_index];
+        TaskContext ctx = BuildContext(qs, *t);
+        std::unique_ptr<TaskResult> holder = result_pool_->Acquire();
+        TaskResult* r = holder.release();
+        r->Reset();
+        r->task_id = t->id;
+        r->dispatched_nanos = t->dispatched_nanos;
+        r->input_bytes = t->total_bytes;
+        qs.gpu_op->SubmitAsync(ctx, r, [&completed, t, r] {
+          completed.Push(Completed{t, r});
+        });
+        ++inflight;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      if (inflight > 0) {
+        drain_one(/*block=*/true);
+      } else {
+        // Poll aggressively: when the dispatcher bounds the system the queue
+        // is shallow, and a lazy GPGPU worker would lose every race for
+        // tasks against the cv-blocked CPU workers.
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+  }
+}
+
+// ===========================================================================
+// Result stage (§4.3): slot storage -> in-order assembly -> output stream.
+// ===========================================================================
+
+void Engine::StoreAndAssemble(QueryState& qs, QueryTask* task,
+                              TaskResult* result, Processor p) {
+  qs.tasks_on[static_cast<int>(p)].fetch_add(1);
+  qs.bytes_on[static_cast<int>(p)].fetch_add(task->total_bytes);
+
+  Slot& slot = *qs.slots[static_cast<size_t>(task->id) % QueryState::kSlots];
+  // The slot ring advances strictly in task-id order: this task may store
+  // only once every task kSlots older has been assembled. Checking the slot
+  // status alone is not enough — §4.3's "more slots than worker threads"
+  // argument bounds completed-but-unassembled results, but an OS-preempted
+  // worker can leave an *older* task unstored (its slot empty) while the
+  // other workers lap the ring; a newer task would then land in the empty
+  // slot and be assembled under the older task's position. Helping with
+  // assembly while waiting guarantees progress: within a query, tasks are
+  // selected in id order, so the gating task is always either executing on
+  // some worker or already stored.
+  while (slot.status.load(std::memory_order_acquire) != kEmpty ||
+         task->id - qs.next_assemble.load(std::memory_order_acquire) >=
+             static_cast<int64_t>(QueryState::kSlots)) {
+    TryAssemble(qs);
+    std::this_thread::yield();
+  }
+  slot.task = task;
+  slot.result = result;
+  slot.status.store(kStored, std::memory_order_release);
+  TryAssemble(qs);
+}
+
+void Engine::TryAssemble(QueryState& qs) {
+  for (;;) {
+    bool expected = false;
+    if (!qs.assembling.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire)) {
+      return;  // another worker holds the assembly token
+    }
+    bool did_work = false;
+    for (;;) {
+      const int64_t id = qs.next_assemble.load(std::memory_order_relaxed);
+      Slot& slot = *qs.slots[static_cast<size_t>(id) % QueryState::kSlots];
+      if (slot.status.load(std::memory_order_acquire) != kStored) break;
+      QueryTask* task = slot.task;
+      TaskResult* result = slot.result;
+      SABER_CHECK(task->id == id);
+      SABER_CHECK(result->task_id == id);
+
+      if (qs.concat_assembly) {
+        // Window results are the concatenation of fragment results (§4.3):
+        // forward the task's output bytes without re-buffering.
+        if (result->complete.size() > 0) {
+          qs.rows_out.fetch_add(static_cast<int64_t>(
+              result->complete.size() / qs.def.output_schema.tuple_size()));
+          if (qs.sink) qs.sink(result->complete.data(), result->complete.size());
+        }
+      } else {
+        qs.assembly_scratch.Clear();
+        qs.cpu_op->Assemble(*result, qs.assembly_state.get(),
+                            &qs.assembly_scratch);
+        if (qs.assembly_scratch.size() > 0) {
+          qs.rows_out.fetch_add(static_cast<int64_t>(
+              qs.assembly_scratch.size() / qs.def.output_schema.tuple_size()));
+          if (qs.sink) {
+            qs.sink(qs.assembly_scratch.data(), qs.assembly_scratch.size());
+          }
+        }
+      }
+      const int64_t task_latency = NowNanos() - result->dispatched_nanos;
+      qs.latency.RecordNanos(task_latency);
+      if (options_.latency_target_nanos > 0) {
+        MaybeAdjustTaskSize(qs, task_latency);
+      }
+
+      for (int i = 0; i < task->num_inputs; ++i) {
+        qs.buffer[i]->FreeUpTo(task->in[i].free_pos);
+      }
+      result_pool_->Release(std::unique_ptr<TaskResult>(result));
+      task_pool_->Release(std::unique_ptr<QueryTask>(task));
+
+      slot.task = nullptr;
+      slot.result = nullptr;
+      slot.status.store(kEmpty, std::memory_order_release);
+      qs.next_assemble.fetch_add(1, std::memory_order_release);
+      qs.tasks_assembled.fetch_add(1);
+      did_work = true;
+    }
+    qs.assembling.store(false, std::memory_order_release);
+    (void)did_work;
+    // Re-check: a result may have been stored between the loop exit and the
+    // token release; without this re-acquisition it could wait forever.
+    const int64_t id = qs.next_assemble.load(std::memory_order_acquire);
+    Slot& slot = *qs.slots[static_cast<size_t>(id) % QueryState::kSlots];
+    if (slot.status.load(std::memory_order_acquire) != kStored) return;
+  }
+}
+
+// ===========================================================================
+// Adaptive task sizing (extension; see EngineOptions::latency_target_nanos).
+// ===========================================================================
+
+void Engine::MaybeAdjustTaskSize(QueryState& qs, int64_t latency_nanos) {
+  // Fold this observation into the interval maximum.
+  int64_t seen = qs.window_max_latency.load(std::memory_order_relaxed);
+  while (latency_nanos > seen &&
+         !qs.window_max_latency.compare_exchange_weak(
+             seen, latency_nanos, std::memory_order_relaxed)) {
+  }
+
+  const int64_t now = NowNanos();
+  const int64_t last = qs.last_adjust_nanos.load(std::memory_order_relaxed);
+  if (now - last < options_.task_size_adjust_interval_nanos) return;
+  int64_t expected = last;
+  if (!qs.last_adjust_nanos.compare_exchange_strong(
+          expected, now, std::memory_order_relaxed)) {
+    return;  // another worker claimed this interval
+  }
+  const int64_t window_max = qs.window_max_latency.exchange(0);
+  if (window_max == 0) return;  // no completions this interval
+
+  const int64_t target = options_.latency_target_nanos;
+  const size_t cur = qs.dyn_task_size.load(std::memory_order_relaxed);
+  const size_t tsz = qs.def.input_schema[0].tuple_size();
+  const size_t floor_phi =
+      std::max(tsz, std::max(options_.min_task_size, tsz) / tsz * tsz);
+  size_t next = cur;
+  if (window_max > target) {
+    // Multiplicative decrease: larger overshoots shrink phi harder, like the
+    // fixed-point batch-size iteration of [25].
+    next = window_max > 2 * target ? cur / 4 : cur / 2;
+  } else if (window_max < target / 2) {
+    // Gentle increase while comfortably below target (throughput recovery).
+    next = cur + cur / 4;
+  }
+  next = std::clamp(next, floor_phi, qs.task_size);
+  next = std::max(tsz, next / tsz * tsz);
+  if (next != cur) {
+    qs.dyn_task_size.store(next, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace saber

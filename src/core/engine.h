@@ -1,0 +1,241 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/operator.h"
+#include "core/schedulers.h"
+#include "core/task.h"
+#include "core/throughput_matrix.h"
+#include "gpu/gpu_operators.h"
+#include "runtime/circular_buffer.h"
+#include "runtime/histogram.h"
+#include "runtime/object_pool.h"
+
+/// \file engine.h
+/// The SABER engine (§4, Fig. 4): dispatching stage → system-wide task queue
+/// → scheduling stage (HLS) → execution on CPU cores and the simulated GPGPU
+/// → result stage with ordered assembly and output-stream construction.
+///
+/// Threading model (§4 "worker thread model"): each CPU worker handles the
+/// complete task lifecycle — it asks the scheduler for a task, executes the
+/// batch operator function, stores the fragment results, performs in-order
+/// assembly when it holds the per-query assembly token, appends to the
+/// output stream and releases input-buffer free pointers. One dedicated
+/// worker drives the GPGPU, keeping up to pipeline_depth tasks in flight
+/// through the five-stage pipeline (§5.2).
+///
+/// Queries are chained by connecting one query's (ordered) output stream to
+/// another's input (used by SG3, LRB2 and LRB4).
+
+namespace saber {
+
+enum class SchedulerKind { kHls, kFcfs, kStatic };
+
+struct EngineOptions {
+  /// CPU worker threads (each one models a bound physical core, §4).
+  int num_cpu_workers = 4;
+  /// Attach the simulated GPGPU (adds one GPGPU worker thread plus the
+  /// device's five stage threads and executor pool).
+  bool use_gpu = true;
+  SimDeviceOptions device;
+
+  /// Query task size φ in bytes (§3; rounded down per query to a multiple of
+  /// the input tuple size). With adaptive sizing enabled (below) this is the
+  /// *maximum* φ.
+  size_t task_size = 1 << 20;
+
+  /// Adaptive task sizing (extension; cf. Das et al. [25], contrasted in §7):
+  /// when non-zero, each query's φ is tuned at runtime — multiplicative
+  /// decrease when the observed end-to-end task latency exceeds the target,
+  /// gentle increase while it stays below half the target — automating the
+  /// throughput/latency trade-off of §6.4 (Fig. 12). 0 disables (fixed φ).
+  int64_t latency_target_nanos = 0;
+  /// Floor for the adaptive φ.
+  size_t min_task_size = 4096;
+  /// How often the controller may adjust φ.
+  int64_t task_size_adjust_interval_nanos = 50'000'000;
+  /// Circular input buffer capacity per stream (§4.1).
+  size_t input_buffer_size = size_t{64} << 20;
+  /// System-wide task queue bound (dispatch back-pressure).
+  size_t task_queue_capacity = 256;
+
+  SchedulerKind scheduler = SchedulerKind::kHls;
+  /// HLS switch threshold (Alg. 1).
+  int switch_threshold = 20;
+  /// HLS queue-scan bound (how far the lookahead walks; 1 disables it).
+  size_t hls_lookahead = 64;
+  /// Static assignment (query index -> processor) for SchedulerKind::kStatic.
+  std::map<int, Processor> static_assignment;
+  /// Throughput matrix refresh interval (100 ms in §6.6).
+  int64_t matrix_update_nanos = 100'000'000;
+  /// Initial uniform rate for the throughput matrix (tasks/s).
+  double matrix_initial_rate = 100.0;
+};
+
+class Engine;
+
+/// Per-query facade: input ingestion, output sink, statistics.
+class QueryHandle {
+ public:
+  /// Appends serialized tuples to input stream 0. Blocks on back-pressure.
+  /// One logical producer per input stream (§4.1).
+  void Insert(const void* tuples, size_t bytes) { InsertInto(0, tuples, bytes); }
+  void InsertInto(int input, const void* tuples, size_t bytes);
+
+  /// Ordered output callback: invoked with batches of serialized output rows
+  /// in stream order, from worker threads. Set before Engine::Start.
+  void SetSink(std::function<void(const uint8_t*, size_t)> sink);
+
+  const QueryDef& def() const;
+  const Schema& output_schema() const;
+
+  int64_t bytes_in() const;
+  int64_t tuples_in() const;
+  int64_t rows_out() const;
+  /// Current query task size φ (differs from EngineOptions::task_size only
+  /// under adaptive sizing).
+  size_t current_task_size() const;
+  /// Tasks / bytes executed per processor (the Fig. 7 CPU/GPGPU split).
+  int64_t tasks_on(Processor p) const;
+  int64_t bytes_on(Processor p) const;
+  /// End-to-end task latency: dispatch -> output emission.
+  const LatencyHistogram& latency() const;
+
+ private:
+  friend class Engine;
+  QueryHandle(Engine* engine, int index) : engine_(engine), index_(index) {}
+  Engine* engine_;
+  int index_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a query before Start. The handle remains owned by the engine.
+  QueryHandle* AddQuery(QueryDef def);
+
+  /// Routes `from`'s output stream into input `input` of `to` (operator
+  /// graphs spanning multiple queries: SG3, LRB4).
+  void Connect(QueryHandle* from, QueryHandle* to, int input = 0);
+
+  void Start();
+
+  /// Flushes sub-batch remainders and blocks until every dispatched task has
+  /// been executed and assembled (including tasks spawned through query
+  /// connections), then stops the workers.
+  void Drain();
+
+  /// Immediate stop (pending tasks are abandoned).
+  void Stop();
+
+  const ThroughputMatrix& matrix() const { return *matrix_; }
+  ThroughputMatrix& matrix() { return *matrix_; }
+  SimDevice* device() { return device_.get(); }
+  size_t queue_depth() const { return task_queue_->size(); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  friend class QueryHandle;
+
+  struct Slot {
+    std::atomic<int> status{0};  // 0 = empty, 1 = stored
+    QueryTask* task = nullptr;
+    TaskResult* result = nullptr;
+  };
+
+  struct QueryState {
+    QueryDef def;
+    int index = 0;
+    size_t task_size = 0;  // configured (maximum) φ rounded to the tuple size
+
+    // Adaptive task sizing (extension): the live φ plus the controller's
+    // observation window. Written by the controller (one claimant per
+    // interval), read by the dispatcher.
+    std::atomic<size_t> dyn_task_size{0};
+    std::atomic<int64_t> window_max_latency{0};
+    std::atomic<int64_t> last_adjust_nanos{0};
+    std::unique_ptr<Operator> cpu_op;
+    std::unique_ptr<GpuOperatorBase> gpu_op;
+
+    // Dispatching stage (§4.1).
+    std::unique_ptr<CircularBuffer> buffer[2];
+    std::mutex dispatch_mu;
+    int64_t next_task_start[2] = {0, 0};
+    int64_t tuples_dispatched[2] = {0, 0};
+    int64_t prev_last_ts[2] = {-1, -1};
+    int64_t last_ingest_ts[2] = {-1, -1};
+    int64_t window_start_pos[2] = {0, 0};
+    int64_t window_start_index[2] = {0, 0};
+    int64_t next_task_id = 0;
+    std::atomic<int64_t> tasks_dispatched{0};
+
+    // Result stage (§4.3).
+    static constexpr size_t kSlots = 128;
+    /// Stateless and join queries assemble by concatenation (§4.3); their
+    /// fragment results are forwarded zero-copy instead of re-buffered.
+    bool concat_assembly = false;
+    std::vector<std::unique_ptr<Slot>> slots;
+    std::atomic<int64_t> next_assemble{0};
+    std::atomic<bool> assembling{false};
+    std::atomic<int64_t> tasks_assembled{0};
+    std::unique_ptr<AssemblyState> assembly_state;
+    ByteBuffer assembly_scratch;
+    std::function<void(const uint8_t*, size_t)> sink;
+
+    // Statistics.
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> tuples_in{0};
+    std::atomic<int64_t> rows_out{0};
+    std::atomic<int64_t> tasks_on[kNumProcessors] = {};
+    std::atomic<int64_t> bytes_on[kNumProcessors] = {};
+    LatencyHistogram latency;
+  };
+
+  void InsertInto(int query, int input, const void* tuples, size_t bytes);
+  void TryCreateTasks(QueryState& qs);
+  bool FlushRemainder(QueryState& qs);
+  void CreateSingleInputTask(QueryState& qs, int64_t end_pos);
+  bool TryCreateJoinTask(QueryState& qs, bool flush);
+  void PushTask(QueryState& qs, QueryTask* task);
+
+  TaskContext BuildContext(QueryState& qs, const QueryTask& t) const;
+  SpanPair SpanFor(const CircularBuffer& buf, int64_t from, int64_t to) const;
+
+  void CpuWorkerLoop(int worker_id);
+  void GpuWorkerLoop();
+  void StoreAndAssemble(QueryState& qs, QueryTask* task, TaskResult* result,
+                        Processor p);
+  void TryAssemble(QueryState& qs);
+  void MaybeAdjustTaskSize(QueryState& qs, int64_t latency_nanos);
+
+  int64_t TsAt(const CircularBuffer& buf, const Schema& schema,
+               int64_t pos) const;
+
+  EngineOptions options_;
+  // Destruction order: queries (operators) must die before the device.
+  std::unique_ptr<SimDevice> device_;
+  std::unique_ptr<ThroughputMatrix> matrix_;
+  std::unique_ptr<TaskQueue> task_queue_;
+  std::unique_ptr<Scheduler> policy_;
+  std::unique_ptr<ObjectPool<QueryTask>> task_pool_;
+  std::unique_ptr<ObjectPool<TaskResult>> result_pool_;
+
+  std::vector<std::unique_ptr<QueryState>> queries_;
+  std::vector<std::unique_ptr<QueryHandle>> handles_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace saber

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/task.h"
+#include "core/throughput_matrix.h"
+
+/// \file schedulers.h
+/// The system-wide query-task queue (§4, Fig. 4) and the scheduling policies
+/// evaluated in §6.6:
+///
+///  - HlsScheduler — heterogeneous lookahead scheduling, Algorithm 1. Walks
+///    the queue accumulating the preferred processor's outstanding work
+///    (`delay`); selects a task for a non-preferred processor only when
+///    running it there finishes earlier than waiting, or when the switch
+///    threshold forces exploration.
+///  - FcfsScheduler — "first-come, first-served": head of queue regardless
+///    of processor.
+///  - StaticScheduler — fixed query→processor assignment (the infeasible-
+///    in-practice baseline of Fig. 15).
+///
+/// Policies run under the queue lock; the scan is bounded by a lookahead cap
+/// to keep the critical section short on deep queues.
+
+namespace saber {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Selects and removes the task this worker should run, or nullptr if no
+  /// eligible task exists. Called with the queue contents under lock.
+  virtual QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
+                            ThroughputMatrix& matrix) = 0;
+};
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
+                    ThroughputMatrix& matrix) override {
+    if (queue.empty()) return nullptr;
+    QueryTask* t = queue.front();
+    queue.pop_front();
+    matrix.IncrementCount(t->query_index, p);
+    return t;
+  }
+};
+
+class StaticScheduler final : public Scheduler {
+ public:
+  explicit StaticScheduler(std::map<int, Processor> assignment)
+      : assignment_(std::move(assignment)) {}
+
+  QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
+                    ThroughputMatrix& matrix) override {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      auto a = assignment_.find((*it)->query_index);
+      const Processor want = a == assignment_.end() ? Processor::kCpu : a->second;
+      if (want == p) {
+        QueryTask* t = *it;
+        queue.erase(it);
+        matrix.IncrementCount(t->query_index, p);
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::map<int, Processor> assignment_;
+};
+
+/// Algorithm 1 (§4.2).
+class HlsScheduler final : public Scheduler {
+ public:
+  /// `cpu_enabled`/`gpu_enabled` declare which processor types have workers:
+  /// a task whose preferred processor has no workers is treated as
+  /// preferring the asking processor, and the switch threshold (which exists
+  /// to *observe the other processor*) is bypassed when there is no other
+  /// processor — otherwise the head task starves in single-processor
+  /// configurations.
+  explicit HlsScheduler(int switch_threshold = 20, size_t lookahead_cap = 64,
+                        bool cpu_enabled = true, bool gpu_enabled = true)
+      : st_(switch_threshold), lookahead_cap_(lookahead_cap) {
+    enabled_[static_cast<int>(Processor::kCpu)] = cpu_enabled;
+    enabled_[static_cast<int>(Processor::kGpu)] = gpu_enabled;
+  }
+
+  QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
+                    ThroughputMatrix& matrix) override {
+    const Processor other =
+        p == Processor::kCpu ? Processor::kGpu : Processor::kCpu;
+    const bool have_other = enabled_[static_cast<int>(other)];
+    double delay = 0.0;                                     // line 2
+    const size_t limit = std::min(queue.size(), lookahead_cap_);
+    for (size_t pos = 0; pos < limit; ++pos) {              // line 3
+      QueryTask* v = queue[pos];
+      const int q = v->query_index;                         // line 4
+      Processor ppref = matrix.Preferred(q);                // line 5
+      if (!enabled_[static_cast<int>(ppref)]) ppref = p;
+      const double rate_p = matrix.Rate(q, p);
+      // Line 6: take the task if (i) this is the preferred processor and the
+      // switch threshold has not been exceeded, or (ii) this is not the
+      // preferred processor but either the threshold forces a switch or the
+      // accumulated delay on the preferred processor exceeds this
+      // processor's execution time for the task.
+      const bool preferred_ok =
+          p == ppref && (!have_other || matrix.Count(q, p) < st_);
+      const bool steal_ok =
+          p != ppref &&
+          (matrix.Count(q, ppref) >= st_ || delay >= 1.0 / rate_p);
+      if (preferred_ok || steal_ok) {
+        if (matrix.Count(q, ppref) >= st_) matrix.ResetCount(q, ppref);  // l.7
+        matrix.IncrementCount(q, p);                        // line 8
+        queue.erase(queue.begin() + static_cast<long>(pos));
+        return v;                                           // line 9
+      }
+      delay += 1.0 / matrix.Rate(q, ppref);                 // line 10
+    }
+    return nullptr;                                         // nothing eligible
+  }
+
+ private:
+  const int st_;
+  const size_t lookahead_cap_;
+  bool enabled_[kNumProcessors];
+};
+
+/// The single system-wide queue of query tasks (Fig. 4). Bounded: Push
+/// blocks when full, providing dispatch back-pressure.
+class TaskQueue {
+ public:
+  explicit TaskQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns false if the queue has been closed.
+  bool Push(QueryTask* task) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || tasks_.size() < capacity_; });
+    if (closed_) return false;
+    tasks_.push_back(task);
+    not_empty_.notify_all();
+    return true;
+  }
+
+  /// Runs the scheduling policy; blocks until a task is selected or the
+  /// queue is closed. `wait` = false polls once.
+  QueryTask* Select(Scheduler& policy, Processor p, ThroughputMatrix& matrix,
+                    bool wait = true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      QueryTask* t = policy.Select(tasks_, p, matrix);
+      if (t != nullptr) {
+        not_full_.notify_one();
+        return t;
+      }
+      if (closed_ || !wait) return nullptr;
+      // A policy may refuse the current queue contents for this processor
+      // (lookahead); re-evaluate when the queue changes or periodically as
+      // the matrix drifts.
+      not_empty_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Removes and returns all remaining tasks (engine shutdown).
+  std::deque<QueryTask*> DrainRemaining() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<QueryTask*> out;
+    out.swap(tasks_);
+    return out;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<QueryTask*> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace saber

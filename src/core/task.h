@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file task.h
+/// The query task of §3: "the operator graph is bundled with a batch of
+/// stream data to form a query task that can be scheduled on a heterogeneous
+/// processor". A QueryTask holds only positions into the query's circular
+/// input buffers (§4.1: start pointer, end pointer, free pointer); the
+/// worker materializes spans from them at execution time.
+
+namespace saber {
+
+/// A heterogeneous processor (§1: "by processor we refer to either an
+/// individual CPU core or an entire GPGPU").
+enum class Processor : uint8_t { kCpu = 0, kGpu = 1 };
+inline constexpr int kNumProcessors = 2;
+
+inline const char* ProcessorName(Processor p) {
+  return p == Processor::kCpu ? "CPU" : "GPGPU";
+}
+
+struct QueryTask {
+  /// Dense per-query identifier assigned at dispatch; the result stage uses
+  /// it to reorder out-of-order completions (§4.1 "query task identifier").
+  int64_t id = 0;
+  /// Engine-wide query index (row of the throughput matrix).
+  int query_index = 0;
+  int num_inputs = 1;
+
+  struct Input {
+    int64_t start_pos = 0;  // batch start byte position in the circular buffer
+    int64_t end_pos = 0;    // batch end (exclusive)
+    int64_t first_index = 0;   // global tuple index of the first batch tuple
+    int64_t first_ts = 0;      // timestamp of the first batch tuple
+    int64_t last_ts = 0;       // timestamp of the last batch tuple
+    int64_t prev_last_ts = -1; // last timestamp of the previous batch
+    /// Join window extent preceding the batch (equals start_pos for
+    /// single-input queries).
+    int64_t hist_start_pos = 0;
+    int64_t hist_first_index = 0;
+    /// Free pointer (§4.1): bytes before this position may be released once
+    /// the task's results have been collected.
+    int64_t free_pos = 0;
+  } in[2];
+
+  int64_t dispatched_nanos = 0;  // for end-to-end latency accounting
+  int64_t total_bytes = 0;       // query task size contribution (Σ|b_i|)
+};
+
+}  // namespace saber

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/task.h"
+#include "runtime/align.h"
+#include "runtime/clock.h"
+
+/// \file throughput_matrix.h
+/// The query task throughput matrix C of §4.2: C(q, p) is the observed number
+/// of query tasks of query q executed per second on processor p. SABER makes
+/// no use of offline performance models — the matrix is "initialised under a
+/// uniform assumption" and "continuously updated by measuring the number of
+/// tasks of a query that are executed in a certain time span on a particular
+/// processor".
+///
+/// Implementation: per (q, p) cell, a ring of the last K completion
+/// timestamps; the rate is (K-1) / (t_newest - t_oldest). The published rate
+/// is refreshed at most once per update_interval (100 ms in the Fig. 16
+/// adaptation experiment) so scheduling reads are a single atomic load.
+
+namespace saber {
+
+class ThroughputMatrix {
+ public:
+  static constexpr size_t kWindow = 8;
+
+  explicit ThroughputMatrix(size_t num_queries,
+                            double initial_rate = 100.0,
+                            int64_t update_interval_nanos = 100'000'000)
+      : update_interval_nanos_(update_interval_nanos) {
+    cells_.reserve(num_queries * kNumProcessors);
+    for (size_t i = 0; i < num_queries * kNumProcessors; ++i) {
+      cells_.push_back(std::make_unique<Cell>(initial_rate));
+    }
+  }
+
+  /// Records a completed task of query q on processor p.
+  void RecordCompletion(int query, Processor p) {
+    Cell& c = cell(query, p);
+    const int64_t now = NowNanos();
+    {
+      std::lock_guard<std::mutex> lock(c.mu);
+      c.completions[c.head % kWindow] = now;
+      ++c.head;
+    }
+    MaybeRefresh(c, now);
+  }
+
+  /// Published rate C(q, p) in tasks/second.
+  double Rate(int query, Processor p) const {
+    return cell(query, p).rate.load(std::memory_order_relaxed);
+  }
+
+  /// The processor with the highest observed rate for q (ties favor CPU,
+  /// matching argmax order over {CPU, GPGPU}).
+  Processor Preferred(int query) const {
+    return Rate(query, Processor::kCpu) >= Rate(query, Processor::kGpu)
+               ? Processor::kCpu
+               : Processor::kGpu;
+  }
+
+  /// Execution-count bookkeeping for the HLS switch threshold (Alg. 1's
+  /// `count` function).
+  int64_t Count(int query, Processor p) const {
+    return cell(query, p).exec_count.load(std::memory_order_relaxed);
+  }
+  void IncrementCount(int query, Processor p) {
+    cell(query, p).exec_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ResetCount(int query, Processor p) {
+    cell(query, p).exec_count.store(0, std::memory_order_relaxed);
+  }
+
+  /// Forces a rate (tests and the Fig. 5 worked example).
+  void SetRate(int query, Processor p, double rate) {
+    cell(query, p).rate.store(rate, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    explicit Cell(double initial) : rate(initial) {}
+    std::mutex mu;
+    int64_t completions[kWindow] = {0};
+    size_t head = 0;
+    std::atomic<double> rate;
+    std::atomic<int64_t> last_refresh{0};
+    std::atomic<int64_t> exec_count{0};
+  };
+
+  void MaybeRefresh(Cell& c, int64_t now) {
+    int64_t last = c.last_refresh.load(std::memory_order_relaxed);
+    if (now - last < update_interval_nanos_) return;
+    if (!c.last_refresh.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.head < kWindow) return;  // not enough samples yet
+    const int64_t newest = c.completions[(c.head - 1) % kWindow];
+    const int64_t oldest = c.completions[c.head % kWindow];
+    if (newest <= oldest) return;
+    const double rate =
+        static_cast<double>(kWindow - 1) / ((newest - oldest) * 1e-9);
+    c.rate.store(rate, std::memory_order_relaxed);
+  }
+
+  Cell& cell(int query, Processor p) {
+    return *cells_[query * kNumProcessors + static_cast<int>(p)];
+  }
+  const Cell& cell(int query, Processor p) const {
+    return *cells_[query * kNumProcessors + static_cast<int>(p)];
+  }
+
+  const int64_t update_interval_nanos_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace saber

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "relational/schema.h"
+#include "relational/tuple_ref.h"
+#include "runtime/byte_buffer.h"
+
+/// \file window_udf.h
+/// User-defined operator functions (§2.4): "Operator functions may also be
+/// specified as user-defined functions (UDFs), which implement bespoke
+/// computation per window." The hybrid model decomposes every operator into
+/// a fragment function f_f and an assembly function f_a (§3); for a generic
+/// UDF the engine uses the universal decomposition
+///
+///   f_f = collect the window-fragment tuples (per pane, lazily serialized),
+///   f_a = evaluate the UDF over the assembled window(s),
+///
+/// which is sound for any operator function because the concatenation of the
+/// window fragments *is* the window. Fragment collection runs data-parallel
+/// on either processor (work group per pane on the simulated GPGPU, §5.4);
+/// the UDF itself runs in the strictly-ordered assembly stage on a CPU
+/// worker, like every assembly operator function (§5.4: "the assembly
+/// operator function ... is evaluated by one of the CPU worker threads").
+
+namespace saber {
+
+/// A read-only view over one assembled window of one input stream: the
+/// window's tuples, serialized back to back in arrival order.
+struct WindowView {
+  const Schema* schema = nullptr;
+  const uint8_t* data = nullptr;
+  size_t num_tuples = 0;
+
+  const uint8_t* tuple_bytes(size_t i) const {
+    return data + i * schema->tuple_size();
+  }
+  TupleRef tuple(size_t i) const { return TupleRef(tuple_bytes(i), schema); }
+  bool empty() const { return num_tuples == 0; }
+};
+
+/// An n-ary window operator function (§2.4): maps one window per input
+/// stream to a window result. Implementations must be stateless across
+/// windows and thread-compatible (const methods may run on any worker).
+class WindowUdf {
+ public:
+  virtual ~WindowUdf() = default;
+
+  /// Human-readable operator name (used in logs and ToString).
+  virtual std::string name() const = 0;
+
+  /// Output schema for the given input schemas. Field 0 must be an int64
+  /// timestamp; to keep the result stream ordered (§2.4), implementations
+  /// should stamp every emitted row with `window_ts` (the maximum tuple
+  /// timestamp across the input windows), which is monotone across windows.
+  virtual Schema DeriveOutputSchema(const Schema* inputs, int n) const = 0;
+
+  /// Evaluates the operator function over one n-tuple of windows, appending
+  /// serialized output rows to `out`. Called once per window, in window
+  /// order, only for windows with at least one tuple in at least one input.
+  virtual void OnWindow(const WindowView* views, int n, int64_t window_ts,
+                        ByteBuffer* out) const = 0;
+};
+
+}  // namespace saber

@@ -1,0 +1,399 @@
+#include "cpu/cpu_operators.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cpu/fragment_assembly.h"
+#include "cpu/udf_operator.h"
+#include "relational/hash_table.h"
+
+namespace saber {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stateless operators: projection and selection (§5.3 "a single scan over
+// the stream batch"). With IStream semantics every input tuple contributes
+// at most one output tuple, independent of the window definition — which is
+// why Fig. 11a shows the slide having no effect on SELECT throughput.
+// ---------------------------------------------------------------------------
+
+class CpuStatelessOperator final : public Operator {
+ public:
+  explicit CpuStatelessOperator(const QueryDef* q) : Operator(q) {
+    identity_ = DetectIdentity(*q);
+  }
+
+  void ProcessBatch(const TaskContext& ctx, TaskResult* out) const override {
+    const StreamBatch& in = ctx.input[0];
+    const Schema& schema = query_->input_schema[0];
+    const Schema& out_schema = query_->output_schema;
+    const size_t n = in.num_tuples();
+    const size_t in_size = schema.tuple_size();
+    const size_t out_size = out_schema.tuple_size();
+    const Expression* where = query_->where.get();
+
+    out->axis_p = in.AxisP(query_->window[0]);
+    out->axis_q = in.AxisQ(query_->window[0]);
+    out->complete.Reserve(n * (identity_ ? in_size : out_size));
+
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t* bytes = in.tuple(i);
+      TupleRef t(bytes, &schema);
+      if (where != nullptr && !where->EvalBool(t, nullptr)) continue;
+      if (identity_) {
+        // Direct byte forwarding (§5.1).
+        out->complete.Append(bytes, in_size);
+        continue;
+      }
+      uint8_t* row = out->complete.AppendUninitialized(out_size);
+      TupleWriter wr(row, &out_schema);
+      for (size_t f = 0; f < query_->select.size(); ++f) {
+        const Expression& e = *query_->select[f];
+        switch (out_schema.field(f).type) {
+          case DataType::kInt32:
+            wr.SetInt32(f, static_cast<int32_t>(e.EvalInt64(t, nullptr)));
+            break;
+          case DataType::kInt64:
+            wr.SetInt64(f, e.EvalInt64(t, nullptr));
+            break;
+          default:
+            wr.SetNumeric(f, e.EvalDouble(t, nullptr));
+            break;
+        }
+      }
+    }
+  }
+
+  void Assemble(const TaskResult& result, AssemblyState* state,
+                ByteBuffer* output) const override {
+    static_cast<ConcatAssembly*>(state)->Ingest(result, output);
+  }
+
+  std::unique_ptr<AssemblyState> MakeAssemblyState() const override {
+    return std::make_unique<ConcatAssembly>();
+  }
+
+ private:
+  static bool DetectIdentity(const QueryDef& q) {
+    if (q.select.size() != q.input_schema[0].num_fields()) return false;
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      const auto* col = q.select[i]->kind() == Expression::Kind::kColumn
+                            ? static_cast<const ColumnExpr*>(q.select[i].get())
+                            : nullptr;
+      if (col == nullptr || col->field() != i) return false;
+    }
+    return q.output_schema.tuple_size() == q.input_schema[0].tuple_size();
+  }
+
+  bool identity_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation: the batch operator function partitions the stream batch into
+// panes and computes one partial aggregate per pane (§5.3). Finalization of
+// window results happens in the assembly operator function
+// (AggregationAssembly), which merges pane partials incrementally.
+// ---------------------------------------------------------------------------
+
+class CpuAggregationOperator final : public Operator {
+ public:
+  explicit CpuAggregationOperator(const QueryDef* q)
+      : Operator(q), fmt_(PaneFormat::For(*q)) {}
+
+  void ProcessBatch(const TaskContext& ctx, TaskResult* out) const override {
+    if (fmt_.grouped()) {
+      ProcessGrouped(ctx, out);
+    } else {
+      ProcessUngrouped(ctx, out);
+    }
+  }
+
+  void Assemble(const TaskResult& result, AssemblyState* state,
+                ByteBuffer* output) const override {
+    static_cast<AggregationAssembly*>(state)->Ingest(result, output);
+  }
+
+  std::unique_ptr<AssemblyState> MakeAssemblyState() const override {
+    return std::make_unique<AggregationAssembly>(*query_);
+  }
+
+ private:
+  void ProcessUngrouped(const TaskContext& ctx, TaskResult* out) const {
+    const StreamBatch& in = ctx.input[0];
+    const Schema& schema = query_->input_schema[0];
+    const WindowDefinition& w = query_->window[0];
+    const Expression* where = query_->where.get();
+    const size_t n = in.num_tuples();
+    const size_t na = fmt_.num_aggs;
+    const int64_t g = w.pane_size();
+
+    out->axis_p = in.AxisP(w);
+    out->axis_q = in.AxisQ(w);
+
+    AggState cur[16];
+    SABER_CHECK(na <= 16);
+    int64_t cur_pane = -1;
+    int64_t cur_ts = 0;
+
+    auto flush = [&]() {
+      if (cur_pane < 0) return;
+      const uint32_t off = static_cast<uint32_t>(out->partials.size());
+      out->partials.AppendValue<int64_t>(cur_ts);
+      out->partials.Append(cur, na * sizeof(AggState));
+      out->panes.push_back(
+          PaneEntry{cur_pane, off, static_cast<uint32_t>(fmt_.ungrouped_bytes())});
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+      TupleRef t(in.tuple(i), &schema);
+      const int64_t ts = t.timestamp();
+      const int64_t pane = in.AxisOf(w, i, ts) / g;
+      if (pane != cur_pane) {
+        flush();
+        cur_pane = pane;
+        cur_ts = ts;
+        for (size_t a = 0; a < na; ++a) AggInit(&cur[a]);
+      }
+      cur_ts = ts;
+      if (where != nullptr && !where->EvalBool(t, nullptr)) continue;
+      for (size_t a = 0; a < na; ++a) {
+        const auto& spec = query_->aggregates[a];
+        const double v =
+            spec.input != nullptr ? spec.input->EvalDouble(t, nullptr) : 0.0;
+        AggAdd(&cur[a], v);
+      }
+    }
+    flush();
+  }
+
+  void ProcessGrouped(const TaskContext& ctx, TaskResult* out) const {
+    const StreamBatch& in = ctx.input[0];
+    const Schema& schema = query_->input_schema[0];
+    const WindowDefinition& w = query_->window[0];
+    const Expression* where = query_->where.get();
+    const size_t n = in.num_tuples();
+    const size_t na = fmt_.num_aggs;
+    const size_t nk = query_->group_by.size();
+    const int64_t g = w.pane_size();
+
+    out->axis_p = in.AxisP(w);
+    out->axis_q = in.AxisQ(w);
+
+    GroupHashTable table(fmt_.key_size, na, 256);
+    int64_t cur_pane = -1;
+    uint8_t key[64];
+    SABER_CHECK(fmt_.key_size <= sizeof(key));
+
+    auto flush = [&]() {
+      if (cur_pane < 0 || table.size() == 0) {
+        if (cur_pane >= 0) table.Clear();
+        return;
+      }
+      const uint32_t off = static_cast<uint32_t>(out->partials.size());
+      table.SerializeTo(&out->partials);
+      out->panes.push_back(PaneEntry{
+          cur_pane, off, static_cast<uint32_t>(out->partials.size() - off)});
+      table.Clear();
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+      TupleRef t(in.tuple(i), &schema);
+      const int64_t ts = t.timestamp();
+      const int64_t pane = in.AxisOf(w, i, ts) / g;
+      if (pane != cur_pane) {
+        flush();
+        cur_pane = pane;
+      }
+      if (where != nullptr && !where->EvalBool(t, nullptr)) continue;
+      for (size_t k = 0; k < nk; ++k) {
+        const int64_t kv = query_->group_by[k]->EvalInt64(t, nullptr);
+        std::memcpy(key + k * 8, &kv, sizeof(kv));
+      }
+      if (table.NeedsGrow()) table.Grow();
+      AggState* aggs = table.Upsert(key, static_cast<int32_t>(i), ts);
+      if (aggs == nullptr) {
+        table.Grow();
+        aggs = table.Upsert(key, static_cast<int32_t>(i), ts);
+        SABER_CHECK(aggs != nullptr);
+      }
+      for (size_t a = 0; a < na; ++a) {
+        const auto& spec = query_->aggregates[a];
+        const double v =
+            spec.input != nullptr ? spec.input->EvalDouble(t, nullptr) : 0.0;
+        AggAdd(&aggs[a], v);
+      }
+    }
+    flush();
+  }
+
+  PaneFormat fmt_;
+};
+
+// ---------------------------------------------------------------------------
+// Streaming θ-join (§5.3, Kang et al. [35]). The dispatcher aligns the two
+// stream batches on a common timestamp cut, so a symmetric merge over the
+// two batches — joining each arriving tuple against the opposite stream's
+// current window contents (history + already-processed batch prefix) —
+// produces every result pair exactly once, in arrival order. Task execution
+// is sequential within the task; parallelism comes from concurrent tasks.
+// ---------------------------------------------------------------------------
+
+class CpuJoinOperator final : public Operator {
+ public:
+  explicit CpuJoinOperator(const QueryDef* q) : Operator(q) {}
+
+  void ProcessBatch(const TaskContext& ctx, TaskResult* out) const override {
+    const StreamBatch& L = ctx.input[0];
+    const StreamBatch& R = ctx.input[1];
+    const Schema& ls = query_->input_schema[0];
+    const Schema& rs = query_->input_schema[1];
+    const WindowDefinition& wl = query_->window[0];
+    out->axis_p = L.AxisP(wl);
+    out->axis_q = L.AxisQ(wl);
+
+    const size_t nl = L.num_tuples();
+    const size_t nr = R.num_tuples();
+    const size_t hl = L.history_tuples();
+    const size_t hr = R.history_tuples();
+
+    // Partner scan lower bounds (amortized O(1) advancement).
+    size_t r_scan_lo = 0;  // index into [histR..batchR-prefix] sequence
+    size_t l_scan_lo = 0;
+
+    size_t il = 0, ir = 0;
+    while (il < nl || ir < nr) {
+      bool take_left;
+      if (il >= nl) {
+        take_left = false;
+      } else if (ir >= nr) {
+        take_left = true;
+      } else {
+        TupleRef a(L.tuple(il), &ls);
+        TupleRef b(R.tuple(ir), &rs);
+        take_left = a.timestamp() <= b.timestamp();  // left wins ties
+      }
+      if (take_left) {
+        JoinNewElement</*kNewIsLeft=*/true>(L, R, il, ir, hr, &r_scan_lo, out);
+        ++il;
+      } else {
+        JoinNewElement</*kNewIsLeft=*/false>(R, L, ir, il, hl, &l_scan_lo, out);
+        ++ir;
+      }
+    }
+  }
+
+  void Assemble(const TaskResult& result, AssemblyState* state,
+                ByteBuffer* output) const override {
+    static_cast<ConcatAssembly*>(state)->Ingest(result, output);
+  }
+
+  std::unique_ptr<AssemblyState> MakeAssemblyState() const override {
+    return std::make_unique<ConcatAssembly>();
+  }
+
+ private:
+  /// Window-index range containing axis coordinate `x` under definition `w`
+  /// (clamped to j >= 0).
+  static WindowIndexRange WindowsOf(const WindowDefinition& w, int64_t x) {
+    WindowIndexRange r;
+    r.lo = std::max<int64_t>(0, FloorDiv(x - w.size, w.slide) + 1);
+    r.hi = FloorDiv(x, w.slide);
+    return r;
+  }
+
+  /// Joins the `new_idx`-th tuple of `nw` (the newly arriving side) against
+  /// the opposite side's window contents: its history plus the batch prefix
+  /// [0, opp_prefix). `opp_hist` is the history tuple count of the opposite
+  /// side; `scan_lo` persists the advancing lower bound across calls.
+  template <bool kNewIsLeft>
+  void JoinNewElement(const StreamBatch& nw, const StreamBatch& opp,
+                      size_t new_idx, size_t opp_prefix, size_t opp_hist,
+                      size_t* scan_lo, TaskResult* out) const {
+    const Schema& ns = query_->input_schema[kNewIsLeft ? 0 : 1];
+    const Schema& os = query_->input_schema[kNewIsLeft ? 1 : 0];
+    const WindowDefinition& wn = query_->window[kNewIsLeft ? 0 : 1];
+    const WindowDefinition& wo = query_->window[kNewIsLeft ? 1 : 0];
+
+    TupleRef t(nw.tuple(new_idx), &ns);
+    const int64_t ts = t.timestamp();
+    const int64_t axis_n =
+        wn.time_based() ? ts
+                        : nw.first_index + static_cast<int64_t>(new_idx);
+    const WindowIndexRange jn = WindowsOf(wn, axis_n);
+    if (jn.empty()) return;
+
+    // Opposite tuples with window index-range ending before jn.lo can never
+    // match this or any later new element: skip them permanently.
+    const size_t total = opp_hist + opp_prefix;
+    while (*scan_lo < total) {
+      const int64_t axis_o = OppAxis(opp, wo, *scan_lo, opp_hist, os);
+      if (FloorDiv(axis_o, wo.slide) >= jn.lo) break;
+      ++(*scan_lo);
+    }
+
+    for (size_t k = *scan_lo; k < total; ++k) {
+      const uint8_t* obytes = k < opp_hist
+                                  ? opp.history_tuple(k)
+                                  : opp.tuple(k - opp_hist);
+      TupleRef o(obytes, &os);
+      const int64_t axis_o = wo.time_based()
+                                 ? o.timestamp()
+                                 : OppIndex(opp, k, opp_hist);
+      const WindowIndexRange jo = WindowsOf(wo, axis_o);
+      if (jo.lo > jn.hi) break;  // partners are axis-ordered: no more matches
+      if (jo.hi < jn.lo) continue;
+      const TupleRef& l = kNewIsLeft ? t : o;
+      const TupleRef& r = kNewIsLeft ? o : t;
+      if (!query_->join_predicate->EvalBool(l, &r)) continue;
+      EmitPair(l, r, std::max(ts, o.timestamp()), out);
+    }
+  }
+
+  static int64_t OppIndex(const StreamBatch& opp, size_t k, size_t opp_hist) {
+    return k < opp_hist ? opp.history_first_index + static_cast<int64_t>(k)
+                        : opp.first_index + static_cast<int64_t>(k - opp_hist);
+  }
+
+  int64_t OppAxis(const StreamBatch& opp, const WindowDefinition& wo, size_t k,
+                  size_t opp_hist, const Schema& os) const {
+    if (!wo.time_based()) return OppIndex(opp, k, opp_hist);
+    const uint8_t* b =
+        k < opp_hist ? opp.history_tuple(k) : opp.tuple(k - opp_hist);
+    return TupleRef(b, &os).timestamp();
+  }
+
+  void EmitPair(const TupleRef& l, const TupleRef& r, int64_t ts,
+                TaskResult* out) const {
+    const Schema& os = query_->output_schema;
+    uint8_t* row = out->complete.AppendUninitialized(os.tuple_size());
+    TupleWriter wr(row, &os);
+    wr.SetInt64(0, ts);  // field 0: max(ts_l, ts_r), stamped by the operator
+    for (size_t f = 1; f < query_->join_select.size(); ++f) {
+      const Expression& e = *query_->join_select[f];
+      if (IsIntegral(os.field(f).type)) {
+        const int64_t v = e.EvalInt64(l, &r);
+        if (os.field(f).type == DataType::kInt32) {
+          wr.SetInt32(f, static_cast<int32_t>(v));
+        } else {
+          wr.SetInt64(f, v);
+        }
+      } else {
+        wr.SetNumeric(f, e.EvalDouble(l, &r));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeCpuOperator(const QueryDef* query) {
+  if (query->is_udf()) return MakeCpuUdfOperator(query);
+  if (query->is_join()) return std::make_unique<CpuJoinOperator>(query);
+  if (query->is_aggregation()) {
+    return std::make_unique<CpuAggregationOperator>(query);
+  }
+  return std::make_unique<CpuStatelessOperator>(query);
+}
+
+}  // namespace saber

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+
+#include "core/operator.h"
+
+/// \file cpu_operators.h
+/// CPU implementations of the batch operator functions (§5.3). One query
+/// task is processed by one worker thread; parallelism comes from running
+/// many tasks concurrently (the paper's data-parallel execution), so the
+/// per-task code is single-threaded. Evaluation is row-interpreted over the
+/// serialized tuples (lazy deserialisation, §5.1), mirroring the generic
+/// operator code of the original Java engine.
+
+namespace saber {
+
+/// Creates the CPU operator for a query: stateless scan (σ/π), pane-partial
+/// aggregation (α with GROUP-BY/HAVING) or streaming θ-join.
+std::unique_ptr<Operator> MakeCpuOperator(const QueryDef* query);
+
+}  // namespace saber

@@ -1,0 +1,275 @@
+#include "cpu/fragment_assembly.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace saber {
+
+namespace {
+
+/// Inverse of AggMerge for invertible aggregates (sum/count/avg). min/max
+/// fields become stale; the running path is only enabled when no min/max
+/// aggregate is present.
+void SubtractState(AggState* into, const AggState& from) {
+  into->sum -= from.sum;
+  into->count -= from.count;
+}
+
+}  // namespace
+
+AggregationAssembly::AggregationAssembly(const QueryDef& q)
+    : q_(q),
+      w_(q.window[0]),
+      fmt_(PaneFormat::For(q)),
+      stacks_(fmt_.num_aggs),
+      scratch_(fmt_.grouped() ? fmt_.key_size : 8, fmt_.num_aggs, 1024) {
+  const bool incremental = q.assembly_mode == AssemblyMode::kAuto;
+  use_running_ = !fmt_.grouped() && incremental;
+  for (const auto& a : q.aggregates) {
+    if (!Invertible(a.fn)) use_running_ = false;
+  }
+  use_stacks_ = !fmt_.grouped() && incremental && !use_running_;
+  running_.resize(fmt_.num_aggs);
+  for (auto& s : running_) AggInit(&s);
+  stacks_query_.resize(fmt_.num_aggs);
+}
+
+void AggregationAssembly::Ingest(const TaskResult& result, ByteBuffer* output) {
+  for (const PaneEntry& e : result.panes) {
+    MergeEntry(e.pane_index, result.partials.data() + e.offset, e.length);
+  }
+  watermark_ = std::max(watermark_, result.axis_q);
+  EmitReadyWindows(output);
+}
+
+void AggregationAssembly::MergeEntry(int64_t pane, const uint8_t* data,
+                                     size_t len) {
+  PaneData& pd = store_[pane];
+  if (!fmt_.grouped()) {
+    SABER_DCHECK(len == fmt_.ungrouped_bytes());
+    int64_t ts;
+    std::memcpy(&ts, data, sizeof(ts));
+    const auto* aggs = reinterpret_cast<const AggState*>(data + 8);
+    if (pd.aggs.empty()) {
+      pd.aggs.assign(aggs, aggs + fmt_.num_aggs);
+      pd.max_ts = ts;
+    } else {
+      for (size_t a = 0; a < fmt_.num_aggs; ++a) AggMerge(&pd.aggs[a], aggs[a]);
+      pd.max_ts = std::max(pd.max_ts, ts);
+    }
+  } else {
+    SABER_DCHECK(len % fmt_.grouped_entry_bytes() == 0);
+    pd.group_bytes.insert(pd.group_bytes.end(), data, data + len);
+    // Pane timestamp = max over all group entries (each entry carries its
+    // group's max).
+    const size_t esz = fmt_.grouped_entry_bytes();
+    for (size_t off = 0; off < len; off += esz) {
+      int64_t ts;
+      std::memcpy(&ts, data + off, sizeof(ts));
+      pd.max_ts = std::max(pd.max_ts, ts);
+    }
+  }
+}
+
+void AggregationAssembly::EmitReadyWindows(ByteBuffer* output) {
+  for (;;) {
+    if (store_.empty()) {
+      // Every window closing before the watermark is empty; skip them all in
+      // O(1) (time-based streams can jump hours between tuples).
+      const int64_t first_open = FloorDiv(watermark_ - w_.size, w_.slide) + 1;
+      if (first_open > next_window_) {
+        next_window_ = std::max<int64_t>(0, first_open);
+        running_valid_ = false;
+      }
+      return;
+    }
+    // Skip windows that end before the earliest stored pane: they are empty.
+    const int64_t p0 = store_.begin()->first;
+    const int64_t j0 = CeilDiv(p0 + 1 - w_.panes_per_window(), w_.panes_per_slide());
+    if (j0 > next_window_) {
+      next_window_ = std::max<int64_t>(0, j0);
+      running_valid_ = false;
+    }
+    if (WindowEnd(w_, next_window_) > watermark_) return;
+    EmitWindow(next_window_, output);
+    ++next_window_;
+    PruneBefore(FirstPaneOf(w_, next_window_));
+  }
+}
+
+void AggregationAssembly::EmitWindow(int64_t j, ByteBuffer* output) {
+  if (fmt_.grouped()) {
+    EmitGroupedWindow(j, output);
+    return;
+  }
+  const int64_t first = FirstPaneOf(w_, j);
+  const int64_t last = LastPaneOf(w_, j);
+  // Locate the last non-empty pane of the window; its max_ts is the window's
+  // max tuple timestamp (timestamps are non-decreasing along panes).
+  auto it = store_.upper_bound(last);
+  if (it == store_.begin()) {
+    running_valid_ = false;  // window is empty: emit nothing
+    return;
+  }
+  --it;
+  if (it->first < first) {
+    running_valid_ = false;  // all stored panes precede this window
+    return;
+  }
+  const int64_t ts = it->second.max_ts;
+
+  if (use_running_) {
+    AdvanceRunning(j);
+    EmitUngroupedRow(ts, running_.data(), output);
+    return;
+  }
+  if (use_stacks_) {
+    AdvanceStacks(j);
+    for (auto& s : stacks_query_) AggInit(&s);
+    stacks_.Query(stacks_query_.data());
+    EmitUngroupedRow(ts, stacks_query_.data(), output);
+    return;
+  }
+  // Re-merge path: merge all of the window's panes per emission (grouped
+  // queries, or AssemblyMode::kRemergeOnly for the ablation baseline).
+  std::vector<AggState> acc(fmt_.num_aggs);
+  for (auto& s : acc) AggInit(&s);
+  for (auto pit = store_.lower_bound(first);
+       pit != store_.end() && pit->first <= last; ++pit) {
+    for (size_t a = 0; a < fmt_.num_aggs; ++a) AggMerge(&acc[a], pit->second.aggs[a]);
+  }
+  EmitUngroupedRow(ts, acc.data(), output);
+}
+
+void AggregationAssembly::AdvanceRunning(int64_t j) {
+  const int64_t first = FirstPaneOf(w_, j);
+  const int64_t last = LastPaneOf(w_, j);
+  if (!running_valid_) {
+    for (auto& s : running_) AggInit(&s);
+    for (auto it = store_.lower_bound(first);
+         it != store_.end() && it->first <= last; ++it) {
+      for (size_t a = 0; a < fmt_.num_aggs; ++a) {
+        AggMerge(&running_[a], it->second.aggs[a]);
+      }
+    }
+    running_lo_pane_ = first;
+    running_hi_pane_ = last;
+    running_valid_ = true;
+    return;
+  }
+  // Subtract panes that slid out of the window since the last emission (they
+  // are still in the store: pruning lags running_lo_pane_).
+  for (auto it = store_.lower_bound(running_lo_pane_);
+       it != store_.end() && it->first < first; ++it) {
+    for (size_t a = 0; a < fmt_.num_aggs; ++a) {
+      SubtractState(&running_[a], it->second.aggs[a]);
+    }
+  }
+  running_lo_pane_ = first;
+  // Add panes that slid into the window.
+  for (auto it = store_.upper_bound(running_hi_pane_);
+       it != store_.end() && it->first <= last; ++it) {
+    for (size_t a = 0; a < fmt_.num_aggs; ++a) {
+      AggMerge(&running_[a], it->second.aggs[a]);
+    }
+  }
+  running_hi_pane_ = std::max(running_hi_pane_, last);
+}
+
+void AggregationAssembly::AdvanceStacks(int64_t j) {
+  const int64_t first = FirstPaneOf(w_, j);
+  const int64_t last = LastPaneOf(w_, j);
+  stacks_.EvictBefore(first);
+  // Push panes that slid into the window. Panes <= last are final: their end
+  // lies at or before the window's end, which the watermark has passed.
+  const int64_t from = std::max(first, stacks_.last_pushed() + 1);
+  for (auto it = store_.lower_bound(from);
+       it != store_.end() && it->first <= last; ++it) {
+    stacks_.Push(it->first, it->second.aggs.data());
+  }
+}
+
+void AggregationAssembly::EmitUngroupedRow(int64_t ts, const AggState* aggs,
+                                           ByteBuffer* output) {
+  const Schema& out = q_.output_schema;
+  uint8_t* row = output->AppendUninitialized(out.tuple_size());
+  TupleWriter wr(row, &out);
+  wr.SetInt64(0, ts);
+  for (size_t a = 0; a < fmt_.num_aggs; ++a) {
+    wr.SetDouble(1 + a, AggFinalize(q_.aggregates[a].fn, aggs[a]));
+  }
+  if (q_.having != nullptr) {
+    TupleRef ref(row, &out);
+    if (!q_.having->EvalBool(ref, nullptr)) {
+      output->Resize(output->size() - out.tuple_size());
+    }
+  }
+}
+
+void AggregationAssembly::EmitGroupedWindow(int64_t j, ByteBuffer* output) {
+  const int64_t first = FirstPaneOf(w_, j);
+  const int64_t last = LastPaneOf(w_, j);
+  scratch_.Clear();
+  bool any = false;
+  // All rows of a window carry the *window's* max timestamp: per-group
+  // maxima are not monotone across windows, and the result stream must
+  // respect timestamp order (§2.4) so that chained queries (SG3, LRB4) see
+  // an ordered input.
+  int64_t window_ts = 0;
+  for (auto it = store_.lower_bound(first);
+       it != store_.end() && it->first <= last; ++it) {
+    if (it->second.group_bytes.empty()) continue;
+    scratch_.MergeSerialized(it->second.group_bytes.data(),
+                             it->second.group_bytes.size());
+    window_ts = std::max(window_ts, it->second.max_ts);
+    any = true;
+  }
+  if (!any) return;
+
+  // Deterministic output: sort groups by key bytes. (Hash-table iteration
+  // order would otherwise depend on which processor executed which task.)
+  sort_scratch_.clear();
+  scratch_.ForEachOccupied(
+      [&](const uint8_t* key, int64_t /*group_ts*/, const AggState* aggs) {
+        sort_scratch_.emplace_back(key, aggs);
+      });
+  std::vector<size_t> order(sort_scratch_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t ksz = fmt_.key_size;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::memcmp(sort_scratch_[a].first, sort_scratch_[b].first, ksz) < 0;
+  });
+
+  const Schema& out = q_.output_schema;
+  const size_t num_keys = q_.group_by.size();
+  for (size_t idx : order) {
+    const uint8_t* key = sort_scratch_[idx].first;
+    const AggState* aggs = sort_scratch_[idx].second;
+    uint8_t* row = output->AppendUninitialized(out.tuple_size());
+    TupleWriter wr(row, &out);
+    wr.SetInt64(0, window_ts);
+    for (size_t k = 0; k < num_keys; ++k) {
+      int64_t kv;
+      std::memcpy(&kv, key + k * 8, sizeof(kv));
+      wr.SetInt64(1 + k, kv);
+    }
+    for (size_t a = 0; a < fmt_.num_aggs; ++a) {
+      wr.SetDouble(1 + num_keys + a, AggFinalize(q_.aggregates[a].fn, aggs[a]));
+    }
+    if (q_.having != nullptr) {
+      TupleRef ref(row, &out);
+      if (!q_.having->EvalBool(ref, nullptr)) {
+        output->Resize(output->size() - out.tuple_size());
+      }
+    }
+  }
+}
+
+void AggregationAssembly::PruneBefore(int64_t pane) {
+  // The running aggregate subtracts expiring panes lazily on the next
+  // advance; keep them alive until then.
+  if (use_running_ && running_valid_) pane = std::min(pane, running_lo_pane_);
+  store_.erase(store_.begin(), store_.lower_bound(pane));
+}
+
+}  // namespace saber

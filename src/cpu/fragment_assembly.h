@@ -1,0 +1,116 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/operator.h"
+#include "relational/hash_table.h"
+#include "relational/two_stacks.h"
+
+/// \file fragment_assembly.h
+/// Assembly of window results from window-fragment results (§4.3, §5.3).
+/// Aggregation fragments are *pane partials*: for every pane (window_math.h)
+/// intersecting a batch, the batch operator emits the pane's partial
+/// aggregate (plain AggStates, or a serialized group hash table). The
+/// assembly state ingests pane partials strictly in task order, tracks the
+/// axis watermark, and emits each window result exactly once — when the
+/// watermark passes the window's end. Incremental computation (§5.3) is used
+/// when every aggregate is invertible: a running aggregate slides over the
+/// pane sequence instead of re-merging panes_per_window panes per emission.
+///
+/// The same logic serves the CPU and GPGPU back ends ("the result
+/// aggregation logic is the same for both", §5.4); only the production of
+/// pane partials differs.
+
+namespace saber {
+
+/// Serialized layouts inside TaskResult::partials:
+///  - ungrouped pane partial: [int64 max_ts][AggState x num_aggs]
+///  - grouped pane partial:   repeated GroupHashTable entries
+///    [int64 ts][key bytes][AggState x num_aggs]
+struct PaneFormat {
+  size_t num_aggs;
+  size_t key_size;  // 0 if ungrouped (8 * num group keys otherwise)
+
+  static PaneFormat For(const QueryDef& q) {
+    return PaneFormat{q.aggregates.size(),
+                      q.grouped() ? AlignUp(q.group_key_size(), 8) : 0};
+  }
+  bool grouped() const { return key_size > 0; }
+  size_t ungrouped_bytes() const { return 8 + num_aggs * sizeof(AggState); }
+  size_t grouped_entry_bytes() const {
+    return 8 + key_size + num_aggs * sizeof(AggState);
+  }
+};
+
+/// Assembly state for aggregation queries.
+class AggregationAssembly : public AssemblyState {
+ public:
+  explicit AggregationAssembly(const QueryDef& q);
+
+  /// Ingests one task's pane partials (in task order) and appends every
+  /// window result that became final to `output`.
+  void Ingest(const TaskResult& result, ByteBuffer* output);
+
+  int64_t next_window() const { return next_window_; }
+  int64_t watermark() const { return watermark_; }
+
+ private:
+  struct PaneData {
+    int64_t max_ts = 0;
+    std::vector<AggState> aggs;        // ungrouped
+    std::vector<uint8_t> group_bytes;  // grouped: serialized entries
+    bool empty_of_groups() const { return group_bytes.empty(); }
+  };
+
+  void MergeEntry(int64_t pane, const uint8_t* data, size_t len);
+  void EmitReadyWindows(ByteBuffer* output);
+  void EmitWindow(int64_t j, ByteBuffer* output);
+  void EmitUngroupedRow(int64_t ts, const AggState* aggs, ByteBuffer* output);
+  void EmitGroupedWindow(int64_t j, ByteBuffer* output);
+  void AdvanceRunning(int64_t j);
+  void AdvanceStacks(int64_t j);
+  void PruneBefore(int64_t pane);
+
+  const QueryDef& q_;
+  const WindowDefinition& w_;
+  PaneFormat fmt_;
+
+  std::map<int64_t, PaneData> store_;  // live panes, keyed by pane index
+  int64_t next_window_ = 0;            // next window index to consider
+  int64_t watermark_ = 0;              // axis position covered so far
+
+  // Incremental (invertible) path: running aggregate over the panes
+  // [running_lo_pane_, running_hi_pane_] present in the store. Pruning lags
+  // behind running_lo_pane_ so the next advance can still subtract expiring
+  // panes.
+  bool use_running_;
+  bool running_valid_ = false;
+  int64_t running_lo_pane_ = 0;
+  int64_t running_hi_pane_ = -1;
+  std::vector<AggState> running_;
+
+  // Two-stacks path ([50], two_stacks.h) for non-invertible ungrouped
+  // aggregates: amortized O(1) merges per pane instead of re-merging
+  // panes_per_window panes per emitted window. Final panes are pushed lazily
+  // at emission time (a pane may still receive contributions from the next
+  // task while its end lies beyond the watermark).
+  bool use_stacks_;
+  TwoStacksAggregator stacks_;
+  std::vector<AggState> stacks_query_;
+
+  // Scratch for grouped emission.
+  GroupHashTable scratch_;
+  std::vector<std::pair<const uint8_t*, const AggState*>> sort_scratch_;
+};
+
+/// Assembly for stateless and join queries: window results are the
+/// concatenation of fragment results, so assembly forwards bytes.
+class ConcatAssembly : public AssemblyState {
+ public:
+  void Ingest(const TaskResult& result, ByteBuffer* output) {
+    output->Append(result.complete.data(), result.complete.size());
+  }
+};
+
+}  // namespace saber

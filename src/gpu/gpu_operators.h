@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+
+#include "core/operator.h"
+#include "gpu/sim_device.h"
+
+/// \file gpu_operators.h
+/// GPGPU implementations of the batch operator functions (§5.4). Operators
+/// are "code templates populated with query-specific functions": at operator
+/// construction the query's expressions are lowered to flat postfix programs
+/// (expression_compiler.h), and the kernels execute them in tight loops over
+/// device memory, dispatched as work groups across the simulated device's
+/// executor pool.
+///
+/// The assembly operator functions are shared with the CPU back end
+/// (fragment_assembly.h) — §5.4: "the result aggregation logic is the same
+/// for both CPU and GPGPU".
+
+namespace saber {
+
+/// An Operator whose batch function runs on the simulated device. Besides
+/// the synchronous Operator::ProcessBatch (submit + wait), it exposes the
+/// asynchronous path the engine's GPGPU worker uses to keep several tasks in
+/// flight through the five-stage pipeline.
+class GpuOperatorBase : public Operator {
+ public:
+  /// Submits the task into the device pipeline; `done` fires on the copyout
+  /// thread after `out` has been populated. The caller must keep ctx's
+  /// buffers alive until then (the engine's free-pointer protocol does).
+  virtual void SubmitAsync(const TaskContext& ctx, TaskResult* out,
+                           std::function<void()> done) const = 0;
+
+  void ProcessBatch(const TaskContext& ctx, TaskResult* out) const override;
+
+  SimDevice* device() const { return device_; }
+
+ protected:
+  GpuOperatorBase(const QueryDef* q, SimDevice* device)
+      : Operator(q), device_(device) {}
+
+  SimDevice* device_;
+};
+
+/// Creates the GPGPU operator for a query (selection/projection, aggregation
+/// with GROUP-BY/HAVING, or θ-join).
+std::unique_ptr<GpuOperatorBase> MakeGpuOperator(const QueryDef* query,
+                                                 SimDevice* device);
+
+}  // namespace saber

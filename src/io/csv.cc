@@ -1,0 +1,183 @@
+#include "io/csv.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "relational/tuple_ref.h"
+
+namespace saber::io {
+
+namespace {
+
+void FormatField(const Schema& s, const TupleRef& t, size_t f,
+                 std::string* out) {
+  char buf[64];
+  switch (s.field(f).type) {
+    case DataType::kInt32:
+      std::snprintf(buf, sizeof(buf), "%d", t.GetInt32(f));
+      break;
+    case DataType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(t.GetInt64(f)));
+      break;
+    case DataType::kFloat:
+      std::snprintf(buf, sizeof(buf), "%.9g",
+                    static_cast<double>(t.GetFloat(f)));
+      break;
+    case DataType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.17g", t.GetDouble(f));
+      break;
+  }
+  out->append(buf);
+}
+
+Status ParseField(const Schema& s, size_t f, const std::string& cell,
+                  size_t line, TupleWriter* w) {
+  const char* b = cell.data();
+  const char* e = b + cell.size();
+  auto err = [&](const char* what) {
+    return Status::InvalidArgument("line " + std::to_string(line) + ", field '" +
+                                   s.field(f).name + "': " + what + " ('" +
+                                   cell + "')");
+  };
+  switch (s.field(f).type) {
+    case DataType::kInt32: {
+      int32_t v;
+      auto [p, ec] = std::from_chars(b, e, v);
+      if (ec != std::errc() || p != e) return err("bad int32");
+      w->SetInt32(f, v);
+      return Status::OK();
+    }
+    case DataType::kInt64: {
+      int64_t v;
+      auto [p, ec] = std::from_chars(b, e, v);
+      if (ec != std::errc() || p != e) return err("bad int64");
+      w->SetInt64(f, v);
+      return Status::OK();
+    }
+    case DataType::kFloat:
+    case DataType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(b, &end);
+      if (errno != 0 || end != e || cell.empty()) return err("bad number");
+      if (s.field(f).type == DataType::kFloat) {
+        w->SetFloat(f, static_cast<float>(v));
+      } else {
+        w->SetDouble(f, v);
+      }
+      return Status::OK();
+    }
+  }
+  return err("unknown type");
+}
+
+}  // namespace
+
+void AppendCsv(const Schema& schema, const uint8_t* rows, size_t bytes,
+               std::string* out, const CsvOptions& opts) {
+  const size_t tsz = schema.tuple_size();
+  for (size_t off = 0; off + tsz <= bytes; off += tsz) {
+    TupleRef t(rows + off, &schema);
+    for (size_t f = 0; f < schema.num_fields(); ++f) {
+      if (f > 0) out->push_back(opts.delimiter);
+      FormatField(schema, t, f, out);
+    }
+    out->push_back('\n');
+  }
+}
+
+std::string ToCsv(const Schema& schema, const uint8_t* rows, size_t bytes,
+                  const CsvOptions& opts) {
+  std::string out;
+  if (opts.header) {
+    for (size_t f = 0; f < schema.num_fields(); ++f) {
+      if (f > 0) out.push_back(opts.delimiter);
+      out.append(schema.field(f).name);
+    }
+    out.push_back('\n');
+  }
+  AppendCsv(schema, rows, bytes, &out, opts);
+  return out;
+}
+
+Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
+                                     const std::string& text,
+                                     const CsvOptions& opts) {
+  std::vector<uint8_t> out;
+  const size_t tsz = schema.tuple_size();
+  const size_t nf = schema.num_fields();
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  int64_t prev_ts = INT64_MIN;
+  bool first = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && opts.header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+
+    // Split on the delimiter (no quoting: stream schemas are numeric-only).
+    std::vector<std::string> cells;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == opts.delimiter) {
+        cells.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (cells.size() != nf) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(nf) + " fields, got " + std::to_string(cells.size()));
+    }
+    const size_t off = out.size();
+    out.resize(off + tsz, 0);
+    TupleWriter w(out.data() + off, &schema);
+    for (size_t f = 0; f < nf; ++f) {
+      SABER_RETURN_NOT_OK(ParseField(schema, f, cells[f], line_no, &w));
+    }
+    int64_t ts;
+    std::memcpy(&ts, out.data() + off, sizeof(ts));
+    if (ts < prev_ts) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": timestamps must be non-decreasing (" + std::to_string(ts) +
+          " after " + std::to_string(prev_ts) + ")");
+    }
+    prev_ts = ts;
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const Schema& schema,
+                    const uint8_t* rows, size_t bytes,
+                    const CsvOptions& opts) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  f << ToCsv(schema, rows, bytes, opts);
+  f.close();
+  if (!f) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadCsvFile(const std::string& path,
+                                         const Schema& schema,
+                                         const CsvOptions& opts) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return FromCsv(schema, buf.str(), opts);
+}
+
+}  // namespace saber::io

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "runtime/byte_buffer.h"
+#include "runtime/status.h"
+
+/// \file csv.h
+/// CSV import/export for serialized tuple streams. Lets users feed external
+/// data through the engine and inspect ordered output streams without
+/// writing byte-level code: the CLI's --input/--output flags and the
+/// examples use these. Parsing is strict — row arity and numeric syntax
+/// errors surface as Status with line numbers, never as silently-corrupt
+/// tuples.
+
+namespace saber::io {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Input: skip the first line; output: emit a header line of field names.
+  bool header = true;
+};
+
+/// Serializes `rows_bytes` (whole tuples of `schema`) as CSV text.
+std::string ToCsv(const Schema& schema, const uint8_t* rows, size_t bytes,
+                  const CsvOptions& opts = {});
+
+/// Appends one CSV-formatted row per tuple to `out` (streaming writer).
+void AppendCsv(const Schema& schema, const uint8_t* rows, size_t bytes,
+               std::string* out, const CsvOptions& opts = {});
+
+/// Parses CSV text into serialized tuples of `schema`. Columns are matched
+/// positionally; every row must have exactly one value per schema field.
+/// Timestamps (field 0) must be non-decreasing integers.
+Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
+                                     const std::string& text,
+                                     const CsvOptions& opts = {});
+
+/// File variants.
+Status WriteCsvFile(const std::string& path, const Schema& schema,
+                    const uint8_t* rows, size_t bytes,
+                    const CsvOptions& opts = {});
+Result<std::vector<uint8_t>> ReadCsvFile(const std::string& path,
+                                         const Schema& schema,
+                                         const CsvOptions& opts = {});
+
+}  // namespace saber::io

@@ -1,0 +1,302 @@
+#include "reference/reference.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+
+#include "relational/aggregate.h"
+#include "relational/tuple_ref.h"
+#include "window/window_math.h"
+
+namespace saber {
+
+namespace {
+
+struct Stream {
+  const Schema* schema;
+  const std::vector<uint8_t>* bytes;
+  size_t n;
+  TupleRef tuple(size_t i) const {
+    return TupleRef(bytes->data() + i * schema->tuple_size(), schema);
+  }
+};
+
+void EvalRowInto(const QueryDef& q, const std::vector<ExprPtr>& exprs,
+                 const TupleRef& l, const TupleRef* r, ByteBuffer* out,
+                 int64_t stamp_ts, bool stamp) {
+  const Schema& os = q.output_schema;
+  uint8_t* row = out->AppendUninitialized(os.tuple_size());
+  TupleWriter wr(row, &os);
+  for (size_t f = 0; f < exprs.size(); ++f) {
+    if (f == 0 && stamp) {
+      wr.SetInt64(0, stamp_ts);
+      continue;
+    }
+    const Expression& e = *exprs[f];
+    switch (os.field(f).type) {
+      case DataType::kInt32:
+        wr.SetInt32(f, static_cast<int32_t>(e.EvalInt64(l, r)));
+        break;
+      case DataType::kInt64:
+        wr.SetInt64(f, e.EvalInt64(l, r));
+        break;
+      default:
+        wr.SetNumeric(f, e.EvalDouble(l, r));
+        break;
+    }
+  }
+}
+
+ByteBuffer EvalStateless(const QueryDef& q, const Stream& in) {
+  ByteBuffer out;
+  for (size_t i = 0; i < in.n; ++i) {
+    TupleRef t = in.tuple(i);
+    if (q.where != nullptr && !q.where->EvalBool(t, nullptr)) continue;
+    EvalRowInto(q, q.select, t, nullptr, &out, 0, false);
+  }
+  return out;
+}
+
+ByteBuffer EvalAggregation(const QueryDef& q, const Stream& in) {
+  ByteBuffer out;
+  if (in.n == 0) return out;
+  const WindowDefinition& w = q.window[0];
+  const size_t na = q.aggregates.size();
+  const size_t nk = q.group_by.size();
+
+  // Axis coordinates of every tuple.
+  std::vector<int64_t> axis(in.n);
+  for (size_t i = 0; i < in.n; ++i) {
+    axis[i] = w.time_based() ? in.tuple(i).timestamp() : static_cast<int64_t>(i);
+  }
+  // For time-based windows the axis is only complete up to the last seen
+  // timestamp, exclusive (equal timestamps could in principle still arrive):
+  // the engine closes windows against this watermark, and so does the model.
+  const int64_t watermark = w.time_based() ? in.tuple(in.n - 1).timestamp()
+                                           : static_cast<int64_t>(in.n);
+
+  const int64_t j_lo = std::max<int64_t>(0, FloorDiv(axis[0] - w.size, w.slide) + 1);
+  const int64_t j_hi = FloorDiv(watermark - w.size, w.slide);  // end <= watermark
+
+  auto emit_having = [&](ByteBuffer* buf) {
+    if (q.having == nullptr) return;
+    TupleRef row(buf->data() + buf->size() - q.output_schema.tuple_size(),
+                 &q.output_schema);
+    if (!q.having->EvalBool(row, nullptr)) {
+      buf->Resize(buf->size() - q.output_schema.tuple_size());
+    }
+  };
+
+  for (int64_t j = j_lo; j <= j_hi; ++j) {
+    const int64_t lo = WindowStart(w, j), hi = WindowEnd(w, j);
+    bool any_raw = false;
+    int64_t max_ts = 0;
+    if (nk == 0) {
+      std::vector<AggState> acc(na);
+      for (auto& s : acc) AggInit(&s);
+      for (size_t i = 0; i < in.n; ++i) {
+        if (axis[i] < lo || axis[i] >= hi) continue;
+        TupleRef t = in.tuple(i);
+        any_raw = true;
+        max_ts = std::max(max_ts, t.timestamp());
+        if (q.where != nullptr && !q.where->EvalBool(t, nullptr)) continue;
+        for (size_t a = 0; a < na; ++a) {
+          const double v = q.aggregates[a].input != nullptr
+                               ? q.aggregates[a].input->EvalDouble(t, nullptr)
+                               : 0.0;
+          AggAdd(&acc[a], v);
+        }
+      }
+      if (!any_raw) continue;
+      uint8_t* row = out.AppendUninitialized(q.output_schema.tuple_size());
+      TupleWriter wr(row, &q.output_schema);
+      wr.SetInt64(0, max_ts);
+      for (size_t a = 0; a < na; ++a) {
+        wr.SetDouble(1 + a, AggFinalize(q.aggregates[a].fn, acc[a]));
+      }
+      emit_having(&out);
+      continue;
+    }
+    // Grouped: key = packed int64s; rows ordered by key bytes (memcmp), the
+    // engine's deterministic order. Every row of a window carries the
+    // window's max timestamp over *filtered* tuples (monotone across
+    // windows, so chained queries see an ordered stream).
+    struct Group {
+      std::vector<AggState> acc;
+    };
+    std::vector<uint8_t> key(nk * 8);
+    std::map<std::vector<uint8_t>, Group> groups;
+    int64_t window_ts = 0;
+    for (size_t i = 0; i < in.n; ++i) {
+      if (axis[i] < lo || axis[i] >= hi) continue;
+      TupleRef t = in.tuple(i);
+      if (q.where != nullptr && !q.where->EvalBool(t, nullptr)) continue;
+      for (size_t k = 0; k < nk; ++k) {
+        const int64_t kv = q.group_by[k]->EvalInt64(t, nullptr);
+        std::memcpy(key.data() + k * 8, &kv, sizeof(kv));
+      }
+      Group& grp = groups[key];
+      if (grp.acc.empty()) {
+        grp.acc.resize(na);
+        for (auto& s : grp.acc) AggInit(&s);
+      }
+      window_ts = std::max(window_ts, t.timestamp());
+      for (size_t a = 0; a < na; ++a) {
+        const double v = q.aggregates[a].input != nullptr
+                             ? q.aggregates[a].input->EvalDouble(t, nullptr)
+                             : 0.0;
+        AggAdd(&grp.acc[a], v);
+      }
+    }
+    for (const auto& [kbytes, grp] : groups) {
+      uint8_t* row = out.AppendUninitialized(q.output_schema.tuple_size());
+      TupleWriter wr(row, &q.output_schema);
+      wr.SetInt64(0, window_ts);
+      for (size_t k = 0; k < nk; ++k) {
+        int64_t kv;
+        std::memcpy(&kv, kbytes.data() + k * 8, sizeof(kv));
+        wr.SetInt64(1 + k, kv);
+      }
+      for (size_t a = 0; a < na; ++a) {
+        wr.SetDouble(1 + nk + a, AggFinalize(q.aggregates[a].fn, grp.acc[a]));
+      }
+      emit_having(&out);
+    }
+  }
+  return out;
+}
+
+WindowIndexRange WindowsOf(const WindowDefinition& w, int64_t x) {
+  WindowIndexRange r;
+  r.lo = std::max<int64_t>(0, FloorDiv(x - w.size, w.slide) + 1);
+  r.hi = FloorDiv(x, w.slide);
+  return r;
+}
+
+/// UDF queries (§2.4): window j pairs window j of every input; it is emitted
+/// once closed on every input's watermark, in window order, iff any input
+/// contributed at least one tuple. Rows are produced by the user operator
+/// function, which is expected to stamp them with the window's max tuple
+/// timestamp (the engine passes the same value).
+ByteBuffer EvalUdf(const QueryDef& q, const Stream* streams, int n) {
+  ByteBuffer out;
+  int64_t ready_hi = std::numeric_limits<int64_t>::max();
+  int64_t j_lo = std::numeric_limits<int64_t>::max();
+  std::vector<std::vector<int64_t>> axis(n);
+  for (int i = 0; i < n; ++i) {
+    const WindowDefinition& w = q.window[i];
+    const Stream& s = streams[i];
+    axis[i].resize(s.n);
+    for (size_t k = 0; k < s.n; ++k) {
+      axis[i][k] =
+          w.time_based() ? s.tuple(k).timestamp() : static_cast<int64_t>(k);
+    }
+    const int64_t watermark =
+        s.n == 0 ? 0
+                 : (w.time_based() ? s.tuple(s.n - 1).timestamp()
+                                   : static_cast<int64_t>(s.n));
+    ready_hi = std::min(ready_hi, FloorDiv(watermark - w.size, w.slide));
+    if (s.n > 0) {
+      j_lo = std::min(j_lo,
+                      std::max<int64_t>(0, FloorDiv(axis[i][0] - w.size, w.slide) + 1));
+    }
+  }
+  if (j_lo == std::numeric_limits<int64_t>::max()) return out;
+
+  ByteBuffer scratch[2];
+  for (int64_t j = std::max<int64_t>(0, j_lo); j <= ready_hi; ++j) {
+    WindowView views[2];
+    int64_t window_ts = 0;
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+      const WindowDefinition& w = q.window[i];
+      const Stream& s = streams[i];
+      const int64_t lo = WindowStart(w, j), hi = WindowEnd(w, j);
+      scratch[i].Clear();
+      for (size_t k = 0; k < s.n; ++k) {
+        if (axis[i][k] < lo || axis[i][k] >= hi) continue;
+        scratch[i].Append(s.bytes->data() + k * s.schema->tuple_size(),
+                          s.schema->tuple_size());
+        window_ts = std::max(window_ts, s.tuple(k).timestamp());
+        any = true;
+      }
+      views[i] = WindowView{s.schema, scratch[i].data(),
+                            scratch[i].size() / s.schema->tuple_size()};
+    }
+    if (!any) continue;
+    q.udf->OnWindow(views, n, window_ts, &out);
+  }
+  return out;
+}
+
+ByteBuffer EvalJoin(const QueryDef& q, const Stream& L, const Stream& R) {
+  ByteBuffer out;
+  const WindowDefinition& wl = q.window[0];
+  const WindowDefinition& wr = q.window[1];
+
+  size_t il = 0, ir = 0;
+  while (il < L.n || ir < R.n) {
+    bool take_left;
+    if (il >= L.n) {
+      take_left = false;
+    } else if (ir >= R.n) {
+      take_left = true;
+    } else {
+      take_left = L.tuple(il).timestamp() <= R.tuple(ir).timestamp();
+    }
+    if (take_left) {
+      TupleRef a = L.tuple(il);
+      const int64_t xa = wl.time_based() ? a.timestamp() : static_cast<int64_t>(il);
+      const WindowIndexRange ja = WindowsOf(wl, xa);
+      for (size_t k = 0; k < ir; ++k) {  // all R tuples arrived so far
+        TupleRef b = R.tuple(k);
+        const int64_t xb = wr.time_based() ? b.timestamp() : static_cast<int64_t>(k);
+        const WindowIndexRange jb = WindowsOf(wr, xb);
+        if (std::max(ja.lo, jb.lo) > std::min(ja.hi, jb.hi)) continue;
+        if (!q.join_predicate->EvalBool(a, &b)) continue;
+        EvalRowInto(q, q.join_select, a, &b, &out,
+                    std::max(a.timestamp(), b.timestamp()), true);
+      }
+      ++il;
+    } else {
+      TupleRef b = R.tuple(ir);
+      const int64_t xb = wr.time_based() ? b.timestamp() : static_cast<int64_t>(ir);
+      const WindowIndexRange jb = WindowsOf(wr, xb);
+      for (size_t k = 0; k < il; ++k) {  // all L tuples arrived so far
+        TupleRef a = L.tuple(k);
+        const int64_t xa = wl.time_based() ? a.timestamp() : static_cast<int64_t>(k);
+        const WindowIndexRange ja = WindowsOf(wl, xa);
+        if (std::max(ja.lo, jb.lo) > std::min(ja.hi, jb.hi)) continue;
+        if (!q.join_predicate->EvalBool(a, &b)) continue;
+        EvalRowInto(q, q.join_select, a, &b, &out,
+                    std::max(a.timestamp(), b.timestamp()), true);
+      }
+      ++ir;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ByteBuffer ReferenceEvaluate(const QueryDef& q, const std::vector<uint8_t>& s0,
+                             const std::vector<uint8_t>& s1) {
+  Stream a{&q.input_schema[0], &s0, s0.size() / q.input_schema[0].tuple_size()};
+  if (q.is_udf()) {
+    Stream streams[2] = {a, Stream{&q.input_schema[1], &s1,
+                                   q.num_inputs == 2
+                                       ? s1.size() / q.input_schema[1].tuple_size()
+                                       : 0}};
+    return EvalUdf(q, streams, q.num_inputs);
+  }
+  if (q.is_join()) {
+    Stream b{&q.input_schema[1], &s1,
+             s1.size() / q.input_schema[1].tuple_size()};
+    return EvalJoin(q, a, b);
+  }
+  if (q.is_aggregation()) return EvalAggregation(q, a);
+  return EvalStateless(q, a);
+}
+
+}  // namespace saber

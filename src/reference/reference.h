@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "core/query.h"
+#include "runtime/byte_buffer.h"
+
+/// \file reference.h
+/// A single-threaded, brute-force evaluator of the streaming query semantics
+/// of §2.4. It makes no attempt to be fast — every window rescans the whole
+/// stream — which makes it obviously correct and therefore usable as the
+/// golden model in property tests: the parallel engine (any scheduler, any
+/// processor mix, any task size) must produce byte-identical output.
+///
+/// Semantics implemented (and required of the engine):
+///  - stateless queries (IStream): one output row per passing input tuple,
+///    in arrival order;
+///  - aggregation (RStream): window results in window-index order; a window
+///    is emitted iff it received at least one raw input tuple (ungrouped) or
+///    at least one filtered tuple (grouped); only windows whose end lies
+///    within the covered axis range are emitted; output timestamp is the
+///    maximum input timestamp in the window (per group when grouped); group
+///    rows are ordered by packed key bytes;
+///  - θ-join (RStream): pairs in arrival order (merge by timestamp, left
+///    stream wins ties), each pair once, when the later element arrives;
+///    output timestamp is max of the pair.
+
+namespace saber {
+
+/// Evaluates `q` over full input streams given as serialized tuple arrays.
+/// Returns the serialized output stream.
+ByteBuffer ReferenceEvaluate(const QueryDef& q, const std::vector<uint8_t>& s0,
+                             const std::vector<uint8_t>& s1 = {});
+
+}  // namespace saber

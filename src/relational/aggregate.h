@@ -1,0 +1,153 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "relational/expression.h"
+
+/// \file aggregate.h
+/// Aggregate functions (§2.4, §5.3). The engine computes partial aggregates
+/// per *window fragment* and later merges them in the assembly operator
+/// function, so every function is expressed over a mergeable POD state.
+/// sum/count/avg are additionally *invertible*, enabling the incremental
+/// pane-based computation of §5.3 (subtract an expiring pane instead of
+/// recomputing the window).
+
+namespace saber {
+
+enum class AggregateFunction : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+inline const char* AggregateName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kCount: return "cnt";
+    case AggregateFunction::kSum: return "sum";
+    case AggregateFunction::kAvg: return "avg";
+    case AggregateFunction::kMin: return "min";
+    case AggregateFunction::kMax: return "max";
+  }
+  return "?";
+}
+
+/// True if the function supports removal of values (sum/count/avg).
+inline bool Invertible(AggregateFunction f) {
+  return f != AggregateFunction::kMin && f != AggregateFunction::kMax;
+}
+
+/// One aggregate column in a query: `fn(input) AS name`. For kCount the
+/// input expression may be null.
+struct AggregateSpec {
+  AggregateFunction fn;
+  ExprPtr input;  // null for count(*)
+  std::string name;
+};
+
+/// Mergeable partial-aggregate state. A single POD layout serves all five
+/// functions so fragment results can be memcpy'd between buffers and across
+/// the simulated PCIe bus.
+struct AggState {
+  double sum;
+  int64_t count;
+  double min_v;
+  double max_v;
+};
+static_assert(sizeof(AggState) == 32);
+
+inline void AggInit(AggState* s) {
+  s->sum = 0.0;
+  s->count = 0;
+  s->min_v = std::numeric_limits<double>::infinity();
+  s->max_v = -std::numeric_limits<double>::infinity();
+}
+
+inline void AggAdd(AggState* s, double v) {
+  s->sum += v;
+  s->count += 1;
+  s->min_v = std::min(s->min_v, v);
+  s->max_v = std::max(s->max_v, v);
+}
+
+/// Removes a value previously added. Only meaningful for invertible
+/// functions; min/max fields become stale and must not be read.
+inline void AggRemove(AggState* s, double v) {
+  s->sum -= v;
+  s->count -= 1;
+}
+
+inline void AggMerge(AggState* into, const AggState& from) {
+  into->sum += from.sum;
+  into->count += from.count;
+  into->min_v = std::min(into->min_v, from.min_v);
+  into->max_v = std::max(into->max_v, from.max_v);
+}
+
+inline double AggFinalize(AggregateFunction f, const AggState& s) {
+  switch (f) {
+    case AggregateFunction::kCount: return static_cast<double>(s.count);
+    case AggregateFunction::kSum: return s.sum;
+    case AggregateFunction::kAvg:
+      return s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
+    case AggregateFunction::kMin: return s.count == 0 ? 0.0 : s.min_v;
+    case AggregateFunction::kMax: return s.count == 0 ? 0.0 : s.max_v;
+  }
+  return 0.0;
+}
+
+/// Lock-free double accumulation via CAS on the bit pattern. Used by the
+/// simulated GPGPU GROUP-BY kernel where threads of a work group update a
+/// shared hash-table slot (§5.4: "atomically increments the aggregate
+/// value").
+inline void AtomicAddDouble(double* target, double v) {
+  auto* bits = reinterpret_cast<uint64_t*>(target);
+  std::atomic_ref<uint64_t> ref(*bits);
+  uint64_t expected = ref.load(std::memory_order_relaxed);
+  for (;;) {
+    const double cur = std::bit_cast<double>(expected);
+    const uint64_t desired = std::bit_cast<uint64_t>(cur + v);
+    if (ref.compare_exchange_weak(expected, desired, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+inline void AtomicMinDouble(double* target, double v) {
+  auto* bits = reinterpret_cast<uint64_t*>(target);
+  std::atomic_ref<uint64_t> ref(*bits);
+  uint64_t expected = ref.load(std::memory_order_relaxed);
+  for (;;) {
+    const double cur = std::bit_cast<double>(expected);
+    if (v >= cur) return;
+    const uint64_t desired = std::bit_cast<uint64_t>(v);
+    if (ref.compare_exchange_weak(expected, desired, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+inline void AtomicMaxDouble(double* target, double v) {
+  auto* bits = reinterpret_cast<uint64_t*>(target);
+  std::atomic_ref<uint64_t> ref(*bits);
+  uint64_t expected = ref.load(std::memory_order_relaxed);
+  for (;;) {
+    const double cur = std::bit_cast<double>(expected);
+    if (v <= cur) return;
+    const uint64_t desired = std::bit_cast<uint64_t>(v);
+    if (ref.compare_exchange_weak(expected, desired, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+/// Atomic variant of AggAdd for shared slots.
+inline void AggAddAtomic(AggState* s, double v) {
+  AtomicAddDouble(&s->sum, v);
+  std::atomic_ref<int64_t> cnt(s->count);
+  cnt.fetch_add(1, std::memory_order_relaxed);
+  AtomicMinDouble(&s->min_v, v);
+  AtomicMaxDouble(&s->max_v, v);
+}
+
+}  // namespace saber

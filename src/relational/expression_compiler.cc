@@ -1,0 +1,222 @@
+#include "relational/expression_compiler.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace saber {
+
+namespace {
+
+uint16_t ColumnOffset(const ColumnExpr& col, const Schema& ls, const Schema* rs) {
+  const Schema& s = col.side() == Side::kLeft ? ls : *rs;
+  return static_cast<uint16_t>(s.field(col.field()).offset);
+}
+
+CompiledExpr::Op ColumnOp(DataType t) {
+  switch (t) {
+    case DataType::kInt32: return CompiledExpr::Op::kPushColInt32;
+    case DataType::kInt64: return CompiledExpr::Op::kPushColInt64;
+    case DataType::kFloat: return CompiledExpr::Op::kPushColFloat;
+    case DataType::kDouble: return CompiledExpr::Op::kPushColDouble;
+  }
+  return CompiledExpr::Op::kPushColInt32;
+}
+
+CompiledExpr::Op ArithCode(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return CompiledExpr::Op::kAdd;
+    case ArithOp::kSub: return CompiledExpr::Op::kSub;
+    case ArithOp::kMul: return CompiledExpr::Op::kMul;
+    case ArithOp::kDiv: return CompiledExpr::Op::kDiv;
+    case ArithOp::kMod: return CompiledExpr::Op::kMod;
+  }
+  return CompiledExpr::Op::kAdd;
+}
+
+CompiledExpr::Op CompareCode(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompiledExpr::Op::kLt;
+    case CompareOp::kLe: return CompiledExpr::Op::kLe;
+    case CompareOp::kEq: return CompiledExpr::Op::kEq;
+    case CompareOp::kNe: return CompiledExpr::Op::kNe;
+    case CompareOp::kGe: return CompiledExpr::Op::kGe;
+    case CompareOp::kGt: return CompiledExpr::Op::kGt;
+  }
+  return CompiledExpr::Op::kEq;
+}
+
+}  // namespace
+
+CompiledExpr CompiledExpr::Compile(const Expression& expr, const Schema& ls,
+                                   const Schema* rs) {
+  CompiledExpr out;
+  out.Emit(expr, ls, rs);
+  // Compute the stack high-water mark for the interpreter's fixed buffer.
+  size_t depth = 0, max_depth = 0;
+  for (const Instr& i : out.program_) {
+    switch (i.op) {
+      case Op::kPushColInt32:
+      case Op::kPushColInt64:
+      case Op::kPushColFloat:
+      case Op::kPushColDouble:
+      case Op::kPushConst:
+        ++depth;
+        break;
+      case Op::kNot:
+        break;  // 1 in, 1 out
+      default:
+        --depth;  // 2 in, 1 out
+        break;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  out.max_stack_ = max_depth;
+  SABER_CHECK(max_depth <= 64);
+  return out;
+}
+
+void CompiledExpr::Emit(const Expression& e, const Schema& ls, const Schema* rs) {
+  switch (e.kind()) {
+    case Expression::Kind::kColumn: {
+      const auto& col = static_cast<const ColumnExpr&>(e);
+      program_.push_back(Instr{ColumnOp(col.output_type()),
+                               static_cast<uint8_t>(col.side()),
+                               ColumnOffset(col, ls, rs), 0.0});
+      break;
+    }
+    case Expression::Kind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(e);
+      program_.push_back(Instr{Op::kPushConst, 0, 0, lit.dval()});
+      break;
+    }
+    case Expression::Kind::kArith: {
+      const auto& a = static_cast<const ArithExpr&>(e);
+      Emit(*a.lhs(), ls, rs);
+      Emit(*a.rhs(), ls, rs);
+      program_.push_back(Instr{ArithCode(a.op()), 0, 0, 0.0});
+      break;
+    }
+    case Expression::Kind::kCompare: {
+      const auto& c = static_cast<const CompareExpr&>(e);
+      Emit(*c.lhs(), ls, rs);
+      Emit(*c.rhs(), ls, rs);
+      program_.push_back(Instr{CompareCode(c.op()), 0, 0, 0.0});
+      break;
+    }
+    case Expression::Kind::kLogical: {
+      const auto& lg = static_cast<const LogicalExpr&>(e);
+      if (lg.op() == LogicalOp::kNot) {
+        Emit(*lg.operands()[0], ls, rs);
+        program_.push_back(Instr{Op::kNot, 0, 0, 0.0});
+        break;
+      }
+      const Op op = lg.op() == LogicalOp::kAnd ? Op::kAnd : Op::kOr;
+      Emit(*lg.operands()[0], ls, rs);
+      for (size_t i = 1; i < lg.operands().size(); ++i) {
+        Emit(*lg.operands()[i], ls, rs);
+        program_.push_back(Instr{op, 0, 0, 0.0});
+      }
+      break;
+    }
+  }
+}
+
+double CompiledExpr::EvalDouble(const uint8_t* left, const uint8_t* right) const {
+  double stack[64];
+  int sp = -1;
+  for (const Instr& i : program_) {
+    switch (i.op) {
+      case Op::kPushColInt32: {
+        int32_t v;
+        std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
+        stack[++sp] = static_cast<double>(v);
+        break;
+      }
+      case Op::kPushColInt64: {
+        int64_t v;
+        std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
+        stack[++sp] = static_cast<double>(v);
+        break;
+      }
+      case Op::kPushColFloat: {
+        float v;
+        std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
+        stack[++sp] = static_cast<double>(v);
+        break;
+      }
+      case Op::kPushColDouble: {
+        double v;
+        std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
+        stack[++sp] = v;
+        break;
+      }
+      case Op::kPushConst:
+        stack[++sp] = i.constant;
+        break;
+      case Op::kAdd:
+        stack[sp - 1] += stack[sp];
+        --sp;
+        break;
+      case Op::kSub:
+        stack[sp - 1] -= stack[sp];
+        --sp;
+        break;
+      case Op::kMul:
+        stack[sp - 1] *= stack[sp];
+        --sp;
+        break;
+      case Op::kDiv:
+        stack[sp - 1] = stack[sp] == 0.0 ? 0.0 : stack[sp - 1] / stack[sp];
+        --sp;
+        break;
+      case Op::kMod: {
+        const int64_t b = static_cast<int64_t>(stack[sp]);
+        stack[sp - 1] =
+            b == 0 ? 0.0
+                   : static_cast<double>(static_cast<int64_t>(stack[sp - 1]) % b);
+        --sp;
+        break;
+      }
+      case Op::kLt:
+        stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kLe:
+        stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kEq:
+        stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kNe:
+        stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kGe:
+        stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kGt:
+        stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kAnd:
+        stack[sp - 1] =
+            (stack[sp - 1] != 0.0 && stack[sp] != 0.0) ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kOr:
+        stack[sp - 1] =
+            (stack[sp - 1] != 0.0 || stack[sp] != 0.0) ? 1.0 : 0.0;
+        --sp;
+        break;
+      case Op::kNot:
+        stack[sp] = stack[sp] == 0.0 ? 1.0 : 0.0;
+        break;
+    }
+  }
+  return sp >= 0 ? stack[sp] : 0.0;
+}
+
+}  // namespace saber

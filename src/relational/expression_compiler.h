@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "relational/expression.h"
+
+/// \file expression_compiler.h
+/// Lowers an Expression tree into a flat postfix program executed by a small
+/// stack machine. This models SABER's GPGPU code generation (§5.4: operators
+/// are OpenCL templates populated with query-specific functions): the
+/// simulated device executes these programs in tight loops with no virtual
+/// dispatch. Boolean connectives are evaluated arithmetically without
+/// short-circuiting, which matches SIMD predication on real GPGPUs (all
+/// lanes evaluate every predicate).
+
+namespace saber {
+
+class CompiledExpr {
+ public:
+  enum class Op : uint8_t {
+    kPushColInt32,
+    kPushColInt64,
+    kPushColFloat,
+    kPushColDouble,
+    kPushConst,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kLt,
+    kLe,
+    kEq,
+    kNe,
+    kGe,
+    kGt,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  struct Instr {
+    Op op;
+    uint8_t side;      // 0 = left tuple, 1 = right tuple (join predicates)
+    uint16_t offset;   // byte offset of the column within the tuple
+    double constant;   // for kPushConst
+  };
+
+  /// Compiles `expr`; offsets are resolved against the expression's schemas
+  /// (already baked into ColumnExpr instances at build time).
+  static CompiledExpr Compile(const Expression& expr, const Schema& left_schema,
+                              const Schema* right_schema = nullptr);
+
+  /// Evaluates the program over a serialized tuple (pair).
+  double EvalDouble(const uint8_t* left, const uint8_t* right = nullptr) const;
+  bool EvalBool(const uint8_t* left, const uint8_t* right = nullptr) const {
+    return EvalDouble(left, right) != 0.0;
+  }
+
+  const std::vector<Instr>& program() const { return program_; }
+  size_t max_stack() const { return max_stack_; }
+  bool empty() const { return program_.empty(); }
+
+ private:
+  void Emit(const Expression& e, const Schema& ls, const Schema* rs);
+
+  std::vector<Instr> program_;
+  size_t max_stack_ = 0;
+};
+
+}  // namespace saber

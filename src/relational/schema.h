@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/types.h"
+#include "runtime/align.h"
+#include "runtime/status.h"
+
+/// \file schema.h
+/// Fixed-width row schemas. Stream tuples stay in serialized byte form end to
+/// end (§5.1, lazy deserialisation); a Schema describes how to interpret
+/// those bytes. Field 0 of every stream schema is the 64-bit logical
+/// application timestamp (§2.4). Schemas may carry trailing padding so tuple
+/// sizes match the paper's workloads (e.g. 32-byte synthetic tuples).
+
+namespace saber {
+
+struct Field {
+  std::string name;
+  DataType type;
+  size_t offset;  // byte offset within the tuple
+};
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a stream schema. The first field must be an int64 timestamp; this
+  /// factory prepends it automatically.
+  static Schema MakeStream(std::vector<std::pair<std::string, DataType>> fields,
+                           size_t pad_to_bytes = 0) {
+    Schema s;
+    s.AddField("timestamp", DataType::kInt64);
+    for (auto& [name, type] : fields) s.AddField(name, type);
+    if (pad_to_bytes > s.tuple_size_) s.tuple_size_ = pad_to_bytes;
+    return s;
+  }
+
+  /// Builds a schema with explicit fields and no implicit timestamp (used for
+  /// intermediate results that already carry one).
+  static Schema Make(std::vector<std::pair<std::string, DataType>> fields,
+                     size_t pad_to_bytes = 0) {
+    Schema s;
+    for (auto& [name, type] : fields) s.AddField(name, type);
+    if (pad_to_bytes > s.tuple_size_) s.tuple_size_ = pad_to_bytes;
+    return s;
+  }
+
+  void AddField(const std::string& name, DataType type) {
+    const size_t sz = TypeSize(type);
+    const size_t offset = AlignUp(tuple_size_, sz);
+    fields_.push_back(Field{name, type, offset});
+    tuple_size_ = offset + sz;
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Total serialized tuple size in bytes (including padding).
+  size_t tuple_size() const { return tuple_size_; }
+
+  /// Pads the tuple to `bytes` (must be >= current size).
+  void PadTo(size_t bytes) {
+    SABER_CHECK(bytes >= tuple_size_);
+    tuple_size_ = bytes;
+  }
+
+  /// Index of the field called `name`, or -1.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool has_timestamp() const {
+    return !fields_.empty() && fields_[0].type == DataType::kInt64 &&
+           fields_[0].name == "timestamp";
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::string(TypeName(fields_[i].type)) + " " + fields_[i].name;
+    }
+    out += "} [" + std::to_string(tuple_size_) + "B]";
+    return out;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  size_t tuple_size_ = 0;
+};
+
+}  // namespace saber

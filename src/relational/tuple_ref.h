@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstring>
+
+#include "relational/schema.h"
+
+/// \file tuple_ref.h
+/// Zero-copy view of one serialized tuple (§5.1 lazy deserialisation: values
+/// are decoded per attribute, if and when an operator touches them). Getters
+/// memcpy single primitives out of the byte row, which compiles to plain
+/// loads; nothing is materialized up front.
+
+namespace saber {
+
+class TupleRef {
+ public:
+  TupleRef() : data_(nullptr), schema_(nullptr) {}
+  TupleRef(const uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  bool valid() const { return data_ != nullptr; }
+  const uint8_t* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+
+  int64_t timestamp() const { return GetInt64(0); }
+
+  int32_t GetInt32(size_t field) const {
+    int32_t v;
+    std::memcpy(&v, data_ + schema_->field(field).offset, sizeof(v));
+    return v;
+  }
+  int64_t GetInt64(size_t field) const {
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->field(field).offset, sizeof(v));
+    return v;
+  }
+  float GetFloat(size_t field) const {
+    float v;
+    std::memcpy(&v, data_ + schema_->field(field).offset, sizeof(v));
+    return v;
+  }
+  double GetDouble(size_t field) const {
+    double v;
+    std::memcpy(&v, data_ + schema_->field(field).offset, sizeof(v));
+    return v;
+  }
+
+  /// Numeric value of any field widened to double.
+  double GetAsDouble(size_t field) const {
+    switch (schema_->field(field).type) {
+      case DataType::kInt32: return static_cast<double>(GetInt32(field));
+      case DataType::kInt64: return static_cast<double>(GetInt64(field));
+      case DataType::kFloat: return static_cast<double>(GetFloat(field));
+      case DataType::kDouble: return GetDouble(field);
+    }
+    return 0.0;
+  }
+
+  /// Integral value of any field widened to int64 (floats truncate).
+  int64_t GetAsInt64(size_t field) const {
+    switch (schema_->field(field).type) {
+      case DataType::kInt32: return GetInt32(field);
+      case DataType::kInt64: return GetInt64(field);
+      case DataType::kFloat: return static_cast<int64_t>(GetFloat(field));
+      case DataType::kDouble: return static_cast<int64_t>(GetDouble(field));
+    }
+    return 0;
+  }
+
+ private:
+  const uint8_t* data_;
+  const Schema* schema_;
+};
+
+/// Serializes field values into a fixed-width row. Used by generators, tests
+/// and operators that materialize result tuples.
+class TupleWriter {
+ public:
+  TupleWriter(uint8_t* data, const Schema* schema) : data_(data), schema_(schema) {
+    std::memset(data_, 0, schema_->tuple_size());
+  }
+
+  TupleWriter& SetInt32(size_t field, int32_t v) { return Put(field, &v, sizeof(v)); }
+  TupleWriter& SetInt64(size_t field, int64_t v) { return Put(field, &v, sizeof(v)); }
+  TupleWriter& SetFloat(size_t field, float v) { return Put(field, &v, sizeof(v)); }
+  TupleWriter& SetDouble(size_t field, double v) { return Put(field, &v, sizeof(v)); }
+
+  /// Stores `v` converted to the field's declared type.
+  TupleWriter& SetNumeric(size_t field, double v) {
+    switch (schema_->field(field).type) {
+      case DataType::kInt32: return SetInt32(field, static_cast<int32_t>(v));
+      case DataType::kInt64: return SetInt64(field, static_cast<int64_t>(v));
+      case DataType::kFloat: return SetFloat(field, static_cast<float>(v));
+      case DataType::kDouble: return SetDouble(field, v);
+    }
+    return *this;
+  }
+
+ private:
+  TupleWriter& Put(size_t field, const void* v, size_t n) {
+    SABER_DCHECK(n == TypeSize(schema_->field(field).type));
+    std::memcpy(data_ + schema_->field(field).offset, v, n);
+    return *this;
+  }
+
+  uint8_t* data_;
+  const Schema* schema_;
+};
+
+}  // namespace saber

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file types.h
+/// Primitive column types of the streaming relational model (§2.4). Tuples
+/// are sequences of primitive values; SABER's evaluation uses 64-bit
+/// timestamps plus 32-bit int/float attributes (§6.1), so these four types
+/// cover every benchmark schema.
+
+namespace saber {
+
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat = 2,
+  kDouble = 3,
+};
+
+constexpr size_t TypeSize(DataType t) {
+  switch (t) {
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kFloat: return 4;
+    case DataType::kDouble: return 8;
+  }
+  return 0;
+}
+
+constexpr const char* TypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt32: return "int";
+    case DataType::kInt64: return "long";
+    case DataType::kFloat: return "float";
+    case DataType::kDouble: return "double";
+  }
+  return "?";
+}
+
+constexpr bool IsIntegral(DataType t) {
+  return t == DataType::kInt32 || t == DataType::kInt64;
+}
+
+}  // namespace saber

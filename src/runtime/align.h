@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace saber {
+
+/// Size of a destructive-interference-free region; used to pad hot atomics.
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Round `v` up to the next multiple of `alignment` (a power of two).
+constexpr uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+/// Round `v` up to the next power of two (v >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  v -= 1;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace saber

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "runtime/align.h"
+#include "runtime/status.h"
+
+/// \file circular_buffer.h
+/// The lock-free circular input buffer of §4.1. SABER keeps one buffer per
+/// input stream and per query; tuples are inserted in serialized (byte) form
+/// by exactly one producer (the thread that also creates query tasks), and
+/// worker threads only ever *read* from it. Two monotonically increasing
+/// 64-bit byte positions describe the buffer state:
+///
+///   start — oldest byte still retained (advanced by the result stage when a
+///           task's *free pointer* is released, §4.1),
+///   end   — next byte to be written by the producer.
+///
+/// Positions never wrap (2^63 bytes is unreachable); the physical index is
+/// `pos % capacity`. The capacity is rounded up to a multiple of `unit` (the
+/// stream's tuple size) so that serialized tuples never straddle the
+/// physical wrap point. Lock-freedom follows the paper's recipe: a single
+/// producer advances `end`, consumers advance `start`, and both use
+/// release/acquire ordering so bytes published before an `end` update are
+/// visible to readers that observe the update.
+
+namespace saber {
+
+class CircularBuffer {
+ public:
+  /// Creates a buffer of at least `min_capacity` bytes, rounded up to a
+  /// multiple of `unit` (the tuple size; tuples then never wrap).
+  explicit CircularBuffer(size_t min_capacity, size_t unit = 1)
+      : unit_(unit == 0 ? 1 : unit),
+        capacity_(AlignUp(std::max<size_t>(min_capacity, unit_), unit_)),
+        data_(new uint8_t[capacity_]) {}
+
+  CircularBuffer(const CircularBuffer&) = delete;
+  CircularBuffer& operator=(const CircularBuffer&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t unit() const { return unit_; }
+
+  /// Oldest retained byte position.
+  int64_t start() const { return start_.load(std::memory_order_acquire); }
+  /// Next byte position to be written.
+  int64_t end() const { return end_.load(std::memory_order_acquire); }
+  /// Bytes currently held.
+  size_t size() const { return static_cast<size_t>(end() - start()); }
+  /// Bytes available for insertion without overwriting retained data.
+  size_t remaining() const { return capacity_ - size(); }
+
+  /// Inserts `n` bytes. Returns false (and writes nothing) if the buffer does
+  /// not currently have room; the producer retries after the result stage
+  /// frees data. Only one thread may insert.
+  bool TryInsert(const void* bytes, size_t n) {
+    const int64_t e = end_.load(std::memory_order_relaxed);
+    const int64_t s = start_.load(std::memory_order_acquire);
+    if (static_cast<size_t>(e - s) + n > capacity_) return false;
+    WriteBytes(e, bytes, n);
+    end_.store(e + n, std::memory_order_release);
+    return true;
+  }
+
+  /// Releases all bytes before `pos` (the task's free pointer, §4.1). May be
+  /// called by any worker thread; lagging positions are ignored.
+  void FreeUpTo(int64_t pos) {
+    int64_t cur = start_.load(std::memory_order_relaxed);
+    while (cur < pos &&
+           !start_.compare_exchange_weak(cur, pos, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Pointer to the byte at `pos`; valid for ContiguousBytes(pos) bytes.
+  const uint8_t* DataAt(int64_t pos) const {
+    return &data_[static_cast<size_t>(pos % static_cast<int64_t>(capacity_))];
+  }
+
+  /// Number of bytes readable from `pos` before the physical wrap point.
+  size_t ContiguousBytes(int64_t pos) const {
+    return capacity_ - static_cast<size_t>(pos % static_cast<int64_t>(capacity_));
+  }
+
+  /// Wrap-aware copy of [pos, pos+n) into `dst`.
+  void CopyOut(int64_t pos, size_t n, void* dst) const {
+    const size_t first = std::min(n, ContiguousBytes(pos));
+    std::memcpy(dst, DataAt(pos), first);
+    if (first < n) {
+      std::memcpy(static_cast<uint8_t*>(dst) + first, data_.get(), n - first);
+    }
+  }
+
+  /// Wrap-aware write of `n` bytes at absolute position `pos` (producer only).
+  void WriteBytes(int64_t pos, const void* bytes, size_t n) {
+    const size_t first = std::min(n, ContiguousBytes(pos));
+    std::memcpy(&data_[static_cast<size_t>(pos % static_cast<int64_t>(capacity_))],
+                bytes, first);
+    if (first < n) {
+      std::memcpy(data_.get(), static_cast<const uint8_t*>(bytes) + first,
+                  n - first);
+    }
+  }
+
+ private:
+  const size_t unit_;
+  const size_t capacity_;
+  std::unique_ptr<uint8_t[]> data_;
+
+  alignas(kCacheLineSize) std::atomic<int64_t> start_{0};
+  alignas(kCacheLineSize) std::atomic<int64_t> end_{0};
+};
+
+}  // namespace saber

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+/// \file clock.h
+/// Time sources and pacing primitives. The simulated GPGPU device (see
+/// src/gpu/) models PCIe transfers and DMA latency by *pacing*: an operation
+/// that would take `d` nanoseconds on the modeled hardware is not allowed to
+/// complete earlier than `start + d` in wall-clock time. Pacing uses a hybrid
+/// sleep/spin strategy so that microsecond-scale delays remain accurate.
+
+namespace saber {
+
+/// Monotonic wall-clock time in nanoseconds.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Block until wall-clock time reaches `deadline_nanos`. Sleeps for the bulk
+/// of long waits and spins for the final stretch (std::this_thread::sleep_for
+/// has ~50us granularity on Linux, too coarse for modeling 10us DMA hops).
+inline void WaitUntilNanos(int64_t deadline_nanos) {
+  constexpr int64_t kSpinThresholdNanos = 120 * 1000;  // 120us
+  int64_t now = NowNanos();
+  while (now + kSpinThresholdNanos < deadline_nanos) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(deadline_nanos - now - kSpinThresholdNanos));
+    now = NowNanos();
+  }
+  while (NowNanos() < deadline_nanos) {
+    // Busy-wait for sub-granularity accuracy.
+  }
+}
+
+/// Pace an operation: ensure at least `duration_nanos` elapse after
+/// `start_nanos` before returning.
+inline void PaceNanos(int64_t start_nanos, int64_t duration_nanos) {
+  WaitUntilNanos(start_nanos + duration_nanos);
+}
+
+/// A stopwatch for measuring elapsed time in benchmarks and the throughput
+/// matrix (§4.2: observed query-task throughput).
+class Stopwatch {
+ public:
+  Stopwatch() : start_nanos_(NowNanos()) {}
+
+  void Restart() { start_nanos_ = NowNanos(); }
+  int64_t ElapsedNanos() const { return NowNanos() - start_nanos_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  int64_t start_nanos_;
+};
+
+}  // namespace saber

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+/// \file object_pool.h
+/// Statically provisioned object pools (§5.1). SABER avoids dynamic memory
+/// allocation on the critical processing path by recycling query-task objects
+/// and intermediate byte arrays. To avoid contention, each worker thread owns
+/// a separate pool (PerThreadPool); a shared fallback pool exists for objects
+/// that migrate between threads (a task may be created by the dispatcher
+/// thread and released by a worker).
+
+namespace saber {
+
+/// A mutex-protected free list. Acquire pops a recycled object or constructs
+/// a new one; Release pushes it back. The mutex is uncontended in the
+/// per-thread configuration and cheap in the shared one (critical section is
+/// two pointer moves).
+template <typename T>
+class ObjectPool {
+ public:
+  using Factory = std::function<std::unique_ptr<T>()>;
+
+  explicit ObjectPool(Factory factory, size_t preallocate = 0)
+      : factory_(std::move(factory)) {
+    for (size_t i = 0; i < preallocate; ++i) free_.push_back(factory_());
+  }
+
+  std::unique_ptr<T> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> obj = std::move(free_.back());
+        free_.pop_back();
+        return obj;
+      }
+    }
+    return factory_();
+  }
+
+  void Release(std::unique_ptr<T> obj) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(obj));
+  }
+
+  size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+/// One ObjectPool per thread slot, indexed by worker id. Matches §5.1: "each
+/// thread maintains a separate pool" of byte arrays for fragment results.
+template <typename T>
+class PerThreadPool {
+ public:
+  PerThreadPool(size_t num_threads, typename ObjectPool<T>::Factory factory,
+                size_t preallocate_per_thread = 0) {
+    pools_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      pools_.push_back(std::make_unique<ObjectPool<T>>(factory,
+                                                       preallocate_per_thread));
+    }
+  }
+
+  ObjectPool<T>& ForThread(size_t thread_id) {
+    return *pools_[thread_id % pools_.size()];
+  }
+
+  size_t num_threads() const { return pools_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ObjectPool<T>>> pools_;
+};
+
+}  // namespace saber

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "runtime/align.h"
+#include "runtime/status.h"
+
+/// \file spsc_queue.h
+/// Bounded lock-free single-producer/single-consumer ring. Used to hand
+/// query tasks between the stages of the GPGPU data-movement pipeline (§5.2):
+/// each stage is a dedicated thread, and stage i feeds stage i+1 through one
+/// of these rings, which preserves the paper's per-stage FIFO ("the execution
+/// of each data movement operation by a thread results in the sequential
+/// execution of the same operation of different tasks").
+
+namespace saber {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t min_capacity)
+      : capacity_(NextPowerOfTwo(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(new T[capacity_]) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  bool TryPush(T value) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == capacity_) return false;
+    slots_[t & mask_] = std::move(value);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t size() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(kCacheLineSize) std::atomic<uint64_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace saber

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// RocksDB-style error handling: a lightweight Status value that is returned
+/// from fallible operations, plus a Result<T> that carries either a value or
+/// an error. SABER's hot paths (dispatch, task execution, result collection)
+/// never throw; exceptional conditions surface as Status codes.
+
+namespace saber {
+
+/// Error categories used across the engine.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kResourceExhausted = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kUnavailable = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+  kIOError = 9,
+};
+
+/// A cheap, copyable success/error value. The OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kIOError: return "IOError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)), value_() {}       // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    Check();
+    return value_;
+  }
+  T& value() & {
+    Check();
+    return value_;
+  }
+  T&& value() && {
+    Check();
+    return std::move(value_);
+  }
+
+ private:
+  void Check() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n", status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_;
+};
+
+}  // namespace saber
+
+/// Propagate a non-OK Status from the enclosing function.
+#define SABER_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::saber::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Abort with a message if `cond` is false. Used for programmer errors that
+/// must never occur in a correct build (enabled in all build types).
+#define SABER_CHECK(cond)                                                       \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "SABER_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                            \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+#ifndef NDEBUG
+#define SABER_DCHECK(cond) SABER_CHECK(cond)
+#else
+#define SABER_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif

@@ -1,0 +1,140 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace saber::sql {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind k, size_t pos, std::string raw = "") {
+    Token t;
+    t.kind = k;
+    t.position = pos;
+    t.raw = std::move(raw);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments to end of line (Appendix A uses them liberally).
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.raw = input.substr(start, i - start);
+      t.text = Lower(t.raw);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      const size_t start = i;
+      bool is_int = true;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_int = false;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.raw = input.substr(start, i - start);
+      t.number = std::strtod(t.raw.c_str(), nullptr);
+      t.number_is_int = is_int;
+      t.int_value = is_int ? std::strtoll(t.raw.c_str(), nullptr, 10) : 0;
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    const size_t pos = i;
+    switch (c) {
+      case ',': push(TokenKind::kComma, pos, ","); ++i; break;
+      case '(': push(TokenKind::kLParen, pos, "("); ++i; break;
+      case ')': push(TokenKind::kRParen, pos, ")"); ++i; break;
+      case '[': push(TokenKind::kLBracket, pos, "["); ++i; break;
+      case ']': push(TokenKind::kRBracket, pos, "]"); ++i; break;
+      case '*': push(TokenKind::kStar, pos, "*"); ++i; break;
+      case '+': push(TokenKind::kPlus, pos, "+"); ++i; break;
+      case '-': push(TokenKind::kMinus, pos, "-"); ++i; break;
+      case '/': push(TokenKind::kSlash, pos, "/"); ++i; break;
+      case '%': push(TokenKind::kPercent, pos, "%"); ++i; break;
+      case '.': push(TokenKind::kDot, pos, "."); ++i; break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, pos, "<=");
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenKind::kNe, pos, "<>");
+          i += 2;
+        } else {
+          push(TokenKind::kLt, pos, "<");
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, pos, ">=");
+          i += 2;
+        } else {
+          push(TokenKind::kGt, pos, ">");
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kEq, pos, "==");
+          i += 2;
+        } else {
+          push(TokenKind::kEq, pos, "=");
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, pos, "!=");
+          i += 2;
+          break;
+        }
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(pos));
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " + std::to_string(pos));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace saber::sql

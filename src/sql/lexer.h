@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/status.h"
+
+/// \file lexer.h
+/// Tokenizer for the CQL-style streaming SQL subset (§2.4, Appendix A):
+/// SELECT ... FROM stream [range N slide M] WHERE ... GROUP BY ... HAVING.
+/// Keywords are case-insensitive; identifiers keep their case.
+
+namespace saber::sql {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kNumber,    // integer or decimal literal
+  kComma,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kDot,
+  kLt,
+  kLe,
+  kEq,   // == or =
+  kNe,   // != or <>
+  kGe,
+  kGt,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier text (lower-cased for keyword checks)
+  std::string raw;    // original spelling
+  double number = 0;
+  bool number_is_int = false;
+  int64_t int_value = 0;
+  size_t position = 0;  // byte offset for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kIdent && text == kw;
+  }
+};
+
+/// Tokenizes `input`. On error returns InvalidArgument with the offset.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace saber::sql

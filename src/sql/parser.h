@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/query.h"
+#include "sql/lexer.h"
+
+/// \file parser.h
+/// Parser for the CQL-style streaming SQL subset of §2.4 / Appendix A,
+/// producing the same QueryDef the fluent QueryBuilder produces. Supported
+/// grammar (keywords case-insensitive):
+///
+///   query      := SELECT select_list
+///                 FROM source (',' source)?
+///                 (WHERE expr)? (GROUP BY expr_list)? (HAVING expr)?
+///   source     := stream_name window (AS? alias)?
+///   window     := '[' RANGE (UNBOUNDED | n (SLIDE m)?) ']'        -- time
+///               | '[' ROWS n (SLIDE m)? ']'                       -- count
+///   select_list:= sel (',' sel)* ; sel := expr (AS ident)?
+///   expr       := disjunctions/conjunctions of comparisons over
+///                 +,-,*,/,% arithmetic; aggregates SUM/AVG/COUNT/MIN/MAX;
+///                 columns `name` or `alias.name`; NOT; parentheses.
+///
+/// Mapping rules (mirroring the engine's execution model):
+///  - single-source queries with aggregates become aggregation queries
+///    (non-aggregate select items must be GROUP BY keys or `timestamp`);
+///  - two-source queries are θ-joins: the WHERE clause becomes the join
+///    predicate; GROUP BY/HAVING on joins must be expressed as a chained
+///    query (Engine::Connect), as SG3/LRB4 do;
+///  - `select *` is the identity projection.
+
+namespace saber::sql {
+
+/// Stream catalog: name -> schema (field 0 must be the timestamp).
+using Catalog = std::map<std::string, Schema>;
+
+/// Parses one streaming SQL statement against the catalog.
+Result<QueryDef> Parse(const std::string& statement, const Catalog& catalog,
+                       const std::string& query_name = "sql");
+
+}  // namespace saber::sql

@@ -1,0 +1,49 @@
+#include "udf/median.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace saber {
+
+Schema MedianUdf::DeriveOutputSchema(const Schema* inputs, int n) const {
+  SABER_CHECK(n == 1);
+  (void)inputs;
+  Schema out;
+  out.AddField("timestamp", DataType::kInt64);
+  out.AddField("median", DataType::kDouble);
+  return out;
+}
+
+void MedianUdf::OnWindow(const WindowView* views, int n, int64_t window_ts,
+                         ByteBuffer* out) const {
+  SABER_CHECK(n == 1);
+  const WindowView& w = views[0];
+  if (w.empty()) return;
+  std::vector<double> values(w.num_tuples);
+  for (size_t i = 0; i < w.num_tuples; ++i) {
+    values[i] = value_->EvalDouble(w.tuple(i), nullptr);
+  }
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double median = values[mid];
+  if (values.size() % 2 == 0) {
+    // Even count: mean of the two middle elements. After nth_element the
+    // lower middle is the max of the first half.
+    const double lower = *std::max_element(values.begin(), values.begin() + mid);
+    median = (lower + median) / 2.0;
+  }
+  uint8_t* row = out->AppendUninitialized(16);
+  std::memcpy(row, &window_ts, 8);
+  std::memcpy(row + 8, &median, 8);
+}
+
+QueryDef MakeMedianQuery(std::string name, Schema input,
+                         WindowDefinition window, ExprPtr value) {
+  return QueryBuilder(std::move(name), std::move(input))
+      .Window(window)
+      .Udf(std::make_shared<MedianUdf>(std::move(value)))
+      .Build();
+}
+
+}  // namespace saber

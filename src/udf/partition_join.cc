@@ -1,0 +1,121 @@
+#include "udf/partition_join.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/align.h"
+
+namespace saber {
+
+namespace {
+
+/// One verbatim field copy from an input tuple into the output row. The
+/// destination offsets replicate Schema::AddField's alignment rule, so the
+/// emitted bytes match DeriveOutputSchema exactly.
+struct FieldCopy {
+  uint8_t side;
+  uint16_t src_off;
+  uint16_t dst_off;
+  uint8_t width;
+};
+
+struct CopyPlan {
+  std::vector<FieldCopy> fields;
+  size_t row_size = 0;
+};
+
+CopyPlan BuildPlan(const Schema& l, const Schema& r) {
+  CopyPlan plan;
+  size_t dst = 16;  // [ts int64][key int64]
+  const Schema* sides[2] = {&l, &r};
+  for (int side = 0; side < 2; ++side) {
+    const Schema& s = *sides[side];
+    for (size_t f = 1; f < s.num_fields(); ++f) {
+      const size_t sz = TypeSize(s.field(f).type);
+      const size_t off = AlignUp(dst, sz);
+      plan.fields.push_back(FieldCopy{static_cast<uint8_t>(side),
+                                      static_cast<uint16_t>(s.field(f).offset),
+                                      static_cast<uint16_t>(off),
+                                      static_cast<uint8_t>(sz)});
+      dst = off + sz;
+    }
+  }
+  plan.row_size = dst;
+  return plan;
+}
+
+}  // namespace
+
+Schema PartitionJoinUdf::DeriveOutputSchema(const Schema* inputs,
+                                            int n) const {
+  SABER_CHECK(n == 2);
+  Schema out;
+  out.AddField("timestamp", DataType::kInt64);
+  out.AddField("key", DataType::kInt64);
+  for (int side = 0; side < 2; ++side) {
+    const Schema& s = inputs[side];
+    const char* prefix = side == 0 ? "l_" : "r_";
+    for (size_t f = 1; f < s.num_fields(); ++f) {
+      out.AddField(prefix + s.field(f).name, s.field(f).type);
+    }
+  }
+  return out;
+}
+
+void PartitionJoinUdf::OnWindow(const WindowView* views, int n,
+                                int64_t window_ts, ByteBuffer* out) const {
+  SABER_CHECK(n == 2);
+  const WindowView& L = views[0];
+  const WindowView& R = views[1];
+  if (L.empty() || R.empty()) return;
+
+  // Partition the right window: key -> tuple indices in arrival order. Key
+  // expressions see their side's tuple as both the primary and the paired
+  // tuple, so stray Side::kRight references stay well-defined.
+  std::unordered_map<int64_t, std::vector<uint32_t>> partitions;
+  partitions.reserve(R.num_tuples);
+  for (size_t k = 0; k < R.num_tuples; ++k) {
+    TupleRef r = R.tuple(k);
+    const int64_t key = right_key_->EvalInt64(r, &r);
+    partitions[key].push_back(static_cast<uint32_t>(k));
+  }
+
+  const CopyPlan plan = BuildPlan(*L.schema, *R.schema);
+
+  // Probe with the left window in arrival order; join corresponding
+  // partitions. Output rows stamp the window's max timestamp (monotone
+  // across windows, so chained queries see an ordered stream).
+  for (size_t i = 0; i < L.num_tuples; ++i) {
+    TupleRef l = L.tuple(i);
+    const int64_t key = left_key_->EvalInt64(l, &l);
+    auto it = partitions.find(key);
+    if (it == partitions.end()) continue;
+    for (uint32_t k : it->second) {
+      TupleRef r = R.tuple(k);
+      if (residual_ != nullptr && !residual_->EvalBool(l, &r)) continue;
+      uint8_t* row = out->AppendUninitialized(plan.row_size);
+      std::memset(row, 0, plan.row_size);
+      std::memcpy(row, &window_ts, 8);
+      std::memcpy(row + 8, &key, 8);
+      const uint8_t* src[2] = {L.tuple_bytes(i), R.tuple_bytes(k)};
+      for (const FieldCopy& fc : plan.fields) {
+        std::memcpy(row + fc.dst_off, src[fc.side] + fc.src_off, fc.width);
+      }
+    }
+  }
+}
+
+QueryDef MakePartitionJoinQuery(std::string name, Schema left, Schema right,
+                                WindowDefinition window, ExprPtr left_key,
+                                ExprPtr right_key, ExprPtr residual) {
+  auto udf = std::make_shared<PartitionJoinUdf>(
+      std::move(left_key), std::move(right_key), std::move(residual));
+  return QueryBuilder(std::move(name), std::move(left), std::move(right))
+      .Window(window)
+      .Udf(std::move(udf))
+      .Build();
+}
+
+}  // namespace saber

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+
+#include "core/query.h"
+#include "core/window_udf.h"
+#include "relational/expression.h"
+
+/// \file partition_join.h
+/// The n-ary partition join of §2.4 — the paper's canonical UDF example:
+/// "an n-ary partition join ... takes as input an n-tuple of windows, one
+/// per input stream, and first partitions all windows based on tuple values
+/// before joining the corresponding partitions of the windows. Despite its
+/// similarity, a partition join cannot be realised with a standard θ-join
+/// operator."
+///
+/// This implementation is binary (n = 2, the engine's input arity): both
+/// windows are hash-partitioned on an integral key expression, and the
+/// corresponding partitions are joined pairwise — O(|L| + |R| + |result|)
+/// per window versus the θ-join's O(|L| · |R|) scan. An optional residual
+/// predicate filters the partition pairs.
+
+namespace saber {
+
+class PartitionJoinUdf final : public WindowUdf {
+ public:
+  /// `left_key` / `right_key`: integral partition key expressions, one per
+  /// side. Each is evaluated with that side's tuple as the *primary* tuple,
+  /// so both use plain (left-side) column references against their own
+  /// schema. `residual`: optional extra predicate over the (left, right)
+  /// tuple pair — right-side columns use Side::kRight there.
+  PartitionJoinUdf(ExprPtr left_key, ExprPtr right_key,
+                   ExprPtr residual = nullptr)
+      : left_key_(std::move(left_key)),
+        right_key_(std::move(right_key)),
+        residual_(std::move(residual)) {}
+
+  std::string name() const override { return "partition_join"; }
+
+  /// Output: [timestamp, key, l_<fields...>, r_<fields...>] — every non-ts
+  /// field of both sides, prefixed by its side. All rows of a window carry
+  /// the window's max tuple timestamp so the result stream stays ordered.
+  Schema DeriveOutputSchema(const Schema* inputs, int n) const override;
+
+  void OnWindow(const WindowView* views, int n, int64_t window_ts,
+                ByteBuffer* out) const override;
+
+ private:
+  ExprPtr left_key_;
+  ExprPtr right_key_;
+  ExprPtr residual_;
+};
+
+/// Convenience: builds a ready-to-run partition-join QueryDef over two
+/// streams with a common window definition.
+QueryDef MakePartitionJoinQuery(std::string name, Schema left, Schema right,
+                                WindowDefinition window, ExprPtr left_key,
+                                ExprPtr right_key, ExprPtr residual = nullptr);
+
+}  // namespace saber

@@ -1,0 +1,59 @@
+#include "udf/topk.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace saber {
+
+Schema TopKUdf::DeriveOutputSchema(const Schema* inputs, int n) const {
+  SABER_CHECK(n == 1);
+  (void)inputs;
+  Schema out;
+  out.AddField("timestamp", DataType::kInt64);
+  out.AddField("key", DataType::kInt64);
+  out.AddField("weight", DataType::kDouble);
+  return out;
+}
+
+void TopKUdf::OnWindow(const WindowView* views, int n, int64_t window_ts,
+                       ByteBuffer* out) const {
+  SABER_CHECK(n == 1);
+  const WindowView& w = views[0];
+  if (w.empty()) return;
+
+  std::unordered_map<int64_t, double> weights;
+  for (size_t i = 0; i < w.num_tuples; ++i) {
+    TupleRef t = w.tuple(i);
+    const int64_t key = key_->EvalInt64(t, nullptr);
+    weights[key] += weight_ != nullptr ? weight_->EvalDouble(t, nullptr) : 1.0;
+  }
+
+  std::vector<std::pair<int64_t, double>> order(weights.begin(), weights.end());
+  const size_t k = std::min(order.size(), static_cast<size_t>(k_));
+  auto heavier = [](const std::pair<int64_t, double>& a,
+                    const std::pair<int64_t, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break on the smaller key
+  };
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), heavier);
+
+  for (size_t i = 0; i < k; ++i) {
+    uint8_t* row = out->AppendUninitialized(24);
+    std::memcpy(row, &window_ts, 8);
+    std::memcpy(row + 8, &order[i].first, 8);
+    std::memcpy(row + 16, &order[i].second, 8);
+  }
+}
+
+QueryDef MakeTopKQuery(std::string name, Schema input, WindowDefinition window,
+                       ExprPtr key, ExprPtr weight, int k) {
+  return QueryBuilder(std::move(name), std::move(input))
+      .Window(window)
+      .Udf(std::make_shared<TopKUdf>(std::move(key), std::move(weight), k))
+      .Build();
+}
+
+}  // namespace saber

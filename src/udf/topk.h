@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "core/query.h"
+#include "core/window_udf.h"
+#include "relational/expression.h"
+
+/// \file topk.h
+/// Per-window top-K as a UDF: the K groups with the largest aggregate weight
+/// inside each window. Like the median (§3), top-K has no simple
+/// fragment/assembly decomposition — the K heaviest groups of a window are
+/// not derivable from the K heaviest of its fragments — so it rides the
+/// generic whole-window UDF path. The motivating workload is §2.1's click
+/// stream analytics ("trending" queries).
+
+namespace saber {
+
+/// Emits K rows [timestamp, key, weight] per non-empty window: the K groups
+/// with the largest summed weight, descending; ties break on the smaller
+/// key. `weight` may be null for pure counting.
+class TopKUdf final : public WindowUdf {
+ public:
+  TopKUdf(ExprPtr key, ExprPtr weight, int k)
+      : key_(std::move(key)), weight_(std::move(weight)), k_(k) {
+    SABER_CHECK(k_ > 0);
+  }
+
+  std::string name() const override { return "top" + std::to_string(k_); }
+
+  Schema DeriveOutputSchema(const Schema* inputs, int n) const override;
+
+  void OnWindow(const WindowView* views, int n, int64_t window_ts,
+                ByteBuffer* out) const override;
+
+ private:
+  ExprPtr key_;
+  ExprPtr weight_;  // null: weight 1 per tuple
+  int k_;
+};
+
+/// Convenience: a single-input top-K query over `window`.
+QueryDef MakeTopKQuery(std::string name, Schema input, WindowDefinition window,
+                       ExprPtr key, ExprPtr weight, int k);
+
+}  // namespace saber

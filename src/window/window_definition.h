@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "runtime/status.h"
+
+/// \file window_definition.h
+/// Window specifications ω(s, l) of §2.4: count-based (size/slide measured in
+/// tuples) or time-based (measured in timestamp units). Windows are aligned
+/// at the stream origin: window j covers the half-open axis interval
+/// [j·l, j·l + s), where the *axis* is the tuple index for count-based
+/// windows and the logical timestamp for time-based windows. Supports sliding
+/// (l < s), tumbling (l = s) and unbounded windows (LRB1's `range unbounded`,
+/// which makes stateless operators purely per-tuple).
+
+namespace saber {
+
+enum class WindowType : uint8_t { kCount, kTime };
+
+struct WindowDefinition {
+  WindowType type = WindowType::kCount;
+  int64_t size = 1;   // s: tuples or time units
+  int64_t slide = 1;  // l: tuples or time units
+  bool unbounded = false;
+
+  static WindowDefinition Count(int64_t size, int64_t slide) {
+    SABER_CHECK(size >= 1 && slide >= 1);
+    return WindowDefinition{WindowType::kCount, size, slide, false};
+  }
+  static WindowDefinition Time(int64_t size, int64_t slide) {
+    SABER_CHECK(size >= 1 && slide >= 1);
+    return WindowDefinition{WindowType::kTime, size, slide, false};
+  }
+  static WindowDefinition Unbounded() {
+    return WindowDefinition{WindowType::kTime, 1, 1, true};
+  }
+
+  bool tumbling() const { return slide == size; }
+  bool sliding() const { return slide < size; }
+  bool time_based() const { return type == WindowType::kTime; }
+
+  /// Pane length g = gcd(s, l): the largest axis unit such that every window
+  /// is a concatenation of panes (§2.1 [41]).
+  constexpr int64_t pane_size() const { return std::gcd(size, slide); }
+  /// Panes per window.
+  constexpr int64_t panes_per_window() const { return size / pane_size(); }
+  /// Panes per slide step.
+  constexpr int64_t panes_per_slide() const { return slide / pane_size(); }
+
+  std::string ToString() const {
+    if (unbounded) return "w(unbounded)";
+    return std::string("w(") + (time_based() ? "time," : "count,") +
+           std::to_string(size) + "," + std::to_string(slide) + ")";
+  }
+
+  bool operator==(const WindowDefinition& o) const {
+    return type == o.type && size == o.size && slide == o.slide &&
+           unbounded == o.unbounded;
+  }
+};
+
+}  // namespace saber

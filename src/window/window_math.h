@@ -1,0 +1,130 @@
+#pragma once
+
+#include <algorithm>
+
+#include "window/window_definition.h"
+
+/// \file window_math.h
+/// Pure index arithmetic relating windows, panes and stream batches (Fig. 2).
+/// All functions work on an abstract *axis*: tuple indices for count-based
+/// windows, timestamps for time-based windows. A batch covers the axis range
+/// [P, Q); for time-based windows the dispatcher sets P = (last timestamp of
+/// the previous batch) + 1 and Q = (last timestamp of this batch) + 1, which
+/// is the exact span of timestamps this batch is *responsible* for — a window
+/// "closes" in the first batch whose span reaches its end (tuples are ordered
+/// by timestamp, §2.4, so no later tuple can still fall into it).
+
+namespace saber {
+
+/// Inclusive range of window indices; empty when lo > hi.
+struct WindowIndexRange {
+  int64_t lo = 0;
+  int64_t hi = -1;
+  bool empty() const { return lo > hi; }
+  int64_t count() const { return empty() ? 0 : hi - lo + 1; }
+};
+
+/// Half-open axis interval of one window fragment.
+struct FragmentBounds {
+  int64_t begin = 0;
+  int64_t end = 0;
+  bool empty() const { return begin >= end; }
+};
+
+/// Floor division for possibly negative numerators.
+constexpr int64_t FloorDiv(int64_t a, int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+constexpr int64_t CeilDiv(int64_t a, int64_t b) {
+  return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+/// Start of window j on the axis.
+constexpr int64_t WindowStart(const WindowDefinition& w, int64_t j) {
+  return j * w.slide;
+}
+/// One past the end of window j on the axis.
+constexpr int64_t WindowEnd(const WindowDefinition& w, int64_t j) {
+  return j * w.slide + w.size;
+}
+
+/// All windows whose interval intersects the batch axis range [P, Q).
+inline WindowIndexRange WindowsIntersecting(const WindowDefinition& w, int64_t P,
+                                            int64_t Q) {
+  if (P >= Q) return {};
+  // j*l + s > P  =>  j > (P - s)/l  =>  j >= floor((P - s)/l) + 1.
+  // j*l < Q      =>  j <= ceil(Q/l) - 1 = floor((Q - 1)/l).
+  WindowIndexRange r;
+  r.lo = std::max<int64_t>(0, FloorDiv(P - w.size, w.slide) + 1);
+  r.hi = FloorDiv(Q - 1, w.slide);
+  return r;
+}
+
+/// Windows that *close* in [P, Q): their end lies in (P, Q].
+inline WindowIndexRange WindowsClosingIn(const WindowDefinition& w, int64_t P,
+                                         int64_t Q) {
+  if (P >= Q) return {};
+  // end = j*l + s in (P, Q]  =>  j in ((P - s)/l, (Q - s)/l].
+  WindowIndexRange r;
+  r.lo = std::max<int64_t>(0, FloorDiv(P - w.size, w.slide) + 1);
+  r.hi = FloorDiv(Q - w.size, w.slide);
+  return r;
+}
+
+/// True if window j starts inside [P, Q) — "opens" in the batch (Fig. 2).
+constexpr bool WindowOpensIn(const WindowDefinition& w, int64_t j, int64_t P,
+                             int64_t Q) {
+  const int64_t s = WindowStart(w, j);
+  return s >= P && s < Q;
+}
+
+/// True if window j ends inside (P, Q] — "closes" in the batch.
+constexpr bool WindowClosesIn(const WindowDefinition& w, int64_t j, int64_t P,
+                              int64_t Q) {
+  const int64_t e = WindowEnd(w, j);
+  return e > P && e <= Q;
+}
+
+/// The fragment of window j inside the batch range [P, Q).
+inline FragmentBounds FragmentOf(const WindowDefinition& w, int64_t j, int64_t P,
+                                 int64_t Q) {
+  return FragmentBounds{std::max(WindowStart(w, j), P), std::min(WindowEnd(w, j), Q)};
+}
+
+// --------------------------------------------------------------------------
+// Pane arithmetic. Pane p covers axis interval [p·g, (p+1)·g) with
+// g = pane_size(). Window j is the concatenation of panes
+// [FirstPane(j), LastPane(j)].
+// --------------------------------------------------------------------------
+
+constexpr int64_t PaneOfAxis(const WindowDefinition& w, int64_t axis) {
+  return axis / w.pane_size();
+}
+constexpr int64_t FirstPaneOf(const WindowDefinition& w, int64_t j) {
+  return j * w.panes_per_slide();
+}
+constexpr int64_t LastPaneOf(const WindowDefinition& w, int64_t j) {
+  return j * w.panes_per_slide() + w.panes_per_window() - 1;
+}
+
+/// Largest window index whose last pane is `pane`, or -1 if no window ends
+/// there. Windows end at pane p iff p + 1 - panes_per_window == j *
+/// panes_per_slide for integral j >= 0.
+inline int64_t WindowEndingAtPane(const WindowDefinition& w, int64_t pane) {
+  const int64_t num = pane + 1 - w.panes_per_window();
+  if (num < 0) return -1;
+  if (num % w.panes_per_slide() != 0) return -1;
+  return num / w.panes_per_slide();
+}
+
+/// Panes intersecting the batch axis range [P, Q), inclusive pane indices.
+inline WindowIndexRange PanesIntersecting(const WindowDefinition& w, int64_t P,
+                                          int64_t Q) {
+  if (P >= Q) return {};
+  WindowIndexRange r;
+  r.lo = P / w.pane_size();
+  r.hi = (Q - 1) / w.pane_size();
+  return r;
+}
+
+}  // namespace saber

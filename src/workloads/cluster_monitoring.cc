@@ -1,0 +1,82 @@
+#include "workloads/cluster_monitoring.h"
+
+#include <random>
+
+#include "relational/tuple_ref.h"
+
+namespace saber::cm {
+
+Schema TaskEventSchema() {
+  Schema s = Schema::MakeStream({{"jobId", DataType::kInt64},
+                                 {"taskId", DataType::kInt64},
+                                 {"machineId", DataType::kInt64},
+                                 {"eventType", DataType::kInt32},
+                                 {"userId", DataType::kInt32},
+                                 {"category", DataType::kInt32},
+                                 {"priority", DataType::kInt32},
+                                 {"cpu", DataType::kFloat},
+                                 {"ram", DataType::kFloat},
+                                 {"disk", DataType::kFloat},
+                                 {"constraints", DataType::kInt32}});
+  s.PadTo(64);
+  return s;
+}
+
+std::vector<uint8_t> GenerateTrace(size_t n, const TraceOptions& opts) {
+  Schema s = TaskEventSchema();
+  std::mt19937 rng(opts.seed);
+  std::uniform_int_distribution<int64_t> job(0, opts.num_jobs - 1);
+  std::uniform_int_distribution<int64_t> machine(0, opts.num_machines - 1);
+  std::uniform_int_distribution<int> category(0, opts.num_categories - 1);
+  std::uniform_int_distribution<int> priority(0, 11);
+  std::uniform_int_distribution<int> event(0, 5);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::vector<uint8_t> out(n * s.tuple_size());
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t ts = static_cast<int64_t>(i) / opts.events_per_second;
+    double p_fail = opts.base_failure_probability;
+    for (const SurgePeriod& sp : opts.surges) {
+      if (ts >= sp.start_ts && ts < sp.end_ts) p_fail = sp.failure_probability;
+    }
+    const int64_t j = job(rng);
+    int ev = event(rng);
+    if (ev == kFail) ev = kSchedule;  // failures are governed by p_fail only
+    TupleWriter w(out.data() + i * s.tuple_size(), &s);
+    w.SetInt64(0, ts);
+    w.SetInt64(1, j);
+    w.SetInt64(2, static_cast<int64_t>(i));         // taskId
+    w.SetInt64(3, machine(rng));
+    w.SetInt32(4, unit(rng) < p_fail ? kFail : ev);
+    w.SetInt32(5, static_cast<int32_t>(j % 97));    // userId
+    w.SetInt32(6, category(rng));
+    w.SetInt32(7, priority(rng));
+    w.SetFloat(8, static_cast<float>(unit(rng)));   // cpu request
+    w.SetFloat(9, static_cast<float>(unit(rng)));   // ram
+    w.SetFloat(10, static_cast<float>(unit(rng)));  // disk
+    w.SetInt32(11, 0);
+  }
+  return out;
+}
+
+QueryDef MakeCM1() {
+  Schema s = TaskEventSchema();
+  QueryBuilder b("CM1", s);
+  b.Window(WindowDefinition::Time(60, 1));
+  b.GroupBy({Col(s, "category")}, {"category"});
+  b.Aggregate(AggregateFunction::kSum, Col(s, "cpu"), "totalCpu");
+  return b.Build();
+}
+
+QueryDef MakeCM2() {
+  // Appendix A.1: "where eventType == 1" — scheduled tasks.
+  Schema s = TaskEventSchema();
+  QueryBuilder b("CM2", s);
+  b.Window(WindowDefinition::Time(60, 1));
+  b.Where(Eq(Col(s, "eventType"), Lit(kSchedule)));
+  b.GroupBy({Col(s, "jobId")}, {"jobId"});
+  b.Aggregate(AggregateFunction::kAvg, Col(s, "cpu"), "avgCpu");
+  return b.Build();
+}
+
+}  // namespace saber::cm

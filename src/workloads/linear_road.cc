@@ -1,0 +1,142 @@
+#include "workloads/linear_road.h"
+
+#include <cmath>
+#include <random>
+
+#include "relational/tuple_ref.h"
+
+namespace saber::lrb {
+
+Schema PositionSchema() {
+  Schema s = Schema::MakeStream({{"vehicle", DataType::kInt32},
+                                 {"speed", DataType::kFloat},
+                                 {"highway", DataType::kInt32},
+                                 {"lane", DataType::kInt32},
+                                 {"direction", DataType::kInt32},
+                                 {"position", DataType::kInt32}});
+  s.PadTo(32);
+  return s;
+}
+
+std::vector<uint8_t> GenerateReports(size_t n, const RoadOptions& opts) {
+  Schema s = PositionSchema();
+  std::mt19937 rng(opts.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  struct Vehicle {
+    int highway;
+    int direction;
+    int lane;
+    double position;  // feet
+    double speed;     // mph
+  };
+  std::vector<Vehicle> fleet(opts.num_vehicles);
+  for (auto& v : fleet) {
+    v.highway = static_cast<int>(unit(rng) * opts.num_highways);
+    v.direction = unit(rng) < 0.5 ? 0 : 1;
+    v.lane = static_cast<int>(unit(rng) * 4);
+    v.position = unit(rng) * opts.num_segments * 5280.0;
+    v.speed = 40.0 + unit(rng) * 40.0;
+  }
+
+  std::vector<uint8_t> out(n * s.tuple_size());
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t ts = static_cast<int64_t>(i) / opts.reports_per_second;
+    Vehicle& v = fleet[i % fleet.size()];
+    // Congestion wave: a sliding band of segments runs slow.
+    const int segment = static_cast<int>(v.position / 5280.0);
+    const int wave_lo =
+        static_cast<int>(ts / 10 % opts.num_segments);
+    const int wave_len =
+        static_cast<int>(opts.num_segments * opts.congestion_fraction);
+    const bool congested =
+        (segment - wave_lo + opts.num_segments) % opts.num_segments < wave_len;
+    const double target = congested ? 15.0 + unit(rng) * 20.0
+                                    : 45.0 + unit(rng) * 35.0;
+    v.speed = 0.8 * v.speed + 0.2 * target;
+    // Advance: speed mph ~ 1.47 ft/s; each vehicle reports every
+    // fleet.size()/reports_per_second seconds.
+    const double dt =
+        static_cast<double>(fleet.size()) / opts.reports_per_second;
+    v.position += v.speed * 1.47 * dt;
+    if (v.position >= opts.num_segments * 5280.0) v.position = 0;
+
+    TupleWriter w(out.data() + i * s.tuple_size(), &s);
+    w.SetInt64(0, ts);
+    w.SetInt32(1, static_cast<int32_t>(i % fleet.size()));
+    w.SetFloat(2, static_cast<float>(v.speed));
+    w.SetInt32(3, v.highway);
+    w.SetInt32(4, v.lane);
+    w.SetInt32(5, v.direction);
+    w.SetInt32(6, static_cast<int32_t>(v.position));
+  }
+  return out;
+}
+
+QueryDef MakeLRB1() {
+  Schema s = PositionSchema();
+  QueryBuilder b("LRB1", s);
+  b.Window(WindowDefinition::Unbounded());
+  b.Select(Col(s, "timestamp"), "timestamp");
+  b.Select(Col(s, "vehicle"), "vehicle");
+  b.Select(Col(s, "speed"), "speed");
+  b.Select(Col(s, "highway"), "highway");
+  b.Select(Col(s, "lane"), "lane");
+  b.Select(Col(s, "direction"), "direction");
+  b.Select(Div(Col(s, "position"), Lit(5280)), "segment");
+  return b.Build();
+}
+
+QueryDef MakeLRB2() {
+  Schema s = PositionSchema();
+  QueryBuilder b("LRB2", s, s);
+  b.Window(WindowDefinition::Time(30, 1));
+  b.WindowRight(WindowDefinition::Time(1, 1));
+  b.JoinOn(And({Eq(Col(s, "vehicle"), Col(s, "vehicle", Side::kRight)),
+                Ne(Div(Col(s, "position"), Lit(5280)),
+                   Div(Col(s, "position", Side::kRight), Lit(5280)))}));
+  b.JoinSelect(Col(s, "timestamp", Side::kRight), "timestamp");
+  b.JoinSelect(Col(s, "vehicle", Side::kRight), "vehicle");
+  b.JoinSelect(Col(s, "speed", Side::kRight), "speed");
+  b.JoinSelect(Col(s, "highway", Side::kRight), "highway");
+  b.JoinSelect(Col(s, "lane", Side::kRight), "lane");
+  b.JoinSelect(Col(s, "direction", Side::kRight), "direction");
+  b.JoinSelect(Div(Col(s, "position", Side::kRight), Lit(5280)), "segment");
+  return b.Build();
+}
+
+QueryDef MakeLRB3(int64_t window_size, int64_t slide) {
+  Schema s = PositionSchema();
+  QueryBuilder b("LRB3", s);
+  b.Window(WindowDefinition::Time(window_size, slide));
+  b.GroupBy({Col(s, "highway"), Col(s, "direction"),
+             Div(Col(s, "position"), Lit(5280))},
+            {"highway", "direction", "segment"});
+  b.Aggregate(AggregateFunction::kAvg, Col(s, "speed"), "avgSpeed");
+  QueryDef q = b.Build();
+  q.having = Lt(Col(q.output_schema, "avgSpeed"), Lit(40.0));
+  return q;
+}
+
+LRB4Queries MakeLRB4() {
+  Schema s = PositionSchema();
+  QueryBuilder inner("LRB4-inner", s);
+  inner.Window(WindowDefinition::Time(30, 1));
+  inner.GroupBy({Col(s, "highway"), Col(s, "direction"),
+                 Div(Col(s, "position"), Lit(5280)), Col(s, "vehicle")},
+                {"highway", "direction", "segment", "vehicle"});
+  inner.Aggregate(AggregateFunction::kCount, nullptr, "cnt");
+  QueryDef inner_def = inner.Build();
+
+  const Schema& is = inner_def.output_schema;
+  QueryBuilder outer("LRB4-outer", is);
+  outer.Window(WindowDefinition::Time(1, 1));
+  outer.GroupBy({Col(is, "highway"), Col(is, "direction"), Col(is, "segment")},
+                {"highway", "direction", "segment"});
+  outer.Aggregate(AggregateFunction::kCount, nullptr, "numVehicles");
+  QueryDef outer_def = outer.Build();
+
+  return LRB4Queries{std::move(inner_def), std::move(outer_def)};
+}
+
+}  // namespace saber::lrb

@@ -1,0 +1,85 @@
+#include "workloads/smart_grid.h"
+
+#include <random>
+
+#include "relational/tuple_ref.h"
+
+namespace saber::sg {
+
+Schema SmartGridSchema() {
+  Schema s = Schema::MakeStream({{"value", DataType::kFloat},
+                                 {"property", DataType::kInt32},
+                                 {"plug", DataType::kInt32},
+                                 {"household", DataType::kInt32},
+                                 {"house", DataType::kInt32}});
+  s.PadTo(32);
+  return s;
+}
+
+std::vector<uint8_t> GenerateReadings(size_t n, const GridOptions& opts) {
+  Schema s = SmartGridSchema();
+  std::mt19937 rng(opts.seed);
+  std::normal_distribution<double> noise(0.0, 5.0);
+  std::vector<uint8_t> out(n * s.tuple_size());
+  const int plugs_total = opts.num_houses * opts.households_per_house *
+                          opts.plugs_per_household;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t ts = static_cast<int64_t>(i) / opts.readings_per_second;
+    const int plug_index = static_cast<int>(i) % plugs_total;
+    const int house = plug_index / (opts.households_per_house *
+                                    opts.plugs_per_household);
+    const int household =
+        (plug_index / opts.plugs_per_household) % opts.households_per_house;
+    const int plug = plug_index % opts.plugs_per_household;
+    const double base = 50.0 + opts.house_skew * (house % 5);
+    TupleWriter w(out.data() + i * s.tuple_size(), &s);
+    w.SetInt64(0, ts);
+    w.SetFloat(1, static_cast<float>(std::max(0.0, base + noise(rng))));
+    w.SetInt32(2, 1);  // property: load measurement
+    w.SetInt32(3, plug);
+    w.SetInt32(4, household);
+    w.SetInt32(5, house);
+  }
+  return out;
+}
+
+QueryDef MakeSG1(int64_t window_size, int64_t slide) {
+  Schema s = SmartGridSchema();
+  QueryBuilder b("SG1", s);
+  b.Window(WindowDefinition::Time(window_size, slide));
+  b.Aggregate(AggregateFunction::kAvg, Col(s, "value"), "globalAvgLoad");
+  return b.Build();
+}
+
+QueryDef MakeSG2(int64_t window_size, int64_t slide) {
+  Schema s = SmartGridSchema();
+  QueryBuilder b("SG2", s);
+  b.Window(WindowDefinition::Time(window_size, slide));
+  b.GroupBy({Col(s, "plug"), Col(s, "household"), Col(s, "house")},
+            {"plug", "household", "house"});
+  b.Aggregate(AggregateFunction::kAvg, Col(s, "value"), "localAvgLoad");
+  return b.Build();
+}
+
+SG3Queries MakeSG3(const QueryDef& sg1, const QueryDef& sg2) {
+  const Schema& g = sg1.output_schema;  // {timestamp, globalAvgLoad}
+  const Schema& l = sg2.output_schema;  // {timestamp, plug, household, house, localAvgLoad}
+
+  QueryBuilder join("SG3-join", g, l);
+  join.Window(WindowDefinition::Time(1, 1));
+  join.JoinOn(Gt(Col(l, "localAvgLoad", Side::kRight),
+                 Col(g, "globalAvgLoad", Side::kLeft)));
+  join.JoinSelect(Col(g, "timestamp"), "timestamp");
+  join.JoinSelect(Col(l, "house", Side::kRight), "house");
+  QueryDef join_def = join.Build();
+
+  QueryBuilder count("SG3-count", join_def.output_schema);
+  count.Window(WindowDefinition::Time(1, 1));
+  count.GroupBy({Col(join_def.output_schema, "house")}, {"house"});
+  count.Aggregate(AggregateFunction::kCount, nullptr, "outliers");
+  QueryDef count_def = count.Build();
+
+  return SG3Queries{std::move(join_def), std::move(count_def)};
+}
+
+}  // namespace saber::sg

@@ -1,0 +1,128 @@
+#include "workloads/synthetic.h"
+
+#include <random>
+
+#include "relational/tuple_ref.h"
+
+namespace saber::syn {
+
+Schema SyntheticSchema() {
+  return Schema::MakeStream({{"a1", DataType::kFloat},
+                             {"a2", DataType::kInt32},
+                             {"a3", DataType::kInt32},
+                             {"a4", DataType::kInt32},
+                             {"a5", DataType::kInt32},
+                             {"a6", DataType::kInt32}});
+}
+
+std::vector<uint8_t> Generate(size_t n, const GeneratorOptions& opts) {
+  Schema s = SyntheticSchema();
+  std::mt19937 rng(opts.seed);
+  std::uniform_int_distribution<int> attr(0, opts.attr_range - 1);
+  std::vector<uint8_t> out(n * s.tuple_size());
+  for (size_t i = 0; i < n; ++i) {
+    TupleWriter w(out.data() + i * s.tuple_size(), &s);
+    w.SetInt64(0, opts.start_ts +
+                      static_cast<int64_t>(i) / opts.tuples_per_ts);
+    w.SetFloat(1, static_cast<float>(attr(rng)));
+    for (size_t f = 2; f <= 6; ++f) w.SetInt32(f, attr(rng));
+  }
+  return out;
+}
+
+QueryDef MakeProjection(int m, int expr_chain, WindowDefinition w) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b("PROJ" + std::to_string(m), s);
+  b.Window(w);
+  b.Select(Col(s, "timestamp"), "timestamp");
+  for (int i = 0; i < m; ++i) {
+    const std::string name = "a" + std::to_string(i % 6 + 1);
+    ExprPtr e = Col(s, name);
+    for (int c = 0; c < expr_chain; ++c) {
+      e = Add(Mul(e, Lit(3)), Lit(1));
+    }
+    b.Select(std::move(e), name + "_out");
+  }
+  return b.Build();
+}
+
+QueryDef MakeSelection(int n, int attr_range, WindowDefinition w) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b("SELECT" + std::to_string(n), s);
+  b.Window(w);
+  std::vector<ExprPtr> preds;
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "a" + std::to_string(i % 5 + 2);  // int attrs
+    preds.push_back(Eq(Col(s, name), Lit(i % attr_range)));
+  }
+  b.Where(n == 1 ? preds[0] : Or(std::move(preds)));
+  return b.Build();
+}
+
+QueryDef MakeGatedSelection(int n, ExprPtr gate, WindowDefinition w) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b("SELECTgated" + std::to_string(n), s);
+  b.Window(w);
+  std::vector<ExprPtr> rest;
+  for (int i = 0; i < n - 1; ++i) {
+    const std::string name = "a" + std::to_string(i % 5 + 2);
+    rest.push_back(Eq(Mod(Add(Col(s, name), Lit(i)), Lit(1 << 20)), Lit(-1)));
+  }
+  if (rest.empty()) {
+    b.Where(std::move(gate));
+  } else {
+    b.Where(And({std::move(gate), Or(std::move(rest))}));
+  }
+  return b.Build();
+}
+
+QueryDef MakeAggregation(AggregateFunction f, WindowDefinition w) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b(std::string("AGG") + AggregateName(f), s);
+  b.Window(w);
+  b.Aggregate(f, Col(s, "a1"), AggregateName(f));
+  return b.Build();
+}
+
+QueryDef MakeAggregationAll(WindowDefinition w) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b("AGG*", s);
+  b.Window(w);
+  b.Aggregate(AggregateFunction::kSum, Col(s, "a1"), "sum");
+  b.Aggregate(AggregateFunction::kCount, nullptr, "cnt");
+  b.Aggregate(AggregateFunction::kAvg, Col(s, "a1"), "avg");
+  b.Aggregate(AggregateFunction::kMin, Col(s, "a1"), "min");
+  b.Aggregate(AggregateFunction::kMax, Col(s, "a1"), "max");
+  return b.Build();
+}
+
+QueryDef MakeGroupBy(int o, WindowDefinition w) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b("GROUP-BY" + std::to_string(o), s);
+  b.Window(w);
+  b.GroupBy({Mod(Col(s, "a4"), Lit(o))}, {"grp"});
+  b.Aggregate(AggregateFunction::kCount, nullptr, "cnt");
+  b.Aggregate(AggregateFunction::kSum, Col(s, "a1"), "sum");
+  return b.Build();
+}
+
+QueryDef MakeJoin(int r, WindowDefinition w, int match_mod) {
+  Schema s = SyntheticSchema();
+  QueryBuilder b("JOIN" + std::to_string(r), s, s);
+  b.Window(w);
+  std::vector<ExprPtr> preds;
+  for (int i = 0; i < r - 1; ++i) {
+    const std::string name = "a" + std::to_string(i % 5 + 2);
+    // Always true, but costs an evaluation per pair per predicate.
+    preds.push_back(Ge(Add(Col(s, name), Col(s, name, Side::kRight)), Lit(0)));
+  }
+  preds.push_back(Eq(Mod(Col(s, "a5"), Lit(match_mod)),
+                     Mod(Col(s, "a5", Side::kRight), Lit(match_mod))));
+  b.JoinOn(preds.size() == 1 ? preds[0] : And(std::move(preds)));
+  b.JoinSelect(Col(s, "timestamp"), "timestamp");
+  b.JoinSelect(Col(s, "a5"), "l_a5");
+  b.JoinSelect(Col(s, "a5", Side::kRight), "r_a5");
+  return b.Build();
+}
+
+}  // namespace saber::syn

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+
+/// \file synthetic.h
+/// The synthetic workload of §6.1 (Table 1): 32-byte tuples — a 64-bit
+/// timestamp plus six 32-bit attributes drawn from a uniform distribution,
+/// the first being a float and the rest integers — and the parameterized
+/// query families PROJ_m, SELECT_n, AGG_f, GROUP-BY_o and JOIN_r used
+/// throughout the evaluation.
+
+namespace saber::syn {
+
+/// {timestamp int64, a1 float, a2..a6 int32} — 32 bytes.
+Schema SyntheticSchema();
+
+struct GeneratorOptions {
+  uint32_t seed = 42;
+  /// Attribute value range [0, attr_range).
+  int attr_range = 100;
+  /// Tuples per timestamp unit (timestamps advance every `tuples_per_ts`).
+  int tuples_per_ts = 64;
+  int64_t start_ts = 0;
+};
+
+/// Generates n serialized tuples.
+std::vector<uint8_t> Generate(size_t n, const GeneratorOptions& opts = {});
+
+/// PROJ_m: projects the timestamp plus m attributes, each passed through a
+/// chain of `expr_chain` arithmetic operations (§6.6 uses chains of 100).
+QueryDef MakeProjection(int m, int expr_chain = 1,
+                        WindowDefinition w = WindowDefinition::Count(1, 1));
+
+/// SELECT_n: n predicates in the form p1 v p2 v ... v pn over rotating
+/// attributes; each predicate matches one attribute value, so selectivity
+/// stays low and evaluation cost grows with n.
+QueryDef MakeSelection(int n, int attr_range = 100,
+                       WindowDefinition w = WindowDefinition::Count(1, 1));
+
+/// The Fig. 16 selection: p1 ^ (p2 v ... v pn). When p1 matches (the
+/// "failure event"), all other predicates are evaluated too, making
+/// high-selectivity periods expensive.
+QueryDef MakeGatedSelection(int n, ExprPtr gate,
+                            WindowDefinition w = WindowDefinition::Count(1, 1));
+
+/// AGG_f over attribute a1.
+QueryDef MakeAggregation(AggregateFunction f, WindowDefinition w);
+
+/// All five aggregate functions at once (Fig. 8's AGG*).
+QueryDef MakeAggregationAll(WindowDefinition w);
+
+/// GROUP-BY_o: cnt and sum grouped into o groups (key = a4 mod o).
+QueryDef MakeGroupBy(int o, WindowDefinition w);
+
+/// JOIN_r: r predicates — (r-1) always-true comparisons followed by an
+/// equality on a5 mod `match_mod` (controls selectivity). Both inputs use
+/// the synthetic schema.
+QueryDef MakeJoin(int r, WindowDefinition w, int match_mod = 128);
+
+}  // namespace saber::syn

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "baselines/columnar_engine.h"
+#include "baselines/global_lock_engine.h"
+#include "baselines/microbatch_engine.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace saber {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro-batch engine (Spark-Streaming-like).
+// ---------------------------------------------------------------------------
+
+QueryDef TimeGroupBy(int64_t size, int64_t slide) {
+  Schema s = syn::SyntheticSchema();
+  QueryBuilder b("mb", s);
+  b.Window(WindowDefinition::Time(size, slide));
+  b.GroupBy({Mod(Col(s, "a4"), Lit(8))});
+  b.Aggregate(AggregateFunction::kSum, Col(s, "a1"), "sum");
+  return b.Build();
+}
+
+TEST(MicroBatchEngine, ProcessesWholeStream) {
+  syn::GeneratorOptions g;
+  g.tuples_per_ts = 500;
+  auto data = syn::Generate(10000, g);  // 20 time units
+  MicroBatchOptions o;
+  o.scheduling_overhead_nanos = 100'000;
+  MicroBatchEngine engine(o);
+  auto report = engine.Run(TimeGroupBy(4, 2), data);
+  EXPECT_EQ(report.tuples_processed, 10000);
+  EXPECT_GT(report.batches, 5);
+  EXPECT_GT(report.windows_emitted, 0);
+  EXPECT_GT(report.tuples_per_second(), 0.0);
+}
+
+TEST(MicroBatchEngine, ThroughputCollapsesWithSmallSlides) {
+  // The Fig. 1 mechanism: batch interval = slide, so fixed per-batch cost
+  // dominates as the slide shrinks.
+  syn::GeneratorOptions g;
+  g.tuples_per_ts = 200;
+  auto data = syn::Generate(40000, g);  // 200 time units
+  MicroBatchOptions o;
+  o.scheduling_overhead_nanos = 500'000;
+  MicroBatchEngine engine(o);
+  auto wide = engine.Run(TimeGroupBy(20, 20), data);
+  auto narrow = engine.Run(TimeGroupBy(20, 1), data);
+  EXPECT_GT(narrow.batches, wide.batches * 5);
+  EXPECT_GT(wide.tuples_per_second(), narrow.tuples_per_second() * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Global-lock engine (Esper-like).
+// ---------------------------------------------------------------------------
+
+TEST(GlobalLockEngine, StatelessCountsRows) {
+  auto data = syn::Generate(20000);
+  Schema s = syn::SyntheticSchema();
+  QueryDef q = QueryBuilder("gl", s).Where(Lt(Col(s, "a2"), Lit(50))).Build();
+  GlobalLockEngine engine(4);
+  auto report = engine.Run(q, data);
+  EXPECT_EQ(report.tuples_processed, 20000);
+  // ~50% selectivity.
+  EXPECT_GT(report.rows_emitted, 8000);
+  EXPECT_LT(report.rows_emitted, 12000);
+}
+
+TEST(GlobalLockEngine, SingleThreadAggregationEmitsWindows) {
+  syn::GeneratorOptions g;
+  g.tuples_per_ts = 100;
+  auto data = syn::Generate(5000, g);  // 50 time units
+  Schema s = syn::SyntheticSchema();
+  QueryBuilder b("gl2", s);
+  b.Window(WindowDefinition::Time(10, 10));
+  b.Aggregate(AggregateFunction::kSum, Col(s, "a1"), "sum");
+  GlobalLockEngine engine(1);  // single thread => deterministic in-order
+  auto report = engine.Run(b.Build(), data);
+  // 50 time units, tumbling 10 => 4 closed windows (last one stays open).
+  EXPECT_EQ(report.rows_emitted, 4);
+}
+
+TEST(GlobalLockEngine, ContendedThroughputDoesNotScale) {
+  // The defining property: adding producers does not add throughput, because
+  // every event serializes on the statement lock.
+  syn::GeneratorOptions g;
+  g.tuples_per_ts = 2000;
+  auto data = syn::Generate(100000, g);
+  Schema s = syn::SyntheticSchema();
+  QueryBuilder b("gl3", s);
+  b.Window(WindowDefinition::Time(4, 2));
+  b.GroupBy({Mod(Col(s, "a4"), Lit(16))});
+  b.Aggregate(AggregateFunction::kSum, Col(s, "a1"), "sum");
+  QueryDef q = b.Build();
+  auto r1 = GlobalLockEngine(1).Run(q, data);
+  auto r8 = GlobalLockEngine(8).Run(q, data);
+  EXPECT_LT(r8.tuples_per_second(), r1.tuples_per_second() * 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar engine (MonetDB-like).
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> JoinTable(size_t n, uint32_t seed) {
+  syn::GeneratorOptions g;
+  g.seed = seed;
+  g.attr_range = 1000;
+  return syn::Generate(n, g);
+}
+
+TEST(ColumnarEngine, ThetaJoinFindsPairs) {
+  Schema s = syn::SyntheticSchema();
+  ColumnTable left(s, JoinTable(2000, 1));
+  ColumnTable right(s, JoinTable(2000, 2));
+  ColumnarEngine engine(4);
+  // a2 == a2 with range 1000 => ~0.1% selectivity => ~4000 pairs.
+  auto eq = engine.ThetaJoin(left, right, 2, 2, CompareOp::kEq, false);
+  EXPECT_GT(eq.output_pairs, 1000);
+  EXPECT_LT(eq.output_pairs, 16000);
+  // a2 < a2 selects roughly half of all pairs.
+  auto lt = engine.ThetaJoin(left, right, 2, 2, CompareOp::kLt, false);
+  EXPECT_GT(lt.output_pairs, 2000LL * 2000 / 3);
+}
+
+TEST(ColumnarEngine, HashJoinAgreesWithThetaEquiJoin) {
+  Schema s = syn::SyntheticSchema();
+  ColumnTable left(s, JoinTable(3000, 3));
+  ColumnTable right(s, JoinTable(3000, 4));
+  ColumnarEngine engine(4);
+  auto theta = engine.ThetaJoin(left, right, 2, 2, CompareOp::kEq, false);
+  auto hash = engine.HashJoin(left, right, 2, 2, false);
+  EXPECT_EQ(theta.output_pairs, hash.output_pairs);
+}
+
+TEST(ColumnarEngine, ReconstructionCostsExtra) {
+  Schema s = syn::SyntheticSchema();
+  ColumnTable left(s, JoinTable(4000, 5));
+  ColumnTable right(s, JoinTable(4000, 6));
+  ColumnarEngine engine(4);
+  auto narrow = engine.ThetaJoin(left, right, 2, 2, CompareOp::kEq, false);
+  auto wide = engine.ThetaJoin(left, right, 2, 2, CompareOp::kEq, true);
+  EXPECT_EQ(wide.output_pairs, narrow.output_pairs);
+  EXPECT_GT(wide.reconstruction_seconds, 0.0);
+  EXPECT_EQ(narrow.reconstruction_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace saber

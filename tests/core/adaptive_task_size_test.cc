@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "reference/reference.h"
+#include "runtime/rate_limiter.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+/// Adaptive task sizing (extension; EngineOptions::latency_target_nanos):
+/// the controller must leave the engine untouched when disabled, shrink φ
+/// under latency pressure, recover it when headroom returns, and — above
+/// all — never change query results.
+
+namespace saber {
+namespace {
+
+using testing::BuffersEqual;
+
+QueryDef ExpensiveQuery() {
+  // A long predicate chain makes per-byte cost high, so large tasks have
+  // visibly large execution latency.
+  Schema s = syn::SyntheticSchema();
+  std::vector<ExprPtr> chain;
+  for (int i = 0; i < 64; ++i) {
+    chain.push_back(Ge(Add(Col(s, "a2"), Lit(i)), Lit(-1)));
+  }
+  return QueryBuilder("expensive", s)
+      .Window(WindowDefinition::Count(64, 64))
+      .Where(And(std::move(chain)))
+      .Build();
+}
+
+TEST(AdaptiveTaskSize, DisabledKeepsConfiguredPhi) {
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;
+  o.task_size = 1 << 20;
+  Engine engine(o);
+  QueryHandle* q = engine.AddQuery(ExpensiveQuery());
+  engine.Start();
+  auto data = syn::Generate(200000);
+  q->Insert(data.data(), data.size());
+  engine.Drain();
+  // Rounded to the tuple size, but never adapted.
+  EXPECT_EQ(q->current_task_size(), (size_t{1} << 20) / 32 * 32);
+}
+
+TEST(AdaptiveTaskSize, ShrinksUnderLatencyPressure) {
+  EngineOptions o;
+  o.num_cpu_workers = 1;  // a single slow worker: queueing inflates latency
+  o.use_gpu = false;
+  o.task_size = 4 << 20;
+  o.latency_target_nanos = 2'000'000;  // 2 ms: unreachable with 4 MB tasks
+  o.task_size_adjust_interval_nanos = 10'000'000;
+  Engine engine(o);
+  QueryHandle* q = engine.AddQuery(ExpensiveQuery());
+  engine.Start();
+  auto data = syn::Generate(1'500'000);
+  q->Insert(data.data(), data.size());
+  engine.Drain();
+  EXPECT_LT(q->current_task_size(), size_t{4} << 20);
+  EXPECT_GE(q->current_task_size(), o.min_task_size / 32 * 32);
+}
+
+TEST(AdaptiveTaskSize, StaysLargeWhenTargetIsLoose) {
+  EngineOptions o;
+  o.num_cpu_workers = 4;
+  o.use_gpu = true;
+  o.device.pace_transfers = false;
+  o.task_size = 256 * 1024;
+  o.latency_target_nanos = 10'000'000'000;  // 10 s: never binding
+  Engine engine(o);
+  QueryHandle* q = engine.AddQuery(
+      syn::MakeSelection(2, 100, WindowDefinition::Count(64, 64)));
+  engine.Start();
+  auto data = syn::Generate(500000);
+  q->Insert(data.data(), data.size());
+  engine.Drain();
+  EXPECT_EQ(q->current_task_size(), size_t{256} * 1024 / 32 * 32);
+}
+
+TEST(AdaptiveTaskSize, OutputUnchangedWhileAdapting) {
+  // The controller changes batch boundaries mid-stream; §3's decoupling
+  // invariant says results must not change.
+  Schema s = syn::SyntheticSchema();
+  QueryDef q = syn::MakeGroupBy(8, WindowDefinition::Count(200, 50));
+  auto data = syn::Generate(60000);
+  ByteBuffer want = ReferenceEvaluate(q, data);
+
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = true;
+  o.device.pace_transfers = false;
+  o.task_size = 1 << 20;
+  o.latency_target_nanos = 300'000;  // tight: forces several shrink steps
+  o.task_size_adjust_interval_nanos = 2'000'000;
+  Engine engine(o);
+  QueryHandle* h = engine.AddQuery(q);
+  ByteBuffer got;
+  h->SetSink([&](const uint8_t* d, size_t m) { got.Append(d, m); });
+  engine.Start();
+  const size_t chunk = 3000 * 32;
+  for (size_t off = 0; off < data.size(); off += chunk) {
+    h->Insert(data.data() + off, std::min(chunk, data.size() - off));
+  }
+  engine.Drain();
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+TEST(AdaptiveTaskSize, RecoversAfterPressureSubsides) {
+  // Phase 1 floods the engine (latency spikes, phi shrinks); phase 2 paces
+  // the feed gently so the controller can grow phi back.
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;
+  o.task_size = 512 * 1024;
+  o.latency_target_nanos = 5'000'000;
+  o.task_size_adjust_interval_nanos = 5'000'000;
+  Engine engine(o);
+  QueryHandle* q = engine.AddQuery(ExpensiveQuery());
+  engine.Start();
+
+  // The chain predicate is always true, so every tuple passes: the flood is
+  // processed once rows_out approaches tuples_in (a sub-phi remainder stays
+  // undispatched until the final flush).
+  auto flood = syn::Generate(1'000'000);
+  q->Insert(flood.data(), flood.size());
+  while (q->rows_out() < 1'000'000 - (512 * 1024 / 32)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const size_t shrunk = q->current_task_size();
+
+  // Phase 2: drip-feed 64 KB chunks with pauses; every task now completes
+  // quickly, so phi should grow back above the shrunken value.
+  auto drip = syn::Generate(400000);
+  const size_t chunk = 2048 * 32;
+  for (size_t off = 0; off < drip.size(); off += chunk) {
+    q->Insert(drip.data() + off, std::min(chunk, drip.size() - off));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  engine.Drain();
+  EXPECT_GE(q->current_task_size(), shrunk);
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "reference/reference.h"
+#include "test_util.h"
+
+namespace saber {
+namespace {
+
+using testing::BuffersEqual;
+using testing::MakeStream;
+using testing::RandomStream;
+using testing::RunJoin;
+using testing::RunSingleInput;
+
+Schema SynSchema() {
+  return Schema::MakeStream({{"v", DataType::kFloat}, {"k", DataType::kInt32}});
+}
+
+TEST(EdgeCases, SingleTupleStream) {
+  Schema s = SynSchema();
+  QueryDef q = QueryBuilder("one", s)
+                   .Window(WindowDefinition::Count(1, 1))
+                   .Aggregate(AggregateFunction::kSum, Col(s, "v"), "t")
+                   .Build();
+  auto op = MakeCpuOperator(&q);
+  auto stream = MakeStream(s, {{5, 3.5, 1}});
+  ByteBuffer got = RunSingleInput(*op, q, stream, 1);
+  ASSERT_EQ(got.size(), q.output_schema.tuple_size());
+  TupleRef r(got.data(), &q.output_schema);
+  EXPECT_EQ(r.timestamp(), 5);
+  EXPECT_DOUBLE_EQ(r.GetDouble(1), 3.5);
+}
+
+TEST(EdgeCases, AllTuplesSameTimestamp) {
+  Schema s = SynSchema();
+  QueryDef q = QueryBuilder("same_ts", s)
+                   .Window(WindowDefinition::Time(2, 1))
+                   .Aggregate(AggregateFunction::kCount, nullptr, "n")
+                   .Build();
+  auto op = MakeCpuOperator(&q);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({7, 1.0, static_cast<double>(i)});
+  }
+  rows.push_back({12, 1.0, 0});  // advance the watermark past ts 7 windows
+  auto stream = MakeStream(s, rows);
+  for (size_t batch : {1u, 7u, 51u}) {
+    ByteBuffer got = RunSingleInput(*op, q, stream, batch);
+    ByteBuffer want = ReferenceEvaluate(q, stream);
+    EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()))
+        << "batch " << batch;
+  }
+}
+
+TEST(EdgeCases, WhereFiltersEverythingUngroupedStillEmitsWindows) {
+  // Ungrouped aggregation over a window whose tuples are all filtered emits
+  // a row with count 0 (SQL semantics); grouped emits nothing.
+  Schema s = SynSchema();
+  QueryDef q = QueryBuilder("allfiltered", s)
+                   .Window(WindowDefinition::Count(8, 8))
+                   .Where(Gt(Col(s, "k"), Lit(1 << 20)))
+                   .Aggregate(AggregateFunction::kCount, nullptr, "n")
+                   .Build();
+  auto op = MakeCpuOperator(&q);
+  auto stream = RandomStream(s, 64, 77);
+  ByteBuffer got = RunSingleInput(*op, q, stream, 16);
+  ByteBuffer want = ReferenceEvaluate(q, stream);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  ASSERT_EQ(got.size(), 8 * q.output_schema.tuple_size());
+  TupleRef r(got.data(), &q.output_schema);
+  EXPECT_DOUBLE_EQ(r.GetDouble(1), 0.0);
+
+  QueryDef qg = QueryBuilder("allfiltered_g", s)
+                    .Window(WindowDefinition::Count(8, 8))
+                    .Where(Gt(Col(s, "k"), Lit(1 << 20)))
+                    .GroupBy({Col(s, "k")})
+                    .Aggregate(AggregateFunction::kCount, nullptr, "n")
+                    .Build();
+  auto opg = MakeCpuOperator(&qg);
+  ByteBuffer got_g = RunSingleInput(*opg, qg, stream, 16);
+  EXPECT_EQ(got_g.size(), 0u);
+}
+
+TEST(EdgeCases, LargeTimestampGapsSkipEmptyWindows) {
+  Schema s = SynSchema();
+  QueryDef q = QueryBuilder("gaps", s)
+                   .Window(WindowDefinition::Time(4, 1))
+                   .Aggregate(AggregateFunction::kSum, Col(s, "v"), "t")
+                   .Build();
+  auto op = MakeCpuOperator(&q);
+  // Three clusters separated by a million time units each.
+  std::vector<std::vector<double>> rows;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      rows.push_back({c * 1'000'000.0 + i, 1.0, 0});
+    }
+  }
+  auto stream = MakeStream(s, rows);
+  ByteBuffer want = ReferenceEvaluate(q, stream);
+  ByteBuffer got = RunSingleInput(*op, q, stream, 4);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  EXPECT_GT(got.size(), 0u);
+  // Must not have emitted millions of empty windows.
+  EXPECT_LT(got.size() / q.output_schema.tuple_size(), 100u);
+}
+
+TEST(EdgeCases, JoinWithOneEmptyStream) {
+  Schema l = SynSchema(), r = SynSchema();
+  QueryBuilder b("empty_join", l, r);
+  b.Window(WindowDefinition::Time(4, 4));
+  b.JoinOn(Eq(Col(l, "k"), Col(r, "k", Side::kRight)));
+  QueryDef q = b.Build();
+  auto op = MakeCpuOperator(&q);
+  auto s0 = RandomStream(l, 50, 78);
+  std::vector<uint8_t> s1;  // empty
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 3);
+  EXPECT_EQ(got.size(), 0u);
+}
+
+TEST(EdgeCases, JoinWithDifferentWindowsPerSide) {
+  // LRB2-style: 30-unit window on the left, 1-unit on the right.
+  Schema l = SynSchema(), r = SynSchema();
+  QueryBuilder b("asym", l, r);
+  b.Window(WindowDefinition::Time(30, 1));
+  b.WindowRight(WindowDefinition::Time(1, 1));
+  b.JoinOn(Eq(Col(l, "k"), Col(r, "k", Side::kRight)));
+  QueryDef q = b.Build();
+  auto op = MakeCpuOperator(&q);
+  auto s0 = RandomStream(l, 120, 79, 2, 4);
+  auto s1 = RandomStream(r, 120, 80, 2, 4);
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 6);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+TEST(EdgeCases, CountBasedJoinWindows) {
+  Schema l = SynSchema(), r = SynSchema();
+  QueryBuilder b("count_join", l, r);
+  b.Window(WindowDefinition::Count(8, 8));
+  b.JoinOn(Eq(Col(l, "k"), Col(r, "k", Side::kRight)));
+  QueryDef q = b.Build();
+  auto op = MakeCpuOperator(&q);
+  auto s0 = RandomStream(l, 64, 81, 1, 4);
+  auto s1 = RandomStream(r, 64, 82, 1, 4);
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 5);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  EXPECT_GT(got.size(), 0u);
+}
+
+TEST(EdgeCases, SlideEqualsOneTuple) {
+  Schema s = SynSchema();
+  QueryDef q = QueryBuilder("slide1", s)
+                   .Window(WindowDefinition::Count(16, 1))
+                   .Aggregate(AggregateFunction::kAvg, Col(s, "v"), "a")
+                   .Aggregate(AggregateFunction::kMin, Col(s, "v"), "lo")
+                   .Build();
+  auto op = MakeCpuOperator(&q);
+  auto stream = RandomStream(s, 200, 83);
+  ByteBuffer want = ReferenceEvaluate(q, stream);
+  ByteBuffer got = RunSingleInput(*op, q, stream, 23);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  // 200 tuples, window 16, slide 1: windows 0..184 close.
+  EXPECT_EQ(got.size() / q.output_schema.tuple_size(), 185u);
+}
+
+TEST(EdgeCases, GroupKeyFromExpression) {
+  Schema s = SynSchema();
+  QueryDef q = QueryBuilder("modkey", s)
+                   .Window(WindowDefinition::Count(32, 16))
+                   .GroupBy({Mod(Col(s, "k"), Lit(3))})
+                   .Aggregate(AggregateFunction::kSum, Col(s, "v"), "t")
+                   .Build();
+  auto op = MakeCpuOperator(&q);
+  auto stream = RandomStream(s, 160, 84);
+  ByteBuffer want = ReferenceEvaluate(q, stream);
+  ByteBuffer got = RunSingleInput(*op, q, stream, 29);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+TEST(EdgeCases, WindowSlideLargerPatterns) {
+  // Tumbling windows with slide == size but batch not aligned to either.
+  Schema s = SynSchema();
+  for (int64_t size : {3, 7, 13}) {
+    QueryDef q = QueryBuilder("tumble", s)
+                     .Window(WindowDefinition::Count(size, size))
+                     .Aggregate(AggregateFunction::kMax, Col(s, "v"), "m")
+                     .Build();
+    auto op = MakeCpuOperator(&q);
+    auto stream = RandomStream(s, 100, static_cast<uint32_t>(85 + size));
+    ByteBuffer want = ReferenceEvaluate(q, stream);
+    ByteBuffer got = RunSingleInput(*op, q, stream, 11);
+    EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()))
+        << "size " << size;
+  }
+}
+
+}  // namespace
+}  // namespace saber

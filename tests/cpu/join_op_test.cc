@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "reference/reference.h"
+#include "test_util.h"
+
+namespace saber {
+namespace {
+
+using testing::BuffersEqual;
+using testing::MakeStream;
+using testing::RandomStream;
+using testing::RunJoin;
+
+Schema LeftSchema() {
+  return Schema::MakeStream({{"key", DataType::kInt32}, {"lv", DataType::kFloat}});
+}
+Schema RightSchema() {
+  return Schema::MakeStream({{"key", DataType::kInt32}, {"rv", DataType::kFloat}});
+}
+
+QueryDef EquiJoin(const WindowDefinition& w, int64_t cutoff = -1) {
+  Schema l = LeftSchema(), r = RightSchema();
+  QueryBuilder b("join", l, r);
+  b.Window(w);
+  ExprPtr pred = Eq(Col(l, "key"), Col(r, "key", Side::kRight));
+  if (cutoff >= 0) {
+    pred = And({pred, Gt(Col(l, "lv"), Lit(static_cast<double>(cutoff)))});
+  }
+  b.JoinOn(pred);
+  b.JoinSelect(Col(l, "timestamp"), "timestamp");
+  b.JoinSelect(Col(l, "key"), "key");
+  b.JoinSelect(Col(l, "lv"), "lv");
+  b.JoinSelect(Col(r, "rv", Side::kRight), "rv");
+  return b.Build();
+}
+
+TEST(JoinOp, TumblingTimeWindowBasic) {
+  QueryDef q = EquiJoin(WindowDefinition::Time(4, 4));
+  auto op = MakeCpuOperator(&q);
+  Schema l = LeftSchema(), r = RightSchema();
+  // Two tumbling windows [0,4) and [4,8): pairs must not cross.
+  auto s0 = MakeStream(l, {{0, 1, 10}, {1, 2, 11}, {5, 1, 12}});
+  auto s1 = MakeStream(r, {{1, 1, 20}, {2, 3, 21}, {6, 1, 22}});
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, /*cut_interval=*/3);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  // (key=1 in w0): L@0 with R@1; (key=1 in w1): L@5 with R@6 => 2 pairs.
+  EXPECT_EQ(got.size(), 2 * q.output_schema.tuple_size());
+}
+
+TEST(JoinOp, PairAcrossBatchBoundaryUsesHistory) {
+  QueryDef q = EquiJoin(WindowDefinition::Time(10, 10));
+  auto op = MakeCpuOperator(&q);
+  Schema l = LeftSchema(), r = RightSchema();
+  auto s0 = MakeStream(l, {{0, 7, 1}});
+  auto s1 = MakeStream(r, {{9, 7, 2}});  // same window, far apart in time
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  // Cut every 2 time units: the pair spans several tasks.
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 2);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  EXPECT_EQ(got.size(), q.output_schema.tuple_size());
+}
+
+TEST(JoinOp, SlidingWindowsMatchReference) {
+  QueryDef q = EquiJoin(WindowDefinition::Time(6, 2));
+  auto op = MakeCpuOperator(&q);
+  Schema l = LeftSchema(), r = RightSchema();
+  auto s0 = RandomStream(l, 80, 21, /*max_ts_gap=*/2, /*attr_range=*/5);
+  auto s1 = RandomStream(r, 80, 22, /*max_ts_gap=*/2, /*attr_range=*/5);
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 5);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  EXPECT_GT(got.size(), 0u);
+}
+
+TEST(JoinOp, ThetaPredicate) {
+  Schema l = LeftSchema(), r = RightSchema();
+  QueryBuilder b("theta", l, r);
+  b.Window(WindowDefinition::Time(5, 5));
+  b.JoinOn(Lt(Col(l, "lv"), Col(r, "rv", Side::kRight)));  // pure θ, no equi key
+  b.JoinSelect(Col(l, "timestamp"), "timestamp");
+  b.JoinSelect(Col(l, "lv"), "lv");
+  b.JoinSelect(Col(r, "rv", Side::kRight), "rv");
+  QueryDef q = b.Build();
+  auto op = MakeCpuOperator(&q);
+  auto s0 = RandomStream(l, 60, 23, 1, 8);
+  auto s1 = RandomStream(r, 60, 24, 1, 8);
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 4);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+TEST(JoinOp, OutputTimestampIsMaxOfPair) {
+  QueryDef q = EquiJoin(WindowDefinition::Time(8, 8));
+  auto op = MakeCpuOperator(&q);
+  Schema l = LeftSchema(), r = RightSchema();
+  auto s0 = MakeStream(l, {{2, 1, 0}});
+  auto s1 = MakeStream(r, {{7, 1, 0}});
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 10);
+  ASSERT_EQ(got.size(), q.output_schema.tuple_size());
+  EXPECT_EQ(TupleRef(got.data(), &q.output_schema).timestamp(), 7);
+}
+
+TEST(JoinOp, UnequalStreamRates) {
+  QueryDef q = EquiJoin(WindowDefinition::Time(4, 2));
+  auto op = MakeCpuOperator(&q);
+  Schema l = LeftSchema(), r = RightSchema();
+  auto s0 = RandomStream(l, 200, 25, 1, 3);  // dense left
+  auto s1 = RandomStream(r, 20, 26, 9, 3);   // sparse right
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, 7);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+class JoinCutTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(JoinCutTest, OutputIndependentOfTaskCuts) {
+  QueryDef q = EquiJoin(WindowDefinition::Time(6, 3));
+  auto op = MakeCpuOperator(&q);
+  Schema l = LeftSchema(), r = RightSchema();
+  auto s0 = RandomStream(l, 100, 27, 2, 4);
+  auto s1 = RandomStream(r, 100, 28, 2, 4);
+  ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+  ByteBuffer got = RunJoin(*op, q, s0, s1, GetParam());
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, JoinCutTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 50, 1000));
+
+}  // namespace
+}  // namespace saber

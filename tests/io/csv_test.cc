@@ -1,0 +1,109 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "relational/tuple_ref.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace saber {
+namespace {
+
+Schema MixedSchema() {
+  return Schema::MakeStream({{"i32", DataType::kInt32},
+                             {"i64", DataType::kInt64},
+                             {"f32", DataType::kFloat},
+                             {"f64", DataType::kDouble}});
+}
+
+TEST(Csv, RoundTripPreservesBytes) {
+  Schema s = MixedSchema();
+  auto rows = testing::MakeStream(
+      s, {{0, -1, 5, 1.5, -2.25}, {3, 42, -9, 0.125, 1e10}, {3, 0, 7, 3, 4}});
+  const std::string csv = io::ToCsv(s, rows.data(), rows.size());
+  auto back = io::FromCsv(s, csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), rows.size());
+  EXPECT_EQ(std::memcmp(back.value().data(), rows.data(), rows.size()), 0);
+}
+
+TEST(Csv, HeaderLineMatchesFieldNames) {
+  Schema s = MixedSchema();
+  const std::string csv = io::ToCsv(s, nullptr, 0);
+  EXPECT_EQ(csv, "timestamp,i32,i64,f32,f64\n");
+  io::CsvOptions no_header;
+  no_header.header = false;
+  EXPECT_EQ(io::ToCsv(s, nullptr, 0, no_header), "");
+}
+
+TEST(Csv, CustomDelimiter) {
+  Schema s = MixedSchema();
+  auto rows = testing::MakeStream(s, {{7, 1, 2, 3, 4}});
+  io::CsvOptions opts;
+  opts.delimiter = ';';
+  const std::string csv = io::ToCsv(s, rows.data(), rows.size(), opts);
+  EXPECT_NE(csv.find("7;1;2;3;4"), std::string::npos);
+  auto back = io::FromCsv(s, csv, opts);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), rows.size());
+}
+
+TEST(Csv, RejectsWrongArity) {
+  Schema s = MixedSchema();
+  auto r = io::FromCsv(s, "timestamp,i32,i64,f32,f64\n1,2,3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Csv, RejectsMalformedNumbers) {
+  Schema s = MixedSchema();
+  for (const char* bad :
+       {"1,notanint,3,4,5", "1,2,3.5,4,5", "1,2,3,abc,5", "1,2,3,4,"}) {
+    auto r = io::FromCsv(s, std::string("h,h,h,h,h\n") + bad + "\n");
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+TEST(Csv, RejectsDecreasingTimestamps) {
+  Schema s = MixedSchema();
+  auto r = io::FromCsv(s, "ts,a,b,c,d\n5,1,1,1,1\n3,1,1,1,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("non-decreasing"), std::string::npos);
+}
+
+TEST(Csv, SkipsBlankLinesAndHandlesCrlf) {
+  Schema s = MixedSchema();
+  auto r = io::FromCsv(s, "h,h,h,h,h\r\n1,2,3,4,5\r\n\n2,3,4,5,6\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2 * s.tuple_size());
+}
+
+TEST(Csv, FileRoundTrip) {
+  Schema s = syn::SyntheticSchema();
+  auto data = syn::Generate(500);
+  const std::string path = ::testing::TempDir() + "saber_csv_test.csv";
+  ASSERT_TRUE(io::WriteCsvFile(path, s, data.data(), data.size()).ok());
+  auto back = io::ReadCsvFile(path, s);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Synthetic tuples carry 4 bytes of zero padding; compare field-wise.
+  ASSERT_EQ(back.value().size(), data.size());
+  for (size_t off = 0; off < data.size(); off += s.tuple_size()) {
+    TupleRef a(data.data() + off, &s);
+    TupleRef b(back.value().data() + off, &s);
+    for (size_t f = 0; f < s.num_fields(); ++f) {
+      EXPECT_DOUBLE_EQ(a.GetDouble(f), b.GetDouble(f));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileIsIOError) {
+  auto r = io::ReadCsvFile("/nonexistent/path.csv", MixedSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace saber

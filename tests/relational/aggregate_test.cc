@@ -1,0 +1,108 @@
+#include "relational/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace saber {
+namespace {
+
+TEST(AggState, AddAndFinalize) {
+  AggState s;
+  AggInit(&s);
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) AggAdd(&s, v);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kSum, s), 14.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kCount, s), 5.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kAvg, s), 2.8);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kMin, s), 1.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kMax, s), 5.0);
+}
+
+TEST(AggState, EmptyFinalizesToZero) {
+  AggState s;
+  AggInit(&s);
+  for (auto f : {AggregateFunction::kCount, AggregateFunction::kSum,
+                 AggregateFunction::kAvg, AggregateFunction::kMin,
+                 AggregateFunction::kMax}) {
+    EXPECT_DOUBLE_EQ(AggFinalize(f, s), 0.0);
+  }
+}
+
+TEST(AggState, MergeEqualsSequential) {
+  AggState a, b, all;
+  AggInit(&a);
+  AggInit(&b);
+  AggInit(&all);
+  for (double v : {1.0, 2.0, 3.0}) {
+    AggAdd(&a, v);
+    AggAdd(&all, v);
+  }
+  for (double v : {-5.0, 10.0}) {
+    AggAdd(&b, v);
+    AggAdd(&all, v);
+  }
+  AggMerge(&a, b);
+  for (auto f : {AggregateFunction::kCount, AggregateFunction::kSum,
+                 AggregateFunction::kAvg, AggregateFunction::kMin,
+                 AggregateFunction::kMax}) {
+    EXPECT_DOUBLE_EQ(AggFinalize(f, a), AggFinalize(f, all));
+  }
+}
+
+TEST(AggState, RemoveInvertsAddForInvertibleFunctions) {
+  AggState s;
+  AggInit(&s);
+  AggAdd(&s, 2.0);
+  AggAdd(&s, 7.0);
+  AggRemove(&s, 2.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kSum, s), 7.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kCount, s), 1.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggregateFunction::kAvg, s), 7.0);
+}
+
+TEST(Aggregate, InvertibilityFlags) {
+  EXPECT_TRUE(Invertible(AggregateFunction::kSum));
+  EXPECT_TRUE(Invertible(AggregateFunction::kCount));
+  EXPECT_TRUE(Invertible(AggregateFunction::kAvg));
+  EXPECT_FALSE(Invertible(AggregateFunction::kMin));
+  EXPECT_FALSE(Invertible(AggregateFunction::kMax));
+}
+
+TEST(AtomicAgg, ConcurrentAddsAreLossless) {
+  AggState s;
+  AggInit(&s);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&s] {
+      for (int i = 0; i < kPerThread; ++i) AggAddAtomic(&s, 1.0);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_DOUBLE_EQ(s.sum, kThreads * kPerThread);
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(s.min_v, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_v, 1.0);
+}
+
+TEST(AtomicAgg, MinMaxUnderContention) {
+  AggState s;
+  AggInit(&s);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&s, t] {
+      for (int i = 0; i < 5000; ++i) {
+        AggAddAtomic(&s, static_cast<double>(t * 5000 + i));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_DOUBLE_EQ(s.min_v, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_v, 39999.0);
+  EXPECT_EQ(s.count, 40000);
+}
+
+}  // namespace
+}  // namespace saber

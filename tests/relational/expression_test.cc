@@ -1,0 +1,97 @@
+#include "relational/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace saber {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::MakeStream({{"a", DataType::kInt32},
+                                  {"b", DataType::kInt32},
+                                  {"f", DataType::kFloat}});
+    row_.resize(schema_.tuple_size());
+    TupleWriter w(row_.data(), &schema_);
+    w.SetInt64(0, 1000).SetInt32(1, 6).SetInt32(2, 4).SetFloat(3, 2.5f);
+    t_ = TupleRef(row_.data(), &schema_);
+  }
+
+  Schema schema_;
+  std::vector<uint8_t> row_;
+  TupleRef t_;
+};
+
+TEST_F(ExpressionTest, ColumnAccess) {
+  EXPECT_EQ(Col(schema_, "a")->EvalInt64(t_, nullptr), 6);
+  EXPECT_EQ(Col(schema_, "timestamp")->EvalInt64(t_, nullptr), 1000);
+  EXPECT_DOUBLE_EQ(Col(schema_, "f")->EvalDouble(t_, nullptr), 2.5);
+}
+
+TEST_F(ExpressionTest, Arithmetic) {
+  EXPECT_EQ(Add(Col(schema_, "a"), Col(schema_, "b"))->EvalInt64(t_, nullptr), 10);
+  EXPECT_EQ(Sub(Col(schema_, "a"), Col(schema_, "b"))->EvalInt64(t_, nullptr), 2);
+  EXPECT_EQ(Mul(Col(schema_, "a"), Col(schema_, "b"))->EvalInt64(t_, nullptr), 24);
+  EXPECT_EQ(Mod(Col(schema_, "a"), Lit(4))->EvalInt64(t_, nullptr), 2);
+  // Division always widens to double.
+  EXPECT_DOUBLE_EQ(Div(Col(schema_, "a"), Col(schema_, "b"))->EvalDouble(t_, nullptr),
+                   1.5);
+}
+
+TEST_F(ExpressionTest, DivisionByZeroYieldsZero) {
+  EXPECT_DOUBLE_EQ(Div(Col(schema_, "a"), Lit(0))->EvalDouble(t_, nullptr), 0.0);
+  EXPECT_EQ(Mod(Col(schema_, "a"), Lit(0))->EvalInt64(t_, nullptr), 0);
+}
+
+TEST_F(ExpressionTest, Comparisons) {
+  EXPECT_TRUE(Gt(Col(schema_, "a"), Col(schema_, "b"))->EvalBool(t_, nullptr));
+  EXPECT_FALSE(Lt(Col(schema_, "a"), Col(schema_, "b"))->EvalBool(t_, nullptr));
+  EXPECT_TRUE(Eq(Col(schema_, "a"), Lit(6))->EvalBool(t_, nullptr));
+  EXPECT_TRUE(Ne(Col(schema_, "a"), Lit(7))->EvalBool(t_, nullptr));
+  EXPECT_TRUE(Ge(Col(schema_, "a"), Lit(6))->EvalBool(t_, nullptr));
+  EXPECT_TRUE(Le(Col(schema_, "f"), Lit(2.5))->EvalBool(t_, nullptr));
+}
+
+TEST_F(ExpressionTest, LogicalConnectives) {
+  auto tru = Gt(Col(schema_, "a"), Lit(0));
+  auto fls = Lt(Col(schema_, "a"), Lit(0));
+  EXPECT_TRUE(And({tru, tru})->EvalBool(t_, nullptr));
+  EXPECT_FALSE(And({tru, fls})->EvalBool(t_, nullptr));
+  EXPECT_TRUE(Or({fls, tru})->EvalBool(t_, nullptr));
+  EXPECT_FALSE(Or({fls, fls})->EvalBool(t_, nullptr));
+  EXPECT_TRUE(Not(fls)->EvalBool(t_, nullptr));
+}
+
+TEST_F(ExpressionTest, IntegralityPropagation) {
+  EXPECT_TRUE(Add(Col(schema_, "a"), Lit(1))->integral());
+  EXPECT_FALSE(Add(Col(schema_, "f"), Lit(1))->integral());
+  EXPECT_FALSE(Div(Col(schema_, "a"), Lit(2))->integral());
+}
+
+TEST_F(ExpressionTest, TwoTupleEvaluation) {
+  Schema right = Schema::MakeStream({{"x", DataType::kInt32}});
+  std::vector<uint8_t> rrow(right.tuple_size());
+  TupleWriter w(rrow.data(), &right);
+  w.SetInt64(0, 2000).SetInt32(1, 6);
+  TupleRef r(rrow.data(), &right);
+  auto pred = Eq(Col(schema_, "a", Side::kLeft), Col(right, "x", Side::kRight));
+  EXPECT_TRUE(pred->EvalBool(t_, &r));
+  auto pred2 = Gt(Col(right, "timestamp", Side::kRight),
+                  Col(schema_, "timestamp", Side::kLeft));
+  EXPECT_TRUE(pred2->EvalBool(t_, &r));
+}
+
+TEST_F(ExpressionTest, DeepArithmeticChain) {
+  // PROJ-style chains (§6.6 W1 uses 100 arithmetic expressions).
+  ExprPtr e = Col(schema_, "a");
+  for (int i = 0; i < 100; ++i) e = Add(Mul(e, Lit(1)), Lit(1));
+  EXPECT_EQ(e->EvalInt64(t_, nullptr), 106);
+}
+
+TEST_F(ExpressionTest, ToStringIsReadable) {
+  auto e = And({Gt(Col(schema_, "a"), Lit(1)), Lt(Col(schema_, "b"), Lit(9))});
+  EXPECT_EQ(e->ToString(), "(($1 > 1) && ($2 < 9))");
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,68 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/tuple_ref.h"
+
+namespace saber {
+namespace {
+
+TEST(Schema, MakeStreamPrependsTimestamp) {
+  Schema s = Schema::MakeStream({{"a", DataType::kInt32}, {"b", DataType::kFloat}});
+  ASSERT_EQ(s.num_fields(), 3u);
+  EXPECT_TRUE(s.has_timestamp());
+  EXPECT_EQ(s.field(0).name, "timestamp");
+  EXPECT_EQ(s.field(0).type, DataType::kInt64);
+  EXPECT_EQ(s.field(1).offset, 8u);
+  EXPECT_EQ(s.field(2).offset, 12u);
+  EXPECT_EQ(s.tuple_size(), 16u);
+}
+
+TEST(Schema, PaddingExtendsTupleSize) {
+  Schema s = Schema::MakeStream({{"a", DataType::kInt32}}, /*pad_to_bytes=*/32);
+  EXPECT_EQ(s.tuple_size(), 32u);
+}
+
+TEST(Schema, PaperSyntheticSchemaIs32Bytes) {
+  // §6.1: 64-bit timestamp + six 32-bit attributes = 32 bytes.
+  Schema s = Schema::MakeStream({{"a1", DataType::kFloat},
+                                 {"a2", DataType::kInt32},
+                                 {"a3", DataType::kInt32},
+                                 {"a4", DataType::kInt32},
+                                 {"a5", DataType::kInt32},
+                                 {"a6", DataType::kInt32}});
+  EXPECT_EQ(s.tuple_size(), 32u);
+}
+
+TEST(Schema, AlignmentInsertsGaps) {
+  Schema s = Schema::Make({{"a", DataType::kInt32}, {"b", DataType::kInt64}});
+  EXPECT_EQ(s.field(0).offset, 0u);
+  EXPECT_EQ(s.field(1).offset, 8u);  // int64 aligned to 8
+  EXPECT_EQ(s.tuple_size(), 16u);
+}
+
+TEST(Schema, FieldIndexLookup) {
+  Schema s = Schema::MakeStream({{"speed", DataType::kFloat}});
+  EXPECT_EQ(s.FieldIndex("speed"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+}
+
+TEST(TupleRefAndWriter, RoundTripAllTypes) {
+  Schema s = Schema::Make({{"i32", DataType::kInt32},
+                           {"i64", DataType::kInt64},
+                           {"f", DataType::kFloat},
+                           {"d", DataType::kDouble}});
+  std::vector<uint8_t> row(s.tuple_size());
+  TupleWriter w(row.data(), &s);
+  w.SetInt32(0, -7).SetInt64(1, 1LL << 40).SetFloat(2, 2.5f).SetDouble(3, 1e100);
+  TupleRef t(row.data(), &s);
+  EXPECT_EQ(t.GetInt32(0), -7);
+  EXPECT_EQ(t.GetInt64(1), 1LL << 40);
+  EXPECT_EQ(t.GetFloat(2), 2.5f);
+  EXPECT_EQ(t.GetDouble(3), 1e100);
+  EXPECT_EQ(t.GetAsDouble(0), -7.0);
+  EXPECT_EQ(t.GetAsInt64(2), 2);
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,178 @@
+#include "relational/two_stacks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <random>
+#include <vector>
+
+namespace saber {
+namespace {
+
+AggState MakeState(double v) {
+  AggState s;
+  AggInit(&s);
+  AggAdd(&s, v);
+  return s;
+}
+
+double QueryOne(const TwoStacksAggregator& ts, AggregateFunction f) {
+  AggState out;
+  AggInit(&out);
+  ts.Query(&out);
+  return AggFinalize(f, out);
+}
+
+TEST(TwoStacks, EmptyQueryIsIdentity) {
+  TwoStacksAggregator ts(1);
+  EXPECT_TRUE(ts.empty());
+  AggState out;
+  AggInit(&out);
+  ts.Query(&out);
+  EXPECT_EQ(out.count, 0);
+  EXPECT_EQ(AggFinalize(AggregateFunction::kSum, out), 0.0);
+}
+
+TEST(TwoStacks, SinglePushQuery) {
+  TwoStacksAggregator ts(1);
+  AggState s = MakeState(42.0);
+  ts.Push(7, &s);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMax), 42.0);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMin), 42.0);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kSum), 42.0);
+  EXPECT_EQ(ts.last_pushed(), 7);
+  EXPECT_EQ(ts.live_panes(), 1u);
+}
+
+TEST(TwoStacks, FifoEvictionOrder) {
+  TwoStacksAggregator ts(1);
+  for (int i = 0; i < 8; ++i) {
+    AggState s = MakeState(static_cast<double>(i));
+    ts.Push(i, &s);
+  }
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMin), 0.0);
+  ts.EvictBefore(3);  // drops values 0, 1, 2
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMin), 3.0);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMax), 7.0);
+  EXPECT_EQ(ts.live_panes(), 5u);
+  ts.EvictBefore(8);
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TwoStacks, EvictAcrossFlipBoundary) {
+  TwoStacksAggregator ts(1);
+  AggState s0 = MakeState(5.0), s1 = MakeState(9.0);
+  ts.Push(0, &s0);
+  ts.EvictBefore(0);  // no-op, but may flip internally
+  ts.Push(1, &s1);    // lands on the back stack after a potential flip
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMax), 9.0);
+  ts.EvictBefore(1);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMax), 9.0);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMin), 9.0);
+}
+
+TEST(TwoStacks, SparsePaneIndices) {
+  // Time-based windows produce sparse panes; absent panes are identities.
+  TwoStacksAggregator ts(1);
+  AggState a = MakeState(3.0), b = MakeState(-2.0), c = MakeState(11.0);
+  ts.Push(10, &a);
+  ts.Push(500, &b);
+  ts.Push(100000, &c);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMin), -2.0);
+  ts.EvictBefore(501);
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kMin), 11.0);
+  EXPECT_EQ(ts.live_panes(), 1u);
+}
+
+TEST(TwoStacks, MultipleAggregateColumns) {
+  TwoStacksAggregator ts(3);
+  std::vector<AggState> row(3);
+  for (int i = 1; i <= 4; ++i) {
+    row[0] = MakeState(i);
+    row[1] = MakeState(-i);
+    row[2] = MakeState(i * 10);
+    ts.Push(i, row.data());
+  }
+  std::vector<AggState> out(3);
+  for (auto& s : out) AggInit(&s);
+  ts.Query(out.data());
+  EXPECT_EQ(AggFinalize(AggregateFunction::kSum, out[0]), 10.0);
+  EXPECT_EQ(AggFinalize(AggregateFunction::kMin, out[1]), -4.0);
+  EXPECT_EQ(AggFinalize(AggregateFunction::kMax, out[2]), 40.0);
+}
+
+TEST(TwoStacks, ClearResets) {
+  TwoStacksAggregator ts(1);
+  AggState s = MakeState(1.0);
+  ts.Push(3, &s);
+  ts.Clear();
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.last_pushed(), -1);
+  ts.Push(0, &s);  // indices may restart after Clear
+  EXPECT_EQ(QueryOne(ts, AggregateFunction::kSum), 1.0);
+}
+
+// Property: against a brute-force deque under random interleavings of pushes
+// and evictions, min/max/sum/count must match exactly at every step.
+class TwoStacksPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TwoStacksPropertyTest, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> val(-100.0, 100.0);
+  std::uniform_int_distribution<int> gap(1, 5);
+  std::uniform_int_distribution<int> action(0, 99);
+
+  TwoStacksAggregator ts(2);
+  std::deque<std::pair<int64_t, double>> model;
+  int64_t next_pane = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const int a = action(rng);
+    if (a < 60 || model.empty()) {
+      next_pane += gap(rng);
+      const double v = val(rng);
+      std::vector<AggState> row(2);
+      row[0] = MakeState(v);
+      row[1] = MakeState(-v);
+      ts.Push(next_pane, row.data());
+      model.emplace_back(next_pane, v);
+    } else {
+      // Evict a random prefix.
+      std::uniform_int_distribution<size_t> k(0, model.size());
+      const size_t drop = k(rng);
+      const int64_t min_pane =
+          drop == model.size() ? model.back().first + 1 : model[drop].first;
+      ts.EvictBefore(min_pane);
+      while (!model.empty() && model.front().first < min_pane) {
+        model.pop_front();
+      }
+    }
+
+    std::vector<AggState> out(2);
+    for (auto& s : out) AggInit(&s);
+    ts.Query(out.data());
+    ASSERT_EQ(ts.live_panes(), model.size());
+    if (model.empty()) {
+      ASSERT_EQ(out[0].count, 0);
+      continue;
+    }
+    double mn = model.front().second, mx = model.front().second, sum = 0;
+    for (const auto& [p, v] : model) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sum += v;
+    }
+    ASSERT_DOUBLE_EQ(AggFinalize(AggregateFunction::kMin, out[0]), mn);
+    ASSERT_DOUBLE_EQ(AggFinalize(AggregateFunction::kMax, out[0]), mx);
+    ASSERT_NEAR(AggFinalize(AggregateFunction::kSum, out[0]), sum, 1e-6);
+    ASSERT_EQ(out[0].count, static_cast<int64_t>(model.size()));
+    ASSERT_DOUBLE_EQ(AggFinalize(AggregateFunction::kMax, out[1]), -mn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoStacksPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 12345u));
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,100 @@
+#include "runtime/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace saber {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q(0);
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueue, TryPopEmptyReturnsNothing) {
+  BlockingQueue<int> q(0);
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(7);
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BlockingQueue, BoundedPushBlocks) {
+  BlockingQueue<int> q(2);
+  q.Push(1);
+  q.Push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(3);
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_TRUE(q.Pop().has_value());
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BlockingQueue, CloseWakesConsumers) {
+  BlockingQueue<int> q(0);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    auto v = q.Pop();  // blocks until close
+    got_nullopt.store(!v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItems) {
+  BlockingQueue<int> q(0);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected after close
+  EXPECT_EQ(*q.Pop(), 1);   // but existing items still drain
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueue, ConcurrentProducersConsumers) {
+  BlockingQueue<int64_t> q(64);
+  constexpr int kProducers = 4, kPerProducer = 20000;
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(static_cast<int64_t>(p) * kPerProducer + i);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto v = q.Pop();
+        if (!v.has_value()) return;
+        sum.fetch_add(*v);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  const int64_t n = static_cast<int64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace saber

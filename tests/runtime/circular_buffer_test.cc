@@ -1,0 +1,107 @@
+#include "runtime/circular_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace saber {
+namespace {
+
+TEST(CircularBuffer, CapacityRoundsUpToUnit) {
+  CircularBuffer b(100, 32);
+  EXPECT_EQ(b.capacity() % 32, 0u);
+  EXPECT_GE(b.capacity(), 100u);
+  EXPECT_EQ(b.unit(), 32u);
+}
+
+TEST(CircularBuffer, InsertAndRead) {
+  CircularBuffer b(64);
+  const char data[] = "hello world!";
+  ASSERT_TRUE(b.TryInsert(data, 12));
+  EXPECT_EQ(b.size(), 12u);
+  EXPECT_EQ(std::memcmp(b.DataAt(0), data, 12), 0);
+}
+
+TEST(CircularBuffer, RejectsOverflow) {
+  CircularBuffer b(16);
+  std::vector<uint8_t> big(b.capacity() + 1, 0xAB);
+  EXPECT_FALSE(b.TryInsert(big.data(), big.size()));
+  std::vector<uint8_t> fits(b.capacity(), 0xCD);
+  EXPECT_TRUE(b.TryInsert(fits.data(), fits.size()));
+  uint8_t one = 1;
+  EXPECT_FALSE(b.TryInsert(&one, 1));
+}
+
+TEST(CircularBuffer, FreeUpToMakesRoom) {
+  CircularBuffer b(16);
+  std::vector<uint8_t> data(16, 1);
+  ASSERT_TRUE(b.TryInsert(data.data(), 16));
+  EXPECT_FALSE(b.TryInsert(data.data(), 8));
+  b.FreeUpTo(8);
+  EXPECT_EQ(b.start(), 8);
+  EXPECT_TRUE(b.TryInsert(data.data(), 8));
+  EXPECT_EQ(b.end(), 24);
+}
+
+TEST(CircularBuffer, FreeUpToIgnoresLaggingPositions) {
+  CircularBuffer b(16);
+  std::vector<uint8_t> data(8, 1);
+  ASSERT_TRUE(b.TryInsert(data.data(), 8));
+  b.FreeUpTo(8);
+  b.FreeUpTo(4);  // lagging: must not move start backwards
+  EXPECT_EQ(b.start(), 8);
+}
+
+TEST(CircularBuffer, WrapAroundPreservesBytes) {
+  CircularBuffer b(16, 4);
+  uint8_t block[4];
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 4; ++i) block[i] = static_cast<uint8_t>(round * 4 + i);
+    ASSERT_TRUE(b.TryInsert(block, 4));
+    const int64_t pos = b.end() - 4;
+    EXPECT_EQ(std::memcmp(b.DataAt(pos), block, 4), 0) << "round " << round;
+    b.FreeUpTo(b.end());
+  }
+}
+
+TEST(CircularBuffer, CopyOutHandlesWrap) {
+  CircularBuffer b(16, 1);
+  std::vector<uint8_t> fill(12, 0);
+  ASSERT_TRUE(b.TryInsert(fill.data(), 12));
+  b.FreeUpTo(12);
+  uint8_t data[8];
+  for (int i = 0; i < 8; ++i) data[i] = static_cast<uint8_t>(i + 1);
+  ASSERT_TRUE(b.TryInsert(data, 8));  // wraps: bytes 12..15 then 0..3
+  uint8_t out[8];
+  b.CopyOut(12, 8, out);
+  EXPECT_EQ(std::memcmp(out, data, 8), 0);
+  EXPECT_EQ(b.ContiguousBytes(12), 4u);
+}
+
+TEST(CircularBuffer, SingleProducerSingleConsumerStress) {
+  CircularBuffer b(1 << 12, 8);
+  constexpr int64_t kTotal = 200000;
+  std::thread producer([&] {
+    int64_t v = 0;
+    while (v < kTotal) {
+      if (b.TryInsert(&v, sizeof(v))) {
+        ++v;
+      }
+    }
+  });
+  int64_t expect = 0;
+  while (expect < kTotal) {
+    if (b.end() >= static_cast<int64_t>((expect + 1) * sizeof(int64_t))) {
+      int64_t got;
+      b.CopyOut(expect * sizeof(int64_t), sizeof(got), &got);
+      ASSERT_EQ(got, expect);
+      ++expect;
+      b.FreeUpTo(expect * sizeof(int64_t));
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,54 @@
+#include "runtime/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace saber {
+namespace {
+
+TEST(LatencyHistogram, BasicStats) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.RecordNanos(i * 1000);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.max_nanos(), 100000);
+  EXPECT_NEAR(h.mean_nanos(), 50500.0, 1.0);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndBracketed) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) h.RecordNanos(i);
+  const int64_t p50 = h.PercentileNanos(50);
+  const int64_t p90 = h.PercentileNanos(90);
+  const int64_t p99 = h.PercentileNanos(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log-linear buckets: relative error bounded by one sub-bucket (1/16).
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 / 8);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 / 8);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.RecordNanos(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max_nanos(), 0);
+  EXPECT_EQ(h.PercentileNanos(99), 0);
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.RecordNanos(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.max_nanos(), 0);
+}
+
+TEST(LatencyHistogram, LargeValues) {
+  LatencyHistogram h;
+  const int64_t hour_nanos = 3600LL * 1000000000LL;
+  h.RecordNanos(hour_nanos);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.PercentileNanos(100), hour_nanos / 2);
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,52 @@
+#include "runtime/object_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace saber {
+namespace {
+
+TEST(ObjectPool, RecyclesObjects) {
+  std::atomic<int> constructed{0};
+  ObjectPool<int> pool([&] {
+    constructed.fetch_add(1);
+    return std::make_unique<int>(0);
+  });
+  auto a = pool.Acquire();
+  EXPECT_EQ(constructed.load(), 1);
+  int* raw = a.get();
+  pool.Release(std::move(a));
+  auto b = pool.Acquire();
+  EXPECT_EQ(b.get(), raw);  // same object came back
+  EXPECT_EQ(constructed.load(), 1);
+}
+
+TEST(ObjectPool, Preallocates) {
+  int constructed = 0;
+  ObjectPool<int> pool(
+      [&] {
+        ++constructed;
+        return std::make_unique<int>(7);
+      },
+      3);
+  EXPECT_EQ(constructed, 3);
+  EXPECT_EQ(pool.free_count(), 3u);
+  auto x = pool.Acquire();
+  EXPECT_EQ(pool.free_count(), 2u);
+  EXPECT_EQ(constructed, 3);
+}
+
+TEST(PerThreadPool, IndependentPools) {
+  PerThreadPool<int> pools(2, [] { return std::make_unique<int>(0); }, 1);
+  EXPECT_EQ(pools.num_threads(), 2u);
+  auto a = pools.ForThread(0).Acquire();
+  EXPECT_EQ(pools.ForThread(0).free_count(), 0u);
+  EXPECT_EQ(pools.ForThread(1).free_count(), 1u);
+  pools.ForThread(0).Release(std::move(a));
+  // Thread ids beyond the pool count wrap around.
+  EXPECT_EQ(&pools.ForThread(2), &pools.ForThread(0));
+}
+
+}  // namespace
+}  // namespace saber

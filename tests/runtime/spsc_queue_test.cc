@@ -1,0 +1,56 @@
+#include "runtime/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace saber {
+namespace {
+
+TEST(SpscQueue, PushPopOrder) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));  // full
+  int v;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(SpscQueue, CapacityRoundsToPowerOfTwo) {
+  SpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(SpscQueue, MovesUniquePtrs) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscQueue, ConcurrentStress) {
+  SpscQueue<int64_t> q(64);
+  constexpr int64_t kTotal = 500000;
+  std::thread producer([&] {
+    for (int64_t i = 0; i < kTotal;) {
+      if (q.TryPush(i)) ++i;
+    }
+  });
+  int64_t expect = 0;
+  int64_t v;
+  while (expect < kTotal) {
+    if (q.TryPop(&v)) {
+      ASSERT_EQ(v, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,139 @@
+#include "window/window_math.h"
+
+#include <gtest/gtest.h>
+
+namespace saber {
+namespace {
+
+TEST(WindowDefinition, PaneArithmetic) {
+  auto w = WindowDefinition::Count(6, 4);
+  EXPECT_EQ(w.pane_size(), 2);
+  EXPECT_EQ(w.panes_per_window(), 3);
+  EXPECT_EQ(w.panes_per_slide(), 2);
+  auto t = WindowDefinition::Time(3600, 1);
+  EXPECT_EQ(t.pane_size(), 1);
+  EXPECT_EQ(t.panes_per_window(), 3600);
+}
+
+TEST(WindowDefinition, TumblingAndSliding) {
+  EXPECT_TRUE(WindowDefinition::Count(4, 4).tumbling());
+  EXPECT_TRUE(WindowDefinition::Count(4, 1).sliding());
+  EXPECT_FALSE(WindowDefinition::Count(4, 4).sliding());
+}
+
+TEST(WindowMath, Fig2SmallWindows) {
+  // Fig. 2: batches of 5 tuples, ω(3,1): batch b1 = tuples [0,5) contains
+  // complete windows w1..w3 (indices 0..2) and fragments of w4, w5.
+  auto w = WindowDefinition::Count(3, 1);
+  auto r = WindowsIntersecting(w, 0, 5);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 4);
+  for (int64_t j = 0; j <= 2; ++j) {
+    EXPECT_TRUE(WindowOpensIn(w, j, 0, 5));
+    EXPECT_TRUE(WindowClosesIn(w, j, 0, 5)) << j;
+  }
+  for (int64_t j = 3; j <= 4; ++j) {
+    EXPECT_TRUE(WindowOpensIn(w, j, 0, 5));
+    EXPECT_FALSE(WindowClosesIn(w, j, 0, 5)) << j;
+  }
+}
+
+TEST(WindowMath, Fig2LargeWindows) {
+  // Fig. 2: ω(7,2): batch b1' = [0,5) holds only fragments; no window closes.
+  auto w = WindowDefinition::Count(7, 2);
+  auto r = WindowsIntersecting(w, 0, 5);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 2);
+  auto closing = WindowsClosingIn(w, 0, 5);
+  EXPECT_TRUE(closing.empty());
+  // Window 0 = [0,7) spans into batch b2' = [5,10) and closes there.
+  EXPECT_TRUE(WindowClosesIn(w, 0, 5, 10));
+}
+
+TEST(WindowMath, FragmentBounds) {
+  auto w = WindowDefinition::Count(7, 2);
+  FragmentBounds f = FragmentOf(w, 0, 0, 5);
+  EXPECT_EQ(f.begin, 0);
+  EXPECT_EQ(f.end, 5);
+  FragmentBounds g = FragmentOf(w, 0, 5, 10);
+  EXPECT_EQ(g.begin, 5);
+  EXPECT_EQ(g.end, 7);
+  FragmentBounds h = FragmentOf(w, 4, 0, 5);  // window [8,15): no overlap
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(WindowMath, WindowEndingAtPane) {
+  auto w = WindowDefinition::Count(6, 4);  // g=2, ppw=3, pps=2
+  // Window j ends at pane j*2 + 2.
+  EXPECT_EQ(WindowEndingAtPane(w, 2), 0);
+  EXPECT_EQ(WindowEndingAtPane(w, 4), 1);
+  EXPECT_EQ(WindowEndingAtPane(w, 3), -1);
+  EXPECT_EQ(WindowEndingAtPane(w, 1), -1);
+}
+
+TEST(WindowMath, FloorCeilDiv) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-4, 2), -2);
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(-7, 2), -3);
+}
+
+// Property test: intersect/open/close flags agree with a brute-force check
+// over many (size, slide, batch) combinations.
+class WindowPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WindowPropertyTest, MatchesBruteForce) {
+  const auto [size, slide] = GetParam();
+  auto w = WindowDefinition::Count(size, slide);
+  for (int64_t P = 0; P < 30; P += 3) {
+    for (int64_t Q = P + 1; Q < P + 20; Q += 2) {
+      auto r = WindowsIntersecting(w, P, Q);
+      auto c = WindowsClosingIn(w, P, Q);
+      for (int64_t j = 0; j < 100; ++j) {
+        const int64_t lo = WindowStart(w, j), hi = WindowEnd(w, j);
+        const bool intersects = lo < Q && hi > P;
+        EXPECT_EQ(intersects, j >= r.lo && j <= r.hi)
+            << "s=" << size << " l=" << slide << " P=" << P << " Q=" << Q
+            << " j=" << j;
+        const bool closes = hi > P && hi <= Q;
+        EXPECT_EQ(closes, !c.empty() && j >= c.lo && j <= c.hi)
+            << "s=" << size << " l=" << slide << " P=" << P << " Q=" << Q
+            << " j=" << j;
+        EXPECT_EQ(WindowOpensIn(w, j, P, Q), lo >= P && lo < Q);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(3, 1),
+                      std::make_tuple(4, 2), std::make_tuple(4, 4),
+                      std::make_tuple(7, 2), std::make_tuple(7, 3),
+                      std::make_tuple(12, 5), std::make_tuple(16, 16)));
+
+TEST(WindowMath, PaneWindowConsistency) {
+  // Every window's axis interval equals the union of its panes' intervals.
+  for (auto [s, l] : {std::pair<int64_t, int64_t>{6, 4}, {12, 3}, {5, 5}, {9, 6}}) {
+    auto w = WindowDefinition::Count(s, l);
+    const int64_t g = w.pane_size();
+    for (int64_t j = 0; j < 50; ++j) {
+      EXPECT_EQ(FirstPaneOf(w, j) * g, WindowStart(w, j));
+      EXPECT_EQ((LastPaneOf(w, j) + 1) * g, WindowEnd(w, j));
+      EXPECT_EQ(WindowEndingAtPane(w, LastPaneOf(w, j)), j);
+    }
+  }
+}
+
+TEST(WindowMath, PanesIntersectingMatchesAxisRange) {
+  auto w = WindowDefinition::Count(8, 6);  // g = 2
+  auto r = PanesIntersecting(w, 5, 13);
+  EXPECT_EQ(r.lo, 2);  // pane [4,6) contains axis 5
+  EXPECT_EQ(r.hi, 6);  // pane [12,14) contains axis 12
+  EXPECT_TRUE(PanesIntersecting(w, 5, 5).empty());
+}
+
+}  // namespace
+}  // namespace saber

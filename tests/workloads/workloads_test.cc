@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "reference/reference.h"
+#include "test_util.h"
+#include "workloads/cluster_monitoring.h"
+#include "workloads/linear_road.h"
+#include "workloads/smart_grid.h"
+#include "workloads/synthetic.h"
+
+namespace saber {
+namespace {
+
+using testing::BuffersEqual;
+using testing::RunSingleInput;
+
+// ---------------------------------------------------------------------------
+// Synthetic workload (Table 1).
+// ---------------------------------------------------------------------------
+
+TEST(Synthetic, SchemaIs32Bytes) {
+  EXPECT_EQ(syn::SyntheticSchema().tuple_size(), 32u);
+  EXPECT_EQ(syn::SyntheticSchema().num_fields(), 7u);
+}
+
+TEST(Synthetic, GeneratorProducesOrderedTimestamps) {
+  auto data = syn::Generate(1000);
+  Schema s = syn::SyntheticSchema();
+  int64_t prev = -1;
+  for (size_t i = 0; i < 1000; ++i) {
+    TupleRef t(data.data() + i * 32, &s);
+    EXPECT_GE(t.timestamp(), prev);
+    prev = t.timestamp();
+    EXPECT_GE(t.GetInt32(2), 0);
+    EXPECT_LT(t.GetInt32(2), 100);
+  }
+}
+
+TEST(Synthetic, SelectionSelectivityGrowsWithN) {
+  auto data = syn::Generate(20000);
+  auto count_rows = [&](int n) {
+    QueryDef q = syn::MakeSelection(n);
+    auto op = MakeCpuOperator(&q);
+    ByteBuffer out = RunSingleInput(*op, q, data, 4096);
+    return out.size() / q.output_schema.tuple_size();
+  };
+  const size_t r1 = count_rows(1);
+  const size_t r16 = count_rows(16);
+  EXPECT_GT(r16, r1);          // more disjuncts select more
+  EXPECT_LT(r16, 20000u / 2);  // but selectivity stays low
+}
+
+TEST(Synthetic, ProjectionChainsCompute) {
+  auto data = syn::Generate(100);
+  QueryDef q = syn::MakeProjection(2, /*expr_chain=*/3);
+  auto op = MakeCpuOperator(&q);
+  ByteBuffer out = RunSingleInput(*op, q, data, 50);
+  ASSERT_EQ(out.size() / q.output_schema.tuple_size(), 100u);
+  // chain of 3: ((x*3+1)*3+1)*3+1 = 27x + 13.
+  Schema s = syn::SyntheticSchema();
+  TupleRef in0(data.data(), &s);
+  TupleRef out0(out.data(), &q.output_schema);
+  EXPECT_DOUBLE_EQ(out0.GetAsDouble(1), 27.0 * in0.GetFloat(1) + 13.0);
+}
+
+TEST(Synthetic, QueriesMatchReference) {
+  auto data = syn::Generate(3000);
+  for (QueryDef q :
+       {syn::MakeAggregationAll(WindowDefinition::Count(128, 128)),
+        syn::MakeGroupBy(8, WindowDefinition::Count(256, 64)),
+        syn::MakeAggregation(AggregateFunction::kAvg,
+                             WindowDefinition::Count(64, 16))}) {
+    auto op = MakeCpuOperator(&q);
+    ByteBuffer got = RunSingleInput(*op, q, data, 500);
+    ByteBuffer want = ReferenceEvaluate(q, data);
+    EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()))
+        << q.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster monitoring.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterMonitoring, SchemaMatchesPaper) {
+  Schema s = cm::TaskEventSchema();
+  EXPECT_EQ(s.num_fields(), 12u);  // Table 1: 12 attributes
+  EXPECT_EQ(s.tuple_size(), 64u);
+  EXPECT_GE(s.FieldIndex("cpu"), 0);
+  EXPECT_GE(s.FieldIndex("category"), 0);
+}
+
+TEST(ClusterMonitoring, SurgeRaisesFailureRate) {
+  cm::TraceOptions opts;
+  opts.events_per_second = 1000;
+  opts.base_failure_probability = 0.02;
+  opts.surges = {{5, 10, 0.9}};
+  auto trace = cm::GenerateTrace(20000, opts);  // 20 seconds
+  Schema s = cm::TaskEventSchema();
+  const int ev_idx = s.FieldIndex("eventType");
+  int fail_before = 0, fail_during = 0, n_before = 0, n_during = 0;
+  for (size_t i = 0; i < 20000; ++i) {
+    TupleRef t(trace.data() + i * 64, &s);
+    const int64_t ts = t.timestamp();
+    const bool fail = t.GetInt32(ev_idx) == cm::kFail;
+    if (ts < 5) {
+      ++n_before;
+      fail_before += fail;
+    } else if (ts < 10) {
+      ++n_during;
+      fail_during += fail;
+    }
+  }
+  EXPECT_LT(static_cast<double>(fail_before) / n_before, 0.1);
+  EXPECT_GT(static_cast<double>(fail_during) / n_during, 0.7);
+}
+
+TEST(ClusterMonitoring, CM1MatchesReference) {
+  cm::TraceOptions opts;
+  opts.events_per_second = 50;  // 5000 events span 100 s: 60 s windows close
+  auto trace = cm::GenerateTrace(5000, opts);
+  QueryDef q = cm::MakeCM1();
+  auto op = MakeCpuOperator(&q);
+  ByteBuffer got = RunSingleInput(*op, q, trace, 700);
+  ByteBuffer want = ReferenceEvaluate(q, trace);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  EXPECT_GT(got.size(), 0u);
+}
+
+TEST(ClusterMonitoring, CM2FiltersScheduledEvents) {
+  cm::TraceOptions opts;
+  opts.events_per_second = 50;
+  auto trace = cm::GenerateTrace(5000, opts);
+  QueryDef q = cm::MakeCM2();
+  auto op = MakeCpuOperator(&q);
+  ByteBuffer got = RunSingleInput(*op, q, trace, 700);
+  ByteBuffer want = ReferenceEvaluate(q, trace);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  EXPECT_GT(got.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Smart grid.
+// ---------------------------------------------------------------------------
+
+TEST(SmartGrid, SchemaAndGenerator) {
+  Schema s = sg::SmartGridSchema();
+  EXPECT_EQ(s.tuple_size(), 32u);
+  sg::GridOptions opts;
+  opts.readings_per_second = 1000;
+  auto data = sg::GenerateReadings(5000, opts);
+  const int house_idx = s.FieldIndex("house");
+  for (size_t i = 0; i < 5000; i += 97) {
+    TupleRef t(data.data() + i * 32, &s);
+    EXPECT_GE(t.GetInt32(house_idx), 0);
+    EXPECT_LT(t.GetInt32(house_idx), opts.num_houses);
+    EXPECT_GE(t.GetFloat(1), 0.0f);
+  }
+}
+
+TEST(SmartGrid, SG1AndSG2MatchReference) {
+  sg::GridOptions opts;
+  opts.readings_per_second = 800;
+  opts.num_houses = 5;
+  auto data = sg::GenerateReadings(8000, opts);  // 10 seconds
+  for (QueryDef q : {sg::MakeSG1(4, 1), sg::MakeSG2(4, 1)}) {
+    auto op = MakeCpuOperator(&q);
+    ByteBuffer got = RunSingleInput(*op, q, data, 900);
+    ByteBuffer want = ReferenceEvaluate(q, data);
+    EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()))
+        << q.name;
+    EXPECT_GT(got.size(), 0u) << q.name;
+  }
+}
+
+TEST(SmartGrid, SG3DetectsHotHouses) {
+  // Houses with house%5 == 4 run ~40 units above the global mean; the join
+  // must flag their plugs as outliers.
+  QueryDef sg1 = sg::MakeSG1(2, 2);
+  QueryDef sg2 = sg::MakeSG2(2, 2);
+  sg::SG3Queries sg3 = sg::MakeSG3(sg1, sg2);
+  EXPECT_EQ(sg3.join.num_inputs, 2);
+  EXPECT_TRUE(sg3.count.grouped());
+  EXPECT_EQ(sg3.join.output_schema.FieldIndex("house"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Linear Road.
+// ---------------------------------------------------------------------------
+
+TEST(LinearRoad, GeneratorCreatesCongestion) {
+  lrb::RoadOptions opts;
+  opts.reports_per_second = 2000;
+  auto data = lrb::GenerateReports(40000, opts);  // 20 seconds
+  Schema s = lrb::PositionSchema();
+  const int speed_idx = s.FieldIndex("speed");
+  int slow = 0;
+  for (size_t i = 0; i < 40000; ++i) {
+    TupleRef t(data.data() + i * 32, &s);
+    if (t.GetFloat(speed_idx) < 40.0f) ++slow;
+  }
+  EXPECT_GT(slow, 40000 / 20);  // a visible congested fraction
+  EXPECT_LT(slow, 40000 * 9 / 10);
+}
+
+TEST(LinearRoad, LRB1ProjectsSegments) {
+  auto data = lrb::GenerateReports(2000);
+  QueryDef q = lrb::MakeLRB1();
+  auto op = MakeCpuOperator(&q);
+  ByteBuffer got = RunSingleInput(*op, q, data, 300);
+  ByteBuffer want = ReferenceEvaluate(q, data);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  ASSERT_EQ(got.size() / q.output_schema.tuple_size(), 2000u);
+  Schema s = lrb::PositionSchema();
+  TupleRef in0(data.data(), &s);
+  TupleRef out0(got.data(), &q.output_schema);
+  EXPECT_EQ(out0.GetAsInt64(6), in0.GetInt32(6) / 5280);
+}
+
+TEST(LinearRoad, LRB3HavingFiltersFastSegments) {
+  lrb::RoadOptions opts;
+  opts.reports_per_second = 3000;
+  auto data = lrb::GenerateReports(30000, opts);
+  QueryDef q = lrb::MakeLRB3(/*window=*/4, /*slide=*/2);
+  auto op = MakeCpuOperator(&q);
+  ByteBuffer got = RunSingleInput(*op, q, data, 1000);
+  ByteBuffer want = ReferenceEvaluate(q, data);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  // Every surviving row satisfies avgSpeed < 40.
+  const size_t rs = q.output_schema.tuple_size();
+  const int avg_idx = q.output_schema.FieldIndex("avgSpeed");
+  for (size_t off = 0; off < got.size(); off += rs) {
+    TupleRef r(got.data() + off, &q.output_schema);
+    EXPECT_LT(r.GetDouble(avg_idx), 40.0);
+  }
+  EXPECT_GT(got.size(), 0u);
+}
+
+TEST(LinearRoad, LRB4NestedQueriesCompose) {
+  lrb::LRB4Queries q4 = lrb::MakeLRB4();
+  EXPECT_EQ(q4.inner.group_by.size(), 4u);
+  EXPECT_EQ(q4.outer.group_by.size(), 3u);
+  EXPECT_EQ(q4.outer.input_schema[0].tuple_size(),
+            q4.inner.output_schema.tuple_size());
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,266 @@
+/// saber_cli — run a streaming SQL query from the command line against one of
+/// the built-in workload generators, print the first output rows and the
+/// engine statistics. Exercises the SQL front end, the hybrid engine and the
+/// workload generators end to end.
+///
+/// Usage:
+///   saber_cli [options] "SELECT ... FROM <stream> [rows N slide M] ..."
+///
+/// Streams available in the catalog (Table 1):
+///   Syn          32 B synthetic tuples  {timestamp,a1..a6}
+///   TaskEvents   cluster-monitoring trace (CM1/CM2 schema)
+///   SmartGridStr smart-meter readings (SG1-SG3 schema)
+///   PosSpeedStr  Linear Road position reports (LRB1-LRB4 schema)
+///
+/// Options:
+///   --tuples N      tuples to generate per input stream   (default 1000000)
+///   --workers N     CPU worker threads                    (default 4)
+///   --no-gpu        run without the simulated GPGPU
+///   --task-size B   query task size phi in bytes          (default 1 MiB)
+///   --limit N       output rows to print                  (default 10)
+///   --seed N        generator seed                        (default 42)
+///   --input F.csv   read input stream 0 from a CSV file (header expected)
+///   --output F.csv  write the ordered output stream to a CSV file
+///
+/// Examples:
+///   saber_cli "select timestamp, avg(a1) as load from Syn [rows 256 slide 64]"
+///   saber_cli "select timestamp, category, sum(cpu) as total
+///              from TaskEvents [range 60 slide 1] group by category"
+///   saber_cli --no-gpu "select * from PosSpeedStr [range unbounded]
+///              where speed > 60.0"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "io/csv.h"
+#include "sql/parser.h"
+#include "workloads/cluster_monitoring.h"
+#include "workloads/linear_road.h"
+#include "workloads/smart_grid.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+
+namespace {
+
+struct CliOptions {
+  size_t tuples = 1'000'000;
+  int workers = 4;
+  bool use_gpu = true;
+  size_t task_size = 1 << 20;
+  int64_t limit = 10;
+  uint32_t seed = 42;
+  std::string input_csv;   // read stream 0 from a CSV file instead
+  std::string output_csv;  // append result rows to a CSV file
+  std::string sql;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tuples N] [--workers N] [--no-gpu] "
+               "[--task-size B] [--limit N] [--seed N] \"SQL\"\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--tuples") {
+      o->tuples = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--workers") {
+      o->workers = std::atoi(next());
+    } else if (a == "--no-gpu") {
+      o->use_gpu = false;
+    } else if (a == "--task-size") {
+      o->task_size = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--limit") {
+      o->limit = std::atoll(next());
+    } else if (a == "--seed") {
+      o->seed = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (a == "--input") {
+      o->input_csv = next();
+    } else if (a == "--output") {
+      o->output_csv = next();
+    } else if (a == "--help" || a == "-h") {
+      Usage(argv[0]);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    } else {
+      if (!o->sql.empty()) o->sql += ' ';
+      o->sql += a;
+    }
+  }
+  return !o->sql.empty();
+}
+
+/// Generates `n` tuples of the catalog stream whose schema matches `s`.
+std::vector<uint8_t> GenerateFor(const Schema& s, size_t n, uint32_t seed) {
+  if (s.tuple_size() == syn::SyntheticSchema().tuple_size() &&
+      s.FieldIndex("a1") >= 0) {
+    syn::GeneratorOptions go;
+    go.seed = seed;
+    return syn::Generate(n, go);
+  }
+  if (s.FieldIndex("jobId") >= 0) {
+    cm::TraceOptions to;
+    to.seed = seed;
+    return cm::GenerateTrace(n, to);
+  }
+  if (s.FieldIndex("plug") >= 0) {
+    sg::GridOptions go;
+    go.seed = seed;
+    return sg::GenerateReadings(n, go);
+  }
+  if (s.FieldIndex("vehicle") >= 0) {
+    lrb::RoadOptions ro;
+    ro.seed = seed;
+    return lrb::GenerateReports(n, ro);
+  }
+  SABER_CHECK(false && "no generator for schema");
+  return {};
+}
+
+void PrintRow(const Schema& s, const uint8_t* row) {
+  TupleRef t(row, &s);
+  std::printf("  ");
+  for (size_t f = 0; f < s.num_fields(); ++f) {
+    const Field& fd = s.field(f);
+    switch (fd.type) {
+      case DataType::kInt32:
+        std::printf("%s=%d ", fd.name.c_str(), t.GetInt32(f));
+        break;
+      case DataType::kInt64:
+        std::printf("%s=%lld ", fd.name.c_str(),
+                    static_cast<long long>(t.GetInt64(f)));
+        break;
+      case DataType::kFloat:
+      case DataType::kDouble:
+        std::printf("%s=%.3f ", fd.name.c_str(), t.GetDouble(f));
+        break;
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) Usage(argv[0]);
+
+  sql::Catalog catalog;
+  catalog["Syn"] = syn::SyntheticSchema();
+  catalog["TaskEvents"] = cm::TaskEventSchema();
+  catalog["SmartGridStr"] = sg::SmartGridSchema();
+  catalog["PosSpeedStr"] = lrb::PositionSchema();
+  catalog["SegSpeedStr"] = lrb::PositionSchema();
+
+  Result<QueryDef> parsed = sql::Parse(cli.sql, catalog, "cli");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  QueryDef query = std::move(parsed).value();
+  std::printf("query        : %s\n", cli.sql.c_str());
+  std::printf("output schema: %s\n", query.output_schema.ToString().c_str());
+
+  EngineOptions options;
+  options.num_cpu_workers = cli.workers;
+  options.use_gpu = cli.use_gpu;
+  options.task_size = cli.task_size;
+  Engine engine(options);
+  const int num_inputs = query.num_inputs;
+  QueryHandle* q = engine.AddQuery(std::move(query));
+
+  int64_t rows = 0;
+  const Schema& out = q->output_schema();
+  const int64_t limit = cli.limit;
+  std::string csv_out;
+  const bool dump_csv = !cli.output_csv.empty();
+  if (dump_csv) {
+    csv_out = io::ToCsv(out, nullptr, 0);  // header only
+  }
+  q->SetSink([&](const uint8_t* data, size_t bytes) {
+    if (dump_csv) io::AppendCsv(out, data, bytes, &csv_out);
+    for (size_t off = 0; off < bytes; off += out.tuple_size()) {
+      if (rows < limit) PrintRow(out, data + off);
+      if (rows == limit) std::printf("  ... (further rows elided)\n");
+      ++rows;
+    }
+  });
+
+  std::vector<std::vector<uint8_t>> streams;
+  for (int i = 0; i < num_inputs; ++i) {
+    if (i == 0 && !cli.input_csv.empty()) {
+      auto loaded = io::ReadCsvFile(cli.input_csv, q->def().input_schema[0]);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "input error: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      streams.push_back(std::move(loaded).value());
+      continue;
+    }
+    streams.push_back(
+        GenerateFor(q->def().input_schema[i], cli.tuples, cli.seed + i));
+  }
+
+  engine.Start();
+  Stopwatch wall;
+  const size_t kChunkTuples = 8192;
+  std::vector<size_t> offs(num_inputs, 0);
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (int i = 0; i < num_inputs; ++i) {
+      const size_t tsz = q->def().input_schema[i].tuple_size();
+      const size_t chunk = kChunkTuples * tsz;
+      if (offs[i] < streams[i].size()) {
+        const size_t m = std::min(chunk, streams[i].size() - offs[i]);
+        q->InsertInto(i, streams[i].data() + offs[i], m);
+        offs[i] += m;
+        progress = true;
+      }
+    }
+  }
+  engine.Drain();
+  const double secs = wall.ElapsedSeconds();
+
+  std::printf("\n-- statistics --\n");
+  std::printf("tuples in    : %lld\n", static_cast<long long>(q->tuples_in()));
+  std::printf("rows out     : %lld\n", static_cast<long long>(rows));
+  std::printf("throughput   : %.2f Mtuples/s (%.3f GB/s)\n",
+              q->tuples_in() / secs / 1e6,
+              static_cast<double>(q->bytes_in()) / secs / (1 << 30));
+  std::printf("p50 latency  : %lld us\n",
+              static_cast<long long>(q->latency().PercentileNanos(50) / 1000));
+  std::printf("p99 latency  : %lld us\n",
+              static_cast<long long>(q->latency().PercentileNanos(99) / 1000));
+  const int64_t cpu_tasks = q->tasks_on(Processor::kCpu);
+  const int64_t gpu_tasks = q->tasks_on(Processor::kGpu);
+  std::printf("task split   : %lld CPU / %lld GPGPU\n",
+              static_cast<long long>(cpu_tasks),
+              static_cast<long long>(gpu_tasks));
+  if (dump_csv) {
+    std::ofstream f(cli.output_csv, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", cli.output_csv.c_str());
+      return 1;
+    }
+    f << csv_out;
+    std::printf("output file  : %s (%lld rows)\n", cli.output_csv.c_str(),
+                static_cast<long long>(rows));
+  }
+  return 0;
+}
