@@ -11,6 +11,7 @@
 #include "relational/hash_table.h"
 #include "relational/two_stacks.h"
 #include "runtime/circular_buffer.h"
+#include "runtime/strcat.h"
 #include "udf/partition_join.h"
 #include "workloads/synthetic.h"
 
@@ -22,7 +23,7 @@ std::vector<uint8_t> MakeData(size_t n) { return syn::Generate(n); }
 ExprPtr MakePredicate(int n, const Schema& s) {
   std::vector<ExprPtr> preds;
   for (int i = 0; i < n; ++i) {
-    preds.push_back(Eq(Col(s, "a" + std::to_string(i % 5 + 2)), Lit(i)));
+    preds.push_back(Eq(Col(s, StrCat("a", i % 5 + 2)), Lit(i)));
   }
   return n == 1 ? preds[0] : Or(std::move(preds));
 }

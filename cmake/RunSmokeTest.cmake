@@ -1,0 +1,23 @@
+# Run ${SMOKE_BINARY} (with optional ${SMOKE_ARGS}, a semicolon list) and
+# fail unless it exits 0 AND prints something on stdout.
+if(NOT DEFINED SMOKE_BINARY)
+  message(FATAL_ERROR "SMOKE_BINARY not set")
+endif()
+
+execute_process(
+  COMMAND ${SMOKE_BINARY} ${SMOKE_ARGS}
+  RESULT_VARIABLE smoke_exit
+  OUTPUT_VARIABLE smoke_stdout
+  ERROR_VARIABLE smoke_stderr)
+
+if(NOT smoke_exit EQUAL 0)
+  message(FATAL_ERROR
+    "${SMOKE_BINARY} exited with ${smoke_exit}\nstdout:\n${smoke_stdout}\nstderr:\n${smoke_stderr}")
+endif()
+
+string(STRIP "${smoke_stdout}" smoke_stdout_stripped)
+if(smoke_stdout_stripped STREQUAL "")
+  message(FATAL_ERROR "${SMOKE_BINARY} exited 0 but produced no output")
+endif()
+
+message(STATUS "smoke OK: ${SMOKE_BINARY}")

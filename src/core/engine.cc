@@ -171,7 +171,7 @@ void Engine::Stop() {
 // Dispatching stage (§4.1).
 // ===========================================================================
 
-int64_t Engine::TsAt(const CircularBuffer& buf, const Schema& schema,
+int64_t Engine::TsAt(const CircularBuffer& buf, const Schema& /*schema*/,
                      int64_t pos) const {
   int64_t ts;
   buf.CopyOut(pos, sizeof(ts), &ts);  // timestamp is field 0
@@ -456,7 +456,7 @@ TaskContext Engine::BuildContext(QueryState& qs, const QueryTask& t) const {
   return ctx;
 }
 
-void Engine::CpuWorkerLoop(int worker_id) {
+void Engine::CpuWorkerLoop(int /*worker_id*/) {
   for (;;) {
     QueryTask* t = task_queue_->Select(*policy_, Processor::kCpu, *matrix_);
     if (t == nullptr) {

@@ -8,6 +8,7 @@
 #include "relational/aggregate.h"
 #include "relational/expression.h"
 #include "relational/schema.h"
+#include "runtime/strcat.h"
 #include "window/window_definition.h"
 
 /// \file query.h
@@ -123,7 +124,7 @@ class QueryBuilder {
 
   /// Adds a projected output column. Name defaults to the expression text.
   QueryBuilder& Select(ExprPtr expr, std::string name = "") {
-    if (name.empty()) name = "col" + std::to_string(def_.select.size());
+    if (name.empty()) name = StrCat("col", def_.select.size());
     def_.select.push_back(std::move(expr));
     select_names_.push_back(std::move(name));
     return *this;
@@ -170,7 +171,7 @@ class QueryBuilder {
 
   /// Adds a join output column (expressions may reference both sides).
   QueryBuilder& JoinSelect(ExprPtr expr, std::string name = "") {
-    if (name.empty()) name = "col" + std::to_string(def_.join_select.size());
+    if (name.empty()) name = StrCat("col", def_.join_select.size());
     def_.join_select.push_back(std::move(expr));
     join_names_.push_back(std::move(name));
     return *this;
@@ -206,7 +207,7 @@ class QueryBuilder {
       out.AddField("timestamp", DataType::kInt64);
       for (size_t i = 0; i < def_.group_by.size(); ++i) {
         const std::string n =
-            i < group_names_.size() ? group_names_[i] : "key" + std::to_string(i);
+            i < group_names_.size() ? group_names_[i] : StrCat("key", i);
         out.AddField(n, DataType::kInt64);
       }
       for (const auto& a : def_.aggregates) out.AddField(a.name, DataType::kDouble);

@@ -216,6 +216,7 @@ class GpuStatelessOperator final : public GpuOperatorBase {
     j.device_out.Resize(total);
     size_t off = 0;
     for (size_t g = 0; g < ng; ++g) {
+      if (group_bytes[g] == 0) continue;  // memcpy(_, null, 0) is still UB
       std::memcpy(j.device_out.data() + off, j.device_scratch.data() + g * group_cap,
                   group_bytes[g]);
       off += group_bytes[g];
@@ -551,7 +552,7 @@ class GpuJoinOperator final : public GpuOperatorBase {
     size_t r_scan_lo = 0, l_scan_lo = 0;
 
     auto opp_axis = [&](const StreamBatch& opp, const WindowDefinition& wo,
-                        const Schema& os, size_t k, size_t hist) -> int64_t {
+                        const Schema& /*os*/, size_t k, size_t hist) -> int64_t {
       if (!wo.time_based()) {
         return k < hist ? opp.history_first_index + static_cast<int64_t>(k)
                         : opp.first_index + static_cast<int64_t>(k - hist);

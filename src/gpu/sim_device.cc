@@ -98,7 +98,9 @@ void SimDevice::MoveinLoop() {
     GpuJob& j = **job;
     const int64_t t0 = NowNanos();
     j.device_in.Resize(j.pinned_in.size());
-    std::memcpy(j.device_in.data(), j.pinned_in.data(), j.pinned_in.size());
+    if (j.pinned_in.size() > 0) {
+      std::memcpy(j.device_in.data(), j.pinned_in.data(), j.pinned_in.size());
+    }
     if (options_.pace_transfers) {
       PaceNanos(t0, TransferNanos(j.pinned_in.size()));
     }
@@ -140,7 +142,9 @@ void SimDevice::MoveoutLoop() {
     const int64_t t0 = NowNanos();
     const size_t payload = j.complete_bytes + j.partials_bytes;
     j.pinned_out.Resize(payload);
-    std::memcpy(j.pinned_out.data(), j.device_out.data(), payload);
+    if (payload > 0) {
+      std::memcpy(j.pinned_out.data(), j.device_out.data(), payload);
+    }
     if (options_.pace_transfers) {
       PaceNanos(t0, TransferNanos(payload + j.panes.size() * sizeof(PaneEntry)));
     }

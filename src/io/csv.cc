@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "relational/tuple_ref.h"
+#include "runtime/strcat.h"
 
 namespace saber::io {
 
@@ -40,9 +41,9 @@ Status ParseField(const Schema& s, size_t f, const std::string& cell,
   const char* b = cell.data();
   const char* e = b + cell.size();
   auto err = [&](const char* what) {
-    return Status::InvalidArgument("line " + std::to_string(line) + ", field '" +
-                                   s.field(f).name + "': " + what + " ('" +
-                                   cell + "')");
+    return Status::InvalidArgument(StrCat("line ", line, ", field '",
+                                          s.field(f).name, "': ", what, " ('",
+                                          cell, "')"));
   };
   switch (s.field(f).type) {
     case DataType::kInt32: {
@@ -136,9 +137,8 @@ Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
       }
     }
     if (cells.size() != nf) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_no) + ": expected " +
-          std::to_string(nf) + " fields, got " + std::to_string(cells.size()));
+      return Status::InvalidArgument(StrCat("line ", line_no, ": expected ",
+                                            nf, " fields, got ", cells.size()));
     }
     const size_t off = out.size();
     out.resize(off + tsz, 0);
@@ -150,9 +150,8 @@ Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
     std::memcpy(&ts, out.data() + off, sizeof(ts));
     if (ts < prev_ts) {
       return Status::InvalidArgument(
-          "line " + std::to_string(line_no) +
-          ": timestamps must be non-decreasing (" + std::to_string(ts) +
-          " after " + std::to_string(prev_ts) + ")");
+          StrCat("line ", line_no, ": timestamps must be non-decreasing (", ts,
+                 " after ", prev_ts, ")"));
     }
     prev_ts = ts;
   }

@@ -125,8 +125,20 @@ ByteBuffer EvalAggregation(const QueryDef& q, const Stream& in) {
     struct Group {
       std::vector<AggState> acc;
     };
+    // Explicit memcmp comparator: identical ordering to
+    // std::less<std::vector<uint8_t>>, but avoids the libstdc++
+    // lexicographical_compare_three_way path that GCC 12 misdiagnoses
+    // under -Wstringop-overread at -O2.
+    struct KeyLess {
+      bool operator()(const std::vector<uint8_t>& a,
+                      const std::vector<uint8_t>& b) const {
+        const size_t n = std::min(a.size(), b.size());
+        const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+        return c < 0 || (c == 0 && a.size() < b.size());
+      }
+    };
     std::vector<uint8_t> key(nk * 8);
-    std::map<std::vector<uint8_t>, Group> groups;
+    std::map<std::vector<uint8_t>, Group, KeyLess> groups;
     int64_t window_ts = 0;
     for (size_t i = 0; i < in.n; ++i) {
       if (axis[i] < lo || axis[i] >= hi) continue;

@@ -9,6 +9,13 @@
 
 #include "relational/expression.h"
 
+#if !defined(__cpp_lib_atomic_ref)
+#error \
+    "saber requires C++20: aggregate.h uses std::atomic_ref for lock-free " \
+    "partial-aggregate merging. Build with -std=c++20 or newer (a C++17 " \
+    "toolchain otherwise fails here with an opaque template error)."
+#endif
+
 /// \file aggregate.h
 /// Aggregate functions (§2.4, §5.3). The engine computes partial aggregates
 /// per *window fragment* and later merges them in the assembly operator

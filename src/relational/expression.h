@@ -170,9 +170,17 @@ class ArithExpr final : public Expression {
   }
 
   std::string ToString() const override {
+    // Built up with += (not `"(" + ...`) to dodge a spurious -Wrestrict in
+    // GCC 12's inlined operator+(const char*, string&&) (GCC PR 105651).
     static const char* kOps[] = {"+", "-", "*", "/", "%"};
-    return "(" + lhs_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
-           rhs_->ToString() + ")";
+    std::string out = "(";
+    out += lhs_->ToString();
+    out += ' ';
+    out += kOps[static_cast<int>(op_)];
+    out += ' ';
+    out += rhs_->ToString();
+    out += ')';
+    return out;
   }
 
  private:
@@ -212,9 +220,16 @@ class CompareExpr final : public Expression {
   DataType output_type() const override { return DataType::kInt32; }
 
   std::string ToString() const override {
+    // += instead of `"(" + ...`: see ArithmeticExpr::ToString (GCC PR 105651).
     static const char* kOps[] = {"<", "<=", "==", "!=", ">=", ">"};
-    return "(" + lhs_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
-           rhs_->ToString() + ")";
+    std::string out = "(";
+    out += lhs_->ToString();
+    out += ' ';
+    out += kOps[static_cast<int>(op_)];
+    out += ' ';
+    out += rhs_->ToString();
+    out += ')';
+    return out;
   }
 
  private:
@@ -274,7 +289,12 @@ class LogicalExpr final : public Expression {
   DataType output_type() const override { return DataType::kInt32; }
 
   std::string ToString() const override {
-    if (op_ == LogicalOp::kNot) return "!" + operands_[0]->ToString();
+    // += instead of `"!" + ...`: see ArithmeticExpr::ToString (GCC PR 105651).
+    if (op_ == LogicalOp::kNot) {
+      std::string out = "!";
+      out += operands_[0]->ToString();
+      return out;
+    }
     std::string sep = op_ == LogicalOp::kAnd ? " && " : " || ";
     std::string out = "(";
     for (size_t i = 0; i < operands_.size(); ++i) {

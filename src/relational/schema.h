@@ -6,6 +6,7 @@
 #include "relational/types.h"
 #include "runtime/align.h"
 #include "runtime/status.h"
+#include "runtime/strcat.h"
 
 /// \file schema.h
 /// Fixed-width row schemas. Stream tuples stay in serialized byte form end to
@@ -84,9 +85,13 @@ class Schema {
     std::string out = "{";
     for (size_t i = 0; i < fields_.size(); ++i) {
       if (i > 0) out += ", ";
-      out += std::string(TypeName(fields_[i].type)) + " " + fields_[i].name;
+      out += TypeName(fields_[i].type);
+      out += ' ';
+      out += fields_[i].name;
     }
-    out += "} [" + std::to_string(tuple_size_) + "B]";
+    StrAppend(out, "} [");
+    StrAppend(out, tuple_size_);
+    StrAppend(out, "B]");
     return out;
   }
 

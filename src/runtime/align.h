@@ -13,6 +13,12 @@ constexpr uint64_t AlignUp(uint64_t v, uint64_t alignment) {
   return (v + alignment - 1) & ~(alignment - 1);
 }
 
+/// Round `v` up to the next multiple of `m` (any m >= 1, not just powers of
+/// two — use this for tuple sizes, which are frequently e.g. 20 bytes).
+constexpr uint64_t RoundUpToMultiple(uint64_t v, uint64_t m) {
+  return (v + m - 1) / m * m;
+}
+
 /// Round `v` up to the next power of two (v >= 1).
 constexpr uint64_t NextPowerOfTwo(uint64_t v) {
   v -= 1;

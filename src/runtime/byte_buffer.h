@@ -47,8 +47,10 @@ class ByteBuffer {
     size_ = n;
   }
 
-  /// Appends `n` bytes, growing if needed.
+  /// Appends `n` bytes, growing if needed. The n == 0 guard matters: callers
+  /// routinely append empty results, and memcpy(null, null, 0) is UB.
   void Append(const void* bytes, size_t n) {
+    if (n == 0) return;
     Reserve(size_ + n);
     std::memcpy(data_.get() + size_, bytes, n);
     size_ += n;
@@ -58,7 +60,7 @@ class ByteBuffer {
   uint8_t* AppendZeros(size_t n) {
     Reserve(size_ + n);
     uint8_t* out = data_.get() + size_;
-    std::memset(out, 0, n);
+    if (n > 0) std::memset(out, 0, n);
     size_ += n;
     return out;
   }

@@ -36,7 +36,12 @@ class CircularBuffer {
   /// multiple of `unit` (the tuple size; tuples then never wrap).
   explicit CircularBuffer(size_t min_capacity, size_t unit = 1)
       : unit_(unit == 0 ? 1 : unit),
-        capacity_(AlignUp(std::max<size_t>(min_capacity, unit_), unit_)),
+        // RoundUpToMultiple, not AlignUp: tuple sizes are usually not powers
+        // of two, and AlignUp's bit mask would yield a capacity that is NOT
+        // a multiple of the unit — letting tuples straddle the physical wrap
+        // point and read past the allocation.
+        capacity_(RoundUpToMultiple(std::max<size_t>(min_capacity, unit_),
+                                    unit_)),
         data_(new uint8_t[capacity_]) {}
 
   CircularBuffer(const CircularBuffer&) = delete;

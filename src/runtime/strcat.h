@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <type_traits>
+
+/// \file strcat.h
+/// Small string concatenation helper. Builds the result with += rather than
+/// chained operator+: GCC 12 spuriously diagnoses the libstdc++
+/// operator+(const char*, std::string&&) overload under -Wrestrict when it
+/// inlines aggressively (GCC PR 105651), which breaks -Werror builds.
+/// StrCat sidesteps the buggy overload entirely and avoids the intermediate
+/// temporaries of a + chain.
+
+namespace saber {
+
+inline void StrAppend(std::string& out, const std::string& s) { out += s; }
+inline void StrAppend(std::string& out, const char* s) { out += s; }
+inline void StrAppend(std::string& out, char c) { out += c; }
+
+template <typename T,
+          typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                      !std::is_same_v<T, char>>>
+inline void StrAppend(std::string& out, T v) {
+  out += std::to_string(v);
+}
+
+/// StrCat("line ", 42, ": bad field") -> "line 42: bad field"
+template <typename... Parts>
+std::string StrCat(const Parts&... parts) {
+  std::string out;
+  (StrAppend(out, parts), ...);
+  return out;
+}
+
+}  // namespace saber

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include "runtime/strcat.h"
 
 namespace saber::sql {
 
@@ -123,11 +124,11 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
           i += 2;
           break;
         }
-        return Status::InvalidArgument("unexpected '!' at offset " +
-                                       std::to_string(pos));
+        return Status::InvalidArgument(
+            StrCat("unexpected '!' at offset ", pos));
       default:
-        return Status::InvalidArgument(std::string("unexpected character '") +
-                                       c + "' at offset " + std::to_string(pos));
+        return Status::InvalidArgument(
+            StrCat("unexpected character '", c, "' at offset ", pos));
     }
   }
   Token end;

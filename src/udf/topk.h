@@ -5,6 +5,7 @@
 #include "core/query.h"
 #include "core/window_udf.h"
 #include "relational/expression.h"
+#include "runtime/strcat.h"
 
 /// \file topk.h
 /// Per-window top-K as a UDF: the K groups with the largest aggregate weight
@@ -26,7 +27,7 @@ class TopKUdf final : public WindowUdf {
     SABER_CHECK(k_ > 0);
   }
 
-  std::string name() const override { return "top" + std::to_string(k_); }
+  std::string name() const override { return StrCat("top", k_); }
 
   Schema DeriveOutputSchema(const Schema* inputs, int n) const override;
 

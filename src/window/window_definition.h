@@ -5,6 +5,7 @@
 #include <string>
 
 #include "runtime/status.h"
+#include "runtime/strcat.h"
 
 /// \file window_definition.h
 /// Window specifications ω(s, l) of §2.4: count-based (size/slide measured in
@@ -51,8 +52,8 @@ struct WindowDefinition {
 
   std::string ToString() const {
     if (unbounded) return "w(unbounded)";
-    return std::string("w(") + (time_based() ? "time," : "count,") +
-           std::to_string(size) + "," + std::to_string(slide) + ")";
+    return StrCat("w(", time_based() ? "time," : "count,", size, ",", slide,
+                  ")");
   }
 
   bool operator==(const WindowDefinition& o) const {

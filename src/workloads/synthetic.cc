@@ -1,8 +1,10 @@
 #include "workloads/synthetic.h"
 
 #include <random>
+#include <string>
 
 #include "relational/tuple_ref.h"
+#include "runtime/strcat.h"
 
 namespace saber::syn {
 
@@ -32,11 +34,11 @@ std::vector<uint8_t> Generate(size_t n, const GeneratorOptions& opts) {
 
 QueryDef MakeProjection(int m, int expr_chain, WindowDefinition w) {
   Schema s = SyntheticSchema();
-  QueryBuilder b("PROJ" + std::to_string(m), s);
+  QueryBuilder b(StrCat("PROJ", m), s);
   b.Window(w);
   b.Select(Col(s, "timestamp"), "timestamp");
   for (int i = 0; i < m; ++i) {
-    const std::string name = "a" + std::to_string(i % 6 + 1);
+    const std::string name = StrCat("a", i % 6 + 1);
     ExprPtr e = Col(s, name);
     for (int c = 0; c < expr_chain; ++c) {
       e = Add(Mul(e, Lit(3)), Lit(1));
@@ -48,11 +50,11 @@ QueryDef MakeProjection(int m, int expr_chain, WindowDefinition w) {
 
 QueryDef MakeSelection(int n, int attr_range, WindowDefinition w) {
   Schema s = SyntheticSchema();
-  QueryBuilder b("SELECT" + std::to_string(n), s);
+  QueryBuilder b(StrCat("SELECT", n), s);
   b.Window(w);
   std::vector<ExprPtr> preds;
   for (int i = 0; i < n; ++i) {
-    const std::string name = "a" + std::to_string(i % 5 + 2);  // int attrs
+    const std::string name = StrCat("a", i % 5 + 2);  // int attrs
     preds.push_back(Eq(Col(s, name), Lit(i % attr_range)));
   }
   b.Where(n == 1 ? preds[0] : Or(std::move(preds)));
@@ -61,11 +63,11 @@ QueryDef MakeSelection(int n, int attr_range, WindowDefinition w) {
 
 QueryDef MakeGatedSelection(int n, ExprPtr gate, WindowDefinition w) {
   Schema s = SyntheticSchema();
-  QueryBuilder b("SELECTgated" + std::to_string(n), s);
+  QueryBuilder b(StrCat("SELECTgated", n), s);
   b.Window(w);
   std::vector<ExprPtr> rest;
   for (int i = 0; i < n - 1; ++i) {
-    const std::string name = "a" + std::to_string(i % 5 + 2);
+    const std::string name = StrCat("a", i % 5 + 2);
     rest.push_back(Eq(Mod(Add(Col(s, name), Lit(i)), Lit(1 << 20)), Lit(-1)));
   }
   if (rest.empty()) {
@@ -98,7 +100,7 @@ QueryDef MakeAggregationAll(WindowDefinition w) {
 
 QueryDef MakeGroupBy(int o, WindowDefinition w) {
   Schema s = SyntheticSchema();
-  QueryBuilder b("GROUP-BY" + std::to_string(o), s);
+  QueryBuilder b(StrCat("GROUP-BY", o), s);
   b.Window(w);
   b.GroupBy({Mod(Col(s, "a4"), Lit(o))}, {"grp"});
   b.Aggregate(AggregateFunction::kCount, nullptr, "cnt");
@@ -108,11 +110,11 @@ QueryDef MakeGroupBy(int o, WindowDefinition w) {
 
 QueryDef MakeJoin(int r, WindowDefinition w, int match_mod) {
   Schema s = SyntheticSchema();
-  QueryBuilder b("JOIN" + std::to_string(r), s, s);
+  QueryBuilder b(StrCat("JOIN", r), s, s);
   b.Window(w);
   std::vector<ExprPtr> preds;
   for (int i = 0; i < r - 1; ++i) {
-    const std::string name = "a" + std::to_string(i % 5 + 2);
+    const std::string name = StrCat("a", i % 5 + 2);
     // Always true, but costs an evaluation per pair per predicate.
     preds.push_back(Ge(Add(Col(s, name), Col(s, name, Side::kRight)), Lit(0)));
   }

@@ -5,6 +5,7 @@
 
 #include "core/engine.h"
 #include "reference/reference.h"
+#include "runtime/strcat.h"
 #include "test_util.h"
 #include "workloads/synthetic.h"
 
@@ -42,7 +43,7 @@ ExprPtr RandomPredicate(Rng& r, const Schema& s) {
   std::vector<ExprPtr> terms;
   const int n = r.Int(1, 4);
   for (int i = 0; i < n; ++i) {
-    ExprPtr col = Col(s, "a" + std::to_string(r.Int(2, 6)));
+    ExprPtr col = Col(s, StrCat("a", r.Int(2, 6)));
     ExprPtr lit = Lit(static_cast<int64_t>(r.Int(0, 9)));
     switch (r.Int(0, 3)) {
       case 0: terms.push_back(Gt(std::move(col), std::move(lit))); break;
@@ -66,9 +67,9 @@ QueryDef RandomQuery(Rng& r) {
       b.Select(ColAt(s, 0), "timestamp");
       const int m = r.Int(1, 4);
       for (int i = 0; i < m; ++i) {
-        b.Select(Add(Col(s, "a" + std::to_string(r.Int(1, 6))),
+        b.Select(Add(Col(s, StrCat("a", r.Int(1, 6))),
                      Lit(static_cast<int64_t>(i))),
-                 "c" + std::to_string(i));
+                 StrCat("c", i));
       }
       return b.Build();
     }
@@ -83,7 +84,7 @@ QueryDef RandomQuery(Rng& r) {
           AggregateFunction::kMax};
       for (int i = 0; i < na; ++i) {
         b.Aggregate(fns[r.Int(0, 4)], Col(s, "a1"),
-                    "agg" + std::to_string(i));
+                    StrCat("agg", i));
       }
       return b.Build();
     }

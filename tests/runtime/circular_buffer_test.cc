@@ -15,6 +15,15 @@ TEST(CircularBuffer, CapacityRoundsUpToUnit) {
   EXPECT_EQ(b.unit(), 32u);
 }
 
+TEST(CircularBuffer, CapacityRoundsUpToNonPowerOfTwoUnit) {
+  // Regression: tuple sizes are usually not powers of two (e.g. 20 bytes).
+  // A capacity that is not an exact multiple of the unit lets tuples
+  // straddle the physical wrap point and read past the allocation.
+  CircularBuffer b(64 * 1024, 20);
+  EXPECT_EQ(b.capacity() % 20, 0u);
+  EXPECT_GE(b.capacity(), 64u * 1024u);
+}
+
 TEST(CircularBuffer, InsertAndRead) {
   CircularBuffer b(64);
   const char data[] = "hello world!";

@@ -173,7 +173,7 @@ inline ::testing::AssertionResult BuffersEqual(const ByteBuffer& got,
            << got.size() / row_size << " rows), want " << want.size()
            << " bytes (" << want.size() / row_size << " rows)";
   }
-  if (std::memcmp(got.data(), want.data(), got.size()) != 0) {
+  if (got.size() > 0 && std::memcmp(got.data(), want.data(), got.size()) != 0) {
     for (size_t off = 0; off < got.size(); off += row_size) {
       if (std::memcmp(got.data() + off, want.data() + off, row_size) != 0) {
         return ::testing::AssertionFailure()
