@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "runtime/clock.h"
+#include "runtime/strcat.h"
 
 /// \file bench_util.h
 /// Shared harness for the figure-reproduction benchmarks. Each bench binary
@@ -40,6 +43,8 @@ struct RunResult {
   int64_t rows_out = 0;
   int64_t cpu_bytes = 0;
   int64_t gpu_bytes = 0;
+  int64_t cpu_tasks = 0;
+  int64_t gpu_tasks = 0;
   int64_t p50_latency_us = 0;
   int64_t p99_latency_us = 0;
 
@@ -113,6 +118,8 @@ inline RunResult Collect(QueryHandle* q, double seconds) {
   r.rows_out = q->rows_out();
   r.cpu_bytes = q->bytes_on(Processor::kCpu);
   r.gpu_bytes = q->bytes_on(Processor::kGpu);
+  r.cpu_tasks = q->tasks_on(Processor::kCpu);
+  r.gpu_tasks = q->tasks_on(Processor::kGpu);
   r.p50_latency_us = q->latency().PercentileNanos(50) / 1000;
   r.p99_latency_us = q->latency().PercentileNanos(99) / 1000;
   return r;
@@ -187,5 +194,97 @@ inline void PrintHeader(const std::string& title,
 inline void PrintCell(double v) { std::printf("%16.3f", v); }
 inline void PrintCell(const std::string& s) { std::printf("%16s", s.c_str()); }
 inline void EndRow() { std::printf("\n"); }
+
+// ---------------------------------------------------------------------------
+// Machine-readable emission: benchmarks that feed the perf trajectory write
+// a flat JSON document (BENCH_<name>.json) that CI publishes as an artifact.
+// ---------------------------------------------------------------------------
+
+/// An ordered flat JSON object (string / integer / double fields only —
+/// enough for benchmark records without pulling in a JSON library).
+class JsonObject {
+ public:
+  JsonObject& Str(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, StrCat("\"", Escape(v), "\""));
+    return *this;
+  }
+  JsonObject& Int(const std::string& key, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& Num(const std::string& key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& Bool(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      StrAppend(out, StrCat("\"", Escape(fields_[i].first), "\": "));
+      out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes {"bench": name, <meta fields>, "results": [...]} to `path`.
+/// Returns false (and prints to stderr) on I/O failure.
+inline bool WriteBenchJson(const std::string& path, const std::string& name,
+                           const JsonObject& meta,
+                           const std::vector<JsonObject>& results) {
+  std::string doc = StrCat("{\"bench\": \"", JsonObject::Escape(name), "\"");
+  const std::string meta_body = meta.Render();
+  if (meta_body.size() > 2) {  // not the empty object
+    doc += ", ";
+    doc += meta_body.substr(1, meta_body.size() - 2);
+  }
+  doc += ", \"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) doc += ", ";
+    doc += results[i].Render();
+  }
+  doc += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
 
 }  // namespace saber::bench

@@ -1,0 +1,133 @@
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+/// \file sched_hot_path.cc
+/// Scheduler hot-path microbenchmark: drives the dispatch → HLS-select →
+/// execute → reorder pipeline (§4, Fig. 4) with a deliberately small query
+/// task size (φ = 4 KiB by default, the low-latency regime of Fig. 12) so
+/// that throughput is bounded by the per-task scheduling path rather than by
+/// operator work. Measures tasks/s and end-to-end task latency for
+/// {cpu, gpu, hybrid} × {fcfs, hls, static} and emits BENCH_sched.json,
+/// seeding the perf trajectory.
+///
+/// Flags: --quick (CI-sized run), --phi <bytes>, --out <path>.
+
+namespace saber::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  int cpu_workers;
+  bool use_gpu;
+};
+
+struct Policy {
+  const char* name;
+  SchedulerKind kind;
+};
+
+EngineOptions MakeOptions(const Config& c, const Policy& p, size_t phi) {
+  EngineOptions o;
+  o.num_cpu_workers = c.cpu_workers;
+  o.use_gpu = c.use_gpu;
+  // Scheduling-path benchmark: transfer pacing off so the select/reorder
+  // stages, not the modeled PCIe bus, bound the small tasks.
+  o.device.pace_transfers = false;
+  o.device.num_executors = 2;
+  o.device.pipeline_depth = 4;
+  o.task_size = phi;
+  o.input_buffer_size = size_t{8} << 20;
+  o.scheduler = p.kind;
+  if (p.kind == SchedulerKind::kStatic) {
+    // Single-query static baseline: pin to the "fast" processor present.
+    o.static_assignment[0] =
+        c.use_gpu ? Processor::kGpu : Processor::kCpu;
+  }
+  return o;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  size_t phi = 4096;
+  std::string out = "BENCH_sched.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--phi") == 0 && i + 1 < argc) {
+      phi = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--phi bytes] [--out path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t tuples = quick ? 100'000 : 400'000;
+  const int repeats = quick ? 1 : 3;
+  const auto data = syn::Generate(tuples);
+
+  const Config configs[] = {
+      {"cpu", 2, false},
+      {"gpu", 0, true},
+      {"hybrid", 2, true},
+  };
+  const Policy policies[] = {
+      {"fcfs", SchedulerKind::kFcfs},
+      {"hls", SchedulerKind::kHls},
+      {"static", SchedulerKind::kStatic},
+  };
+
+  PrintHeader(StrCat("scheduler hot path, phi = ", phi, " B"),
+              {"config", "sched", "tasks/s", "Mtuples/s", "p50 us", "p99 us",
+               "gpu share"});
+  std::vector<JsonObject> results;
+  for (const Config& c : configs) {
+    for (const Policy& p : policies) {
+      QueryDef def = syn::MakeProjection(1);
+      RunResult r =
+          RunSaber(MakeOptions(c, p, phi), std::move(def), data, repeats);
+      const double tasks_per_sec =
+          r.seconds > 0
+              ? static_cast<double>(r.cpu_tasks + r.gpu_tasks) / r.seconds
+              : 0.0;
+      PrintCell(std::string(c.name));
+      PrintCell(std::string(p.name));
+      PrintCell(tasks_per_sec);
+      PrintCell(r.mtuples());
+      PrintCell(static_cast<double>(r.p50_latency_us));
+      PrintCell(static_cast<double>(r.p99_latency_us));
+      PrintCell(r.gpu_share());
+      EndRow();
+      JsonObject rec;
+      rec.Str("config", c.name)
+          .Str("scheduler", p.name)
+          .Num("tasks_per_sec", tasks_per_sec)
+          .Num("mtuples_per_sec", r.mtuples())
+          .Int("p50_latency_us", r.p50_latency_us)
+          .Int("p99_latency_us", r.p99_latency_us)
+          .Num("gpu_share", r.gpu_share())
+          .Num("seconds", r.seconds);
+      results.push_back(std::move(rec));
+    }
+  }
+
+  JsonObject meta;
+  meta.Int("phi_bytes", static_cast<int64_t>(phi))
+      .Int("tuples", static_cast<int64_t>(tuples))
+      .Int("repeats", repeats)
+      .Bool("quick", quick);
+  return WriteBenchJson(out, "sched_hot_path", meta, results) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace saber::bench
+
+int main(int argc, char** argv) { return saber::bench::Run(argc, argv); }

@@ -14,6 +14,8 @@ constexpr int kEmpty = 0;
 constexpr int kStored = 1;
 }  // namespace
 
+thread_local bool Engine::in_worker_thread_ = false;
+
 // ===========================================================================
 // QueryHandle forwarding.
 // ===========================================================================
@@ -22,6 +24,10 @@ void QueryHandle::InsertInto(int input, const void* tuples, size_t bytes) {
   engine_->InsertInto(index_, input, tuples, bytes);
 }
 void QueryHandle::SetSink(std::function<void(const uint8_t*, size_t)> sink) {
+  // Same guard as Engine::Connect: workers invoke the sink from TryAssemble
+  // without synchronization, so swapping it mid-run is a data race on the
+  // std::function (and UB if a call is in flight).
+  SABER_CHECK(!engine_->running_.load());
   engine_->queries_[index_]->sink = std::move(sink);
 }
 const QueryDef& QueryHandle::def() const {
@@ -128,6 +134,9 @@ void Engine::Start() {
   matrix_ = std::make_unique<ThroughputMatrix>(queries_.size(),
                                                options_.matrix_initial_rate,
                                                options_.matrix_update_nanos);
+  // Rate drift can flip task preferences: instead of re-polling the queue on
+  // a timer, blocked workers are woken whenever the matrix publishes.
+  matrix_->SetRefreshListener([this] { task_queue_->OnEligibilityChanged(); });
   stopping_.store(false);
   for (int i = 0; i < options_.num_cpu_workers; ++i) {
     workers_.emplace_back([this, i] { CpuWorkerLoop(i); });
@@ -139,18 +148,38 @@ void Engine::Start() {
 
 void Engine::Drain() {
   if (!running_.load()) return;
-  for (;;) {
+  // A single snapshot reads the queries in a fixed order, so a connected
+  // query's sink dispatch can slip between the downstream-counter read and
+  // the upstream-counter read: Drain would see both "idle" while a freshly
+  // pushed downstream task sits in the queue, and Stop() would abandon it.
+  // Each full re-read is ordered after the previous one and therefore
+  // observes any dispatch that preceded a counter value the previous pass
+  // already saw — a chain of connected queries can fool at most one pass
+  // per hop, so queries_.size() + 1 consecutive idle passes are conclusive.
+  auto idle_snapshot = [&] {
     bool idle = task_queue_->empty();
     for (auto& qs : queries_) {
-      idle = idle &&
+      idle = idle && !qs->assembling.load(std::memory_order_acquire) &&
              qs->tasks_assembled.load() == qs->tasks_dispatched.load();
+    }
+    return idle;
+  };
+  for (;;) {
+    // The generation is read before the idleness check: an assembly that
+    // completes between the check and the wait bumps it, so the wait
+    // returns immediately instead of losing the wakeup.
+    const uint32_t gen = assembly_gen_.load(std::memory_order_acquire);
+    bool idle = true;
+    for (size_t pass = 0; pass <= queries_.size() && idle; ++pass) {
+      idle = idle_snapshot();
     }
     if (idle) {
       bool flushed = false;
       for (auto& qs : queries_) flushed = FlushRemainder(*qs) || flushed;
       if (!flushed) break;
+      continue;  // remainder tasks dispatched: wait for their assemblies
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    assembly_gen_.wait(gen, std::memory_order_acquire);
   }
   Stop();
 }
@@ -159,6 +188,11 @@ void Engine::Stop() {
   if (!running_.load()) return;
   stopping_.store(true);
   task_queue_->Close();
+  // Producers may be blocked on input-buffer back-pressure; they re-check
+  // stopping_ once the free channel is signalled.
+  for (auto& qs : queries_) {
+    for (int i = 0; i < qs->def.num_inputs; ++i) qs->buffer[i]->WakeProducer();
+  }
   for (auto& w : workers_) w.join();
   workers_.clear();
   for (QueryTask* t : task_queue_->DrainRemaining()) {
@@ -192,12 +226,17 @@ void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) 
   const uint8_t* src = static_cast<const uint8_t*>(tuples);
   for (size_t off = 0; off < bytes;) {
     const size_t chunk = std::min(max_chunk, bytes - off);
-    while (!buf.TryInsert(src + off, chunk)) {
+    for (;;) {
+      // Epoch before the attempt: a free landing after this read makes the
+      // wait below return immediately (no lost wakeup).
+      const uint32_t epoch = buf.free_epoch();
+      if (buf.TryInsert(src + off, chunk)) break;
       // Back-pressure: the result stage frees space as assemblies complete.
-      // Make sure pending data has been turned into tasks workers can run.
+      // Make sure pending data has been turned into tasks workers can run,
+      // then sleep until FreeUpTo (or shutdown) signals the free channel.
       TryCreateTasks(qs);
-      std::this_thread::sleep_for(std::chrono::microseconds(20));
       if (stopping_.load()) return;
+      buf.WaitFreeEpoch(epoch);
     }
     off += chunk;
     const uint8_t* last = src + off - tsz;
@@ -411,7 +450,13 @@ bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
 
 void Engine::PushTask(QueryState& qs, QueryTask* task) {
   qs.tasks_dispatched.fetch_add(1);
-  if (!task_queue_->Push(task)) {
+  // policy/matrix let Push wake only the processors that could select this
+  // task (matrix_ is null before Start: Push then wakes everyone). Worker
+  // threads dispatch connected-query tasks from inside the result stage and
+  // must never block on queue capacity (see TaskQueue::Push): the queue
+  // only drains through them.
+  if (!task_queue_->Push(task, policy_.get(), matrix_.get(),
+                         /*force=*/in_worker_thread_)) {
     // Engine stopping: recycle the task.
     qs.tasks_dispatched.fetch_sub(1);
     task_pool_->Release(std::unique_ptr<QueryTask>(task));
@@ -457,6 +502,7 @@ TaskContext Engine::BuildContext(QueryState& qs, const QueryTask& t) const {
 }
 
 void Engine::CpuWorkerLoop(int /*worker_id*/) {
+  in_worker_thread_ = true;
   for (;;) {
     QueryTask* t = task_queue_->Select(*policy_, Processor::kCpu, *matrix_);
     if (t == nullptr) {
@@ -478,31 +524,44 @@ void Engine::CpuWorkerLoop(int /*worker_id*/) {
 }
 
 void Engine::GpuWorkerLoop() {
-  struct Completed {
-    QueryTask* task;
-    TaskResult* result;
+  in_worker_thread_ = true;
+  struct Event {
+    QueryTask* task = nullptr;  // nullptr: task-availability ping
+    TaskResult* result = nullptr;
   };
-  BlockingQueue<Completed> completed(0);
+  // The worker's single select point: device completions and task-queue
+  // availability pings both land here, so the loop blocks on exactly one
+  // queue — no polling sleep, and completions cannot stall behind a blocked
+  // scheduler wait (which would deadlock the free-pointer chain under
+  // back-pressure).
+  BlockingQueue<Event> events(0);
+  // Collapses bursts of availability notifications into one queued ping;
+  // cleared before the next queue scan so nothing is lost.
+  std::atomic<bool> ping_pending{false};
+  task_queue_->SetAvailabilityListener(
+      Processor::kGpu, [&events, &ping_pending] {
+        if (!ping_pending.exchange(true, std::memory_order_acq_rel)) {
+          events.Push(Event{});
+        }
+      });
+
   size_t inflight = 0;
   const size_t depth = options_.device.pipeline_depth;
 
-  auto drain_one = [&](bool block) -> bool {
-    auto c = block ? completed.Pop() : completed.TryPop();
-    if (!c.has_value()) return false;
-    QueryState& qs = *queries_[c->task->query_index];
-    matrix_->RecordCompletion(c->task->query_index, Processor::kGpu);
-    StoreAndAssemble(qs, c->task, c->result, Processor::kGpu);
+  auto handle = [&](Event& e) {
+    if (e.task == nullptr) {
+      ping_pending.store(false, std::memory_order_release);
+      return;
+    }
+    QueryState& qs = *queries_[e.task->query_index];
+    matrix_->RecordCompletion(e.task->query_index, Processor::kGpu);
+    StoreAndAssemble(qs, e.task, e.result, Processor::kGpu);
     --inflight;
-    return true;
   };
 
   for (;;) {
-    bool progressed = false;
-    while (drain_one(/*block=*/false)) progressed = true;
-    if (stopping_.load() && inflight == 0) {
-      if (!drain_one(false)) return;
-    }
-    if (inflight < depth) {
+    for (Event& e : events.PopAll()) handle(e);
+    if (inflight < depth && !stopping_.load()) {
       QueryTask* t = task_queue_->Select(*policy_, Processor::kGpu, *matrix_,
                                          /*wait=*/false);
       if (t != nullptr) {
@@ -514,24 +573,24 @@ void Engine::GpuWorkerLoop() {
         r->task_id = t->id;
         r->dispatched_nanos = t->dispatched_nanos;
         r->input_bytes = t->total_bytes;
-        qs.gpu_op->SubmitAsync(ctx, r, [&completed, t, r] {
-          completed.Push(Completed{t, r});
+        qs.gpu_op->SubmitAsync(ctx, r, [&events, t, r] {
+          events.Push(Event{t, r});
         });
         ++inflight;
-        progressed = true;
+        continue;  // keep filling the pipeline while tasks are eligible
       }
     }
-    if (!progressed) {
-      if (inflight > 0) {
-        drain_one(/*block=*/true);
-      } else {
-        // Poll aggressively: when the dispatcher bounds the system the queue
-        // is shallow, and a lazy GPGPU worker would lose every race for
-        // tasks against the cv-blocked CPU workers.
-        std::this_thread::sleep_for(std::chrono::microseconds(20));
-      }
-    }
+    if (stopping_.load() && inflight == 0) break;
+    // Nothing to submit: block until a completion or an availability ping
+    // arrives. Close() fires the availability listener, so shutdown wakes
+    // this wait too; in-flight completions keep arriving from the device
+    // stage threads, which outlive the worker.
+    if (auto e = events.Pop()) handle(*e);
   }
+  // Detach under the queue lock before `events`/`ping_pending` go out of
+  // scope: a CPU worker inside a notify could otherwise invoke the listener
+  // after the captured locals are destroyed.
+  task_queue_->SetAvailabilityListener(Processor::kGpu, nullptr);
 }
 
 // ===========================================================================
@@ -567,11 +626,12 @@ void Engine::StoreAndAssemble(QueryState& qs, QueryTask* task,
 }
 
 void Engine::TryAssemble(QueryState& qs) {
+  bool assembled_any = false;
   for (;;) {
     bool expected = false;
     if (!qs.assembling.compare_exchange_strong(expected, true,
                                                std::memory_order_acquire)) {
-      return;  // another worker holds the assembly token
+      break;  // another worker holds the assembly token
     }
     bool did_work = false;
     for (;;) {
@@ -623,12 +683,18 @@ void Engine::TryAssemble(QueryState& qs) {
       did_work = true;
     }
     qs.assembling.store(false, std::memory_order_release);
-    (void)did_work;
+    assembled_any = assembled_any || did_work;
     // Re-check: a result may have been stored between the loop exit and the
     // token release; without this re-acquisition it could wait forever.
     const int64_t id = qs.next_assemble.load(std::memory_order_acquire);
     Slot& slot = *qs.slots[static_cast<size_t>(id) % QueryState::kSlots];
-    if (slot.status.load(std::memory_order_acquire) != kStored) return;
+    if (slot.status.load(std::memory_order_acquire) != kStored) break;
+  }
+  if (assembled_any) {
+    // Signal the drained channel once per assembly batch (outside the
+    // token, so a blocked Drain never waits on a worker holding it).
+    assembly_gen_.fetch_add(1, std::memory_order_release);
+    assembly_gen_.notify_all();
   }
 }
 

@@ -132,7 +132,8 @@ class Engine {
 
   /// Flushes sub-batch remainders and blocks until every dispatched task has
   /// been executed and assembled (including tasks spawned through query
-  /// connections), then stops the workers.
+  /// connections), then stops the workers. Event-driven: sleeps on the
+  /// assembly-completion channel instead of polling.
   void Drain();
 
   /// Immediate stop (pending tasks are abandoned).
@@ -236,6 +237,20 @@ class Engine {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+
+  /// True on engine worker threads (CPU workers and the GPGPU worker).
+  /// Worker-context task dispatch — a connected query's sink running inside
+  /// the result stage — must bypass the task queue's capacity bound, or a
+  /// worker holding an assembly token can deadlock against its own queue
+  /// (see TaskQueue::Push).
+  static thread_local bool in_worker_thread_;
+
+  /// Drain's wakeup channel (the "drained condition"): bumped (futex
+  /// notify) by TryAssemble after every assembly batch; Drain reads it
+  /// before its idleness check and sleeps until it changes, so a completion
+  /// landing mid-check is never lost. 32-bit for the raw-futex fast path;
+  /// wrap-around is harmless (inequality compare only).
+  std::atomic<uint32_t> assembly_gen_{0};
 };
 
 }  // namespace saber

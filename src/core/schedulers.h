@@ -1,9 +1,9 @@
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,28 +27,87 @@
 ///
 /// Policies run under the queue lock; the scan is bounded by a lookahead cap
 /// to keep the critical section short on deep queues.
+///
+/// Wakeup protocol (event-driven, no timed re-polls): a policy may refuse
+/// the current queue contents for a processor (HLS lookahead), so a worker
+/// that found nothing blocks on its processor's condition variable and is
+/// woken only when eligibility could have changed —
+///
+///   - Push notifies the processors in the policy's EligibleProcessors mask
+///     for the new task (the queue prefix is untouched by an append, so no
+///     other eligibility changes);
+///   - a successful Select notifies everyone: it shifted the lookahead
+///     window and mutated the switch counts (Alg. 1 lines 7-8), either of
+///     which can make previously refused tasks eligible;
+///   - the throughput matrix calls OnEligibilityChanged when it publishes
+///     new rates (preferences may flip);
+///   - Close wakes everybody for shutdown.
+///
+/// Failed scans additionally persist a per-processor ScanState — the "first
+/// plausible position" hint — so that after an append the re-scan resumes at
+/// the queue tail with the prefix's accumulated delay instead of walking the
+/// whole queue again under the lock. Every event other than Push invalidates
+/// the hints.
 
 namespace saber {
+
+/// Resumable scan state: positions [0, resume_pos) of the queue have been
+/// proven ineligible for one processor under the current rates and switch
+/// counts, with `resume_delay` the preferred-processor delay accumulated
+/// over that prefix (Alg. 1 line 10). Valid only between a failed scan and
+/// the next eligibility mutation; appends are the only queue change that
+/// preserves it.
+struct ScanState {
+  size_t resume_pos = 0;
+  double resume_delay = 0.0;
+};
 
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   /// Selects and removes the task this worker should run, or nullptr if no
-  /// eligible task exists. Called with the queue contents under lock.
+  /// eligible task exists. Called with the queue contents under lock. `scan`
+  /// (optional) resumes a previously failed scan and is updated in place on
+  /// failure.
   virtual QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
-                            ThroughputMatrix& matrix) = 0;
+                            ThroughputMatrix& matrix,
+                            ScanState* scan = nullptr) = 0;
+
+  /// Which processors could plausibly select `task`, just appended to the
+  /// queue tail. Used for targeted wakeups; over-approximation is safe
+  /// (woken workers re-run Select), missing a processor is not. The default
+  /// wakes everyone.
+  virtual ProcessorMask EligibleProcessors(const QueryTask& task,
+                                           bool queue_was_empty,
+                                           const ThroughputMatrix& matrix) const {
+    (void)task;
+    (void)queue_was_empty;
+    (void)matrix;
+    return kAllProcessors;
+  }
+
+  /// Whether removing a task can make a previously refused task eligible
+  /// for some processor. True for HLS (the selection mutates switch counts
+  /// and shifts the lookahead window); FCFS and Static eligibility is
+  /// per-task and fixed, so their removals need no broadcast. Defaults to
+  /// true — the safe answer for policies that don't know.
+  virtual bool RemovalChangesEligibility() const { return true; }
 };
 
 class FcfsScheduler final : public Scheduler {
  public:
   QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
-                    ThroughputMatrix& matrix) override {
+                    ThroughputMatrix& matrix,
+                    ScanState* scan = nullptr) override {
+    (void)scan;  // FCFS only ever looks at the head
     if (queue.empty()) return nullptr;
     QueryTask* t = queue.front();
     queue.pop_front();
     matrix.IncrementCount(t->query_index, p);
     return t;
   }
+
+  bool RemovalChangesEligibility() const override { return false; }
 };
 
 class StaticScheduler final : public Scheduler {
@@ -57,21 +116,39 @@ class StaticScheduler final : public Scheduler {
       : assignment_(std::move(assignment)) {}
 
   QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
-                    ThroughputMatrix& matrix) override {
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-      auto a = assignment_.find((*it)->query_index);
-      const Processor want = a == assignment_.end() ? Processor::kCpu : a->second;
-      if (want == p) {
+                    ThroughputMatrix& matrix,
+                    ScanState* scan = nullptr) override {
+    // Assignment is fixed per query, so a previously refused prefix stays
+    // refused: resume where the last failed scan stopped.
+    size_t pos = scan == nullptr ? 0 : std::min(scan->resume_pos, queue.size());
+    for (; pos < queue.size(); ++pos) {
+      if (Assigned((*(queue.begin() + static_cast<long>(pos)))->query_index) ==
+          p) {
+        auto it = queue.begin() + static_cast<long>(pos);
         QueryTask* t = *it;
         queue.erase(it);
         matrix.IncrementCount(t->query_index, p);
         return t;
       }
     }
+    if (scan != nullptr) scan->resume_pos = pos;
     return nullptr;
   }
 
+  ProcessorMask EligibleProcessors(const QueryTask& task, bool /*was_empty*/,
+                                   const ThroughputMatrix& /*matrix*/)
+      const override {
+    return ProcessorBit(Assigned(task.query_index));
+  }
+
+  bool RemovalChangesEligibility() const override { return false; }
+
  private:
+  Processor Assigned(int query) const {
+    auto a = assignment_.find(query);
+    return a == assignment_.end() ? Processor::kCpu : a->second;
+  }
+
   std::map<int, Processor> assignment_;
 };
 
@@ -92,13 +169,15 @@ class HlsScheduler final : public Scheduler {
   }
 
   QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
-                    ThroughputMatrix& matrix) override {
+                    ThroughputMatrix& matrix,
+                    ScanState* scan = nullptr) override {
     const Processor other =
         p == Processor::kCpu ? Processor::kGpu : Processor::kCpu;
     const bool have_other = enabled_[static_cast<int>(other)];
-    double delay = 0.0;                                     // line 2
+    double delay = scan == nullptr ? 0.0 : scan->resume_delay;  // line 2
+    size_t pos = scan == nullptr ? 0 : std::min(scan->resume_pos, queue.size());
     const size_t limit = std::min(queue.size(), lookahead_cap_);
-    for (size_t pos = 0; pos < limit; ++pos) {              // line 3
+    for (; pos < limit; ++pos) {                            // line 3
       QueryTask* v = queue[pos];
       const int q = v->query_index;                         // line 4
       Processor ppref = matrix.Preferred(q);                // line 5
@@ -122,7 +201,43 @@ class HlsScheduler final : public Scheduler {
       }
       delay += 1.0 / matrix.Rate(q, ppref);                 // line 10
     }
+    if (scan != nullptr) {
+      scan->resume_pos = pos;
+      scan->resume_delay = delay;
+    }
     return nullptr;                                         // nothing eligible
+  }
+
+  ProcessorMask EligibleProcessors(const QueryTask& task, bool queue_was_empty,
+                                   const ThroughputMatrix& matrix)
+      const override {
+    const int q = task.query_index;
+    const Processor ppref = matrix.Preferred(q);
+    if (!enabled_[static_cast<int>(ppref)]) {
+      // No workers on the preferred processor: the task prefers whoever
+      // asks, so any enabled processor can take it.
+      ProcessorMask m = 0;
+      for (int pi = 0; pi < kNumProcessors; ++pi) {
+        if (enabled_[pi]) m |= ProcessorBit(static_cast<Processor>(pi));
+      }
+      return m;
+    }
+    const Processor other =
+        ppref == Processor::kCpu ? Processor::kGpu : Processor::kCpu;
+    const bool have_other = enabled_[static_cast<int>(other)];
+    ProcessorMask m = 0;
+    // Line 6 case (i): the preferred processor can take the new task unless
+    // the switch threshold forces exploration on the other one.
+    if (!have_other || matrix.Count(q, ppref) < st_) m |= ProcessorBit(ppref);
+    // Line 6 case (ii): the other processor can steal when the threshold is
+    // exceeded, or — only if tasks sit ahead of this one — when accumulated
+    // delay might justify it. An empty queue means zero delay, and with
+    // finite rates (kMinRate floor) zero delay never justifies a steal.
+    if (have_other &&
+        (matrix.Count(q, ppref) >= st_ || !queue_was_empty)) {
+      m |= ProcessorBit(other);
+    }
+    return m;
   }
 
  private:
@@ -132,38 +247,90 @@ class HlsScheduler final : public Scheduler {
 };
 
 /// The single system-wide queue of query tasks (Fig. 4). Bounded: Push
-/// blocks when full, providing dispatch back-pressure.
+/// blocks when full, providing dispatch back-pressure. Worker wakeups are
+/// event-driven (see the file comment for the protocol); there is no timed
+/// re-poll anywhere in the steady state.
 class TaskQueue {
  public:
   explicit TaskQueue(size_t capacity) : capacity_(capacity) {}
 
-  /// Returns false if the queue has been closed.
-  bool Push(QueryTask* task) {
+  /// Returns false if the queue has been closed. When `policy` and `matrix`
+  /// are supplied, only workers whose processor could plausibly select the
+  /// new task are woken; otherwise all waiters are.
+  ///
+  /// `force` bypasses the capacity bound (never the closed check). Worker
+  /// threads MUST pass force=true when they dispatch tasks from the result
+  /// stage (a connected query's sink): the queue drains *through* the
+  /// workers, so a worker blocking here while it holds an assembly token
+  /// deadlocks the engine — every other worker may be refusing the queued
+  /// (e.g. all GPGPU-preferred) tasks, and the one processor that would
+  /// take them is the one stuck in Push. Memory stays bounded anyway: live
+  /// tasks are capped by input-buffer capacity / φ per query.
+  bool Push(QueryTask* task, Scheduler* policy = nullptr,
+            const ThroughputMatrix* matrix = nullptr, bool force = false) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || tasks_.size() < capacity_; });
+    not_full_.wait(
+        lock, [&] { return closed_ || force || tasks_.size() < capacity_; });
     if (closed_) return false;
+    const bool was_empty = tasks_.empty();
     tasks_.push_back(task);
-    not_empty_.notify_all();
+    ProcessorMask mask = kAllProcessors;
+    if (policy != nullptr && matrix != nullptr) {
+      mask = policy->EligibleProcessors(*task, was_empty, *matrix);
+    }
+    // One appended task enables at most one selection per processor, and
+    // workers of the same processor are interchangeable: notify_one.
+    NotifyLocked(mask, /*everyone=*/false);
     return true;
   }
 
   /// Runs the scheduling policy; blocks until a task is selected or the
-  /// queue is closed. `wait` = false polls once.
+  /// queue is closed. `wait` = false polls once. With wait = true, nullptr
+  /// means the queue was closed.
   QueryTask* Select(Scheduler& policy, Processor p, ThroughputMatrix& matrix,
                     bool wait = true) {
+    const int pi = static_cast<int>(p);
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      QueryTask* t = policy.Select(tasks_, p, matrix);
+      QueryTask* t = policy.Select(tasks_, p, matrix, &scan_[pi]);
       if (t != nullptr) {
+        // The removal shifted queue positions, so cached scan hints are
+        // stale for every policy. Only policies whose selection mutates
+        // shared eligibility state (HLS: switch counts, lookahead window)
+        // also need the broadcast — for FCFS/Static a removal can never
+        // make a refused task eligible, and waking everyone per selected
+        // task would put a thundering herd on the hot path.
+        InvalidateScansLocked();
         not_full_.notify_one();
+        if (policy.RemovalChangesEligibility()) {
+          NotifyLocked(kAllProcessors, /*everyone=*/true);
+        }
         return t;
       }
       if (closed_ || !wait) return nullptr;
-      // A policy may refuse the current queue contents for this processor
-      // (lookahead); re-evaluate when the queue changes or periodically as
-      // the matrix drifts.
-      not_empty_.wait_for(lock, std::chrono::milliseconds(1));
+      // All notifications happen under mu_, so nothing can slip between
+      // this failed scan and the wait.
+      cv_[pi].wait(lock);
     }
+  }
+
+  /// External eligibility change — the throughput matrix published new
+  /// rates: preferences may have flipped, so cached scans are stale and any
+  /// waiter may now have work.
+  void OnEligibilityChanged() {
+    std::lock_guard<std::mutex> lock(mu_);
+    InvalidateScansLocked();
+    NotifyLocked(kAllProcessors, /*everyone=*/true);
+  }
+
+  /// Registers a callback fired (under the queue lock) whenever processor
+  /// `p` is notified; the GPGPU worker uses it to fold task availability
+  /// into its single completion-queue select. Passing nullptr detaches the
+  /// listener and, because detachment takes the queue lock, acts as a
+  /// barrier: after it returns no further invocations are possible.
+  void SetAvailabilityListener(Processor p, std::function<void()> listener) {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners_[static_cast<int>(p)] = std::move(listener);
   }
 
   size_t size() const {
@@ -175,22 +342,43 @@ class TaskQueue {
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
     not_full_.notify_all();
+    NotifyLocked(kAllProcessors, /*everyone=*/true);
   }
 
   /// Removes and returns all remaining tasks (engine shutdown).
   std::deque<QueryTask*> DrainRemaining() {
     std::lock_guard<std::mutex> lock(mu_);
+    InvalidateScansLocked();
     std::deque<QueryTask*> out;
     out.swap(tasks_);
     return out;
   }
 
  private:
+  void InvalidateScansLocked() {
+    for (ScanState& s : scan_) s = ScanState{};
+  }
+
+  void NotifyLocked(ProcessorMask mask, bool everyone) {
+    for (int pi = 0; pi < kNumProcessors; ++pi) {
+      if (!MaskHas(mask, static_cast<Processor>(pi))) continue;
+      if (everyone) {
+        cv_[pi].notify_all();
+      } else {
+        cv_[pi].notify_one();
+      }
+      if (listeners_[pi]) listeners_[pi]();
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
-  std::condition_variable not_empty_;
+  /// Per-processor eligibility wakeup channels plus the persisted scan
+  /// hints; all guarded by mu_.
+  std::condition_variable cv_[kNumProcessors];
+  ScanState scan_[kNumProcessors];
+  std::function<void()> listeners_[kNumProcessors];
   std::condition_variable not_full_;
   std::deque<QueryTask*> tasks_;
   bool closed_ = false;

@@ -20,6 +20,20 @@ inline const char* ProcessorName(Processor p) {
   return p == Processor::kCpu ? "CPU" : "GPGPU";
 }
 
+/// Bit set over processors. The scheduling stage uses it for targeted
+/// wakeups: when a task enters the queue, only workers whose processor could
+/// plausibly select it are notified (see Scheduler::EligibleProcessors).
+using ProcessorMask = uint8_t;
+
+inline constexpr ProcessorMask ProcessorBit(Processor p) {
+  return static_cast<ProcessorMask>(1u << static_cast<int>(p));
+}
+inline constexpr ProcessorMask kAllProcessors =
+    static_cast<ProcessorMask>((1u << kNumProcessors) - 1);
+inline constexpr bool MaskHas(ProcessorMask m, Processor p) {
+  return (m & ProcessorBit(p)) != 0;
+}
+
 struct QueryTask {
   /// Dense per-query identifier assigned at dispatch; the result stage uses
   /// it to reorder out-of-order completions (§4.1 "query task identifier").

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -28,6 +30,13 @@ class ThroughputMatrix {
  public:
   static constexpr size_t kWindow = 8;
 
+  /// Floor applied to every published rate. HLS (Algorithm 1) divides by
+  /// C(q, p) when accumulating delay; a zero rate — reachable through the
+  /// public SetRate — would otherwise produce an infinite/NaN delay that
+  /// permanently wedges the lookahead. 1e-6 tasks/s models "effectively
+  /// never" while keeping the arithmetic finite.
+  static constexpr double kMinRate = 1e-6;
+
   explicit ThroughputMatrix(size_t num_queries,
                             double initial_rate = 100.0,
                             int64_t update_interval_nanos = 100'000'000)
@@ -50,9 +59,11 @@ class ThroughputMatrix {
     MaybeRefresh(c, now);
   }
 
-  /// Published rate C(q, p) in tasks/second.
+  /// Published rate C(q, p) in tasks/second, floored to kMinRate so the
+  /// scheduler's 1/rate delay arithmetic stays finite.
   double Rate(int query, Processor p) const {
-    return cell(query, p).rate.load(std::memory_order_relaxed);
+    return std::max(cell(query, p).rate.load(std::memory_order_relaxed),
+                    kMinRate);
   }
 
   /// The processor with the highest observed rate for q (ties favor CPU,
@@ -78,6 +89,15 @@ class ThroughputMatrix {
   /// Forces a rate (tests and the Fig. 5 worked example).
   void SetRate(int query, Processor p, double rate) {
     cell(query, p).rate.store(rate, std::memory_order_relaxed);
+    if (refresh_listener_) refresh_listener_();
+  }
+
+  /// Invoked after a new rate is published (the scheduling stage re-checks
+  /// task eligibility when the matrix drifts, instead of polling on a
+  /// timer). Must be set before worker threads start; may be invoked
+  /// concurrently from any thread that records completions.
+  void SetRefreshListener(std::function<void()> listener) {
+    refresh_listener_ = std::move(listener);
   }
 
  private:
@@ -98,14 +118,20 @@ class ThroughputMatrix {
                                                 std::memory_order_relaxed)) {
       return;
     }
-    std::lock_guard<std::mutex> lock(c.mu);
-    if (c.head < kWindow) return;  // not enough samples yet
-    const int64_t newest = c.completions[(c.head - 1) % kWindow];
-    const int64_t oldest = c.completions[c.head % kWindow];
-    if (newest <= oldest) return;
-    const double rate =
-        static_cast<double>(kWindow - 1) / ((newest - oldest) * 1e-9);
-    c.rate.store(rate, std::memory_order_relaxed);
+    bool published = false;
+    {
+      std::lock_guard<std::mutex> lock(c.mu);
+      if (c.head < kWindow) return;  // not enough samples yet
+      const int64_t newest = c.completions[(c.head - 1) % kWindow];
+      const int64_t oldest = c.completions[c.head % kWindow];
+      if (newest <= oldest) return;
+      const double rate =
+          static_cast<double>(kWindow - 1) / ((newest - oldest) * 1e-9);
+      c.rate.store(rate, std::memory_order_relaxed);
+      published = true;
+    }
+    // Outside the cell lock: the listener takes the task-queue lock.
+    if (published && refresh_listener_) refresh_listener_();
   }
 
   Cell& cell(int query, Processor p) {
@@ -117,6 +143,7 @@ class ThroughputMatrix {
 
   const int64_t update_interval_nanos_;
   std::vector<std::unique_ptr<Cell>> cells_;
+  std::function<void()> refresh_listener_;
 };
 
 }  // namespace saber

@@ -174,7 +174,14 @@ void SimDevice::CopyoutLoop() {
     r->axis_q = j.axis_q;
     stats_.jobs.fetch_add(1, std::memory_order_relaxed);
     stats_.copyout_nanos.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
-    if (j.on_complete) j.on_complete(*job);
+    // Move the callback out before invoking it: on_complete conventionally
+    // calls ReleaseJob, after which the slot can be re-acquired and its
+    // members (including on_complete itself) overwritten by another thread
+    // while this invocation is still unwinding through the member
+    // std::function — a use-after-recycle race.
+    std::function<void(GpuJob*)> complete = std::move(j.on_complete);
+    j.on_complete = nullptr;
+    if (complete) complete(*job);
   }
 }
 

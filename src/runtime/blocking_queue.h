@@ -42,6 +42,18 @@ class BlockingQueue {
     return item;
   }
 
+  /// Drains everything currently queued in one lock acquisition (the GPGPU
+  /// worker uses it to absorb a burst of completions before rescheduling).
+  std::deque<T> PopAll() {
+    std::deque<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.swap(items_);
+    }
+    if (!out.empty()) not_full_.notify_all();
+    return out;
+  }
+
   /// Non-blocking pop.
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> lock(mu_);

@@ -72,13 +72,42 @@ class CircularBuffer {
   }
 
   /// Releases all bytes before `pos` (the task's free pointer, §4.1). May be
-  /// called by any worker thread; lagging positions are ignored.
+  /// called by any worker thread; lagging positions are ignored. Advancing
+  /// `start` signals the free channel, waking a producer blocked on
+  /// back-pressure (see WaitFreeEpoch).
   void FreeUpTo(int64_t pos) {
     int64_t cur = start_.load(std::memory_order_relaxed);
     while (cur < pos &&
            !start_.compare_exchange_weak(cur, pos, std::memory_order_release,
                                          std::memory_order_relaxed)) {
     }
+    // cur still < pos iff our CAS advanced start (a racing FreeUpTo that
+    // overtook us exits the loop with cur >= pos and signals on our behalf).
+    if (cur < pos) {
+      free_epoch_.fetch_add(1, std::memory_order_release);
+      free_epoch_.notify_all();
+    }
+  }
+
+  /// The producer's back-pressure wakeup channel (the per-stream "free
+  /// condition"): the epoch advances whenever FreeUpTo releases bytes or
+  /// WakeProducer is called. A producer that failed TryInsert re-reads the
+  /// epoch *before* the attempt and sleeps on WaitFreeEpoch, so a free
+  /// landing between the attempt and the wait is never lost.
+  uint32_t free_epoch() const {
+    return free_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks (futex wait) until the free epoch differs from `seen`.
+  void WaitFreeEpoch(uint32_t seen) const {
+    free_epoch_.wait(seen, std::memory_order_acquire);
+  }
+
+  /// Unconditional producer wakeup (shutdown/cancellation): bumps the epoch
+  /// without freeing anything so the waiter re-checks its exit condition.
+  void WakeProducer() {
+    free_epoch_.fetch_add(1, std::memory_order_release);
+    free_epoch_.notify_all();
   }
 
   /// Pointer to the byte at `pos`; valid for ContiguousBytes(pos) bytes.
@@ -118,6 +147,9 @@ class CircularBuffer {
 
   alignas(kCacheLineSize) std::atomic<int64_t> start_{0};
   alignas(kCacheLineSize) std::atomic<int64_t> end_{0};
+  /// 32-bit so atomic wait/notify maps onto a raw futex (no proxy pool);
+  /// wrap-around is harmless, the waiter only compares for inequality.
+  alignas(kCacheLineSize) std::atomic<uint32_t> free_epoch_{0};
 };
 
 }  // namespace saber

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -39,7 +40,9 @@ class LatencyHistogram {
     return c == 0 ? 0.0 : static_cast<double>(sum_.load(std::memory_order_relaxed)) / c;
   }
 
-  /// Approximate value at percentile `p` in [0, 100].
+  /// Approximate value at percentile `p` in [0, 100]. Clamped to the
+  /// observed maximum: a bucket's upper bound can exceed every recorded
+  /// value in it, which would otherwise report p100 > max.
   int64_t PercentileNanos(double p) const {
     const int64_t total = count();
     if (total == 0) return 0;
@@ -48,7 +51,7 @@ class LatencyHistogram {
     int64_t seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i].load(std::memory_order_relaxed);
-      if (seen >= rank) return BucketUpperBound(i);
+      if (seen >= rank) return std::min(BucketUpperBound(i), max_nanos());
     }
     return max_nanos();
   }
@@ -85,8 +88,12 @@ class LatencyHistogram {
     if (idx < kSubBuckets) return static_cast<int64_t>(idx);
     const size_t octave = idx / kSubBuckets;
     const size_t sub = idx % kSubBuckets;
-    // Inverse of BucketIndex: value ~ (16 + sub) << (octave - 1).
-    return static_cast<int64_t>((16 + sub) << (octave - 1));
+    // Inverse of BucketIndex: the bucket holds values in
+    // [(16+sub) << (octave-1), (16+sub+1) << (octave-1)), so its largest
+    // representable value is one below the next bucket's base. (Returning
+    // the *base* here would under-report: a single sample's p100 would come
+    // out below the observed maximum.)
+    return static_cast<int64_t>(((16 + sub + 1) << (octave - 1)) - 1);
   }
 
   std::vector<std::atomic<int64_t>> buckets_;

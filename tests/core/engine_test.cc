@@ -302,5 +302,24 @@ TEST(Engine, DrainWithNoDataIsClean) {
   engine.Drain();  // must not hang or crash
 }
 
+using EngineDeathTest = ::testing::Test;
+
+TEST(EngineDeathTest, SetSinkWhileRunningAborts) {
+  // Regression: SetSink lacked the !running_ guard that Engine::Connect
+  // has. Workers invoke the sink from TryAssemble without synchronization,
+  // so swapping it mid-run is a data race (UB while a call is in flight);
+  // it must fail fast instead.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Schema s = SynSchema();
+  QueryDef def = QueryBuilder("sink_guard", s).Build();
+  Engine engine(SmallOptions(1, false));
+  QueryHandle* q = engine.AddQuery(def);
+  q->SetSink([](const uint8_t*, size_t) {});  // before Start: fine
+  engine.Start();
+  EXPECT_DEATH(q->SetSink([](const uint8_t*, size_t) {}),
+               "SABER_CHECK failed");
+  engine.Drain();
+}
+
 }  // namespace
 }  // namespace saber

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <thread>
+
 namespace saber {
 namespace {
 
@@ -163,6 +167,99 @@ TEST(ThroughputMatrix, PreferredTracksRates) {
   EXPECT_EQ(m.Preferred(0), Processor::kCpu);
 }
 
+TEST(HlsScheduler, ZeroRateDoesNotWedgeLookahead) {
+  // Regression: SetRate(q, p, 0.0) is public; 1/rate inside Algorithm 1
+  // produced an inf delay (and inf >= inf comparisons) that permanently
+  // wedged the lookahead. Rate() now floors to kMinRate, so delays stay
+  // finite and both processors keep making progress.
+  ThroughputMatrix m(2);
+  for (int q = 0; q < 2; ++q) {
+    m.SetRate(q, Processor::kCpu, 0.0);
+    m.SetRate(q, Processor::kGpu, 0.0);
+  }
+  EXPECT_GT(m.Rate(0, Processor::kCpu), 0.0);
+  EXPECT_TRUE(std::isfinite(1.0 / m.Rate(0, Processor::kCpu)));
+
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> q;
+  q.push_back(MakeTask(owner, 0, 1));
+  q.push_back(MakeTask(owner, 1, 2));
+  HlsScheduler hls(/*switch_threshold=*/100);
+  // Zero rates tie -> both queries prefer the CPU. Scanning as the GPGPU,
+  // the head task accumulates the floored (huge but finite) delay
+  // 1/kMinRate, which satisfies `delay >= 1/rate_p` at the second task:
+  // the GPGPU steals it instead of wedging on inf/NaN comparisons.
+  QueryTask* t = hls.Select(q, Processor::kGpu, m);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 2);
+  // The CPU takes the remaining head directly (preferred processor).
+  t = hls.Select(q, Processor::kCpu, m);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HlsScheduler, ScanStateResumesWhereFailedScanStopped) {
+  // A failed scan persists its position and accumulated delay; a re-scan
+  // after an append must reach the same decision as a scan from scratch.
+  ThroughputMatrix m(2);
+  m.SetRate(0, Processor::kCpu, 5);    // q0 prefers the GPGPU
+  m.SetRate(0, Processor::kGpu, 15);
+  m.SetRate(1, Processor::kCpu, 50);   // q1 prefers the CPU
+  m.SetRate(1, Processor::kGpu, 20);
+  HlsScheduler hls(/*switch_threshold=*/100);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> q;
+  q.push_back(MakeTask(owner, 0, 1));
+  q.push_back(MakeTask(owner, 0, 2));
+
+  ScanState scan;
+  EXPECT_EQ(hls.Select(q, Processor::kCpu, m, &scan), nullptr);
+  EXPECT_EQ(scan.resume_pos, 2u);
+  EXPECT_NEAR(scan.resume_delay, 2.0 / 15.0, 1e-12);
+
+  // Append a CPU-preferred task: resuming from the hint must find it.
+  q.push_back(MakeTask(owner, 1, 3));
+  QueryTask* t = hls.Select(q, Processor::kCpu, m, &scan);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 3);
+}
+
+TEST(HlsScheduler, EligibleProcessorsMask) {
+  ThroughputMatrix m(1);
+  m.SetRate(0, Processor::kCpu, 50);
+  m.SetRate(0, Processor::kGpu, 10);
+  HlsScheduler hls(/*switch_threshold=*/3);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  QueryTask* t = MakeTask(owner, 0);
+
+  // Empty queue, threshold not reached: only the preferred processor can
+  // take the new task (zero delay never justifies a steal).
+  EXPECT_EQ(hls.EligibleProcessors(*t, /*queue_was_empty=*/true, m),
+            ProcessorBit(Processor::kCpu));
+  // Tasks ahead in the queue: accumulated delay may let the other steal.
+  EXPECT_EQ(hls.EligibleProcessors(*t, /*queue_was_empty=*/false, m),
+            kAllProcessors);
+  // Switch threshold exceeded: the preferred processor must not take it;
+  // the other explores.
+  m.IncrementCount(0, Processor::kCpu);
+  m.IncrementCount(0, Processor::kCpu);
+  m.IncrementCount(0, Processor::kCpu);
+  EXPECT_EQ(hls.EligibleProcessors(*t, /*queue_was_empty=*/true, m),
+            ProcessorBit(Processor::kGpu));
+}
+
+TEST(StaticScheduler, EligibleProcessorsIsTheAssignment) {
+  ThroughputMatrix m(2);
+  StaticScheduler sched({{0, Processor::kGpu}});
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  EXPECT_EQ(sched.EligibleProcessors(*MakeTask(owner, 0), true, m),
+            ProcessorBit(Processor::kGpu));
+  // Unassigned queries default to the CPU.
+  EXPECT_EQ(sched.EligibleProcessors(*MakeTask(owner, 1), true, m),
+            ProcessorBit(Processor::kCpu));
+}
+
 TEST(TaskQueue, PushSelectClose) {
   TaskQueue q(4);
   ThroughputMatrix m(1);
@@ -195,6 +292,115 @@ TEST(TaskQueue, BoundedPushBlocksUntilSelect) {
   EXPECT_NE(q.Select(fcfs, Processor::kCpu, m), nullptr);
   producer.join();
   EXPECT_TRUE(pushed.load());
+}
+
+TEST(TaskQueue, PushWakesBlockedWorker) {
+  // A worker blocked on an empty queue must wake on Push with no timed
+  // re-poll (the old 1 ms wait_for is gone: a lost wakeup now hangs).
+  TaskQueue q(4);
+  ThroughputMatrix m(1);
+  FcfsScheduler fcfs;
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::atomic<QueryTask*> got{nullptr};
+  std::thread worker(
+      [&] { got.store(q.Select(fcfs, Processor::kCpu, m)); });
+  q.Push(MakeTask(owner, 0, 7), &fcfs, &m);
+  worker.join();
+  ASSERT_NE(got.load(), nullptr);
+  EXPECT_EQ(got.load()->id, 7);
+}
+
+TEST(TaskQueue, MatrixRefreshWakesIneligibleWorker) {
+  // One GPGPU-preferred task, a CPU worker, no accumulated delay: the task
+  // is ineligible for the CPU, so the worker blocks. When the matrix
+  // publishes new rates that flip the preference, OnEligibilityChanged —
+  // wired via SetRefreshListener, as the engine does — must wake it.
+  TaskQueue q(4);
+  ThroughputMatrix m(1);
+  m.SetRate(0, Processor::kCpu, 1);
+  m.SetRate(0, Processor::kGpu, 100);
+  m.SetRefreshListener([&q] { q.OnEligibilityChanged(); });
+  HlsScheduler hls(/*switch_threshold=*/100);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  ASSERT_TRUE(q.Push(MakeTask(owner, 0, 1), &hls, &m));
+
+  std::atomic<QueryTask*> got{nullptr};
+  std::thread worker([&] { got.store(q.Select(hls, Processor::kCpu, m)); });
+  // Give the worker time to scan, refuse, and block. (The sleep only makes
+  // the race window wide; correctness does not depend on it.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), nullptr);
+  m.SetRate(0, Processor::kCpu, 1000);  // preference flips -> listener fires
+  worker.join();  // hangs here if the refresh wakeup is lost
+  ASSERT_NE(got.load(), nullptr);
+  EXPECT_EQ(got.load()->id, 1);
+}
+
+TEST(TaskQueue, StealEnabledByLaterPushWakesOtherProcessor) {
+  // First push: a GPGPU-preferred task on an empty queue -> only the GPGPU
+  // is eligible (zero delay never justifies a steal), so the CPU worker
+  // stays blocked. Later pushes accumulate delay ahead of the new tail —
+  // with C(q, GPGPU) = 101 and C(q, CPU) = 100, two queued tasks give
+  // 2/101 >= 1/100 — so the third push's eligibility mask must include
+  // (and wake) the CPU, which steals the tail task.
+  TaskQueue q(8);
+  ThroughputMatrix m(1);
+  m.SetRate(0, Processor::kCpu, 100);   // stealing is cheap for the CPU
+  m.SetRate(0, Processor::kGpu, 101);   // ...but the GPGPU is preferred
+  HlsScheduler hls(/*switch_threshold=*/1000);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+
+  std::atomic<QueryTask*> got{nullptr};
+  ASSERT_TRUE(q.Push(MakeTask(owner, 0, 1), &hls, &m));
+  std::thread worker([&] { got.store(q.Select(hls, Processor::kCpu, m)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), nullptr);  // delay 0: no steal possible
+  ASSERT_TRUE(q.Push(MakeTask(owner, 0, 2), &hls, &m));  // 1/101 < 1/100
+  ASSERT_TRUE(q.Push(MakeTask(owner, 0, 3), &hls, &m));  // 2/101 >= 1/100
+  worker.join();  // hangs if the enabling push does not wake the CPU
+  ASSERT_NE(got.load(), nullptr);
+  EXPECT_EQ(got.load()->id, 3);  // stole the task behind the queued delay
+}
+
+TEST(TaskQueue, AvailabilityListenerFiresOnEligiblePush) {
+  TaskQueue q(4);
+  ThroughputMatrix m(1);
+  FcfsScheduler fcfs;
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::atomic<int> pings{0};
+  q.SetAvailabilityListener(Processor::kGpu, [&] { pings.fetch_add(1); });
+  q.Push(MakeTask(owner, 0, 1), &fcfs, &m);  // FCFS: everyone eligible
+  EXPECT_EQ(pings.load(), 1);
+  // An FCFS removal never changes eligibility: no broadcast, no ping.
+  ASSERT_NE(q.Select(fcfs, Processor::kGpu, m), nullptr);
+  EXPECT_EQ(pings.load(), 1);
+  q.SetAvailabilityListener(Processor::kGpu, nullptr);  // detach barrier
+  const int after_detach = pings.load();
+  q.Push(MakeTask(owner, 0, 2), &fcfs, &m);
+  q.Close();
+  EXPECT_EQ(pings.load(), after_detach);  // no invocations after detach
+  for (QueryTask* t : q.DrainRemaining()) (void)t;
+}
+
+TEST(TaskQueue, HlsSelectionBroadcastsEligibility) {
+  // An HLS removal mutates the switch counts and shifts the lookahead
+  // window, so a successful Select must broadcast — including the GPGPU
+  // availability listener.
+  TaskQueue q(4);
+  ThroughputMatrix m(1);
+  HlsScheduler hls(/*switch_threshold=*/100);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::atomic<int> pings{0};
+  m.SetRate(0, Processor::kCpu, 100);  // CPU-preferred
+  m.SetRate(0, Processor::kGpu, 1);
+  q.SetAvailabilityListener(Processor::kGpu, [&] { pings.fetch_add(1); });
+  q.Push(MakeTask(owner, 0, 1), &hls, &m);
+  const int after_push = pings.load();
+  ASSERT_NE(q.Select(hls, Processor::kCpu, m), nullptr);
+  EXPECT_EQ(pings.load(), after_push + 1);  // removal broadcast pinged
+  q.SetAvailabilityListener(Processor::kGpu, nullptr);
+  q.Close();
+  for (QueryTask* t : q.DrainRemaining()) (void)t;
 }
 
 }  // namespace

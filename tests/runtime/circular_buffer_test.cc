@@ -112,5 +112,39 @@ TEST(CircularBuffer, SingleProducerSingleConsumerStress) {
   producer.join();
 }
 
+TEST(CircularBuffer, FreeEpochWakesBlockedProducer) {
+  // The back-pressure wakeup protocol: a producer that saw the buffer full
+  // sleeps on the free epoch it read *before* the failed attempt; FreeUpTo
+  // must bump the epoch so the producer wakes without any timed retry.
+  CircularBuffer b(64, 8);
+  int64_t v = 0;
+  while (b.TryInsert(&v, sizeof(v))) ++v;  // fill to capacity
+  const int64_t filled = v;
+
+  std::thread producer([&] {
+    for (;;) {
+      const uint32_t epoch = b.free_epoch();
+      if (b.TryInsert(&v, sizeof(v))) break;
+      b.WaitFreeEpoch(epoch);
+    }
+  });
+  // The producer is (or soon will be) blocked; a free must wake it.
+  b.FreeUpTo(static_cast<int64_t>(sizeof(v)));
+  producer.join();  // deadlocks here if the wakeup is lost
+  EXPECT_EQ(b.size(), static_cast<size_t>(filled) * sizeof(v));
+}
+
+TEST(CircularBuffer, LaggingFreeDoesNotBumpEpoch) {
+  CircularBuffer b(64, 8);
+  int64_t v = 1;
+  ASSERT_TRUE(b.TryInsert(&v, sizeof(v)));
+  b.FreeUpTo(8);
+  const uint32_t e = b.free_epoch();
+  b.FreeUpTo(4);  // lagging: start already past this position
+  EXPECT_EQ(b.free_epoch(), e);
+  b.WakeProducer();  // unconditional wake always bumps
+  EXPECT_NE(b.free_epoch(), e);
+}
+
 }  // namespace
 }  // namespace saber

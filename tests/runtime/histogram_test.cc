@@ -50,5 +50,25 @@ TEST(LatencyHistogram, LargeValues) {
   EXPECT_GE(h.PercentileNanos(100), hour_nanos / 2);
 }
 
+TEST(LatencyHistogram, PercentileNeverExceedsObservedMax) {
+  // Regression: a log-linear bucket's upper bound can exceed every value
+  // recorded into it, so an unclamped percentile reported p100 > max.
+  LatencyHistogram h;
+  h.RecordNanos(1'000'003);  // strictly inside a bucket
+  EXPECT_EQ(h.PercentileNanos(100), h.max_nanos());
+  EXPECT_LE(h.PercentileNanos(99), h.max_nanos());
+  EXPECT_LE(h.PercentileNanos(50), h.max_nanos());
+
+  // A spread of awkward values: every percentile stays within [0, max].
+  LatencyHistogram g;
+  for (int64_t v : {17LL, 1234567LL, 89LL, 4096LL, 999999937LL}) {
+    g.RecordNanos(v);
+  }
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_GE(g.PercentileNanos(p), 0);
+    EXPECT_LE(g.PercentileNanos(p), g.max_nanos()) << "p=" << p;
+  }
+}
+
 }  // namespace
 }  // namespace saber
