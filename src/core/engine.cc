@@ -55,7 +55,10 @@ const LatencyHistogram& QueryHandle::latency() const {
   return engine_->queries_[index_]->latency;
 }
 size_t QueryHandle::current_task_size() const {
-  return engine_->queries_[index_]->dyn_task_size.load();
+  return engine_->queries_[index_]->controller->phi();
+}
+ControllerStats QueryHandle::controller_stats() const {
+  return engine_->queries_[index_]->controller->Stats();
 }
 
 // ===========================================================================
@@ -96,8 +99,20 @@ QueryHandle* Engine::AddQuery(QueryDef def) {
   qs->index = static_cast<int>(queries_.size());
   const size_t tsz0 = qs->def.input_schema[0].tuple_size();
   qs->task_size = std::max(tsz0, options_.task_size / tsz0 * tsz0);
-  qs->dyn_task_size.store(qs->task_size);
-  qs->last_adjust_nanos.store(NowNanos());
+  // The throughput-guard policy consults the matrix, which exists only
+  // between Start() and destruction; before that — and until a cell has
+  // published a *measured* rate rather than the uniform prior — the rate
+  // reads as "unknown" and the guard stays open (it must not clamp on
+  // fictional data). The controller outlives the matrix-reading threads
+  // (workers join in Stop).
+  const int index = qs->index;
+  qs->controller = std::make_unique<TaskSizeController>(
+      options_.task_sizing, qs->task_size, tsz0,
+      /*rate=*/[this, index]() -> double {
+        if (matrix_ == nullptr) return 0.0;
+        return std::max(matrix_->RateIfPublished(index, Processor::kCpu),
+                        matrix_->RateIfPublished(index, Processor::kGpu));
+      });
   qs->cpu_op = MakeCpuOperator(&qs->def);
   if (device_ != nullptr) {
     qs->gpu_op = MakeGpuOperator(&qs->def, device_.get());
@@ -259,9 +274,7 @@ void Engine::TryCreateTasks(QueryState& qs) {
     }
     return;
   }
-  const size_t tsz = qs.def.input_schema[0].tuple_size();
-  const size_t phi =
-      std::max(tsz, qs.dyn_task_size.load(std::memory_order_relaxed) / tsz * tsz);
+  const size_t phi = qs.controller->phi();  // a multiple of the tuple size
   CircularBuffer& buf = *qs.buffer[0];
   while (static_cast<size_t>(buf.end() - qs.next_task_start[0]) >= phi) {
     CreateSingleInputTask(qs,
@@ -329,8 +342,7 @@ bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
   const int64_t pend0 = b0.end() - qs.next_task_start[0];
   const int64_t pend1 = b1.end() - qs.next_task_start[1];
   if (pend0 + pend1 == 0) return false;
-  const int64_t phi = static_cast<int64_t>(
-      qs.dyn_task_size.load(std::memory_order_relaxed));
+  const int64_t phi = static_cast<int64_t>(qs.controller->phi());
   if (!flush && pend0 + pend1 < phi) {
     return false;
   }
@@ -665,9 +677,7 @@ void Engine::TryAssemble(QueryState& qs) {
       }
       const int64_t task_latency = NowNanos() - result->dispatched_nanos;
       qs.latency.RecordNanos(task_latency);
-      if (options_.latency_target_nanos > 0) {
-        MaybeAdjustTaskSize(qs, task_latency);
-      }
+      qs.controller->Observe(task_latency);
 
       for (int i = 0; i < task->num_inputs; ++i) {
         qs.buffer[i]->FreeUpTo(task->in[i].free_pos);
@@ -695,50 +705,6 @@ void Engine::TryAssemble(QueryState& qs) {
     // token, so a blocked Drain never waits on a worker holding it).
     assembly_gen_.fetch_add(1, std::memory_order_release);
     assembly_gen_.notify_all();
-  }
-}
-
-// ===========================================================================
-// Adaptive task sizing (extension; see EngineOptions::latency_target_nanos).
-// ===========================================================================
-
-void Engine::MaybeAdjustTaskSize(QueryState& qs, int64_t latency_nanos) {
-  // Fold this observation into the interval maximum.
-  int64_t seen = qs.window_max_latency.load(std::memory_order_relaxed);
-  while (latency_nanos > seen &&
-         !qs.window_max_latency.compare_exchange_weak(
-             seen, latency_nanos, std::memory_order_relaxed)) {
-  }
-
-  const int64_t now = NowNanos();
-  const int64_t last = qs.last_adjust_nanos.load(std::memory_order_relaxed);
-  if (now - last < options_.task_size_adjust_interval_nanos) return;
-  int64_t expected = last;
-  if (!qs.last_adjust_nanos.compare_exchange_strong(
-          expected, now, std::memory_order_relaxed)) {
-    return;  // another worker claimed this interval
-  }
-  const int64_t window_max = qs.window_max_latency.exchange(0);
-  if (window_max == 0) return;  // no completions this interval
-
-  const int64_t target = options_.latency_target_nanos;
-  const size_t cur = qs.dyn_task_size.load(std::memory_order_relaxed);
-  const size_t tsz = qs.def.input_schema[0].tuple_size();
-  const size_t floor_phi =
-      std::max(tsz, std::max(options_.min_task_size, tsz) / tsz * tsz);
-  size_t next = cur;
-  if (window_max > target) {
-    // Multiplicative decrease: larger overshoots shrink phi harder, like the
-    // fixed-point batch-size iteration of [25].
-    next = window_max > 2 * target ? cur / 4 : cur / 2;
-  } else if (window_max < target / 2) {
-    // Gentle increase while comfortably below target (throughput recovery).
-    next = cur + cur / 4;
-  }
-  next = std::clamp(next, floor_phi, qs.task_size);
-  next = std::max(tsz, next / tsz * tsz);
-  if (next != cur) {
-    qs.dyn_task_size.store(next, std::memory_order_relaxed);
   }
 }
 

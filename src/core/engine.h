@@ -10,6 +10,7 @@
 #include "core/operator.h"
 #include "core/schedulers.h"
 #include "core/task.h"
+#include "core/task_size_controller.h"
 #include "core/throughput_matrix.h"
 #include "gpu/gpu_operators.h"
 #include "runtime/circular_buffer.h"
@@ -36,44 +37,69 @@ namespace saber {
 
 enum class SchedulerKind { kHls, kFcfs, kStatic };
 
+/// Engine configuration. Every field below lists its unit, default, and the
+/// options it interacts with; docs/architecture.md walks through where each
+/// one acts in the data path, and the README carries the same table.
 struct EngineOptions {
   /// CPU worker threads (each one models a bound physical core, §4).
+  /// Unit: threads. Default: 4. At least one of num_cpu_workers > 0 /
+  /// use_gpu must hold or Start() aborts (a worker-less engine would accept
+  /// inserts and hang in Drain).
   int num_cpu_workers = 4;
   /// Attach the simulated GPGPU (adds one GPGPU worker thread plus the
-  /// device's five stage threads and executor pool).
+  /// device's five stage threads and executor pool). Default: true.
+  /// Interacts with `device` (ignored when false) and `static_assignment`
+  /// (assigning a query to Processor::kGpu without a GPGPU wedges it).
   bool use_gpu = true;
+  /// Simulated device shape: executor pool size, PCIe pacing, pipeline
+  /// depth (§5.2). Only read when use_gpu is true; see gpu/sim_device.h.
   SimDeviceOptions device;
 
-  /// Query task size φ in bytes (§3; rounded down per query to a multiple of
-  /// the input tuple size). With adaptive sizing enabled (below) this is the
-  /// *maximum* φ.
+  /// Query task size φ. Unit: bytes; rounded down per query to a non-zero
+  /// multiple of the input tuple size. Default: 1 MiB. This is the central
+  /// throughput/latency knob of §6.4 (Fig. 12). With an adaptive
+  /// `task_sizing` policy this is the *maximum* φ — the controller moves
+  /// the live φ within [task_sizing.min_task_size, task_size].
   size_t task_size = 1 << 20;
 
-  /// Adaptive task sizing (extension; cf. Das et al. [25], contrasted in §7):
-  /// when non-zero, each query's φ is tuned at runtime — multiplicative
-  /// decrease when the observed end-to-end task latency exceeds the target,
-  /// gentle increase while it stays below half the target — automating the
-  /// throughput/latency trade-off of §6.4 (Fig. 12). 0 disables (fixed φ).
-  int64_t latency_target_nanos = 0;
-  /// Floor for the adaptive φ.
-  size_t min_task_size = 4096;
-  /// How often the controller may adjust φ.
-  int64_t task_size_adjust_interval_nanos = 50'000'000;
-  /// Circular input buffer capacity per stream (§4.1).
+  /// Adaptive task sizing (extension; cf. Das et al. [25], contrasted in
+  /// §7): policy selection plus per-policy knobs. The default policy
+  /// (kFixedPhi) keeps φ pinned at `task_size`; the AIMD/guard policies
+  /// re-tune each query's φ from observed task latencies. See
+  /// core/task_size_controller.h for the per-field docs.
+  TaskSizeControllerOptions task_sizing;
+
+  /// Circular input buffer capacity per stream (§4.1). Unit: bytes.
+  /// Default: 64 MiB. Bounds producer back-pressure: inserts block once
+  /// unconsumed + window-history bytes reach this. Must comfortably exceed
+  /// φ (`task_size`) plus the largest window extent, or dispatch starves.
   size_t input_buffer_size = size_t{64} << 20;
-  /// System-wide task queue bound (dispatch back-pressure).
+  /// System-wide task queue bound (dispatch back-pressure). Unit: tasks.
+  /// Default: 256. Producer-thread pushes block when full; worker-context
+  /// pushes (connected queries) force past it — see TaskQueue::Push.
   size_t task_queue_capacity = 256;
 
+  /// Scheduling-stage policy: kHls (Alg. 1), kFcfs, or kStatic. Default:
+  /// kHls. kStatic additionally requires `static_assignment`.
   SchedulerKind scheduler = SchedulerKind::kHls;
-  /// HLS switch threshold (Alg. 1).
+  /// HLS switch threshold n (Alg. 1): consecutive same-processor executions
+  /// of a query before the other processor may "explore" it. Unit: tasks.
+  /// Default: 20. Only read under kHls.
   int switch_threshold = 20;
-  /// HLS queue-scan bound (how far the lookahead walks; 1 disables it).
+  /// HLS queue-scan bound — how many queued tasks the lookahead walks
+  /// before giving up; 1 disables lookahead (head-only). Unit: tasks.
+  /// Default: 64. Only read under kHls.
   size_t hls_lookahead = 64;
-  /// Static assignment (query index -> processor) for SchedulerKind::kStatic.
+  /// Static assignment (query index -> processor) for SchedulerKind::kStatic;
+  /// unassigned queries run anywhere. Ignored by the other schedulers.
   std::map<int, Processor> static_assignment;
-  /// Throughput matrix refresh interval (100 ms in §6.6).
+  /// Throughput matrix refresh interval (100 ms in §6.6). Unit: nanoseconds.
+  /// Default: 100 ms. Shorter reacts faster but publishes noisier rates to
+  /// HLS and (under kThroughputGuard) to the task-size controller.
   int64_t matrix_update_nanos = 100'000'000;
-  /// Initial uniform rate for the throughput matrix (tasks/s).
+  /// Initial uniform rate for the throughput matrix. Unit: tasks/s.
+  /// Default: 100. Until real completions refresh a cell, HLS plans with
+  /// this value (the paper's "uniform assumption").
   double matrix_initial_rate = 100.0;
 };
 
@@ -98,8 +124,11 @@ class QueryHandle {
   int64_t tuples_in() const;
   int64_t rows_out() const;
   /// Current query task size φ (differs from EngineOptions::task_size only
-  /// under adaptive sizing).
+  /// under an adaptive task_sizing policy).
   size_t current_task_size() const;
+  /// Snapshot of this query's task-size controller (live φ, adjust/clamp
+  /// counts, last observed interval p99). Callable from any thread.
+  ControllerStats controller_stats() const;
   /// Tasks / bytes executed per processor (the Fig. 7 CPU/GPGPU split).
   int64_t tasks_on(Processor p) const;
   int64_t bytes_on(Processor p) const;
@@ -159,12 +188,10 @@ class Engine {
     int index = 0;
     size_t task_size = 0;  // configured (maximum) φ rounded to the tuple size
 
-    // Adaptive task sizing (extension): the live φ plus the controller's
-    // observation window. Written by the controller (one claimant per
-    // interval), read by the dispatcher.
-    std::atomic<size_t> dyn_task_size{0};
-    std::atomic<int64_t> window_max_latency{0};
-    std::atomic<int64_t> last_adjust_nanos{0};
+    // Owns the live φ (task_size_controller.h): the dispatcher reads
+    // controller->phi() on every cut decision, the result stage feeds it
+    // latencies under the assembly token.
+    std::unique_ptr<TaskSizeController> controller;
     std::unique_ptr<Operator> cpu_op;
     std::unique_ptr<GpuOperatorBase> gpu_op;
 
@@ -217,7 +244,6 @@ class Engine {
   void StoreAndAssemble(QueryState& qs, QueryTask* task, TaskResult* result,
                         Processor p);
   void TryAssemble(QueryState& qs);
-  void MaybeAdjustTaskSize(QueryState& qs, int64_t latency_nanos);
 
   int64_t TsAt(const CircularBuffer& buf, const Schema& schema,
                int64_t pos) const;

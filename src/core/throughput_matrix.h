@@ -66,6 +66,18 @@ class ThroughputMatrix {
                     kMinRate);
   }
 
+  /// Like Rate, but 0 while the cell still holds the uniform-assumption
+  /// prior (no measured refresh or SetRate yet). HLS always needs a finite
+  /// rate and uses Rate; consumers that must not act on fictional data —
+  /// the task-size controller's throughput guard — use this.
+  double RateIfPublished(int query, Processor p) const {
+    const Cell& c = cell(query, p);
+    // Acquire pairs with the release store in SetRate/MaybeRefresh: seeing
+    // published == true must imply seeing the measured rate, not the prior.
+    if (!c.published.load(std::memory_order_acquire)) return 0.0;
+    return std::max(c.rate.load(std::memory_order_relaxed), kMinRate);
+  }
+
   /// The processor with the highest observed rate for q (ties favor CPU,
   /// matching argmax order over {CPU, GPGPU}).
   Processor Preferred(int query) const {
@@ -88,7 +100,9 @@ class ThroughputMatrix {
 
   /// Forces a rate (tests and the Fig. 5 worked example).
   void SetRate(int query, Processor p, double rate) {
-    cell(query, p).rate.store(rate, std::memory_order_relaxed);
+    Cell& c = cell(query, p);
+    c.rate.store(rate, std::memory_order_relaxed);
+    c.published.store(true, std::memory_order_release);
     if (refresh_listener_) refresh_listener_();
   }
 
@@ -107,6 +121,8 @@ class ThroughputMatrix {
     int64_t completions[kWindow] = {0};
     size_t head = 0;
     std::atomic<double> rate;
+    /// False while `rate` is still the constructor's uniform prior.
+    std::atomic<bool> published{false};
     std::atomic<int64_t> last_refresh{0};
     std::atomic<int64_t> exec_count{0};
   };
@@ -128,6 +144,7 @@ class ThroughputMatrix {
       const double rate =
           static_cast<double>(kWindow - 1) / ((newest - oldest) * 1e-9);
       c.rate.store(rate, std::memory_order_relaxed);
+      c.published.store(true, std::memory_order_release);
       published = true;
     }
     // Outside the cell lock: the listener takes the task-queue lock.

@@ -6,10 +6,12 @@
 #include "test_util.h"
 #include "workloads/synthetic.h"
 
-/// Adaptive task sizing (extension; EngineOptions::latency_target_nanos):
-/// the controller must leave the engine untouched when disabled, shrink φ
-/// under latency pressure, recover it when headroom returns, and — above
-/// all — never change query results.
+/// Adaptive task sizing through the engine (extension;
+/// EngineOptions::task_sizing): the controller must leave the engine
+/// untouched under the default kFixedPhi policy, shrink φ under latency
+/// pressure, recover it when headroom returns, and — above all — never
+/// change query results. Deterministic unit tests of the policy arithmetic
+/// itself (with an injected clock) live in task_size_controller_test.cc.
 
 namespace saber {
 namespace {
@@ -43,6 +45,10 @@ TEST(AdaptiveTaskSize, DisabledKeepsConfiguredPhi) {
   engine.Drain();
   // Rounded to the tuple size, but never adapted.
   EXPECT_EQ(q->current_task_size(), (size_t{1} << 20) / 32 * 32);
+  const ControllerStats stats = q->controller_stats();
+  EXPECT_EQ(stats.policy, TaskSizePolicy::kFixedPhi);
+  EXPECT_EQ(stats.adjust_count, 0);
+  EXPECT_GT(stats.observations, 0);
 }
 
 TEST(AdaptiveTaskSize, ShrinksUnderLatencyPressure) {
@@ -50,8 +56,9 @@ TEST(AdaptiveTaskSize, ShrinksUnderLatencyPressure) {
   o.num_cpu_workers = 1;  // a single slow worker: queueing inflates latency
   o.use_gpu = false;
   o.task_size = 4 << 20;
-  o.latency_target_nanos = 2'000'000;  // 2 ms: unreachable with 4 MB tasks
-  o.task_size_adjust_interval_nanos = 10'000'000;
+  o.task_sizing.policy = TaskSizePolicy::kLatencyTargetAimd;
+  o.task_sizing.latency_target_nanos = 2'000'000;  // 2 ms: unreachable at 4 MB
+  o.task_sizing.adjust_interval_nanos = 10'000'000;
   Engine engine(o);
   QueryHandle* q = engine.AddQuery(ExpensiveQuery());
   engine.Start();
@@ -59,7 +66,11 @@ TEST(AdaptiveTaskSize, ShrinksUnderLatencyPressure) {
   q->Insert(data.data(), data.size());
   engine.Drain();
   EXPECT_LT(q->current_task_size(), size_t{4} << 20);
-  EXPECT_GE(q->current_task_size(), o.min_task_size / 32 * 32);
+  EXPECT_GE(q->current_task_size(), o.task_sizing.min_task_size / 32 * 32);
+  const ControllerStats stats = q->controller_stats();
+  EXPECT_GT(stats.shrink_count, 0);
+  EXPECT_EQ(stats.current_phi, q->current_task_size());
+  EXPECT_GT(stats.last_window_max_nanos, 0);
 }
 
 TEST(AdaptiveTaskSize, StaysLargeWhenTargetIsLoose) {
@@ -68,7 +79,8 @@ TEST(AdaptiveTaskSize, StaysLargeWhenTargetIsLoose) {
   o.use_gpu = true;
   o.device.pace_transfers = false;
   o.task_size = 256 * 1024;
-  o.latency_target_nanos = 10'000'000'000;  // 10 s: never binding
+  o.task_sizing.policy = TaskSizePolicy::kLatencyTargetAimd;
+  o.task_sizing.latency_target_nanos = 10'000'000'000;  // 10 s: never binding
   Engine engine(o);
   QueryHandle* q = engine.AddQuery(
       syn::MakeSelection(2, 100, WindowDefinition::Count(64, 64)));
@@ -92,8 +104,9 @@ TEST(AdaptiveTaskSize, OutputUnchangedWhileAdapting) {
   o.use_gpu = true;
   o.device.pace_transfers = false;
   o.task_size = 1 << 20;
-  o.latency_target_nanos = 300'000;  // tight: forces several shrink steps
-  o.task_size_adjust_interval_nanos = 2'000'000;
+  o.task_sizing.policy = TaskSizePolicy::kLatencyTargetAimd;
+  o.task_sizing.latency_target_nanos = 300'000;  // tight: forces shrink steps
+  o.task_sizing.adjust_interval_nanos = 2'000'000;
   Engine engine(o);
   QueryHandle* h = engine.AddQuery(q);
   ByteBuffer got;
@@ -114,8 +127,9 @@ TEST(AdaptiveTaskSize, RecoversAfterPressureSubsides) {
   o.num_cpu_workers = 2;
   o.use_gpu = false;
   o.task_size = 512 * 1024;
-  o.latency_target_nanos = 5'000'000;
-  o.task_size_adjust_interval_nanos = 5'000'000;
+  o.task_sizing.policy = TaskSizePolicy::kLatencyTargetAimd;
+  o.task_sizing.latency_target_nanos = 5'000'000;
+  o.task_sizing.adjust_interval_nanos = 5'000'000;
   Engine engine(o);
   QueryHandle* q = engine.AddQuery(ExpensiveQuery());
   engine.Start();
@@ -140,6 +154,37 @@ TEST(AdaptiveTaskSize, RecoversAfterPressureSubsides) {
   }
   engine.Drain();
   EXPECT_GE(q->current_task_size(), shrunk);
+}
+
+TEST(AdaptiveTaskSize, GuardRefusesOverheadDominatedShrinks) {
+  // An unreachable 100 µs target would drive plain AIMD straight to the
+  // floor. The throughput guard consults the matrix rates: with
+  // guard_max_task_rate below any achievable task rate, every projected
+  // shrink crosses the dispatch-overhead wall and is refused, so φ holds.
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;
+  o.task_size = 256 * 1024;
+  o.task_sizing.policy = TaskSizePolicy::kThroughputGuard;
+  o.task_sizing.latency_target_nanos = 100'000;
+  o.task_sizing.adjust_interval_nanos = 5'000'000;
+  o.task_sizing.guard_max_task_rate = 1.0;  // any real rate exceeds this
+  Engine engine(o);
+  QueryHandle* q = engine.AddQuery(ExpensiveQuery());
+  engine.Start();
+  // The guard acts only on *published* rates (never the uniform prior), so
+  // force-publish one. With guard_max_task_rate = 1 task/s, any published
+  // rate >= 1 makes every shrink projection cross the wall — and real
+  // refreshes that later overwrite this value stay far above 1 too.
+  engine.matrix().SetRate(0, Processor::kCpu, 1'000'000.0);
+  auto data = syn::Generate(1'000'000);
+  q->Insert(data.data(), data.size());
+  engine.Drain();
+  EXPECT_EQ(q->current_task_size(), size_t{256} * 1024);
+  const ControllerStats stats = q->controller_stats();
+  EXPECT_EQ(stats.policy, TaskSizePolicy::kThroughputGuard);
+  EXPECT_EQ(stats.shrink_count, 0);
+  EXPECT_GT(stats.clamp_events, 0);
 }
 
 }  // namespace

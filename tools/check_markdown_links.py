@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation surface (stdlib only).
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+Verifies, for every inline markdown link ``[text](target)`` in the given
+files:
+
+  * relative file targets resolve to an existing file or directory
+    (relative to the linking file's directory);
+  * ``#anchor`` fragments — both in-file (``#section``) and cross-file
+    (``other.md#section``) — match a heading in the target file, using
+    GitHub's slugification (lowercase, spaces to dashes, punctuation
+    dropped);
+  * absolute http(s) links are *not* fetched (CI must not depend on the
+    network); they are only reported with ``-v``.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link). Run by the CI ``docs`` job and, when python3 is available, as the
+``docs/link_check`` CTest test.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Deliberately simple:
+# the docs use plain targets without nested parentheses or titles.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: strip markdown emphasis/code marks,
+    lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading)
+    # Inline links inside headings contribute only their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        # Duplicate headings get -1, -2, ... suffixes on GitHub.
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+    out = set()
+    for slug, n in slugs.items():
+        out.add(slug)
+        for i in range(1, n):
+            out.add(f"{slug}-{i}")
+    return out
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main(argv):
+    verbose = "-v" in argv
+    files = [Path(a) for a in argv if not a.startswith("-")]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    slug_cache = {}
+    for md in files:
+        if not md.is_file():
+            errors.append(f"{md}: file not found")
+            continue
+        for lineno, target in iter_links(md):
+            where = f"{md}:{lineno}"
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                if verbose:
+                    print(f"{where}: skipping external link {target}")
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = (md.parent / path_part).resolve() if path_part else md
+            if path_part and not dest.exists():
+                errors.append(f"{where}: broken link {target} "
+                              f"(no such file {dest})")
+                continue
+            if fragment:
+                if not dest.is_file() or dest.suffix.lower() != ".md":
+                    # Anchors into non-markdown targets aren't checkable.
+                    continue
+                if dest not in slug_cache:
+                    slug_cache[dest] = heading_slugs(dest)
+                if fragment.lower() not in slug_cache[dest]:
+                    errors.append(f"{where}: broken anchor {target} "
+                                  f"(no heading #{fragment} in {dest.name})")
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(files)} file(s): all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,6 +17,13 @@
 ///   --workers N     CPU worker threads                    (default 4)
 ///   --no-gpu        run without the simulated GPGPU
 ///   --task-size B   query task size phi in bytes          (default 1 MiB)
+///                   (the ceiling under an adaptive policy)
+///   --policy P      task sizing policy: fixed | aimd | guard
+///                   (default fixed; see core/task_size_controller.h)
+///   --target-ms N   adaptive latency target in ms         (default 10)
+///   --min-task-size B  adaptive phi floor in bytes        (default 4096)
+///                   (--target-ms / --min-task-size imply --policy aimd
+///                    unless a policy is given explicitly)
 ///   --limit N       output rows to print                  (default 10)
 ///   --seed N        generator seed                        (default 42)
 ///   --input F.csv   read input stream 0 from a CSV file (header expected)
@@ -53,6 +60,7 @@ struct CliOptions {
   int workers = 4;
   bool use_gpu = true;
   size_t task_size = 1 << 20;
+  TaskSizeControllerOptions task_sizing;
   int64_t limit = 10;
   uint32_t seed = 42;
   std::string input_csv;   // read stream 0 from a CSV file instead
@@ -63,12 +71,15 @@ struct CliOptions {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--tuples N] [--workers N] [--no-gpu] "
-               "[--task-size B] [--limit N] [--seed N] \"SQL\"\n",
+               "[--task-size B] [--policy fixed|aimd|guard] [--target-ms N] "
+               "[--min-task-size B] [--limit N] [--seed N] \"SQL\"\n",
                argv0);
   std::exit(2);
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* o) {
+  bool policy_explicit = false;
+  bool adaptive_knob_used = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -83,6 +94,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
       o->use_gpu = false;
     } else if (a == "--task-size") {
       o->task_size = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--policy") {
+      const char* name = next();
+      if (!TaskSizeController::ParsePolicy(name, &o->task_sizing.policy)) {
+        std::fprintf(stderr, "unknown task sizing policy: %s\n", name);
+        return false;
+      }
+      policy_explicit = true;
+    } else if (a == "--target-ms") {
+      o->task_sizing.latency_target_nanos =
+          static_cast<int64_t>(std::atof(next()) * 1e6);
+      adaptive_knob_used = true;
+    } else if (a == "--min-task-size") {
+      o->task_sizing.min_task_size = std::strtoull(next(), nullptr, 10);
+      adaptive_knob_used = true;
     } else if (a == "--limit") {
       o->limit = std::atoll(next());
     } else if (a == "--seed") {
@@ -100,6 +125,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
       if (!o->sql.empty()) o->sql += ' ';
       o->sql += a;
     }
+  }
+  // Adaptive knobs without a policy would be silently dead under the
+  // default kFixedPhi; they imply aimd (an explicit --policy still wins).
+  if (adaptive_knob_used && !policy_explicit) {
+    o->task_sizing.policy = TaskSizePolicy::kLatencyTargetAimd;
+    std::fprintf(stderr,
+                 "note: --target-ms/--min-task-size imply --policy aimd\n");
   }
   return !o->sql.empty();
 }
@@ -180,6 +212,7 @@ int main(int argc, char** argv) {
   options.num_cpu_workers = cli.workers;
   options.use_gpu = cli.use_gpu;
   options.task_size = cli.task_size;
+  options.task_sizing = cli.task_sizing;
   Engine engine(options);
   const int num_inputs = query.num_inputs;
   QueryHandle* q = engine.AddQuery(std::move(query));
@@ -252,6 +285,18 @@ int main(int argc, char** argv) {
   std::printf("task split   : %lld CPU / %lld GPGPU\n",
               static_cast<long long>(cpu_tasks),
               static_cast<long long>(gpu_tasks));
+  const ControllerStats cs = q->controller_stats();
+  std::printf("task sizing  : policy=%s phi=%zu B",
+              TaskSizeController::PolicyName(cs.policy), cs.current_phi);
+  if (cs.policy != TaskSizePolicy::kFixedPhi) {
+    std::printf(
+        " adjusts=%lld (%lld shrink / %lld grow) clamps=%lld last-p99=%.2f ms",
+        static_cast<long long>(cs.adjust_count),
+        static_cast<long long>(cs.shrink_count),
+        static_cast<long long>(cs.grow_count),
+        static_cast<long long>(cs.clamp_events), cs.last_p99_nanos / 1e6);
+  }
+  std::printf("\n");
   if (dump_csv) {
     std::ofstream f(cli.output_csv, std::ios::trunc);
     if (!f) {
