@@ -96,7 +96,7 @@ MicroBatchReport MicroBatchEngine::Run(const QueryDef& q,
       const size_t hi = std::min(end, lo + per);
       if (lo >= hi) return;
       auto table = std::make_unique<GroupHashTable>(key_size, na, 256);
-      uint8_t key[64] = {0};
+      uint8_t key[kMaxGroupKeyBytes] = {0};
       for (size_t i = lo; i < hi; ++i) {
         TupleRef t(stream.data() + i * tsz, &schema);
         if (q.where != nullptr && !q.where->EvalBool(t, nullptr)) continue;

@@ -94,6 +94,14 @@ Engine::~Engine() { Stop(); }
 
 QueryHandle* Engine::AddQuery(QueryDef def) {
   SABER_CHECK(!running_.load());
+  // QueryBuilder::TryBuild already surfaces limit violations as a Status;
+  // re-check here so hand-assembled QueryDefs fail at registration with a
+  // clear message instead of aborting mid-task on a worker thread.
+  const Status limits = def.ValidateLimits();
+  if (!limits.ok()) {
+    std::fprintf(stderr, "Engine::AddQuery: %s\n", limits.ToString().c_str());
+    std::abort();
+  }
   auto qs = std::make_unique<QueryState>();
   qs->def = std::move(def);
   qs->index = static_cast<int>(queries_.size());
@@ -113,7 +121,7 @@ QueryHandle* Engine::AddQuery(QueryDef def) {
         return std::max(matrix_->RateIfPublished(index, Processor::kCpu),
                         matrix_->RateIfPublished(index, Processor::kGpu));
       });
-  qs->cpu_op = MakeCpuOperator(&qs->def);
+  qs->cpu_op = MakeCpuOperator(&qs->def, options_.cpu_vectorized);
   if (device_ != nullptr) {
     qs->gpu_op = MakeGpuOperator(&qs->def, device_.get());
   }

@@ -8,6 +8,7 @@
 #include "relational/aggregate.h"
 #include "relational/expression.h"
 #include "relational/schema.h"
+#include "runtime/status.h"
 #include "runtime/strcat.h"
 #include "window/window_definition.h"
 
@@ -21,6 +22,17 @@
 /// chaining queries through streams (Engine::Connect).
 
 namespace saber {
+
+/// Engine-wide operator limits. The CPU and GPGPU batch operator functions
+/// keep per-pane aggregate state and packed group keys in fixed-size stack
+/// buffers sized by these constants, so the limits are validated once at
+/// query-build time (QueryBuilder::TryBuild / Engine::AddQuery) and misuse
+/// fails there with a clear Status instead of aborting mid-task on a worker
+/// thread.
+inline constexpr size_t kMaxAggregatesPerQuery = 16;
+/// Packed group-key width bound: keys serialize as 8 bytes per GROUP-BY
+/// expression, 8-aligned (PaneFormat), so this allows up to 8 key columns.
+inline constexpr size_t kMaxGroupKeyBytes = 64;
 
 enum class StreamFunction : uint8_t {
   kRStream,  // concatenate window results (default for α and ⋈, §2.4)
@@ -79,6 +91,26 @@ struct QueryDef {
 
   /// Serialized width of one group key (8 bytes per key expression).
   size_t group_key_size() const { return group_by.size() * 8; }
+
+  /// Checks the fixed operator limits (kMaxAggregatesPerQuery,
+  /// kMaxGroupKeyBytes). QueryBuilder::TryBuild surfaces the Status;
+  /// Engine::AddQuery re-checks for hand-built QueryDefs.
+  Status ValidateLimits() const {
+    if (aggregates.size() > kMaxAggregatesPerQuery) {
+      return Status::InvalidArgument(StrCat(
+          "query '", name, "' has ", aggregates.size(),
+          " aggregate columns; the operator limit is kMaxAggregatesPerQuery=",
+          kMaxAggregatesPerQuery));
+    }
+    if (group_key_size() > kMaxGroupKeyBytes) {  // always 8 bytes per key
+      return Status::InvalidArgument(StrCat(
+          "query '", name, "' has ", group_by.size(),
+          " GROUP-BY keys (packed key ", group_key_size(),
+          " bytes); the operator limit is kMaxGroupKeyBytes=",
+          kMaxGroupKeyBytes, " (8 bytes per key)"));
+    }
+    return Status::OK();
+  }
 };
 
 /// Fluent builder for QueryDef. Example (CM1, Appendix A.1):
@@ -177,11 +209,20 @@ class QueryBuilder {
     return *this;
   }
 
-  QueryDef Build() {
+  /// Builds the QueryDef, returning a Status instead of aborting when a
+  /// fixed operator limit (kMaxAggregatesPerQuery, kMaxGroupKeyBytes) is
+  /// exceeded. Structural invariants (missing timestamp, join without a
+  /// predicate, ...) remain programmer errors and still SABER_CHECK.
+  Result<QueryDef> TryBuild() {
     FinalizeOutputSchema();
     Validate();
+    Status limits = def_.ValidateLimits();
+    if (!limits.ok()) return limits;
     return std::move(def_);
   }
+
+  /// Abort-on-error variant of TryBuild (the common fluent-call tail).
+  QueryDef Build() { return std::move(TryBuild()).value(); }
 
  private:
   void FinalizeOutputSchema() {

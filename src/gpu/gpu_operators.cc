@@ -8,6 +8,7 @@
 #include "cpu/fragment_assembly.h"
 #include "cpu/udf_operator.h"
 #include "relational/expression_compiler.h"
+#include "relational/field_plan.h"
 #include "relational/hash_table.h"
 
 namespace saber {
@@ -20,100 +21,10 @@ void GpuOperatorBase::ProcessBatch(const TaskContext& ctx, TaskResult* out) cons
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Populated "code template" pieces (§5.4): per output field either a raw
-// column copy (exact bytes, covers timestamp passthrough) or a compiled
-// postfix program whose double result is converted to the field type.
-// ---------------------------------------------------------------------------
-
-struct FieldWriter {
-  enum class Kind : uint8_t { kCopyColumn, kProgram, kMaxTs } kind;
-  uint8_t side = 0;         // source tuple for kCopyColumn
-  uint16_t src_offset = 0;  // byte offset in the source tuple
-  uint16_t dst_offset = 0;  // byte offset in the output row
-  uint8_t width = 0;        // bytes to copy for kCopyColumn
-  DataType dst_type = DataType::kInt64;
-  CompiledExpr prog;
-};
-
-std::vector<FieldWriter> BuildFieldWriters(const std::vector<ExprPtr>& exprs,
-                                           const Schema& out,
-                                           const Schema& left,
-                                           const Schema* right,
-                                           bool field0_is_max_ts) {
-  std::vector<FieldWriter> writers;
-  for (size_t f = 0; f < exprs.size(); ++f) {
-    FieldWriter w;
-    w.dst_offset = static_cast<uint16_t>(out.field(f).offset);
-    w.dst_type = out.field(f).type;
-    if (f == 0 && field0_is_max_ts) {
-      w.kind = FieldWriter::Kind::kMaxTs;
-      writers.push_back(std::move(w));
-      continue;
-    }
-    const Expression& e = *exprs[f];
-    if (e.kind() == Expression::Kind::kColumn) {
-      const auto& col = static_cast<const ColumnExpr&>(e);
-      const Schema& src = col.side() == Side::kLeft ? left : *right;
-      if (src.field(col.field()).type == w.dst_type) {
-        w.kind = FieldWriter::Kind::kCopyColumn;
-        w.side = static_cast<uint8_t>(col.side());
-        w.src_offset = static_cast<uint16_t>(src.field(col.field()).offset);
-        w.width = static_cast<uint8_t>(TypeSize(w.dst_type));
-        writers.push_back(std::move(w));
-        continue;
-      }
-    }
-    w.kind = FieldWriter::Kind::kProgram;
-    w.prog = CompiledExpr::Compile(e, left, right);
-    writers.push_back(std::move(w));
-  }
-  return writers;
-}
-
-inline void WriteRow(const std::vector<FieldWriter>& writers, const uint8_t* l,
-                     const uint8_t* r, uint8_t* row, size_t row_size) {
-  std::memset(row, 0, row_size);  // deterministic padding, like TupleWriter
-  for (const FieldWriter& w : writers) {
-    switch (w.kind) {
-      case FieldWriter::Kind::kCopyColumn:
-        std::memcpy(row + w.dst_offset, (w.side ? r : l) + w.src_offset, w.width);
-        break;
-      case FieldWriter::Kind::kMaxTs: {
-        int64_t tl, tr;
-        std::memcpy(&tl, l, sizeof(tl));
-        std::memcpy(&tr, r, sizeof(tr));
-        const int64_t ts = std::max(tl, tr);
-        std::memcpy(row + w.dst_offset, &ts, sizeof(ts));
-        break;
-      }
-      case FieldWriter::Kind::kProgram: {
-        const double v = w.prog.EvalDouble(l, r);
-        switch (w.dst_type) {
-          case DataType::kInt32: {
-            const int32_t x = static_cast<int32_t>(v);
-            std::memcpy(row + w.dst_offset, &x, sizeof(x));
-            break;
-          }
-          case DataType::kInt64: {
-            const int64_t x = static_cast<int64_t>(v);
-            std::memcpy(row + w.dst_offset, &x, sizeof(x));
-            break;
-          }
-          case DataType::kFloat: {
-            const float x = static_cast<float>(v);
-            std::memcpy(row + w.dst_offset, &x, sizeof(x));
-            break;
-          }
-          case DataType::kDouble:
-            std::memcpy(row + w.dst_offset, &v, sizeof(v));
-            break;
-        }
-        break;
-      }
-    }
-  }
-}
+// Output-row plans are shared with the CPU back end
+// (relational/field_plan.h) so the populated "code template" pieces (§5.4)
+// cannot drift between processors: raw column copies, the join max-ts
+// stamp, and typed compiled programs (int64 lane for integral fields).
 
 inline int64_t RawTs(const uint8_t* tuple) {
   int64_t ts;
@@ -137,8 +48,8 @@ class GpuStatelessOperator final : public GpuOperatorBase {
     }
     identity_ = DetectIdentity(*q);
     if (!identity_) {
-      writers_ = BuildFieldWriters(q->select, q->output_schema,
-                                   q->input_schema[0], nullptr, false);
+      writers_ = BuildFieldPlans(q->select, q->output_schema,
+                                 q->input_schema[0], nullptr, false);
     }
   }
 
@@ -204,7 +115,7 @@ class GpuStatelessOperator final : public GpuOperatorBase {
         if (identity_) {
           std::memcpy(dst + off, t, tsz);
         } else {
-          WriteRow(writers_, t, nullptr, dst + off, osz);
+          WriteRowFromPlans(writers_, t, nullptr, dst + off, osz);
         }
         off += osz;
       }
@@ -226,7 +137,7 @@ class GpuStatelessOperator final : public GpuOperatorBase {
 
   CompiledExpr where_;
   bool identity_;
-  std::vector<FieldWriter> writers_;
+  std::vector<FieldPlan> writers_;
 };
 
 // ---------------------------------------------------------------------------
@@ -358,8 +269,8 @@ class GpuAggregationOperator final : public GpuOperatorBase {
       dev.ParallelFor(np, [&](size_t p, size_t) {
         const PaneRange& r = ranges[p];
         uint8_t* dst = j.device_scratch.data() + p * slot;
-        AggState acc[16];
-        SABER_CHECK(na <= 16);
+        AggState acc[kMaxAggregatesPerQuery];
+        SABER_CHECK(na <= kMaxAggregatesPerQuery);
         for (size_t a = 0; a < na; ++a) AggInit(&acc[a]);
         int64_t max_ts = 0;
         for (uint32_t i = r.lo; i < r.hi; ++i) {
@@ -395,12 +306,15 @@ class GpuAggregationOperator final : public GpuOperatorBase {
       const PaneRange& r = ranges[p];
       GroupHashTable* table = tables_[thread % tables_.size()].get();
       table->Clear();
-      uint8_t key[64];
+      uint8_t key[kMaxGroupKeyBytes];
       for (uint32_t i = r.lo; i < r.hi; ++i) {
         const uint8_t* t = in + i * tsz;
         if (has_where && !where_.EvalBool(t)) continue;
         for (size_t k = 0; k < nk; ++k) {
-          const int64_t kv = static_cast<int64_t>(key_progs_[k].EvalDouble(t));
+          // EvalInt64 keeps 64-bit keys exact (the typed int64 lane); the
+          // CPU operator computes the same key bytes, which §5.4 requires
+          // for cross-processor hash-table compatibility.
+          const int64_t kv = key_progs_[k].EvalInt64(t);
           std::memcpy(key + k * 8, &kv, sizeof(kv));
         }
         if (table->NeedsGrow()) table->Grow();
@@ -461,9 +375,9 @@ class GpuJoinOperator final : public GpuOperatorBase {
       : GpuOperatorBase(q, device) {
     pred_ = CompiledExpr::Compile(*q->join_predicate, q->input_schema[0],
                                   &q->input_schema[1]);
-    writers_ = BuildFieldWriters(q->join_select, q->output_schema,
-                                 q->input_schema[0], &q->input_schema[1],
-                                 /*field0_is_max_ts=*/true);
+    writers_ = BuildFieldPlans(q->join_select, q->output_schema,
+                               q->input_schema[0], &q->input_schema[1],
+                               /*field0_is_max_ts=*/true);
   }
 
   void SubmitAsync(const TaskContext& ctx, TaskResult* out,
@@ -698,7 +612,7 @@ class GpuJoinOperator final : public GpuOperatorBase {
       for (size_t e = lo; e < hi; ++e) {
         uint8_t* dst = j.device_out.data() + offsets[e] * osz;
         for_matches(e, [&](const uint8_t* l, const uint8_t* r) {
-          WriteRow(writers_, l, r, dst, osz);
+          WriteRowFromPlans(writers_, l, r, dst, osz);
           dst += osz;
         });
       }
@@ -707,7 +621,7 @@ class GpuJoinOperator final : public GpuOperatorBase {
   }
 
   CompiledExpr pred_;
-  std::vector<FieldWriter> writers_;
+  std::vector<FieldPlan> writers_;
 };
 
 // ---------------------------------------------------------------------------

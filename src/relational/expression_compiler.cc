@@ -1,5 +1,6 @@
 #include "relational/expression_compiler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -7,42 +8,229 @@ namespace saber {
 
 namespace {
 
+using Op = CompiledExpr::Op;
+using Instr = CompiledExpr::Instr;
+
 uint16_t ColumnOffset(const ColumnExpr& col, const Schema& ls, const Schema* rs) {
   const Schema& s = col.side() == Side::kLeft ? ls : *rs;
   return static_cast<uint16_t>(s.field(col.field()).offset);
 }
 
-CompiledExpr::Op ColumnOp(DataType t) {
+Op ColumnOp(DataType t) {
   switch (t) {
-    case DataType::kInt32: return CompiledExpr::Op::kPushColInt32;
-    case DataType::kInt64: return CompiledExpr::Op::kPushColInt64;
-    case DataType::kFloat: return CompiledExpr::Op::kPushColFloat;
-    case DataType::kDouble: return CompiledExpr::Op::kPushColDouble;
+    case DataType::kInt32: return Op::kPushColInt32;
+    case DataType::kInt64: return Op::kPushColInt64;
+    case DataType::kFloat: return Op::kPushColFloat;
+    case DataType::kDouble: return Op::kPushColDouble;
   }
-  return CompiledExpr::Op::kPushColInt32;
+  return Op::kPushColInt32;
 }
 
-CompiledExpr::Op ArithCode(ArithOp op) {
+Op ArithCode(ArithOp op, bool int_lane) {
   switch (op) {
-    case ArithOp::kAdd: return CompiledExpr::Op::kAdd;
-    case ArithOp::kSub: return CompiledExpr::Op::kSub;
-    case ArithOp::kMul: return CompiledExpr::Op::kMul;
-    case ArithOp::kDiv: return CompiledExpr::Op::kDiv;
-    case ArithOp::kMod: return CompiledExpr::Op::kMod;
+    case ArithOp::kAdd: return int_lane ? Op::kAddI64 : Op::kAddF64;
+    case ArithOp::kSub: return int_lane ? Op::kSubI64 : Op::kSubF64;
+    case ArithOp::kMul: return int_lane ? Op::kMulI64 : Op::kMulF64;
+    case ArithOp::kDiv: return Op::kDivF64;  // never integral (ArithExpr)
+    case ArithOp::kMod: return int_lane ? Op::kModI64 : Op::kModF64;
   }
-  return CompiledExpr::Op::kAdd;
+  return Op::kAddF64;
 }
 
-CompiledExpr::Op CompareCode(CompareOp op) {
+Op CompareCode(CompareOp op, bool int_lane) {
   switch (op) {
-    case CompareOp::kLt: return CompiledExpr::Op::kLt;
-    case CompareOp::kLe: return CompiledExpr::Op::kLe;
-    case CompareOp::kEq: return CompiledExpr::Op::kEq;
-    case CompareOp::kNe: return CompiledExpr::Op::kNe;
-    case CompareOp::kGe: return CompiledExpr::Op::kGe;
-    case CompareOp::kGt: return CompiledExpr::Op::kGt;
+    case CompareOp::kLt: return int_lane ? Op::kLtI64 : Op::kLtF64;
+    case CompareOp::kLe: return int_lane ? Op::kLeI64 : Op::kLeF64;
+    case CompareOp::kEq: return int_lane ? Op::kEqI64 : Op::kEqF64;
+    case CompareOp::kNe: return int_lane ? Op::kNeI64 : Op::kNeF64;
+    case CompareOp::kGe: return int_lane ? Op::kGeI64 : Op::kGeF64;
+    case CompareOp::kGt: return int_lane ? Op::kGtI64 : Op::kGtF64;
   }
-  return CompiledExpr::Op::kEq;
+  return Op::kEqF64;
+}
+
+/// One stack value; the live member is decided statically per slot and
+/// instruction by the compiler (union-based type punning, fine on GCC/Clang).
+union LaneVal {
+  double d;
+  int64_t i;
+};
+
+/// kModF64 mirrors ArithExpr::EvalDouble's non-integral modulo: truncate
+/// both operands to int64, modulo, widen back.
+inline double DoubleMod(double a, double b) {
+  const int64_t bi = static_cast<int64_t>(b);
+  return bi == 0 ? 0.0
+                 : static_cast<double>(static_cast<int64_t>(a) % bi);
+}
+
+// ---------------------------------------------------------------------------
+// Batch interpreter. One pass over the program; every instruction loops over
+// the whole run, so virtual-dispatch/decode cost is paid once per ~1024
+// tuples instead of once per tuple. `At` maps (side, row) -> tuple pointer
+// and is inlined per instantiation (dense / gather / pair addressing).
+// ---------------------------------------------------------------------------
+
+template <typename At>
+inline void RunBatch(const std::vector<Instr>& program, const At& at, size_t n,
+                     LaneVal* lanes) {
+  constexpr size_t kB = CompiledExpr::kBatchSize;
+  int sp = -1;
+  for (const Instr& ins : program) {
+    switch (ins.op) {
+      case Op::kPushColInt32: {
+        LaneVal* dst = lanes + ++sp * kB;
+        for (size_t i = 0; i < n; ++i) {
+          int32_t v;
+          std::memcpy(&v, at(ins.side, i) + ins.offset, sizeof(v));
+          dst[i].i = v;
+        }
+        break;
+      }
+      case Op::kPushColInt64: {
+        LaneVal* dst = lanes + ++sp * kB;
+        for (size_t i = 0; i < n; ++i) {
+          int64_t v;
+          std::memcpy(&v, at(ins.side, i) + ins.offset, sizeof(v));
+          dst[i].i = v;
+        }
+        break;
+      }
+      case Op::kPushColFloat: {
+        LaneVal* dst = lanes + ++sp * kB;
+        for (size_t i = 0; i < n; ++i) {
+          float v;
+          std::memcpy(&v, at(ins.side, i) + ins.offset, sizeof(v));
+          dst[i].d = static_cast<double>(v);
+        }
+        break;
+      }
+      case Op::kPushColDouble: {
+        LaneVal* dst = lanes + ++sp * kB;
+        for (size_t i = 0; i < n; ++i) {
+          double v;
+          std::memcpy(&v, at(ins.side, i) + ins.offset, sizeof(v));
+          dst[i].d = v;
+        }
+        break;
+      }
+      case Op::kPushConstF64: {
+        LaneVal* dst = lanes + ++sp * kB;
+        for (size_t i = 0; i < n; ++i) dst[i].d = ins.constant;
+        break;
+      }
+      case Op::kPushConstI64: {
+        LaneVal* dst = lanes + ++sp * kB;
+        for (size_t i = 0; i < n; ++i) dst[i].i = ins.iconst;
+        break;
+      }
+      case Op::kCastF64: {
+        LaneVal* t = lanes + sp * kB;
+        for (size_t i = 0; i < n; ++i) t[i].d = static_cast<double>(t[i].i);
+        break;
+      }
+      case Op::kTestF64: {
+        LaneVal* t = lanes + sp * kB;
+        for (size_t i = 0; i < n; ++i) t[i].i = t[i].d != 0.0 ? 1 : 0;
+        break;
+      }
+#define SABER_BATCH_BINOP(OPCODE, EXPR_D, EXPR_I)                      \
+  case OPCODE: {                                                       \
+    LaneVal* a = lanes + (sp - 1) * kB;                                \
+    LaneVal* b = lanes + sp * kB;                                      \
+    (void)b;                                                           \
+    for (size_t i = 0; i < n; ++i) {                                   \
+      EXPR_D;                                                          \
+      EXPR_I;                                                          \
+    }                                                                  \
+    --sp;                                                              \
+    break;                                                             \
+  }
+      SABER_BATCH_BINOP(Op::kAddF64, a[i].d += b[i].d, (void)0)
+      SABER_BATCH_BINOP(Op::kSubF64, a[i].d -= b[i].d, (void)0)
+      SABER_BATCH_BINOP(Op::kMulF64, a[i].d *= b[i].d, (void)0)
+      SABER_BATCH_BINOP(Op::kDivF64,
+                        a[i].d = b[i].d == 0.0 ? 0.0 : a[i].d / b[i].d,
+                        (void)0)
+      SABER_BATCH_BINOP(Op::kModF64, a[i].d = DoubleMod(a[i].d, b[i].d),
+                        (void)0)
+      SABER_BATCH_BINOP(Op::kAddI64, (void)0, a[i].i += b[i].i)
+      SABER_BATCH_BINOP(Op::kSubI64, (void)0, a[i].i -= b[i].i)
+      SABER_BATCH_BINOP(Op::kMulI64, (void)0, a[i].i *= b[i].i)
+      SABER_BATCH_BINOP(Op::kModI64, (void)0,
+                        a[i].i = b[i].i == 0 ? 0 : a[i].i % b[i].i)
+      SABER_BATCH_BINOP(Op::kLtF64, (void)0,
+                        a[i].i = a[i].d < b[i].d ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kLeF64, (void)0,
+                        a[i].i = a[i].d <= b[i].d ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kEqF64, (void)0,
+                        a[i].i = a[i].d == b[i].d ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kNeF64, (void)0,
+                        a[i].i = a[i].d != b[i].d ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kGeF64, (void)0,
+                        a[i].i = a[i].d >= b[i].d ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kGtF64, (void)0,
+                        a[i].i = a[i].d > b[i].d ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kLtI64, (void)0,
+                        a[i].i = a[i].i < b[i].i ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kLeI64, (void)0,
+                        a[i].i = a[i].i <= b[i].i ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kEqI64, (void)0,
+                        a[i].i = a[i].i == b[i].i ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kNeI64, (void)0,
+                        a[i].i = a[i].i != b[i].i ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kGeI64, (void)0,
+                        a[i].i = a[i].i >= b[i].i ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kGtI64, (void)0,
+                        a[i].i = a[i].i > b[i].i ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kAnd, (void)0,
+                        a[i].i = (a[i].i != 0) & (b[i].i != 0) ? 1 : 0)
+      SABER_BATCH_BINOP(Op::kOr, (void)0,
+                        a[i].i = (a[i].i != 0) | (b[i].i != 0) ? 1 : 0)
+#undef SABER_BATCH_BINOP
+      case Op::kNot: {
+        LaneVal* t = lanes + sp * kB;
+        for (size_t i = 0; i < n; ++i) t[i].i = t[i].i == 0 ? 1 : 0;
+        break;
+      }
+    }
+  }
+}
+
+// Tuple addressing strategies for RunBatch.
+struct DenseAccess {
+  const uint8_t* base;
+  size_t stride;
+  const uint8_t* operator()(uint8_t, size_t i) const {
+    return base + i * stride;
+  }
+};
+struct GatherAccess {
+  const uint8_t* base;
+  size_t stride;
+  const uint32_t* sel;
+  const uint8_t* operator()(uint8_t, size_t i) const {
+    return base + static_cast<size_t>(sel[i]) * stride;
+  }
+};
+struct PairAccess {
+  const uint8_t* const* left;
+  const uint8_t* fixed_left;
+  const uint8_t* const* right;
+  const uint8_t* fixed_right;
+  const uint8_t* operator()(uint8_t side, size_t i) const {
+    if (side) return right != nullptr ? right[i] : fixed_right;
+    return left != nullptr ? left[i] : fixed_left;
+  }
+};
+
+/// Per-thread lane scratch: max_stack slanes of kBatchSize values. Bounded
+/// by kMaxBatchStack (lowerable programs only), i.e. <= 128 KiB per thread.
+LaneVal* BatchScratch(size_t slots) {
+  thread_local std::vector<LaneVal> buf;
+  const size_t need = slots * CompiledExpr::kBatchSize;
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
 }
 
 }  // namespace
@@ -51,6 +239,7 @@ CompiledExpr CompiledExpr::Compile(const Expression& expr, const Schema& ls,
                                    const Schema* rs) {
   CompiledExpr out;
   out.Emit(expr, ls, rs);
+  out.result_integral_ = expr.integral();
   // Compute the stack high-water mark for the interpreter's fixed buffer.
   size_t depth = 0, max_depth = 0;
   for (const Instr& i : out.program_) {
@@ -59,9 +248,12 @@ CompiledExpr CompiledExpr::Compile(const Expression& expr, const Schema& ls,
       case Op::kPushColInt64:
       case Op::kPushColFloat:
       case Op::kPushColDouble:
-      case Op::kPushConst:
+      case Op::kPushConstF64:
+      case Op::kPushConstI64:
         ++depth;
         break;
+      case Op::kCastF64:
+      case Op::kTestF64:
       case Op::kNot:
         break;  // 1 in, 1 out
       default:
@@ -71,8 +263,30 @@ CompiledExpr CompiledExpr::Compile(const Expression& expr, const Schema& ls,
     max_depth = std::max(max_depth, depth);
   }
   out.max_stack_ = max_depth;
-  SABER_CHECK(max_depth <= 64);
+  SABER_CHECK(max_depth <= kMaxStack);
+  out.lowerable_ = !out.program_.empty() && max_depth <= kMaxBatchStack;
   return out;
+}
+
+void CompiledExpr::EmitAsF64(const Expression& e, const Schema& ls,
+                             const Schema* rs) {
+  if (e.kind() == Expression::Kind::kLiteral && e.integral()) {
+    // Constant-fold the widening: an integer literal in a double context
+    // would otherwise cost a full kCastF64 batch loop per evaluation.
+    const auto& lit = static_cast<const LiteralExpr&>(e);
+    program_.push_back(Instr{Op::kPushConstF64, 0, 0, lit.dval(), 0});
+    return;
+  }
+  Emit(e, ls, rs);
+  if (e.integral()) program_.push_back(Instr{Op::kCastF64, 0, 0, 0.0, 0});
+}
+
+void CompiledExpr::EmitAsBool(const Expression& e, const Schema& ls,
+                              const Schema* rs) {
+  Emit(e, ls, rs);
+  // Integral operands feed kAnd/kOr/kNot raw (truthiness is != 0); double
+  // operands hop lanes through an explicit test, like Expression::EvalBool.
+  if (!e.integral()) program_.push_back(Instr{Op::kTestF64, 0, 0, 0.0, 0});
 }
 
 void CompiledExpr::Emit(const Expression& e, const Schema& ls, const Schema* rs) {
@@ -81,142 +295,376 @@ void CompiledExpr::Emit(const Expression& e, const Schema& ls, const Schema* rs)
       const auto& col = static_cast<const ColumnExpr&>(e);
       program_.push_back(Instr{ColumnOp(col.output_type()),
                                static_cast<uint8_t>(col.side()),
-                               ColumnOffset(col, ls, rs), 0.0});
+                               ColumnOffset(col, ls, rs), 0.0, 0});
       break;
     }
     case Expression::Kind::kLiteral: {
       const auto& lit = static_cast<const LiteralExpr&>(e);
-      program_.push_back(Instr{Op::kPushConst, 0, 0, lit.dval()});
+      if (lit.integral()) {
+        program_.push_back(Instr{Op::kPushConstI64, 0, 0, 0.0, lit.ival()});
+      } else {
+        program_.push_back(Instr{Op::kPushConstF64, 0, 0, lit.dval(), 0});
+      }
       break;
     }
     case Expression::Kind::kArith: {
       const auto& a = static_cast<const ArithExpr&>(e);
-      Emit(*a.lhs(), ls, rs);
-      Emit(*a.rhs(), ls, rs);
-      program_.push_back(Instr{ArithCode(a.op()), 0, 0, 0.0});
+      const bool int_lane = e.integral();  // lhs && rhs integral, op != kDiv
+      if (int_lane) {
+        Emit(*a.lhs(), ls, rs);
+        Emit(*a.rhs(), ls, rs);
+      } else {
+        EmitAsF64(*a.lhs(), ls, rs);
+        EmitAsF64(*a.rhs(), ls, rs);
+      }
+      program_.push_back(Instr{ArithCode(a.op(), int_lane), 0, 0, 0.0, 0});
       break;
     }
     case Expression::Kind::kCompare: {
       const auto& c = static_cast<const CompareExpr&>(e);
-      Emit(*c.lhs(), ls, rs);
-      Emit(*c.rhs(), ls, rs);
-      program_.push_back(Instr{CompareCode(c.op()), 0, 0, 0.0});
+      const bool int_lane = c.lhs()->integral() && c.rhs()->integral();
+      if (int_lane) {
+        Emit(*c.lhs(), ls, rs);
+        Emit(*c.rhs(), ls, rs);
+      } else {
+        EmitAsF64(*c.lhs(), ls, rs);
+        EmitAsF64(*c.rhs(), ls, rs);
+      }
+      program_.push_back(Instr{CompareCode(c.op(), int_lane), 0, 0, 0.0, 0});
       break;
     }
     case Expression::Kind::kLogical: {
       const auto& lg = static_cast<const LogicalExpr&>(e);
       if (lg.op() == LogicalOp::kNot) {
-        Emit(*lg.operands()[0], ls, rs);
-        program_.push_back(Instr{Op::kNot, 0, 0, 0.0});
+        EmitAsBool(*lg.operands()[0], ls, rs);
+        program_.push_back(Instr{Op::kNot, 0, 0, 0.0, 0});
         break;
       }
       const Op op = lg.op() == LogicalOp::kAnd ? Op::kAnd : Op::kOr;
-      Emit(*lg.operands()[0], ls, rs);
+      EmitAsBool(*lg.operands()[0], ls, rs);
       for (size_t i = 1; i < lg.operands().size(); ++i) {
-        Emit(*lg.operands()[i], ls, rs);
-        program_.push_back(Instr{op, 0, 0, 0.0});
+        EmitAsBool(*lg.operands()[i], ls, rs);
+        program_.push_back(Instr{op, 0, 0, 0.0, 0});
       }
       break;
     }
   }
 }
 
-double CompiledExpr::EvalDouble(const uint8_t* left, const uint8_t* right) const {
-  double stack[64];
+// ---------------------------------------------------------------------------
+// Scalar evaluation (per-tuple): same typed semantics, one value per slot.
+// Used by the simulated GPGPU work items and as the batch paths' oracle.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline LaneVal EvalScalar(const std::vector<Instr>& program,
+                          const uint8_t* left, const uint8_t* right) {
+  LaneVal stack[CompiledExpr::kMaxStack];
   int sp = -1;
-  for (const Instr& i : program_) {
+  for (const Instr& i : program) {
     switch (i.op) {
       case Op::kPushColInt32: {
         int32_t v;
         std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
-        stack[++sp] = static_cast<double>(v);
+        stack[++sp].i = v;
         break;
       }
       case Op::kPushColInt64: {
         int64_t v;
         std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
-        stack[++sp] = static_cast<double>(v);
+        stack[++sp].i = v;
         break;
       }
       case Op::kPushColFloat: {
         float v;
         std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
-        stack[++sp] = static_cast<double>(v);
+        stack[++sp].d = static_cast<double>(v);
         break;
       }
       case Op::kPushColDouble: {
         double v;
         std::memcpy(&v, (i.side ? right : left) + i.offset, sizeof(v));
-        stack[++sp] = v;
+        stack[++sp].d = v;
         break;
       }
-      case Op::kPushConst:
-        stack[++sp] = i.constant;
+      case Op::kPushConstF64:
+        stack[++sp].d = i.constant;
         break;
-      case Op::kAdd:
-        stack[sp - 1] += stack[sp];
+      case Op::kPushConstI64:
+        stack[++sp].i = i.iconst;
+        break;
+      case Op::kCastF64:
+        stack[sp].d = static_cast<double>(stack[sp].i);
+        break;
+      case Op::kTestF64:
+        stack[sp].i = stack[sp].d != 0.0 ? 1 : 0;
+        break;
+      case Op::kAddF64:
+        stack[sp - 1].d += stack[sp].d;
         --sp;
         break;
-      case Op::kSub:
-        stack[sp - 1] -= stack[sp];
+      case Op::kSubF64:
+        stack[sp - 1].d -= stack[sp].d;
         --sp;
         break;
-      case Op::kMul:
-        stack[sp - 1] *= stack[sp];
+      case Op::kMulF64:
+        stack[sp - 1].d *= stack[sp].d;
         --sp;
         break;
-      case Op::kDiv:
-        stack[sp - 1] = stack[sp] == 0.0 ? 0.0 : stack[sp - 1] / stack[sp];
+      case Op::kDivF64:
+        stack[sp - 1].d =
+            stack[sp].d == 0.0 ? 0.0 : stack[sp - 1].d / stack[sp].d;
         --sp;
         break;
-      case Op::kMod: {
-        const int64_t b = static_cast<int64_t>(stack[sp]);
-        stack[sp - 1] =
-            b == 0 ? 0.0
-                   : static_cast<double>(static_cast<int64_t>(stack[sp - 1]) % b);
+      case Op::kModF64:
+        stack[sp - 1].d = DoubleMod(stack[sp - 1].d, stack[sp].d);
         --sp;
         break;
-      }
-      case Op::kLt:
-        stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0;
+      case Op::kAddI64:
+        stack[sp - 1].i += stack[sp].i;
         --sp;
         break;
-      case Op::kLe:
-        stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0;
+      case Op::kSubI64:
+        stack[sp - 1].i -= stack[sp].i;
         --sp;
         break;
-      case Op::kEq:
-        stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0;
+      case Op::kMulI64:
+        stack[sp - 1].i *= stack[sp].i;
         --sp;
         break;
-      case Op::kNe:
-        stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0;
+      case Op::kModI64:
+        stack[sp - 1].i =
+            stack[sp].i == 0 ? 0 : stack[sp - 1].i % stack[sp].i;
         --sp;
         break;
-      case Op::kGe:
-        stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0;
+      case Op::kLtF64:
+        stack[sp - 1].i = stack[sp - 1].d < stack[sp].d ? 1 : 0;
         --sp;
         break;
-      case Op::kGt:
-        stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0;
+      case Op::kLeF64:
+        stack[sp - 1].i = stack[sp - 1].d <= stack[sp].d ? 1 : 0;
+        --sp;
+        break;
+      case Op::kEqF64:
+        stack[sp - 1].i = stack[sp - 1].d == stack[sp].d ? 1 : 0;
+        --sp;
+        break;
+      case Op::kNeF64:
+        stack[sp - 1].i = stack[sp - 1].d != stack[sp].d ? 1 : 0;
+        --sp;
+        break;
+      case Op::kGeF64:
+        stack[sp - 1].i = stack[sp - 1].d >= stack[sp].d ? 1 : 0;
+        --sp;
+        break;
+      case Op::kGtF64:
+        stack[sp - 1].i = stack[sp - 1].d > stack[sp].d ? 1 : 0;
+        --sp;
+        break;
+      case Op::kLtI64:
+        stack[sp - 1].i = stack[sp - 1].i < stack[sp].i ? 1 : 0;
+        --sp;
+        break;
+      case Op::kLeI64:
+        stack[sp - 1].i = stack[sp - 1].i <= stack[sp].i ? 1 : 0;
+        --sp;
+        break;
+      case Op::kEqI64:
+        stack[sp - 1].i = stack[sp - 1].i == stack[sp].i ? 1 : 0;
+        --sp;
+        break;
+      case Op::kNeI64:
+        stack[sp - 1].i = stack[sp - 1].i != stack[sp].i ? 1 : 0;
+        --sp;
+        break;
+      case Op::kGeI64:
+        stack[sp - 1].i = stack[sp - 1].i >= stack[sp].i ? 1 : 0;
+        --sp;
+        break;
+      case Op::kGtI64:
+        stack[sp - 1].i = stack[sp - 1].i > stack[sp].i ? 1 : 0;
         --sp;
         break;
       case Op::kAnd:
-        stack[sp - 1] =
-            (stack[sp - 1] != 0.0 && stack[sp] != 0.0) ? 1.0 : 0.0;
+        stack[sp - 1].i =
+            (stack[sp - 1].i != 0 && stack[sp].i != 0) ? 1 : 0;
         --sp;
         break;
       case Op::kOr:
-        stack[sp - 1] =
-            (stack[sp - 1] != 0.0 || stack[sp] != 0.0) ? 1.0 : 0.0;
+        stack[sp - 1].i =
+            (stack[sp - 1].i != 0 || stack[sp].i != 0) ? 1 : 0;
         --sp;
         break;
       case Op::kNot:
-        stack[sp] = stack[sp] == 0.0 ? 1.0 : 0.0;
+        stack[sp].i = stack[sp].i == 0 ? 1 : 0;
         break;
     }
   }
-  return sp >= 0 ? stack[sp] : 0.0;
+  if (sp < 0) return LaneVal{0.0};
+  return stack[sp];
+}
+
+}  // namespace
+
+double CompiledExpr::EvalDouble(const uint8_t* left, const uint8_t* right) const {
+  if (program_.empty()) return 0.0;
+  const LaneVal v = EvalScalar(program_, left, right);
+  return result_integral_ ? static_cast<double>(v.i) : v.d;
+}
+
+int64_t CompiledExpr::EvalInt64(const uint8_t* left, const uint8_t* right) const {
+  if (program_.empty()) return 0;
+  const LaneVal v = EvalScalar(program_, left, right);
+  return result_integral_ ? v.i : static_cast<int64_t>(v.d);
+}
+
+bool CompiledExpr::EvalBool(const uint8_t* left, const uint8_t* right) const {
+  if (program_.empty()) return false;
+  const LaneVal v = EvalScalar(program_, left, right);
+  return result_integral_ ? v.i != 0 : v.d != 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Batch entry points.
+// ---------------------------------------------------------------------------
+
+size_t CompiledExpr::EvalBatchBool(const uint8_t* base, size_t stride, size_t n,
+                                   uint32_t* sel_out) const {
+  SABER_CHECK(lowerable_);
+  LaneVal* lanes = BatchScratch(max_stack_);
+  size_t cnt = 0;
+  for (size_t pos = 0; pos < n; pos += kBatchSize) {
+    const size_t m = std::min(kBatchSize, n - pos);
+    RunBatch(program_, DenseAccess{base + pos * stride, stride}, m, lanes);
+    if (result_integral_) {
+      for (size_t i = 0; i < m; ++i) {
+        if (lanes[i].i != 0) sel_out[cnt++] = static_cast<uint32_t>(pos + i);
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        if (lanes[i].d != 0.0) sel_out[cnt++] = static_cast<uint32_t>(pos + i);
+      }
+    }
+  }
+  return cnt;
+}
+
+void CompiledExpr::EvalBatchDouble(const uint8_t* base, size_t stride,
+                                   const uint32_t* sel, size_t n,
+                                   double* out) const {
+  SABER_CHECK(lowerable_);
+  LaneVal* lanes = BatchScratch(max_stack_);
+  for (size_t pos = 0; pos < n; pos += kBatchSize) {
+    const size_t m = std::min(kBatchSize, n - pos);
+    if (sel != nullptr) {
+      RunBatch(program_, GatherAccess{base, stride, sel + pos}, m, lanes);
+    } else {
+      RunBatch(program_, DenseAccess{base + pos * stride, stride}, m, lanes);
+    }
+    if (result_integral_) {
+      for (size_t i = 0; i < m; ++i) {
+        out[pos + i] = static_cast<double>(lanes[i].i);
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) out[pos + i] = lanes[i].d;
+    }
+  }
+}
+
+void CompiledExpr::EvalBatchInt64(const uint8_t* base, size_t stride,
+                                  const uint32_t* sel, size_t n,
+                                  int64_t* out) const {
+  SABER_CHECK(lowerable_);
+  LaneVal* lanes = BatchScratch(max_stack_);
+  for (size_t pos = 0; pos < n; pos += kBatchSize) {
+    const size_t m = std::min(kBatchSize, n - pos);
+    if (sel != nullptr) {
+      RunBatch(program_, GatherAccess{base, stride, sel + pos}, m, lanes);
+    } else {
+      RunBatch(program_, DenseAccess{base + pos * stride, stride}, m, lanes);
+    }
+    if (result_integral_) {
+      for (size_t i = 0; i < m; ++i) out[pos + i] = lanes[i].i;
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        out[pos + i] = static_cast<int64_t>(lanes[i].d);
+      }
+    }
+  }
+}
+
+size_t CompiledExpr::EvalBatchBoolPairs(const uint8_t* const* left,
+                                        const uint8_t* fixed_left,
+                                        const uint8_t* const* right,
+                                        const uint8_t* fixed_right, size_t n,
+                                        uint32_t* sel_out) const {
+  SABER_CHECK(lowerable_);
+  LaneVal* lanes = BatchScratch(max_stack_);
+  size_t cnt = 0;
+  for (size_t pos = 0; pos < n; pos += kBatchSize) {
+    const size_t m = std::min(kBatchSize, n - pos);
+    RunBatch(program_,
+             PairAccess{left != nullptr ? left + pos : nullptr, fixed_left,
+                        right != nullptr ? right + pos : nullptr, fixed_right},
+             m, lanes);
+    if (result_integral_) {
+      for (size_t i = 0; i < m; ++i) {
+        if (lanes[i].i != 0) sel_out[cnt++] = static_cast<uint32_t>(pos + i);
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        if (lanes[i].d != 0.0) sel_out[cnt++] = static_cast<uint32_t>(pos + i);
+      }
+    }
+  }
+  return cnt;
+}
+
+void CompiledExpr::EvalBatchDoublePairs(const uint8_t* const* left,
+                                        const uint8_t* fixed_left,
+                                        const uint8_t* const* right,
+                                        const uint8_t* fixed_right, size_t n,
+                                        double* out) const {
+  SABER_CHECK(lowerable_);
+  LaneVal* lanes = BatchScratch(max_stack_);
+  for (size_t pos = 0; pos < n; pos += kBatchSize) {
+    const size_t m = std::min(kBatchSize, n - pos);
+    RunBatch(program_,
+             PairAccess{left != nullptr ? left + pos : nullptr, fixed_left,
+                        right != nullptr ? right + pos : nullptr, fixed_right},
+             m, lanes);
+    if (result_integral_) {
+      for (size_t i = 0; i < m; ++i) {
+        out[pos + i] = static_cast<double>(lanes[i].i);
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) out[pos + i] = lanes[i].d;
+    }
+  }
+}
+
+void CompiledExpr::EvalBatchInt64Pairs(const uint8_t* const* left,
+                                       const uint8_t* fixed_left,
+                                       const uint8_t* const* right,
+                                       const uint8_t* fixed_right, size_t n,
+                                       int64_t* out) const {
+  SABER_CHECK(lowerable_);
+  LaneVal* lanes = BatchScratch(max_stack_);
+  for (size_t pos = 0; pos < n; pos += kBatchSize) {
+    const size_t m = std::min(kBatchSize, n - pos);
+    RunBatch(program_,
+             PairAccess{left != nullptr ? left + pos : nullptr, fixed_left,
+                        right != nullptr ? right + pos : nullptr, fixed_right},
+             m, lanes);
+    if (result_integral_) {
+      for (size_t i = 0; i < m; ++i) out[pos + i] = lanes[i].i;
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        out[pos + i] = static_cast<int64_t>(lanes[i].d);
+      }
+    }
+  }
 }
 
 }  // namespace saber

@@ -9,31 +9,67 @@
 /// stack machine. This models SABER's GPGPU code generation (§5.4: operators
 /// are OpenCL templates populated with query-specific functions): the
 /// simulated device executes these programs in tight loops with no virtual
-/// dispatch. Boolean connectives are evaluated arithmetically without
-/// short-circuiting, which matches SIMD predication on real GPGPUs (all
-/// lanes evaluate every predicate).
+/// dispatch, and the vectorized CPU operator path executes them
+/// batch-at-a-time with per-instruction loops (cpu_operators.cc). Boolean
+/// connectives are evaluated arithmetically without short-circuiting, which
+/// matches SIMD predication on real GPGPUs (all lanes evaluate every
+/// predicate).
+///
+/// The stack machine is *typed*: every program value lives in either the
+/// int64 lane or the double lane, decided statically at compile time by
+/// mirroring Expression::integral(). Integer arithmetic, modulo and
+/// comparisons therefore stay exact for the full int64 range — evaluating
+/// them through double (as a single-lane design would) silently loses
+/// precision beyond 2^53, which corrupts e.g. GROUP-BY keys derived from
+/// wide identifiers. Conversions between lanes are explicit instructions
+/// (kCastF64 / kTestF64) emitted exactly where the Expression tree itself
+/// widens or tests a value, so compiled results are bit-identical to the
+/// interpreted tree.
 
 namespace saber {
 
 class CompiledExpr {
  public:
   enum class Op : uint8_t {
+    // Column loads. Integer columns land in the int64 lane, floating-point
+    // columns in the double lane (mirroring Expression::integral()).
     kPushColInt32,
     kPushColInt64,
     kPushColFloat,
     kPushColDouble,
-    kPushConst,
-    kAdd,
-    kSub,
-    kMul,
-    kDiv,
-    kMod,
-    kLt,
-    kLe,
-    kEq,
-    kNe,
-    kGe,
-    kGt,
+    kPushConstF64,
+    kPushConstI64,
+    // Lane conversions on the stack top.
+    kCastF64,  // int64 -> double (Expression widening at mixed-type sites)
+    kTestF64,  // double -> int64 truthiness (v != 0.0), for boolean operands
+    // Double-lane arithmetic. kDivF64 yields 0 for a zero divisor; kModF64
+    // truncates both operands to int64 first — both mirror ArithExpr.
+    kAddF64,
+    kSubF64,
+    kMulF64,
+    kDivF64,
+    kModF64,
+    // Int64-lane arithmetic (exact; division always lowers to the double
+    // lane because ArithExpr never treats kDiv as integral).
+    kAddI64,
+    kSubI64,
+    kMulI64,
+    kModI64,
+    // Comparisons; results are 0/1 in the int64 lane.
+    kLtF64,
+    kLeF64,
+    kEqF64,
+    kNeF64,
+    kGeF64,
+    kGtF64,
+    kLtI64,
+    kLeI64,
+    kEqI64,
+    kNeI64,
+    kGeI64,
+    kGtI64,
+    // Boolean connectives on the int64 lane. Operands need not be
+    // normalized to 0/1: truthiness is value != 0. No short-circuiting.
     kAnd,
     kOr,
     kNot,
@@ -43,19 +79,82 @@ class CompiledExpr {
     Op op;
     uint8_t side;      // 0 = left tuple, 1 = right tuple (join predicates)
     uint16_t offset;   // byte offset of the column within the tuple
-    double constant;   // for kPushConst
+    double constant;   // for kPushConstF64
+    int64_t iconst;    // for kPushConstI64
   };
+
+  /// Tuples evaluated per batch-interpreter inner loop. Large enough to
+  /// amortize instruction dispatch to noise, small enough that one stack
+  /// slot's lane (8 KiB) stays L1-resident.
+  static constexpr size_t kBatchSize = 1024;
+  /// Scalar-interpreter stack bound (Compile aborts beyond this).
+  static constexpr size_t kMaxStack = 64;
+  /// Batch-evaluation stack bound: deeper programs are valid but not
+  /// *lowerable* — the CPU operator path falls back to the scalar
+  /// tree-walking interpreter for them (cpu_operators.cc).
+  static constexpr size_t kMaxBatchStack = 16;
 
   /// Compiles `expr`; offsets are resolved against the expression's schemas
   /// (already baked into ColumnExpr instances at build time).
   static CompiledExpr Compile(const Expression& expr, const Schema& left_schema,
                               const Schema* right_schema = nullptr);
 
-  /// Evaluates the program over a serialized tuple (pair).
+  // -------------------------------------------------------------------------
+  // Scalar evaluation over one serialized tuple (pair). Values match the
+  // Expression tree's EvalDouble / EvalInt64 / EvalBool bit for bit.
+  // -------------------------------------------------------------------------
   double EvalDouble(const uint8_t* left, const uint8_t* right = nullptr) const;
-  bool EvalBool(const uint8_t* left, const uint8_t* right = nullptr) const {
-    return EvalDouble(left, right) != 0.0;
-  }
+  int64_t EvalInt64(const uint8_t* left, const uint8_t* right = nullptr) const;
+  bool EvalBool(const uint8_t* left, const uint8_t* right = nullptr) const;
+
+  // -------------------------------------------------------------------------
+  // Batch evaluation (the vectorized CPU operator path). All entry points
+  // require lowerable() and a non-empty program; they chunk internally into
+  // kBatchSize runs, so `n` is unbounded. Thread-safe (scratch is
+  // thread-local); indices written to / read from `sel` are relative to
+  // `base`.
+  // -------------------------------------------------------------------------
+
+  /// Evaluates the predicate over `n` contiguous tuples `stride` bytes
+  /// apart, writing the indices of passing tuples to `sel_out` (capacity
+  /// >= n) in ascending order. Returns the number of survivors.
+  size_t EvalBatchBool(const uint8_t* base, size_t stride, size_t n,
+                       uint32_t* sel_out) const;
+
+  /// Evaluates the program as a double column: out[i] = eval(tuple sel[i])
+  /// for i in [0, n), or tuple i when `sel` is null (dense).
+  void EvalBatchDouble(const uint8_t* base, size_t stride, const uint32_t* sel,
+                       size_t n, double* out) const;
+
+  /// Same, widened/truncated to int64 exactly like Expression::EvalInt64.
+  void EvalBatchInt64(const uint8_t* base, size_t stride, const uint32_t* sel,
+                      size_t n, int64_t* out) const;
+
+  // Pair variants for join predicates/projections: each side is either a
+  // per-row pointer array (`left`/`right`, non-null) or a single broadcast
+  // tuple (`fixed_left`/`fixed_right`) — exactly one of each pair non-null.
+  size_t EvalBatchBoolPairs(const uint8_t* const* left,
+                            const uint8_t* fixed_left,
+                            const uint8_t* const* right,
+                            const uint8_t* fixed_right, size_t n,
+                            uint32_t* sel_out) const;
+  void EvalBatchDoublePairs(const uint8_t* const* left,
+                            const uint8_t* fixed_left,
+                            const uint8_t* const* right,
+                            const uint8_t* fixed_right, size_t n,
+                            double* out) const;
+  void EvalBatchInt64Pairs(const uint8_t* const* left,
+                           const uint8_t* fixed_left,
+                           const uint8_t* const* right,
+                           const uint8_t* fixed_right, size_t n,
+                           int64_t* out) const;
+
+  /// True if the program supports batch evaluation (false for
+  /// default-constructed/empty programs and stacks beyond kMaxBatchStack).
+  bool lowerable() const { return lowerable_; }
+  /// True if the program's result lives in the int64 lane (the compiled
+  /// mirror of Expression::integral()).
+  bool integral_result() const { return result_integral_; }
 
   const std::vector<Instr>& program() const { return program_; }
   size_t max_stack() const { return max_stack_; }
@@ -63,9 +162,13 @@ class CompiledExpr {
 
  private:
   void Emit(const Expression& e, const Schema& ls, const Schema* rs);
+  void EmitAsF64(const Expression& e, const Schema& ls, const Schema* rs);
+  void EmitAsBool(const Expression& e, const Schema& ls, const Schema* rs);
 
   std::vector<Instr> program_;
   size_t max_stack_ = 0;
+  bool result_integral_ = false;
+  bool lowerable_ = false;
 };
 
 }  // namespace saber

@@ -30,6 +30,14 @@
 
 namespace saber {
 
+/// Initial capacity of the per-task GROUP-BY tables. The vectorized CPU
+/// operator pools tables of exactly this capacity (cpu_operators.cc):
+/// SerializeTo emits entries in slot order, which depends on the capacity
+/// history, so a pooled table must start every task at the same capacity a
+/// freshly constructed one would — otherwise two runs over identical input
+/// could produce permuted (though semantically equal) pane partials.
+inline constexpr size_t kGroupTableTaskCapacity = 256;
+
 class GroupHashTable {
  public:
   GroupHashTable(size_t key_size, size_t num_aggs, size_t min_capacity)
@@ -75,7 +83,13 @@ class GroupHashTable {
   /// Finds or creates the group for `key`, single-threaded. Returns the
   /// slot's aggregate array, or nullptr if the table is full (caller grows).
   AggState* Upsert(const uint8_t* key, int32_t tuple_index, int64_t ts) {
-    const uint32_t h = Hash(key);
+    return UpsertHashed(Hash(key), key, tuple_index, ts);
+  }
+
+  /// Upsert with a caller-precomputed hash: the vectorized operator hashes
+  /// a whole run of packed keys in one pass before probing.
+  AggState* UpsertHashed(uint32_t h, const uint8_t* key, int32_t tuple_index,
+                         int64_t ts) {
     for (size_t probe = 0; probe < capacity_; ++probe) {
       uint8_t* slot = SlotAt((h + probe) & mask_);
       int32_t marker;

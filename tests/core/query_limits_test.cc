@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/query.h"
+
+/// Operator-limit validation (kMaxAggregatesPerQuery / kMaxGroupKeyBytes):
+/// misuse must fail at query-build time with a clear Status — or, for
+/// hand-assembled QueryDefs, abort at Engine::AddQuery with the limit named
+/// in the message — never mid-task on a worker thread.
+
+namespace saber {
+namespace {
+
+Schema TestSchema() {
+  return Schema::MakeStream({{"v", DataType::kInt32}, {"k", DataType::kInt64}});
+}
+
+QueryBuilder WithAggregates(size_t n) {
+  Schema s = TestSchema();
+  QueryBuilder b("limits", s);
+  b.Window(WindowDefinition::Count(4, 4));
+  for (size_t i = 0; i < n; ++i) {
+    b.Aggregate(AggregateFunction::kSum, Col(s, "v"));
+  }
+  return b;
+}
+
+QueryBuilder WithGroupKeys(size_t n) {
+  Schema s = TestSchema();
+  QueryBuilder b("limits", s);
+  b.Window(WindowDefinition::Count(4, 4));
+  std::vector<ExprPtr> keys;
+  for (size_t i = 0; i < n; ++i) keys.push_back(Col(s, "k"));
+  b.GroupBy(std::move(keys));
+  b.Aggregate(AggregateFunction::kCount, nullptr);
+  return b;
+}
+
+TEST(QueryLimitsTest, MaxAggregatesAcceptedAtTheBoundary) {
+  Result<QueryDef> r = WithAggregates(kMaxAggregatesPerQuery).TryBuild();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().aggregates.size(), kMaxAggregatesPerQuery);
+}
+
+TEST(QueryLimitsTest, TooManyAggregatesIsInvalidArgument) {
+  Result<QueryDef> r = WithAggregates(kMaxAggregatesPerQuery + 1).TryBuild();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("kMaxAggregatesPerQuery"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(QueryLimitsTest, MaxGroupKeysAcceptedAtTheBoundary) {
+  Result<QueryDef> r = WithGroupKeys(kMaxGroupKeyBytes / 8).TryBuild();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(QueryLimitsTest, TooManyGroupKeysIsInvalidArgument) {
+  Result<QueryDef> r = WithGroupKeys(kMaxGroupKeyBytes / 8 + 1).TryBuild();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("kMaxGroupKeyBytes"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(QueryLimitsDeathTest, BuildAbortsWithClearMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(WithAggregates(kMaxAggregatesPerQuery + 1).Build(),
+               "InvalidArgument.*kMaxAggregatesPerQuery");
+}
+
+TEST(QueryLimitsDeathTest, AddQueryRejectsHandBuiltDefOverLimit) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Bypass QueryBuilder entirely: a hand-assembled QueryDef must still fail
+  // at registration, not when the first task runs.
+  Schema s = TestSchema();
+  QueryDef def;
+  def.name = "hand-built";
+  def.input_schema[0] = s;
+  def.window[0] = WindowDefinition::Count(4, 4);
+  for (size_t i = 0; i <= kMaxAggregatesPerQuery; ++i) {
+    def.aggregates.push_back(
+        AggregateSpec{AggregateFunction::kSum, Col(s, "v"), "a"});
+  }
+  EXPECT_DEATH(
+      {
+        EngineOptions o;
+        o.num_cpu_workers = 1;
+        o.use_gpu = false;
+        Engine engine(o);
+        engine.AddQuery(std::move(def));
+      },
+      "Engine::AddQuery.*kMaxAggregatesPerQuery");
+}
+
+}  // namespace
+}  // namespace saber

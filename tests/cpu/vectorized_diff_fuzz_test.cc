@@ -1,0 +1,498 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "reference/reference.h"
+#include "test_util.h"
+
+/// Differential fuzz: the vectorized and scalar CPU operator paths must
+/// produce bit-identical TaskResults (complete rows, pane partials, pane
+/// entries) for every task, under randomized schemas, predicates,
+/// selectivities, group-by arities, window/pane layouts and batch splits —
+/// and the assembled output must match the brute-force reference model.
+/// This is the contract that lets the engine pick either path per query at
+/// plan time without observable differences.
+
+namespace saber {
+namespace {
+
+using testing::BuffersEqual;
+using testing::RandomStream;
+
+// ---------------------------------------------------------------------------
+// Task-level differential driver: runs both operators over the same task
+// sequence, comparing raw TaskResults per task, then assembles the scalar
+// results and compares against the reference model.
+// ---------------------------------------------------------------------------
+
+::testing::AssertionResult ResultsBitIdentical(const TaskResult& vec,
+                                               const TaskResult& sca,
+                                               int64_t task_id) {
+  if (vec.complete.size() != sca.complete.size() ||
+      (vec.complete.size() > 0 &&
+       std::memcmp(vec.complete.data(), sca.complete.data(),
+                   vec.complete.size()) != 0)) {
+    return ::testing::AssertionFailure()
+           << "task " << task_id << ": complete rows differ (vec "
+           << vec.complete.size() << "B vs scalar " << sca.complete.size()
+           << "B)";
+  }
+  if (vec.partials.size() != sca.partials.size() ||
+      (vec.partials.size() > 0 &&
+       std::memcmp(vec.partials.data(), sca.partials.data(),
+                   vec.partials.size()) != 0)) {
+    return ::testing::AssertionFailure()
+           << "task " << task_id << ": pane partials differ (vec "
+           << vec.partials.size() << "B vs scalar " << sca.partials.size()
+           << "B)";
+  }
+  if (vec.panes.size() != sca.panes.size()) {
+    return ::testing::AssertionFailure()
+           << "task " << task_id << ": pane counts differ";
+  }
+  for (size_t p = 0; p < vec.panes.size(); ++p) {
+    if (vec.panes[p].pane_index != sca.panes[p].pane_index ||
+        vec.panes[p].offset != sca.panes[p].offset ||
+        vec.panes[p].length != sca.panes[p].length) {
+      return ::testing::AssertionFailure()
+             << "task " << task_id << ": pane entry " << p << " differs";
+    }
+  }
+  if (vec.axis_p != sca.axis_p || vec.axis_q != sca.axis_q) {
+    return ::testing::AssertionFailure()
+           << "task " << task_id << ": axis range differs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Splits a single-input stream into batches and runs both paths task by
+/// task; returns the assembled scalar output for the reference comparison.
+ByteBuffer RunDifferentialSingleInput(const Operator& vec, const Operator& sca,
+                                      const QueryDef& q,
+                                      const std::vector<uint8_t>& stream,
+                                      size_t batch_tuples) {
+  const Schema& s = q.input_schema[0];
+  const size_t tsz = s.tuple_size();
+  const size_t n = stream.size() / tsz;
+  auto state = sca.MakeAssemblyState();
+  ByteBuffer output;
+  int64_t prev_last_ts = -1;
+  int64_t task_id = 0;
+  for (size_t i = 0; i < n; i += batch_tuples) {
+    const size_t m = std::min(batch_tuples, n - i);
+    TaskContext ctx;
+    ctx.task_id = task_id;
+    ctx.query = &q;
+    ctx.num_inputs = 1;
+    StreamBatch& b = ctx.input[0];
+    b.data.seg1 = stream.data() + i * tsz;
+    b.data.len1 = m * tsz;
+    b.tuple_size = tsz;
+    b.first_index = static_cast<int64_t>(i);
+    b.first_ts = TupleRef(b.data.seg1, &s).timestamp();
+    b.last_ts = TupleRef(b.data.seg1 + (m - 1) * tsz, &s).timestamp();
+    b.prev_last_ts = prev_last_ts;
+    TaskResult vec_result, sca_result;
+    vec_result.task_id = sca_result.task_id = task_id++;
+    vec.ProcessBatch(ctx, &vec_result);
+    sca.ProcessBatch(ctx, &sca_result);
+    EXPECT_TRUE(ResultsBitIdentical(vec_result, sca_result, ctx.task_id));
+    sca.Assemble(sca_result, state.get(), &output);
+    prev_last_ts = b.last_ts;
+  }
+  return output;
+}
+
+/// Join variant: cuts both streams at common timestamps (like the
+/// dispatcher) and runs both paths per task.
+ByteBuffer RunDifferentialJoin(const Operator& vec, const Operator& sca,
+                               const QueryDef& q,
+                               const std::vector<uint8_t>& s0,
+                               const std::vector<uint8_t>& s1,
+                               int64_t cut_interval) {
+  const Schema& ls = q.input_schema[0];
+  const Schema& rs = q.input_schema[1];
+  const size_t lsz = ls.tuple_size(), rsz = rs.tuple_size();
+  const size_t nl = s0.size() / lsz, nr = s1.size() / rsz;
+  auto state = sca.MakeAssemblyState();
+  ByteBuffer output;
+
+  auto ts_of = [](const std::vector<uint8_t>& v, size_t i, const Schema& s) {
+    return TupleRef(v.data() + i * s.tuple_size(), &s).timestamp();
+  };
+  int64_t max_ts = -1;
+  if (nl > 0) max_ts = std::max(max_ts, ts_of(s0, nl - 1, ls));
+  if (nr > 0) max_ts = std::max(max_ts, ts_of(s1, nr - 1, rs));
+
+  size_t il = 0, ir = 0;
+  int64_t prev_l_ts = -1, prev_r_ts = -1;
+  int64_t task_id = 0;
+  for (int64_t cut = cut_interval - 1; il < nl || ir < nr;
+       cut += cut_interval) {
+    size_t el = il, er = ir;
+    while (el < nl && ts_of(s0, el, ls) <= cut) ++el;
+    while (er < nr && ts_of(s1, er, rs) <= cut) ++er;
+    if (el == il && er == ir && cut < max_ts) continue;
+    TaskContext ctx;
+    ctx.task_id = task_id;
+    ctx.query = &q;
+    ctx.num_inputs = 2;
+    auto fill = [&](int side, const std::vector<uint8_t>& src, size_t lo,
+                    size_t hi, size_t tsz2, const Schema& sch, int64_t prev) {
+      StreamBatch& b = ctx.input[side];
+      b.data.seg1 = src.data() + lo * tsz2;
+      b.data.len1 = (hi - lo) * tsz2;
+      b.tuple_size = tsz2;
+      b.first_index = static_cast<int64_t>(lo);
+      b.first_ts = hi > lo ? ts_of(src, lo, sch) : 0;
+      b.last_ts = hi > lo ? ts_of(src, hi - 1, sch) : prev;
+      b.prev_last_ts = prev;
+      b.history.seg1 = src.data();
+      b.history.len1 = lo * tsz2;
+      b.history_first_index = 0;
+    };
+    fill(0, s0, il, el, lsz, ls, prev_l_ts);
+    fill(1, s1, ir, er, rsz, rs, prev_r_ts);
+    TaskResult vec_result, sca_result;
+    vec_result.task_id = sca_result.task_id = task_id++;
+    vec.ProcessBatch(ctx, &vec_result);
+    sca.ProcessBatch(ctx, &sca_result);
+    EXPECT_TRUE(ResultsBitIdentical(vec_result, sca_result, ctx.task_id));
+    sca.Assemble(sca_result, state.get(), &output);
+    if (el > il) prev_l_ts = ts_of(s0, el - 1, ls);
+    if (er > ir) prev_r_ts = ts_of(s1, er - 1, rs);
+    il = el;
+    ir = er;
+  }
+  return output;
+}
+
+// ---------------------------------------------------------------------------
+// Random query generation.
+// ---------------------------------------------------------------------------
+
+struct Fuzz {
+  std::mt19937 rng;
+  explicit Fuzz(uint32_t seed) : rng(seed) {}
+
+  int Pick(int lo, int hi) {  // inclusive
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  }
+
+  Schema RandomSchema() {
+    std::vector<std::pair<std::string, DataType>> fields;
+    const int nf = Pick(2, 4);
+    for (int f = 0; f < nf; ++f) {
+      static const DataType kTypes[] = {DataType::kInt32, DataType::kInt64,
+                                        DataType::kFloat, DataType::kDouble};
+      fields.emplace_back(StrCat("f", f), kTypes[Pick(0, 3)]);
+    }
+    return Schema::MakeStream(std::move(fields));
+  }
+
+  /// Random numeric expression over `s`, optionally addressing `right`.
+  ExprPtr Num(const Schema& s, const Schema* right, int depth) {
+    if (depth == 0 || Pick(0, 9) < 4) {
+      if (Pick(0, 9) < 6) {
+        if (right != nullptr && Pick(0, 1) == 1) {
+          return ColAt(*right, static_cast<size_t>(
+                                   Pick(0, static_cast<int>(right->num_fields()) - 1)),
+                       Side::kRight);
+        }
+        return ColAt(s, static_cast<size_t>(
+                            Pick(0, static_cast<int>(s.num_fields()) - 1)));
+      }
+      if (Pick(0, 1) == 0) return Lit(static_cast<int64_t>(Pick(-8, 8)));
+      return Lit(static_cast<double>(Pick(-80, 80)) / 10.0);
+    }
+    ExprPtr a = Num(s, right, depth - 1);
+    ExprPtr b = Num(s, right, depth - 1);
+    switch (Pick(0, 4)) {
+      case 0: return Add(std::move(a), std::move(b));
+      case 1: return Sub(std::move(a), std::move(b));
+      case 2: return Mul(std::move(a), std::move(b));
+      case 3: return Div(std::move(a), std::move(b));
+      default: return Mod(std::move(a), std::move(b));
+    }
+  }
+
+  /// Integer-valued expression (no division): aggregate *inputs* must keep
+  /// double addition exact, because the engine sums pane partials and then
+  /// merges panes while the reference sums tuples in window order — with
+  /// non-representable values the two orders differ in the last ulp, which
+  /// a byte-compare against the reference would flag. (The vectorized vs
+  /// scalar comparison stays bit-exact for arbitrary expressions; only the
+  /// reference oracle needs exactness.) Streams carry small integer
+  /// attribute values, so +,-,* and % stay integral and double-exact.
+  ExprPtr NumExact(const Schema& s, int depth) {
+    if (depth == 0 || Pick(0, 9) < 4) {
+      if (Pick(0, 2) < 2) {
+        return ColAt(s, static_cast<size_t>(
+                            Pick(0, static_cast<int>(s.num_fields()) - 1)));
+      }
+      return Lit(static_cast<int64_t>(Pick(-8, 8)));
+    }
+    ExprPtr a = NumExact(s, depth - 1);
+    ExprPtr b = NumExact(s, depth - 1);
+    switch (Pick(0, 3)) {
+      case 0: return Add(std::move(a), std::move(b));
+      case 1: return Sub(std::move(a), std::move(b));
+      case 2: return Mul(std::move(a), std::move(b));
+      default: return Mod(std::move(a), std::move(b));
+    }
+  }
+
+  /// Random predicate; `bias` shifts the comparison threshold to sweep
+  /// selectivity from near-0 to near-1.
+  ExprPtr Pred(const Schema& s, const Schema* right, int depth) {
+    if (depth == 0 || Pick(0, 9) < 5) {
+      ExprPtr lhs = Num(s, right, 1);
+      ExprPtr rhs =
+          Pick(0, 2) == 0 ? Num(s, right, 1) : Lit(static_cast<int64_t>(Pick(-10, 10)));
+      switch (Pick(0, 5)) {
+        case 0: return Lt(std::move(lhs), std::move(rhs));
+        case 1: return Le(std::move(lhs), std::move(rhs));
+        case 2: return Eq(std::move(lhs), std::move(rhs));
+        case 3: return Ne(std::move(lhs), std::move(rhs));
+        case 4: return Ge(std::move(lhs), std::move(rhs));
+        default: return Gt(std::move(lhs), std::move(rhs));
+      }
+    }
+    switch (Pick(0, 2)) {
+      case 0: return And({Pred(s, right, depth - 1), Pred(s, right, depth - 1)});
+      case 1: return Or({Pred(s, right, depth - 1), Pred(s, right, depth - 1)});
+      default: return Not(Pred(s, right, depth - 1));
+    }
+  }
+
+  WindowDefinition RandomWindow() {
+    static const int kSizes[] = {1, 2, 3, 4, 6, 8, 12, 16};
+    const int64_t size = kSizes[Pick(0, 7)];
+    const int64_t slide = 1 + Pick(0, static_cast<int>(size) - 1);
+    return Pick(0, 1) == 0 ? WindowDefinition::Count(size, slide)
+                           : WindowDefinition::Time(size, slide);
+  }
+
+  size_t RandomSplit() {
+    static const size_t kSplits[] = {7, 33, 64, 257, 1024, 2500};
+    return kSplits[Pick(0, 5)];
+  }
+};
+
+void RunSingleInputCase(Fuzz& fz, QueryDef q, const std::vector<uint8_t>& data) {
+  ASSERT_TRUE(CpuQueryVectorizable(q));
+  auto vec = MakeCpuOperator(&q, /*vectorized=*/true);
+  auto sca = MakeCpuOperator(&q, /*vectorized=*/false);
+  ByteBuffer got =
+      RunDifferentialSingleInput(*vec, *sca, q, data, fz.RandomSplit());
+  ByteBuffer want = ReferenceEvaluate(q, data);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()))
+      << q.name;
+}
+
+TEST(VectorizedDiffFuzz, StatelessSelectionProjection) {
+  for (uint32_t seed = 0; seed < 12; ++seed) {
+    Fuzz fz(1000 + seed);
+    Schema s = fz.RandomSchema();
+    QueryBuilder b("fuzz-stateless", s);
+    b.Window(fz.RandomWindow());
+    if (fz.Pick(0, 3) > 0) b.Where(fz.Pred(s, nullptr, 2));
+    if (fz.Pick(0, 2) > 0) {
+      // Explicit projection: ts passthrough + random expressions.
+      b.Select(ColAt(s, 0), "timestamp");
+      const int nf = fz.Pick(1, 4);
+      for (int f = 0; f < nf; ++f) b.Select(fz.Num(s, nullptr, 2));
+    }  // else: identity projection (byte forwarding path)
+    QueryDef q = b.Build();
+    auto data = RandomStream(s, 3000, 77 + seed, /*max_ts_gap=*/2,
+                             /*attr_range=*/20);
+    RunSingleInputCase(fz, std::move(q), data);
+  }
+}
+
+TEST(VectorizedDiffFuzz, UngroupedAggregation) {
+  for (uint32_t seed = 0; seed < 10; ++seed) {
+    Fuzz fz(2000 + seed);
+    Schema s = fz.RandomSchema();
+    QueryBuilder b("fuzz-agg", s);
+    b.Window(fz.RandomWindow());
+    if (fz.Pick(0, 2) > 0) b.Where(fz.Pred(s, nullptr, 2));
+    const int na = fz.Pick(1, 4);
+    static const AggregateFunction kFns[] = {
+        AggregateFunction::kCount, AggregateFunction::kSum,
+        AggregateFunction::kAvg, AggregateFunction::kMin,
+        AggregateFunction::kMax};
+    for (int a = 0; a < na; ++a) {
+      const AggregateFunction fn = kFns[fz.Pick(0, 4)];
+      b.Aggregate(fn, fn == AggregateFunction::kCount && fz.Pick(0, 1) == 0
+                          ? nullptr
+                          : fz.NumExact(s, 2));
+    }
+    QueryDef q = b.Build();
+    auto data = RandomStream(s, 2500, 177 + seed, /*max_ts_gap=*/3,
+                             /*attr_range=*/15);
+    RunSingleInputCase(fz, std::move(q), data);
+  }
+}
+
+TEST(VectorizedDiffFuzz, GroupedAggregation) {
+  for (uint32_t seed = 0; seed < 10; ++seed) {
+    Fuzz fz(3000 + seed);
+    Schema s = fz.RandomSchema();
+    QueryBuilder b("fuzz-group", s);
+    b.Window(fz.RandomWindow());
+    if (fz.Pick(0, 2) > 0) b.Where(fz.Pred(s, nullptr, 2));
+    const int nk = fz.Pick(1, 3);
+    std::vector<ExprPtr> keys;
+    for (int k = 0; k < nk; ++k) {
+      // Group keys must be integral: mod an integer-lane expression.
+      keys.push_back(Mod(ColAt(s, static_cast<size_t>(fz.Pick(
+                             0, static_cast<int>(s.num_fields()) - 1))),
+                         Lit(static_cast<int64_t>(fz.Pick(2, 12)))));
+    }
+    b.GroupBy(std::move(keys));
+    const int na = fz.Pick(1, 3);
+    for (int a = 0; a < na; ++a) {
+      b.Aggregate(AggregateFunction::kSum, fz.NumExact(s, 2));
+    }
+    QueryDef q = b.Build();
+    auto data = RandomStream(s, 2500, 277 + seed, /*max_ts_gap=*/2,
+                             /*attr_range=*/25);
+    RunSingleInputCase(fz, std::move(q), data);
+  }
+}
+
+TEST(VectorizedDiffFuzz, ThetaJoin) {
+  for (uint32_t seed = 0; seed < 8; ++seed) {
+    Fuzz fz(4000 + seed);
+    Schema ls = fz.RandomSchema();
+    Schema rs = fz.RandomSchema();
+    QueryBuilder b("fuzz-join", ls, rs);
+    const WindowDefinition w = fz.RandomWindow();
+    b.Window(w);
+    b.JoinOn(fz.Pred(ls, &rs, 2));
+    QueryDef q = b.Build();  // default join projection: ts + both sides
+    ASSERT_TRUE(CpuQueryVectorizable(q));
+    auto vec = MakeCpuOperator(&q, /*vectorized=*/true);
+    auto sca = MakeCpuOperator(&q, /*vectorized=*/false);
+    auto s0 = RandomStream(ls, 500, 377 + seed, /*max_ts_gap=*/2,
+                           /*attr_range=*/10);
+    auto s1 = RandomStream(rs, 500, 477 + seed, /*max_ts_gap=*/2,
+                           /*attr_range=*/10);
+    const int64_t cut = 1 + fz.Pick(0, 20);
+    ByteBuffer got = RunDifferentialJoin(*vec, *sca, q, s0, s1, cut);
+    ByteBuffer want = ReferenceEvaluate(q, s0, s1);
+    EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()))
+        << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wrapped (two-segment) batches: the vectorized path iterates ring-buffer
+// segments explicitly, so exercise a batch whose bytes wrap.
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedDiffFuzz, WrappedBatchSegments) {
+  Fuzz fz(5000);
+  Schema s = Schema::MakeStream({{"v", DataType::kFloat},
+                                 {"k", DataType::kInt32}});
+  QueryDef q = QueryBuilder("wrap", s)
+                   .Window(WindowDefinition::Count(8, 4))
+                   .Where(Gt(Col(s, "v"), Lit(3.0)))
+                   .GroupBy({Mod(Col(s, "k"), Lit(int64_t{5}))})
+                   .Aggregate(AggregateFunction::kSum, Col(s, "v"), "t")
+                   .Build();
+  auto vec = MakeCpuOperator(&q, true);
+  auto sca = MakeCpuOperator(&q, false);
+  auto data = RandomStream(s, 600, 99, 2, 10);
+  const size_t tsz = s.tuple_size();
+
+  // One task whose span wraps: seg1 = tuples [100, 600), seg2 = [0, 100)
+  // re-stamped to continue the stream (simplest: just split the buffer).
+  TaskContext ctx;
+  ctx.task_id = 0;
+  ctx.query = &q;
+  ctx.num_inputs = 1;
+  StreamBatch& b = ctx.input[0];
+  const size_t split = 417;  // odd split inside a pane
+  b.data.seg1 = data.data();
+  b.data.len1 = split * tsz;
+  b.data.seg2 = data.data() + split * tsz;
+  b.data.len2 = (600 - split) * tsz;
+  b.tuple_size = tsz;
+  b.first_index = 0;
+  b.first_ts = TupleRef(data.data(), &s).timestamp();
+  b.last_ts = TupleRef(data.data() + 599 * tsz, &s).timestamp();
+  b.prev_last_ts = -1;
+
+  TaskResult vr, sr;
+  vec->ProcessBatch(ctx, &vr);
+  sca->ProcessBatch(ctx, &sr);
+  EXPECT_TRUE(ResultsBitIdentical(vr, sr, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Non-lowerable expressions (batch-stack depth > kMaxBatchStack) must make
+// the plan-time path selection fall back to the scalar operator — and the
+// query must still run correctly through the vectorized-enabled factory.
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedDiffFuzz, NonLowerableQueryFallsBackToScalar) {
+  Schema s = Schema::MakeStream({{"v", DataType::kInt32}});
+  // Right-leaning chain: stack depth ~26 > kMaxBatchStack.
+  ExprPtr deep = Col(s, "v");
+  for (int i = 0; i < 25; ++i) deep = Add(Col(s, "v"), deep);
+  QueryDef q = QueryBuilder("deep", s)
+                   .Where(Gt(deep, Lit(int64_t{40})))
+                   .Build();
+  EXPECT_FALSE(CpuQueryVectorizable(q));
+
+  auto op = MakeCpuOperator(&q, /*vectorized=*/true);  // silently scalar
+  auto data = RandomStream(s, 500, 21, 2, 8);
+  ByteBuffer got = testing::RunSingleInput(*op, q, data, 64);
+  ByteBuffer want = ReferenceEvaluate(q, data);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+}
+
+// ---------------------------------------------------------------------------
+// Regression: GROUP-BY keys beyond 2^53 survive the compiled path exactly
+// (the typed int64 lane). The old double-lane compiler collapsed distinct
+// wide keys onto the same rounded value.
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedDiffFuzz, GroupKeysBeyondTwoPow53) {
+  Schema s = Schema::MakeStream({{"id", DataType::kInt64},
+                                 {"v", DataType::kInt32}});
+  QueryDef q = QueryBuilder("widekeys", s)
+                   .Window(WindowDefinition::Count(8, 8))
+                   .GroupBy({Sub(Col(s, "id"), Lit(int64_t{1}))})
+                   .Aggregate(AggregateFunction::kCount, nullptr, "n")
+                   .Build();
+  ASSERT_TRUE(CpuQueryVectorizable(q));
+  auto vec = MakeCpuOperator(&q, true);
+  auto sca = MakeCpuOperator(&q, false);
+
+  const size_t tsz = s.tuple_size();
+  const size_t n = 64;
+  std::vector<uint8_t> data(n * tsz);
+  const int64_t base = (int64_t{1} << 53);
+  for (size_t i = 0; i < n; ++i) {
+    TupleWriter w(data.data() + i * tsz, &s);
+    // Adjacent ids around 2^53: indistinguishable after double rounding.
+    w.SetInt64(0, static_cast<int64_t>(i / 8));
+    w.SetInt64(1, base + static_cast<int64_t>(i % 4));
+    w.SetInt32(2, 1);
+  }
+  ByteBuffer got = RunDifferentialSingleInput(*vec, *sca, q, data, 16);
+  ByteBuffer want = ReferenceEvaluate(q, data);
+  EXPECT_TRUE(BuffersEqual(got, want, q.output_schema.tuple_size()));
+  // 4 distinct groups per window, not 1: the count per group must be 2
+  // (8 tuples per window / 4 distinct adjacent ids).
+  ASSERT_GT(got.size(), 0u);
+  TupleRef first(got.data(), &q.output_schema);
+  EXPECT_DOUBLE_EQ(first.GetDouble(2), 2.0);
+}
+
+}  // namespace
+}  // namespace saber

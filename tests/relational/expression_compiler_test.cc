@@ -62,6 +62,158 @@ TEST_F(CompilerTest, StackDepthTracking) {
   EXPECT_DOUBLE_EQ(c.EvalDouble(row_.data()), 31.0);
 }
 
+TEST_F(CompilerTest, DeepProgramsAreNotLowerable) {
+  // Stack depth beyond kMaxBatchStack still evaluates scalar but is
+  // rejected for batch evaluation: the CPU operator path must fall back.
+  ExprPtr shallow = Lit(int64_t{1});
+  for (int i = 0; i < 8; ++i) shallow = Add(Lit(int64_t{1}), shallow);
+  EXPECT_TRUE(CompiledExpr::Compile(*shallow, schema_).lowerable());
+
+  ExprPtr deep = Lit(int64_t{1});
+  for (int i = 0; i < 30; ++i) deep = Add(Lit(int64_t{1}), deep);
+  CompiledExpr c = CompiledExpr::Compile(*deep, schema_);
+  EXPECT_GT(c.max_stack(), CompiledExpr::kMaxBatchStack);
+  EXPECT_FALSE(c.lowerable());
+  EXPECT_DOUBLE_EQ(c.EvalDouble(row_.data()), 31.0);  // scalar still works
+}
+
+TEST_F(CompilerTest, Int64KeysBeyondTwoPow53StayExact) {
+  // Regression: the pre-typed compiler evaluated every op through double,
+  // so 64-bit equality/modulo silently rounded beyond 2^53. The int64 lane
+  // must keep group-key arithmetic exact.
+  Schema s = Schema::MakeStream({{"id", DataType::kInt64}});
+  const int64_t big = (int64_t{1} << 53) + 1;  // not representable as double
+  std::vector<uint8_t> row(s.tuple_size());
+  TupleWriter w(row.data(), &s);
+  w.SetInt64(0, 1).SetInt64(1, big);
+  TupleRef t(row.data(), &s);
+
+  // big == 2^53 compares false exactly; through double both are 2^53.
+  auto eq = Eq(Col(s, "id"), Lit(int64_t{1} << 53));
+  CompiledExpr ceq = CompiledExpr::Compile(*eq, s);
+  EXPECT_FALSE(ceq.EvalBool(row.data()));
+  EXPECT_EQ(ceq.EvalBool(row.data()), eq->EvalBool(t, nullptr));
+
+  auto gt = Gt(Col(s, "id"), Lit(int64_t{1} << 53));
+  EXPECT_TRUE(CompiledExpr::Compile(*gt, s).EvalBool(row.data()));
+
+  // (big % 2) == 1; through double the +1 is rounded away and the result
+  // would be 0.
+  auto mod = Mod(Col(s, "id"), Lit(int64_t{2}));
+  CompiledExpr cmod = CompiledExpr::Compile(*mod, s);
+  EXPECT_TRUE(cmod.integral_result());
+  EXPECT_EQ(cmod.EvalInt64(row.data()), 1);
+  EXPECT_EQ(cmod.EvalInt64(row.data()), mod->EvalInt64(t, nullptr));
+
+  // Exact arithmetic survives composition: (id - 1) stays on the int lane.
+  auto sub = Sub(Col(s, "id"), Lit(int64_t{1}));
+  EXPECT_EQ(CompiledExpr::Compile(*sub, s).EvalInt64(row.data()),
+            int64_t{1} << 53);
+}
+
+TEST_F(CompilerTest, BatchEvaluatorsMatchScalar) {
+  // Dense, gathered and pair-broadcast batch evaluation must agree with the
+  // scalar interpreter (and therefore with the Expression tree) bit for bit.
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> val(-40, 40);
+  const size_t n = 2500;  // > 2 internal batches
+  const size_t tsz = schema_.tuple_size();
+  std::vector<uint8_t> data(n * tsz);
+  for (size_t i = 0; i < n; ++i) {
+    TupleWriter w(data.data() + i * tsz, &schema_);
+    w.SetInt64(0, val(rng)).SetInt32(1, val(rng)).SetInt32(2, val(rng));
+    w.SetFloat(3, static_cast<float>(val(rng)) / 4.0f);
+  }
+
+  const std::vector<ExprPtr> exprs = {
+      Add(Mul(Col(schema_, "a"), Lit(int64_t{3})), Col(schema_, "b")),
+      Div(Col(schema_, "f"), Col(schema_, "a")),
+      And({Gt(Col(schema_, "a"), Lit(int64_t{0})),
+           Lt(Col(schema_, "f"), Lit(5.0))}),
+      Mod(ColAt(schema_, 0), Lit(int64_t{7})),
+      Not(Eq(Col(schema_, "b"), Lit(int64_t{2}))),
+  };
+
+  std::vector<uint32_t> sel(n);
+  std::vector<double> d(n);
+  std::vector<int64_t> i64(n);
+  for (const ExprPtr& e : exprs) {
+    CompiledExpr c = CompiledExpr::Compile(*e, schema_);
+    ASSERT_TRUE(c.lowerable()) << e->ToString();
+
+    // Dense double / int64 columns.
+    c.EvalBatchDouble(data.data(), tsz, nullptr, n, d.data());
+    c.EvalBatchInt64(data.data(), tsz, nullptr, n, i64.data());
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t* row = data.data() + i * tsz;
+      ASSERT_EQ(d[i], c.EvalDouble(row)) << e->ToString() << " i=" << i;
+      ASSERT_EQ(i64[i], c.EvalInt64(row)) << e->ToString() << " i=" << i;
+    }
+
+    // Selection vector.
+    const size_t cnt = c.EvalBatchBool(data.data(), tsz, n, sel.data());
+    size_t expect = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (c.EvalBool(data.data() + i * tsz)) {
+        ASSERT_LT(expect, cnt);
+        ASSERT_EQ(sel[expect], i) << e->ToString();
+        ++expect;
+      }
+    }
+    ASSERT_EQ(expect, cnt) << e->ToString();
+
+    // Gather through the selection vector.
+    if (cnt > 0) {
+      c.EvalBatchDouble(data.data(), tsz, sel.data(), cnt, d.data());
+      for (size_t j = 0; j < cnt; ++j) {
+        ASSERT_EQ(d[j], c.EvalDouble(data.data() + sel[j] * tsz));
+      }
+    }
+  }
+}
+
+TEST_F(CompilerTest, BatchPairEvaluatorsMatchScalar) {
+  Schema right = Schema::MakeStream({{"x", DataType::kInt32}});
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> val(-10, 10);
+  const size_t n = 1500;
+  std::vector<uint8_t> rrows(n * right.tuple_size());
+  std::vector<const uint8_t*> rptrs(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t* p = rrows.data() + i * right.tuple_size();
+    TupleWriter w(p, &right);
+    w.SetInt64(0, val(rng)).SetInt32(1, val(rng));
+    rptrs[i] = p;
+  }
+
+  auto pred = And({Le(Col(schema_, "a"), Col(right, "x", Side::kRight)),
+                   Ne(Col(right, "x", Side::kRight), Lit(int64_t{0}))});
+  CompiledExpr c = CompiledExpr::Compile(*pred, schema_, &right);
+  ASSERT_TRUE(c.lowerable());
+
+  std::vector<uint32_t> sel(n);
+  const size_t cnt = c.EvalBatchBoolPairs(nullptr, row_.data(), rptrs.data(),
+                                          nullptr, n, sel.data());
+  size_t expect = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (c.EvalBool(row_.data(), rptrs[i])) {
+      ASSERT_LT(expect, cnt);
+      ASSERT_EQ(sel[expect], i);
+      ++expect;
+    }
+  }
+  ASSERT_EQ(expect, cnt);
+
+  auto sum = Add(Col(schema_, "a"), Col(right, "x", Side::kRight));
+  CompiledExpr csum = CompiledExpr::Compile(*sum, schema_, &right);
+  std::vector<int64_t> i64(n);
+  csum.EvalBatchInt64Pairs(nullptr, row_.data(), rptrs.data(), nullptr, n,
+                           i64.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(i64[i], csum.EvalInt64(row_.data(), rptrs[i]));
+  }
+}
+
 TEST_F(CompilerTest, RandomizedEquivalenceWithInterpreter) {
   // Property: for random expression trees and random tuples, the compiled
   // program and the interpreter agree.
