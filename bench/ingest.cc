@@ -1,0 +1,282 @@
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ingest/sharded_ingress.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file ingest.cc
+/// Ingestion-stage benchmark: aggregate insert throughput with N client
+/// threads — each owning its own (timestamp-group) shard of the event
+/// stream — feeding ONE query input, comparing
+///
+///   locked  — the only correct recipe without the ingestion stage: the
+///             engine's single-producer contract demands one globally
+///             timestamp-ordered insert sequence, so the N producers must
+///             coordinate — each takes a shared mutex, waits (condition
+///             variable) until the globally next timestamp group is its
+///             own, inserts that one call, and hands the turn on. Per-call
+///             locking with 4 interleaved producers: every call serializes
+///             AND crosses threads.
+///   sharded — ingest::ShardedIngress: each client appends the same calls
+///             into a private staging ring with no coordination at all;
+///             the watermark merger re-establishes the global order and
+///             feeds the engine in amortized batches.
+///
+/// Both modes insert identical bytes in identical call sizes; the measured
+/// difference is exactly the coordination protocol. The regime is
+/// ingest-bound: a cheap selection query at a large φ, so the operator
+/// path drains faster than clients insert. Calls are one timestamp group
+/// (--call-tuples, default 64 ≈ 2 KB — the many-small-clients shape).
+/// Runs are interleaved A/B/A/B... (docs/benchmarks.md methodology) and
+/// medians feed BENCH_ingest.json.
+///
+/// --check enforces the CI gate: with 4 producers, sharded median aggregate
+/// tuples/s >= 1.5x locked median.
+///
+/// Flags: --quick, --check, --producers N (gate point), --call-tuples N,
+///        --out <path>.
+
+namespace saber::bench {
+namespace {
+
+struct IngestRun {
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  int64_t merged_batches = 0;
+  int64_t watermark_stalls = 0;
+  int64_t backpressure_waits = 0;
+};
+
+EngineOptions IngestBoundOptions() {
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;  // one fewer thread: lower variance on small hosts
+  o.task_size = 1 << 20;
+  o.input_buffer_size = size_t{64} << 20;
+  return o;
+}
+
+/// N threads, each owning a shard, coordinate their inserts into one
+/// QueryHandle with a mutex + condition variable: timestamp group g belongs
+/// to producer g % N (the round-robin deal of workloads/sharding.h), so a
+/// producer may insert its next call only when the global group counter
+/// reaches one of its groups. This is the merge every correct
+/// multi-producer client has to run *somewhere* without the ingestion
+/// stage.
+IngestRun RunLocked(const std::vector<std::vector<uint8_t>>& shards,
+                    size_t total_tuples, size_t tsz, size_t call_tuples) {
+  Engine engine(IngestBoundOptions());
+  QueryHandle* q = engine.AddQuery(syn::MakeSelection(1));
+  q->SetSink([](const uint8_t*, size_t) {});
+  engine.Start();
+  const size_t call_bytes = call_tuples * tsz;
+  const int producers = static_cast<int>(shards.size());
+
+  Stopwatch wall;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t next_group = 0;  // global timestamp-group turn counter
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::vector<uint8_t>& shard = shards[static_cast<size_t>(p)];
+      for (size_t off = 0; off < shard.size();) {
+        const size_t m = std::min(call_bytes, shard.size() - off);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return next_group % static_cast<size_t>(producers) ==
+                 static_cast<size_t>(p);
+        });
+        q->Insert(shard.data() + off, m);
+        ++next_group;
+        cv.notify_all();
+        off += m;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.Drain();
+
+  IngestRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  return r;
+}
+
+/// N threads append pre-partitioned shards through a ShardedIngress; the
+/// watermark merger re-serializes.
+IngestRun RunSharded(const std::vector<std::vector<uint8_t>>& shards,
+                     size_t total_tuples, size_t tsz, size_t call_tuples) {
+  Engine engine(IngestBoundOptions());
+  QueryHandle* q = engine.AddQuery(syn::MakeSelection(1));
+  q->SetSink([](const uint8_t*, size_t) {});
+  engine.Start();
+
+  ingest::IngressOptions iopts;
+  iopts.num_producers = static_cast<int>(shards.size());
+  auto ingress = ingest::ShardedIngress::ForQuery(q, 0, iopts);
+  const size_t call_bytes = call_tuples * tsz;
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    threads.emplace_back([&, p] {
+      const std::vector<uint8_t>& shard = shards[p];
+      for (size_t off = 0; off < shard.size(); off += call_bytes) {
+        ingress->producer(static_cast<int>(p))
+            ->Append(shard.data() + off,
+                     std::min(call_bytes, shard.size() - off));
+      }
+      ingress->producer(static_cast<int>(p))->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ingress->Drain();
+  engine.Drain();
+
+  IngestRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  const ingest::IngressStats st = ingress->stats();
+  r.merged_batches = st.merged_batches;
+  r.watermark_stalls = st.watermark_stalls;
+  for (const auto& ps : st.producers) r.backpressure_waits += ps.backpressure_waits;
+  return r;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  int gate_producers = 4;
+  size_t call_tuples = 64;
+  std::string out = "BENCH_ingest.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      gate_producers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--call-tuples") == 0 && i + 1 < argc) {
+      call_tuples = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--check] [--producers N] "
+                   "[--call-tuples N] [--out path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t tuples = quick ? 1'000'000 : 4'000'000;
+  const int reps = quick ? 5 : 7;
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  // One timestamp group per call: both modes insert in identical
+  // whole-group calls, and group g belongs to producer g % N.
+  syn::GeneratorOptions go;
+  go.tuples_per_ts = static_cast<int>(call_tuples);
+  const auto stream = syn::Generate(tuples, go);
+
+  const int producer_counts[] = {1, 2, gate_producers};
+  PrintHeader(StrCat("ingestion: locked vs sharded, ", call_tuples,
+                     " tuples/call"),
+              {"mode", "producers", "Mtuples/s", "seconds", "bp waits",
+               "stalls"});
+
+  std::vector<JsonObject> results;
+  double locked_gate = 0, sharded_gate = 0;
+  for (int producers : producer_counts) {
+    std::vector<std::vector<uint8_t>> shards;
+    for (int p = 0; p < producers; ++p) {
+      shards.push_back(
+          workloads::ExtractTimestampShard(stream, tsz, p, producers));
+    }
+    // Interleaved A/B pairs; medians cancel environment drift
+    // (docs/benchmarks.md).
+    std::vector<double> locked_rates, sharded_rates;
+    IngestRun last_locked, last_sharded;
+    for (int rep = 0; rep < reps; ++rep) {
+      last_locked = RunLocked(shards, tuples, tsz, call_tuples);
+      locked_rates.push_back(last_locked.tuples_per_sec);
+      last_sharded = RunSharded(shards, tuples, tsz, call_tuples);
+      sharded_rates.push_back(last_sharded.tuples_per_sec);
+    }
+    const double locked_med = Median(locked_rates);
+    const double sharded_med = Median(sharded_rates);
+    if (producers == gate_producers) {
+      locked_gate = locked_med;
+      sharded_gate = sharded_med;
+    }
+    struct Row {
+      const char* mode;
+      double med;
+      const IngestRun* last;
+    } rows[] = {{"locked", locked_med, &last_locked},
+                {"sharded", sharded_med, &last_sharded}};
+    for (const Row& row : rows) {
+      PrintCell(std::string(row.mode));
+      PrintCell(static_cast<double>(producers));
+      PrintCell(row.med / 1e6);
+      PrintCell(row.last->seconds);
+      PrintCell(static_cast<double>(row.last->backpressure_waits));
+      PrintCell(static_cast<double>(row.last->watermark_stalls));
+      EndRow();
+      JsonObject rec;
+      rec.Str("mode", row.mode)
+          .Int("producers", producers)
+          .Num("tuples_per_sec_median", row.med)
+          .Num("seconds_last", row.last->seconds)
+          .Int("merged_batches_last", row.last->merged_batches)
+          .Int("backpressure_waits_last", row.last->backpressure_waits)
+          .Int("watermark_stalls_last", row.last->watermark_stalls);
+      results.push_back(std::move(rec));
+    }
+  }
+
+  const double speedup = locked_gate > 0 ? sharded_gate / locked_gate : 0;
+  std::printf("\nsharded/locked aggregate insert speedup at %d producers: "
+              "%.2fx\n",
+              gate_producers, speedup);
+
+  JsonObject meta;
+  meta.Int("tuples", static_cast<int64_t>(tuples))
+      .Int("call_tuples", static_cast<int64_t>(call_tuples))
+      .Int("reps", reps)
+      .Int("gate_producers", gate_producers)
+      .Num("gate_speedup", speedup)
+      .Bool("quick", quick);
+  if (!WriteBenchJson(out, "ingest", meta, results)) return 1;
+
+  if (check && speedup < 1.5) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: sharded ingestion %.2fx locked at %d "
+                 "producers (gate: >= 1.5x)\n",
+                 speedup, gate_producers);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace saber::bench
+
+int main(int argc, char** argv) { return saber::bench::Run(argc, argv); }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cpu/cpu_operators.h"
+#include "relational/tuple_ref.h"
 #include "runtime/clock.h"
 
 namespace saber {
@@ -239,8 +240,45 @@ void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) 
   QueryState& qs = *queries_[query];
   const Schema& schema = qs.def.input_schema[input];
   const size_t tsz = schema.tuple_size();
-  SABER_CHECK(bytes % tsz == 0);
+  // Boundary validation: everything past this point — the φ cut arithmetic,
+  // pane math, the join watermark — assumes whole tuples and non-decreasing
+  // timestamps. A partial tuple would shift every later field read; a
+  // timestamp regression silently corrupts window contents. Fail loudly
+  // here instead.
+  if (bytes % tsz != 0) {
+    std::fprintf(stderr,
+                 "Engine::InsertInto(query '%s', input %d): %zu bytes is not "
+                 "a multiple of the %zu-byte input tuple size\n",
+                 qs.def.name.c_str(), input, bytes, tsz);
+    std::abort();
+  }
   if (bytes == 0) return;
+  // Timestamp order is validated only where the engine consumes time:
+  // time-based windows (pane cutting scans the timestamp column) and
+  // two-input queries (the dispatch cut T = min(last ingested ts) − 1 and
+  // window-extent retention). Count-based and unbounded windows never read
+  // timestamps for dispatch decisions, and re-feeding the same block with
+  // restarting timestamps is their long-standing benchmark idiom
+  // (bench_util.h StreamFeeder `shift_timestamps=false`), so they stay
+  // exempt. The sharded ingestion stage (src/ingest/) is stricter — its
+  // watermark merge is timestamp-driven regardless of window type.
+  if (qs.def.num_inputs == 2 ||
+      (qs.def.window[input].time_based() && !qs.def.window[input].unbounded)) {
+    // insert_prev_ts is producer-thread-private state: one logical producer
+    // per input stream (a connected query's producer is the upstream
+    // assembly, serialized by the assembly token; a ShardedIngress's is its
+    // merger thread), so no lock is needed.
+    const int64_t bad =
+        FirstTimestampRegression(tuples, bytes, tsz, &qs.insert_prev_ts[input]);
+    if (bad >= 0) {
+      std::fprintf(stderr,
+                   "Engine::InsertInto(query '%s', input %d): timestamps "
+                   "must be non-decreasing (violated at tuple %lld of this "
+                   "insert)\n",
+                   qs.def.name.c_str(), input, static_cast<long long>(bad));
+      std::abort();
+    }
+  }
   CircularBuffer& buf = *qs.buffer[input];
   // A block larger than the circular buffer can never fit in one piece:
   // split it so arbitrarily large inserts simply block on back-pressure.

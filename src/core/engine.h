@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -119,7 +120,15 @@ class Engine;
 class QueryHandle {
  public:
   /// Appends serialized tuples to input stream 0. Blocks on back-pressure.
-  /// One logical producer per input stream (§4.1).
+  /// One logical producer per input stream (§4.1); many client threads can
+  /// share one stream through the sharded ingestion stage
+  /// (ingest::ShardedIngress, src/ingest/), whose watermark merger is then
+  /// the single logical producer. The boundary validates that `bytes` is a
+  /// multiple of the input tuple size, and — for time-based windows and
+  /// two-input queries, where dispatch consumes timestamps — that
+  /// timestamps never decrease within or across inserts (violations abort
+  /// with a clear message instead of silently corrupting dispatch; count
+  /// windows keep the repeated-feed idiom with restarting timestamps).
   void Insert(const void* tuples, size_t bytes) { InsertInto(0, tuples, bytes); }
   void InsertInto(int input, const void* tuples, size_t bytes);
 
@@ -208,6 +217,12 @@ class Engine {
     // Dispatching stage (§4.1).
     std::unique_ptr<CircularBuffer> buffer[2];
     std::mutex dispatch_mu;
+    /// Last inserted timestamp per input, for the InsertInto boundary
+    /// validation. Producer-thread-private (one logical producer per input
+    /// stream), so unlocked: for connected queries successive writers are
+    /// serialized by the assembly token's release/acquire pair.
+    int64_t insert_prev_ts[2] = {std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::min()};
     int64_t next_task_start[2] = {0, 0};
     int64_t tuples_dispatched[2] = {0, 0};
     int64_t prev_last_ts[2] = {-1, -1};

@@ -20,6 +20,12 @@
 /// pass (σ, π, α with GROUP-BY/HAVING, or ⋈) is fused into one QueryDef, and
 /// larger graphs (e.g. SG3 = join over the outputs of SG1/SG2) are built by
 /// chaining queries through streams (Engine::Connect).
+///
+/// Each input stream expects ONE logical producer with non-decreasing
+/// timestamps (validated at the Engine::InsertInto boundary). Workloads
+/// with many client threads per stream front the query with the sharded
+/// ingestion stage (ingest::ShardedIngress, src/ingest/), whose watermark
+/// merger re-establishes that contract from N independent shards.
 
 namespace saber {
 

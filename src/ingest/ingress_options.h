@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file ingress_options.h
+/// Configuration and statistics surface of the sharded ingestion stage
+/// (src/ingest/). See sharded_ingress.h for the stage overview and
+/// docs/architecture.md ("Ingestion stage") for the end-to-end walkthrough.
+
+namespace saber::ingest {
+
+/// Knobs of one `ShardedIngress` (one sharded front end for one query input
+/// stream). Units, defaults and interactions follow the EngineOptions
+/// documentation style; the README carries the same table.
+struct IngressOptions {
+  /// Independent producer handles (shards). Each handle owns a private
+  /// staging buffer and may be driven by its own client thread with no
+  /// shared lock on the append path. Unit: producers. Default: 2.
+  int num_producers = 2;
+
+  /// Staging buffer capacity per producer. Unit: bytes (rounded up to a
+  /// multiple of the tuple size). Default: 4 MiB. Bounds how far a fast
+  /// producer can run ahead of the watermark merge before its `Append`
+  /// blocks on the staging free channel; it also bounds the data abandoned
+  /// by `Stop`. Must comfortably exceed the producer's append granularity.
+  size_t staging_buffer_bytes = size_t{4} << 20;
+
+  /// Merge delivery granularity: the merger accumulates merged tuples into
+  /// a scratch block of at most this many bytes before handing it
+  /// downstream (one `Engine::InsertInto` call per block), so per-call
+  /// downstream overhead (dispatch locks, task-cut checks) is amortized
+  /// over many producer appends. Unit: bytes (rounded down to a multiple of
+  /// the tuple size, floored at one tuple). Default: 256 KiB. Larger blocks
+  /// amortize better but add merge latency and retain staging bytes longer.
+  size_t merge_batch_bytes = size_t{256} << 10;
+};
+
+/// Per-producer counters (monotone; readable from any thread while the
+/// ingress is live).
+struct ProducerStats {
+  int64_t tuples = 0;             ///< tuples accepted by Append
+  int64_t bytes = 0;              ///< bytes accepted by Append
+  int64_t appends = 0;            ///< successful Append calls
+  int64_t backpressure_waits = 0; ///< sleeps on the staging free channel
+};
+
+/// Snapshot of one ingress: per-producer counters plus merger counters.
+struct IngressStats {
+  std::vector<ProducerStats> producers;
+
+  /// Merge cycles that sealed at least one tuple.
+  int64_t merge_cycles = 0;
+  /// Cycles that found staged bytes but could not seal any (the low
+  /// watermark — min over open producers' last timestamps — had not
+  /// advanced past the staged data). A persistently climbing stall count
+  /// with pending bytes means one producer is holding the watermark back.
+  int64_t watermark_stalls = 0;
+  /// Contiguous single-producer spans copied by the k-way merge.
+  int64_t merge_runs = 0;
+  /// Downstream deliveries (`merge_batch_bytes`-bounded blocks).
+  int64_t merged_batches = 0;
+  int64_t merged_bytes = 0;
+  int64_t merged_tuples = 0;
+};
+
+}  // namespace saber::ingest

@@ -1,0 +1,91 @@
+#include "ingest/producer_handle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ingest/sharded_ingress.h"
+#include "relational/tuple_ref.h"
+
+namespace saber::ingest {
+
+bool ProducerHandle::Append(const void* tuples, size_t bytes) {
+  if (closed_.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "ProducerHandle::Append: producer %d appended after Close\n",
+                 index_);
+    std::abort();
+  }
+  if (bytes % tuple_size_ != 0) {
+    std::fprintf(stderr,
+                 "ProducerHandle::Append: producer %d appended %zu bytes, not "
+                 "a multiple of the %zu-byte tuple size\n",
+                 index_, bytes, tuple_size_);
+    std::abort();
+  }
+  if (owner_->stopped()) return false;  // appended data would be abandoned
+  if (bytes == 0) return true;
+
+  // Validate the shard-local timestamp order up front: the merged stream's
+  // non-decreasing invariant (which dispatch, pane math and the join cut all
+  // rely on) is exactly "every shard is non-decreasing", so a violation must
+  // fail here, loudly, not surface as corrupt windows downstream.
+  const int64_t bad =
+      FirstTimestampRegression(tuples, bytes, tuple_size_, &prev_append_ts_);
+  if (bad >= 0) {
+    std::fprintf(stderr,
+                 "ProducerHandle::Append: producer %d timestamps must be "
+                 "non-decreasing (violated at tuple %lld of this append)\n",
+                 index_, static_cast<long long>(bad));
+    std::abort();
+  }
+  const uint8_t* src = static_cast<const uint8_t*>(tuples);
+
+  // A block larger than the staging ring can never fit in one piece; split
+  // it so arbitrarily large appends simply block on staging back-pressure
+  // (same recipe as Engine::InsertInto).
+  const size_t max_chunk =
+      std::max(tuple_size_,
+               staging_.capacity() / 2 / tuple_size_ * tuple_size_);
+  for (size_t off = 0; off < bytes;) {
+    const size_t chunk = std::min(max_chunk, bytes - off);
+    for (;;) {
+      // Epoch before the attempt: a free landing after this read makes the
+      // wait below return immediately (no lost wakeup).
+      const uint32_t epoch = staging_.free_epoch();
+      if (staging_.TryInsert(src + off, chunk)) break;
+      if (owner_->stopped()) return false;
+      // The merger frees staged bytes as it seals them; make sure it is
+      // awake (it may be waiting for this shard to pass the watermark),
+      // then sleep on the staging free channel.
+      owner_->BumpIngestEpoch();
+      waits_.fetch_add(1, std::memory_order_relaxed);
+      staging_.WaitFreeEpoch(epoch);
+    }
+    off += chunk;
+    int64_t chunk_last_ts;
+    std::memcpy(&chunk_last_ts, src + off - tuple_size_, sizeof(chunk_last_ts));
+    // Publish the watermark input *after* the buffer's end release: a merger
+    // that acquires this last_ts is then guaranteed to also see every tuple
+    // counted under it (the sealing proof in watermark_merger.cc needs it).
+    last_ts_.store(chunk_last_ts, std::memory_order_release);
+    has_appended_.store(true, std::memory_order_release);
+    tuples_.fetch_add(static_cast<int64_t>(chunk / tuple_size_),
+                      std::memory_order_relaxed);
+    bytes_.fetch_add(static_cast<int64_t>(chunk), std::memory_order_relaxed);
+    owner_->BumpIngestEpoch();
+  }
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ProducerHandle::Close() {
+  if (closed_.exchange(true, std::memory_order_release)) return;
+  // Wake the merger: this shard no longer pins the watermark, so previously
+  // unsealable data (its own remainder, and other shards' tuples this one
+  // was holding back) may now merge.
+  owner_->BumpIngestEpoch();
+}
+
+}  // namespace saber::ingest

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "runtime/circular_buffer.h"
+
+/// \file producer_handle.h
+/// One shard of a `ShardedIngress`: the handle a single client thread uses
+/// to append serialized tuples. Each handle owns a private staging
+/// `CircularBuffer`, so the append hot path takes no shared lock — the only
+/// cross-thread traffic is the buffer's release/acquire position pair, the
+/// producer's published last timestamp, and the ingress ingest-epoch bump
+/// that wakes the merger. Back-pressure (staging buffer full because the
+/// watermark merge or the engine downstream is behind) parks the producer
+/// on the staging buffer's futex free channel, exactly like a direct
+/// `Engine::InsertInto` producer parks on the input buffer's.
+
+namespace saber::ingest {
+
+class ShardedIngress;
+class WatermarkMerger;
+
+class ProducerHandle {
+ public:
+  ProducerHandle(const ProducerHandle&) = delete;
+  ProducerHandle& operator=(const ProducerHandle&) = delete;
+
+  /// Appends serialized tuples to this shard. Tuples must be whole (bytes a
+  /// multiple of the tuple size) and timestamps non-decreasing *within this
+  /// producer* — both are CHECKed with a clear message, because a violation
+  /// would corrupt the merged stream's ordering invariant. Blocks while the
+  /// staging buffer is full. Returns false iff the ingress was stopped (the
+  /// data is then not fully appended); one thread per handle.
+  bool Append(const void* tuples, size_t bytes);
+
+  /// Declares this shard finished: the producer will never append again, so
+  /// the watermark merge stops waiting on it (its staged remainder becomes
+  /// sealable regardless of the other shards' progress). Must be called by
+  /// the appending thread after its last Append; idempotent. Appending
+  /// after Close is a programmer error (CHECK).
+  void Close();
+
+  int index() const { return index_; }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  int64_t tuples() const { return tuples_.load(std::memory_order_relaxed); }
+  int64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  int64_t appends() const { return appends_.load(std::memory_order_relaxed); }
+  int64_t backpressure_waits() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ShardedIngress;
+  friend class WatermarkMerger;
+
+  static constexpr int64_t kNoTimestamp = std::numeric_limits<int64_t>::min();
+
+  ProducerHandle(ShardedIngress* owner, int index, size_t staging_bytes,
+                 size_t tuple_size)
+      : owner_(owner),
+        index_(index),
+        tuple_size_(tuple_size),
+        staging_(staging_bytes, tuple_size) {}
+
+  ShardedIngress* const owner_;
+  const int index_;
+  const size_t tuple_size_;
+
+  /// Staging ring: this producer inserts, the merger reads and frees. The
+  /// buffer's free-epoch futex doubles as the producer's back-pressure
+  /// channel (WaitFreeEpoch) and its shutdown wakeup (WakeProducer).
+  CircularBuffer staging_;
+
+  /// Timestamp of the last tuple *published* to staging (store-release after
+  /// the buffer's end-position release, so a merger that reads it
+  /// acquire-ordered is guaranteed to see every tuple it accounts for).
+  /// Meaningful only once has_appended_ is true.
+  std::atomic<int64_t> last_ts_{kNoTimestamp};
+  /// Separate flag rather than a sentinel last_ts value: INT64_MIN is a
+  /// legal tuple timestamp, so "never appended" must not alias it. An open
+  /// producer that has never appended pins the low watermark, because its
+  /// first tuple could still carry any timestamp. Set (release) after the
+  /// first last_ts_ publish; the merger's acquire read therefore sees a
+  /// real last_ts_ whenever the flag is set.
+  std::atomic<bool> has_appended_{false};
+  std::atomic<bool> closed_{false};
+
+  /// Producer-thread-private validation state (no lock: one thread per
+  /// handle by contract).
+  int64_t prev_append_ts_ = kNoTimestamp;
+
+  std::atomic<int64_t> tuples_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int64_t> waits_{0};
+};
+
+}  // namespace saber::ingest

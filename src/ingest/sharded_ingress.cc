@@ -1,0 +1,128 @@
+#include "ingest/sharded_ingress.h"
+
+#include "core/engine.h"
+#include "runtime/status.h"
+
+namespace saber::ingest {
+
+ShardedIngress::ShardedIngress(size_t tuple_size, const IngressOptions& options,
+                               Downstream downstream)
+    : tuple_size_(tuple_size), options_(options) {
+  SABER_CHECK(tuple_size_ >= sizeof(int64_t));
+  SABER_CHECK(options_.num_producers > 0);
+  std::vector<ProducerHandle*> raw;
+  raw.reserve(static_cast<size_t>(options_.num_producers));
+  for (int i = 0; i < options_.num_producers; ++i) {
+    producers_.emplace_back(new ProducerHandle(
+        this, i, options_.staging_buffer_bytes, tuple_size_));
+    raw.push_back(producers_.back().get());
+  }
+  merger_ = std::make_unique<WatermarkMerger>(
+      std::move(raw), tuple_size_, options_.merge_batch_bytes,
+      std::move(downstream));
+  merger_thread_ = std::thread([this] { MergerLoop(); });
+}
+
+std::unique_ptr<ShardedIngress> ShardedIngress::ForQuery(
+    QueryHandle* q, int input, const IngressOptions& options) {
+  const size_t tsz = q->def().input_schema[input].tuple_size();
+  return std::make_unique<ShardedIngress>(
+      tsz, options, [q, input](const uint8_t* data, size_t bytes) {
+        q->InsertInto(input, data, bytes);
+      });
+}
+
+ShardedIngress::~ShardedIngress() { Stop(); }
+
+void ShardedIngress::CloseAll() {
+  for (auto& p : producers_) p->Close();
+}
+
+void ShardedIngress::Drain() {
+  for (;;) {
+    const uint32_t seen = done_epoch_.load(std::memory_order_acquire);
+    if (drained_.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    done_epoch_.wait(seen, std::memory_order_acquire);
+  }
+}
+
+void ShardedIngress::Stop() {
+  if (!stop_.exchange(true, std::memory_order_acq_rel)) {
+    // Wake everyone: producers parked on staging back-pressure re-check
+    // stopped(), the merger re-checks stop_ after its current cycle.
+    for (auto& p : producers_) p->staging_.WakeProducer();
+    BumpIngestEpoch();
+    ingest_epoch_.notify_all();
+  }
+  {
+    // Serializes concurrent Stop callers (e.g. an explicit Stop racing the
+    // destructor's) around the one legal join.
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (merger_thread_.joinable()) merger_thread_.join();
+  }
+  done_epoch_.fetch_add(1, std::memory_order_release);
+  done_epoch_.notify_all();
+}
+
+IngressStats ShardedIngress::stats() const {
+  IngressStats s;
+  s.producers.reserve(producers_.size());
+  for (const auto& p : producers_) {
+    ProducerStats ps;
+    ps.tuples = p->tuples();
+    ps.bytes = p->bytes();
+    ps.appends = p->appends();
+    ps.backpressure_waits = p->backpressure_waits();
+    s.producers.push_back(ps);
+  }
+  s.merge_cycles = merger_->merge_cycles();
+  s.watermark_stalls = merger_->watermark_stalls();
+  s.merge_runs = merger_->merge_runs();
+  s.merged_batches = merger_->merged_batches();
+  s.merged_bytes = merger_->merged_bytes();
+  s.merged_tuples = merger_->merged_tuples();
+  return s;
+}
+
+void ShardedIngress::BumpIngestEpoch() {
+  ingest_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // Fast path: skip the futex wake syscall while the merger is busy
+  // merging. Correctness does not hinge on this flag — atomic::wait is
+  // futex-backed and re-checks the epoch *value* before sleeping, so a bump
+  // that lands before the merger's wait makes the wait return immediately
+  // even with the notify suppressed. The flag only has to make "merger
+  // already asleep ⟹ producer sees waiting==true" hold, which the seq_cst
+  // bump/store pair guarantees (store-buffering litmus): if this load reads
+  // false, the merger's waiting store — and therefore its sleep — comes
+  // later, and its pre-sleep value check observes our bump.
+  if (merger_waiting_.load(std::memory_order_seq_cst)) {
+    ingest_epoch_.notify_all();
+  }
+}
+
+void ShardedIngress::MergerLoop() {
+  for (;;) {
+    // Epoch before the cycle: appends landing mid-cycle bump it, so the
+    // wait below returns immediately instead of losing the wakeup.
+    const uint32_t seen = ingest_epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    const WatermarkMerger::CycleResult r = merger_->RunCycle();
+    if (r.drained) {
+      // All shards closed and empty: nothing can ever arrive again (Close
+      // is terminal), so the merger retires. Stop() still joins us.
+      drained_.store(true, std::memory_order_release);
+      done_epoch_.fetch_add(1, std::memory_order_release);
+      done_epoch_.notify_all();
+      return;
+    }
+    if (r.merged_bytes > 0) continue;  // progress: immediately re-check
+    merger_waiting_.store(true, std::memory_order_seq_cst);
+    ingest_epoch_.wait(seen, std::memory_order_acquire);
+    merger_waiting_.store(false, std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace saber::ingest

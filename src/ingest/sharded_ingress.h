@@ -1,0 +1,137 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ingest/ingress_options.h"
+#include "ingest/producer_handle.h"
+#include "ingest/watermark_merger.h"
+
+/// \file sharded_ingress.h
+/// Sharded multi-producer ingestion: the first pipeline stage *in front of*
+/// the dispatcher. The engine assumes one logical producer per input stream
+/// (§4.1) — every direct `QueryHandle::InsertInto` caller serializes on one
+/// lock and one circular buffer. A `ShardedIngress` removes that wall for
+/// N-client workloads:
+///
+///   client threads          ingress (this file)            engine
+///   ──────────────  ─────────────────────────────────  ──────────────
+///   ProducerHandle0 ─► staging ring 0 ─┐
+///   ProducerHandle1 ─► staging ring 1 ─┼─ watermark ─► InsertInto
+///        ...                     ...   │   merger       (amortized
+///   ProducerHandleN ─► staging ring N ─┘  (1 thread)     batches)
+///
+/// Each producer appends into a private staging `CircularBuffer` (no shared
+/// lock on the hot path); a single merger thread seals tuples at the low
+/// watermark T = min(open producers' last timestamp) − 1, merges the sealed
+/// prefixes in (timestamp, producer index) order — preserving the
+/// non-decreasing-timestamp invariant the dispatcher relies on — and feeds
+/// the downstream in `merge_batch_bytes`-bounded batches. Back-pressure
+/// propagates through the PR 2 futex/epoch machinery at every hop: the
+/// engine's input-buffer free channel blocks the merger inside InsertInto,
+/// staging rings fill, and each producer parks on its own staging free
+/// channel.
+///
+/// The merger is a pure producer from the engine's point of view: it never
+/// executes tasks, so it can never hold a per-query assembly token while
+/// blocked — a stalled merger stalls only ingestion, never the result
+/// stage (see docs/architecture.md, "Ingestion stage", and the stress test
+/// in tests/ingest/ingest_stress_test.cc).
+///
+/// Lifecycle: `ForQuery` (or the raw constructor) → client threads
+/// `Append`/`Close` on their handles → `Drain()` (blocks until every shard
+/// is closed and every staged tuple delivered) → `Engine::Drain()`. `Stop`
+/// abandons staged data. Stop the *engine* before stopping an ingress whose
+/// merger might be blocked downstream: Engine::Stop wakes the input-buffer
+/// free channel, which is what unblocks the merger's InsertInto.
+
+namespace saber {
+class QueryHandle;
+}  // namespace saber
+
+namespace saber::ingest {
+
+class ShardedIngress {
+ public:
+  using Downstream = WatermarkMerger::Downstream;
+
+  /// Raw form: deliver merged batches to an arbitrary downstream function.
+  /// `tuple_size` must match the serialized tuple layout (field 0 is the
+  /// int64 timestamp). The downstream runs on the merger thread and may
+  /// block (that is the back-pressure path).
+  ShardedIngress(size_t tuple_size, const IngressOptions& options,
+                 Downstream downstream);
+
+  /// Convenience wiring: merged batches go to `q->InsertInto(input, ...)`.
+  /// The ingress must not outlive the engine; destroy (or Stop) it first.
+  static std::unique_ptr<ShardedIngress> ForQuery(QueryHandle* q, int input = 0,
+                                                  const IngressOptions& options =
+                                                      IngressOptions{});
+
+  ~ShardedIngress();
+
+  ShardedIngress(const ShardedIngress&) = delete;
+  ShardedIngress& operator=(const ShardedIngress&) = delete;
+
+  int num_producers() const { return static_cast<int>(producers_.size()); }
+  ProducerHandle* producer(int i) { return producers_[static_cast<size_t>(i)].get(); }
+
+  /// Closes every producer handle that is not yet closed. Only safe once no
+  /// client thread will Append again (Append/Close are per-handle
+  /// single-threaded); joins-then-drain callers use it as shorthand.
+  void CloseAll();
+
+  /// Blocks until every producer is closed AND every staged tuple has been
+  /// merged and delivered downstream. Does not close producers itself: a
+  /// still-open shard legitimately keeps Drain waiting (call from the
+  /// coordinating thread after the client threads have finished). Returns
+  /// immediately if the ingress was stopped.
+  void Drain();
+
+  /// Abandons staged data and joins the merger thread. If the merger may be
+  /// blocked inside a downstream `Engine::InsertInto`, stop the engine
+  /// first (its Stop wakes the input-buffer free channel). Idempotent.
+  void Stop();
+
+  /// True once Drain's condition held: all shards closed, all data merged
+  /// and delivered.
+  bool drained() const { return drained_.load(std::memory_order_acquire); }
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  IngressStats stats() const;
+
+ private:
+  friend class ProducerHandle;
+
+  /// Producers bump this futex epoch after publishing data, on Close, and
+  /// when they hit staging back-pressure; the merger sleeps on it when a
+  /// cycle seals nothing. The `merger_waiting_` flag suppresses the futex
+  /// wake syscall on the append fast path while the merger is running.
+  void BumpIngestEpoch();
+  void MergerLoop();
+
+  const size_t tuple_size_;
+  const IngressOptions options_;
+
+  std::vector<std::unique_ptr<ProducerHandle>> producers_;
+  std::unique_ptr<WatermarkMerger> merger_;
+
+  /// 32-bit for the raw-futex fast path; wrap-around is harmless
+  /// (inequality compare only).
+  std::atomic<uint32_t> ingest_epoch_{0};
+  std::atomic<bool> merger_waiting_{false};
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drained_{false};
+  /// Drain's wakeup channel: bumped when drained_ or stop_ flips.
+  std::atomic<uint32_t> done_epoch_{0};
+
+  std::mutex join_mu_;
+  std::thread merger_thread_;
+};
+
+}  // namespace saber::ingest

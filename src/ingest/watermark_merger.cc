@@ -1,0 +1,253 @@
+#include "ingest/watermark_merger.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "runtime/status.h"
+
+namespace saber::ingest {
+
+namespace {
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+}
+
+WatermarkMerger::WatermarkMerger(std::vector<ProducerHandle*> producers,
+                                 size_t tuple_size, size_t merge_batch_bytes,
+                                 Downstream downstream)
+    : producers_(std::move(producers)),
+      tuple_size_(tuple_size),
+      // At least one tuple per block, whole tuples only.
+      merge_batch_bytes_(std::max(
+          tuple_size_, merge_batch_bytes / tuple_size_ * tuple_size_)),
+      downstream_(std::move(downstream)),
+      read_pos_(producers_.size(), 0),
+      freed_pos_(producers_.size(), 0),
+      scratch_(merge_batch_bytes_) {
+  SABER_CHECK(!producers_.empty());
+  SABER_CHECK(tuple_size_ >= sizeof(int64_t));
+}
+
+int64_t WatermarkMerger::TsAt(const ProducerHandle& p, int64_t pos) const {
+  // Staging capacity is a multiple of the tuple size, so a tuple never
+  // straddles the physical wrap point and the timestamp (field 0) is
+  // contiguous; memcpy because 4-byte-aligned schemas exist.
+  int64_t ts;
+  std::memcpy(&ts, p.staging_.DataAt(pos), sizeof(ts));
+  return ts;
+}
+
+int64_t WatermarkMerger::UpperBound(const ProducerHandle& p, int64_t from,
+                                    int64_t end, int64_t limit) const {
+  const int64_t tsz = static_cast<int64_t>(tuple_size_);
+  int64_t lo = 0;  // tuples known <= limit (caller checked the head)
+  int64_t hi = (end - from) / tsz;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (TsAt(p, from + mid * tsz) <= limit) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return from + lo * tsz;
+}
+
+void WatermarkMerger::Flush() {
+  if (scratch_used_ == 0) return;
+  // Free consumed staging bytes BEFORE the (possibly blocking) downstream
+  // delivery: the data is already copied into scratch, and releasing it now
+  // lets back-pressured producers refill their shards while the merger sits
+  // in Engine::InsertInto waiting on the input buffer. This is what makes
+  // downstream back-pressure reach all producers only once ~one
+  // merge_batch_bytes of slack is exhausted, instead of serializing them
+  // behind every delivery.
+  for (size_t i = 0; i < producers_.size(); ++i) {
+    if (read_pos_[i] > freed_pos_[i]) {
+      producers_[i]->staging_.FreeUpTo(read_pos_[i]);
+      freed_pos_[i] = read_pos_[i];
+    }
+  }
+  downstream_(scratch_.data(), scratch_used_);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  merged_bytes_.fetch_add(static_cast<int64_t>(scratch_used_),
+                          std::memory_order_relaxed);
+  scratch_used_ = 0;
+}
+
+WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
+  const size_t n = producers_.size();
+  const int64_t tsz = static_cast<int64_t>(tuple_size_);
+
+  // --- 1. Low watermark over the open producers. -------------------------
+  // Closed shards never append again, so they do not constrain the
+  // watermark (their staged remainder still merges by timestamp below). An
+  // open shard that has never appended pins the watermark: its first tuple
+  // could still carry any timestamp.
+  bool all_closed = true;
+  bool unknown = false;
+  int64_t min_last = kInt64Max;
+  int m_index = -1;  // smallest index of an open shard with last_ts == W
+  for (size_t i = 0; i < producers_.size(); ++i) {
+    const ProducerHandle* p = producers_[i];
+    if (p->closed_.load(std::memory_order_acquire)) continue;
+    all_closed = false;
+    if (!p->has_appended_.load(std::memory_order_acquire)) {
+      unknown = true;
+      continue;
+    }
+    const int64_t lt = p->last_ts_.load(std::memory_order_acquire);
+    if (lt < min_last) {
+      min_last = lt;
+      m_index = static_cast<int>(i);
+    }
+  }
+  // Per-shard sealing bound. Baseline: tuples with ts <= W - 1 are sealed
+  // everywhere (W = min over open shards' last_ts). Safety: any tuple not
+  // yet visible below was appended (or will be) after its shard published
+  // last_ts >= W, and shard streams are non-decreasing, so its timestamp
+  // is >= W — the sealed set is complete. Completeness of ties: t < W
+  // means every open shard has published last_ts > t, and that publish
+  // release-orders after the staging end-position covering every ts <= t
+  // tuple of that shard, so the end() snapshots below see ALL tuples of
+  // timestamp t at once.
+  //
+  // Refinement at ts == W: shards with index <= m (m = smallest-index open
+  // shard whose last_ts == W) may additionally seal their staged ts == W
+  // tuples. No shard with a smaller index can ever produce another ts == W
+  // tuple (it is closed, or open with last_ts > W), and a shard's own
+  // later ts == W appends order after its staged ones (FIFO) — so the
+  // (ts, producer index, FIFO) merge order is unaffected. Without this, a
+  // single-timestamp run larger than one staging ring would wedge its
+  // producer forever: ts == last_ts bytes were unsealable, so the merger
+  // never freed them and Append could neither finish nor reach Close
+  // (regression: ShardedIngress.EqualTimestampRunLargerThanStaging).
+  // Shards with index > m keep the conservative W - 1 bound: shard m may
+  // still append ts == W tuples that must merge before theirs.
+  // An open shard that never appended admits ANY timestamp, so nothing at
+  // all is sealable while one exists.
+  const bool nothing_sealable = unknown;
+  int64_t seal_below_m = 0;  // bound for shards with index <= m_index
+  int64_t seal_above_m = 0;  // bound for shards with index > m_index
+  // W == INT64_MIN has no representable "strictly below W": shards above m
+  // then seal nothing (shard m may still append more INT64_MIN tuples that
+  // must merge before theirs).
+  bool above_m_sealable = true;
+  if (all_closed) {
+    seal_below_m = seal_above_m = kInt64Max;  // final drain: seal everything
+  } else if (!unknown) {
+    seal_below_m = min_last;
+    if (min_last == std::numeric_limits<int64_t>::min()) {
+      above_m_sealable = false;
+    } else {
+      seal_above_m = min_last - 1;
+    }
+  }
+  auto shard_sealable = [&](size_t producer_index) {
+    return above_m_sealable || (m_index >= 0 &&
+                                static_cast<int>(producer_index) <= m_index);
+  };
+  auto seal_bound = [&](size_t producer_index) {
+    return m_index >= 0 && static_cast<int>(producer_index) <= m_index
+               ? seal_below_m
+               : seal_above_m;
+  };
+
+  // --- 2. Snapshot shard extents (after the watermark reads). ------------
+  std::vector<int64_t> end(n);
+  bool pending = false;
+  for (size_t i = 0; i < n; ++i) {
+    end[i] = producers_[i]->staging_.end();
+    pending = pending || read_pos_[i] < end[i];
+  }
+  if (!pending) {
+    return CycleResult{0, all_closed};
+  }
+
+  // --- 3. K-way merge of the sealed prefixes, run at a time. -------------
+  // Heads are re-read each round; a round picks the producer with the
+  // minimal *sealable* head timestamp (ties: lowest index) and extends its
+  // run as far as the next competitor's head allows, so the copy is a bulk
+  // span, not a per-tuple shuffle. N is small; the O(N) head scan per run
+  // is noise against the span memcpy.
+  size_t produced = 0;
+  while (!nothing_sealable) {
+    int best = -1;
+    int64_t best_ts = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (read_pos_[i] >= end[i]) continue;
+      if (!shard_sealable(i)) continue;
+      const int64_t ts = TsAt(*producers_[i], read_pos_[i]);
+      if (ts > seal_bound(i)) continue;
+      if (best < 0 || ts < best_ts) {
+        best = static_cast<int>(i);
+        best_ts = ts;
+      }
+    }
+    if (best < 0) break;
+
+    // The run may cover timestamps up to `limit`: its own sealing bound,
+    // and strictly below the closest competing head m — including m itself
+    // only when every shard whose head equals m has a larger index (equal
+    // timestamps order by producer index). Ineligible heads (beyond their
+    // shard's sealing bound) still limit the run: their tuples merge in a
+    // later cycle and must not be overtaken at equal timestamps by a
+    // higher-indexed run now.
+    int64_t m = kInt64Max;
+    int m_min_index = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i) == best || read_pos_[i] >= end[i]) continue;
+      const int64_t ts = TsAt(*producers_[i], read_pos_[i]);
+      if (ts < m) {
+        m = ts;
+        m_min_index = static_cast<int>(i);
+      }
+    }
+    int64_t limit;
+    if (m == kInt64Max) {
+      limit = seal_bound(static_cast<size_t>(best));
+    } else if (best < m_min_index) {
+      limit = std::min(seal_bound(static_cast<size_t>(best)), m);
+    } else {
+      limit = std::min(seal_bound(static_cast<size_t>(best)), m - 1);
+    }
+
+    const int64_t run_end =
+        UpperBound(*producers_[best], read_pos_[best], end[best], limit);
+    int64_t run_bytes = run_end - read_pos_[best];
+    SABER_DCHECK(run_bytes > 0);
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    while (run_bytes > 0) {
+      size_t room = merge_batch_bytes_ - scratch_used_;
+      if (room < tuple_size_) {
+        Flush();
+        room = merge_batch_bytes_;
+      }
+      const size_t span =
+          std::min<size_t>(static_cast<size_t>(run_bytes), room / tsz * tsz);
+      producers_[best]->staging_.CopyOut(read_pos_[best], span,
+                                         scratch_.data() + scratch_used_);
+      scratch_used_ += span;
+      read_pos_[best] += static_cast<int64_t>(span);
+      run_bytes -= static_cast<int64_t>(span);
+      produced += span;
+    }
+  }
+  Flush();
+
+  if (produced > 0) {
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Staged bytes exist but none sealed: a shard is holding the watermark
+    // back (stalled producer, or one that never appended and never closed).
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool drained = all_closed;
+  for (size_t i = 0; i < n && drained; ++i) {
+    drained = read_pos_[i] >= end[i];
+  }
+  return CycleResult{produced, drained};
+}
+
+}  // namespace saber::ingest

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ingest/ingress_options.h"
+#include "ingest/producer_handle.h"
+
+/// \file watermark_merger.h
+/// The sealing + ordering core of the sharded ingestion stage: turns N
+/// independent per-producer staging streams (each non-decreasing in
+/// timestamp) into ONE non-decreasing stream, delivered downstream in
+/// bounded, amortized batches.
+///
+/// Sealing rule (low watermark): let W = min over *open* producers of the
+/// last timestamp each has published (closed producers never append again
+/// and so do not constrain W; an open producer that has never appended
+/// pins the watermark — nothing seals). Tuples with ts <= W - 1 are
+/// *sealed*: no future append on any shard can carry a timestamp < W
+/// (each shard is non-decreasing and already past W), so the sealed set is
+/// complete and can be merged and released. This is the same cut the join
+/// dispatcher uses (Engine::TryCreateJoinTask, T = min(last ingested
+/// ts) - 1). One refinement on top: shards with index <= m — m being the
+/// smallest-index open shard whose last_ts equals W — may also seal their
+/// staged ts == W tuples (no smaller-index shard can ever produce another
+/// ts == W tuple, and a shard's own later ts == W appends are FIFO-after),
+/// which keeps a single-timestamp run larger than one staging ring from
+/// wedging its producer. See RunCycle for the full argument.
+///
+/// Merge order: sealed tuples are emitted in (timestamp, producer index,
+/// producer-local order). Because a timestamp t seals only once every
+/// producer is past it, ALL tuples with timestamp t — across every shard —
+/// seal in the same cycle, which makes the merged byte stream a pure
+/// function of the shard contents, independent of append timing, merge
+/// cycle boundaries, and scheduling. tests/ingest/sharded_ingress_test.cc
+/// fuzzes exactly this: random shard counts, batch splits and stalls must
+/// reproduce the single-producer stream byte for byte.
+
+namespace saber::ingest {
+
+/// Runs merge cycles over a fixed producer set. Not a thread: the owning
+/// `ShardedIngress` drives RunCycle from its merger thread; all mutable
+/// state here (read positions, scratch) is merger-thread-private, and the
+/// counters are atomics readable from any thread.
+class WatermarkMerger {
+ public:
+  using Downstream = std::function<void(const uint8_t*, size_t)>;
+
+  WatermarkMerger(std::vector<ProducerHandle*> producers, size_t tuple_size,
+                  size_t merge_batch_bytes, Downstream downstream);
+
+  struct CycleResult {
+    size_t merged_bytes = 0;
+    /// Every producer closed and every staged byte merged and delivered:
+    /// nothing will ever arrive again.
+    bool drained = false;
+  };
+
+  /// One sealing pass: compute the watermark, merge every sealed tuple in
+  /// (ts, producer) order, deliver in merge_batch_bytes-bounded blocks, and
+  /// free the consumed staging bytes. Never blocks upstream; may block
+  /// *downstream* (the delivery callback typically lands in
+  /// Engine::InsertInto, which blocks on input-buffer back-pressure).
+  CycleResult RunCycle();
+
+  int64_t merge_cycles() const { return cycles_.load(std::memory_order_relaxed); }
+  int64_t watermark_stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  int64_t merge_runs() const { return runs_.load(std::memory_order_relaxed); }
+  int64_t merged_batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  int64_t merged_bytes() const {
+    return merged_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t merged_tuples() const {
+    return merged_bytes() / static_cast<int64_t>(tuple_size_);
+  }
+
+ private:
+  /// Timestamp of the staged tuple at absolute staging position `pos`.
+  int64_t TsAt(const ProducerHandle& p, int64_t pos) const;
+  /// First position in [from, end) whose timestamp exceeds `limit`
+  /// (binary search — shard streams are non-decreasing).
+  int64_t UpperBound(const ProducerHandle& p, int64_t from, int64_t end,
+                     int64_t limit) const;
+  /// Delivers the scratch block downstream and frees consumed staging bytes.
+  void Flush();
+
+  const std::vector<ProducerHandle*> producers_;
+  const size_t tuple_size_;
+  const size_t merge_batch_bytes_;
+  const Downstream downstream_;
+
+  /// Next unconsumed absolute position per producer (merger-private).
+  std::vector<int64_t> read_pos_;
+  /// Staging bytes already freed per producer (frees are batched per flush).
+  std::vector<int64_t> freed_pos_;
+  std::vector<uint8_t> scratch_;
+  size_t scratch_used_ = 0;
+
+  std::atomic<int64_t> cycles_{0};
+  std::atomic<int64_t> stalls_{0};
+  std::atomic<int64_t> runs_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> merged_bytes_{0};
+};
+
+}  // namespace saber::ingest

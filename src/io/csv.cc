@@ -1,10 +1,13 @@
 #include "io/csv.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <sstream>
 
 #include "relational/tuple_ref.h"
@@ -77,6 +80,62 @@ Status ParseField(const Schema& s, size_t f, const std::string& cell,
   return err("unknown type");
 }
 
+/// Shared row-parsing core of FromCsv / CsvChunkReader: consumes lines from
+/// `in` until `max_rows` tuples have been appended to `out` or the stream
+/// ends. `line_no`, `prev_ts` and `skip_header` persist across calls so
+/// chunked reads validate exactly like a one-shot parse (timestamp order is
+/// enforced across chunk boundaries).
+Status ParseRows(std::istream& in, const Schema& schema,
+                 const CsvOptions& opts, size_t max_rows, size_t* line_no,
+                 int64_t* prev_ts, bool* skip_header,
+                 std::vector<uint8_t>* out) {
+  const size_t tsz = schema.tuple_size();
+  const size_t nf = schema.num_fields();
+  std::string line;
+  std::vector<std::string> cells;
+  size_t rows = 0;
+  while (rows < max_rows && std::getline(in, line)) {
+    ++*line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (*skip_header) {
+      *skip_header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+
+    // Split on the delimiter (no quoting: stream schemas are numeric-only).
+    cells.clear();
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == opts.delimiter) {
+        cells.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (cells.size() != nf) {
+      return Status::InvalidArgument(StrCat("line ", *line_no, ": expected ",
+                                            nf, " fields, got ",
+                                            cells.size()));
+    }
+    const size_t off = out->size();
+    out->resize(off + tsz, 0);
+    TupleWriter w(out->data() + off, &schema);
+    for (size_t f = 0; f < nf; ++f) {
+      SABER_RETURN_NOT_OK(ParseField(schema, f, cells[f], *line_no, &w));
+    }
+    int64_t ts;
+    std::memcpy(&ts, out->data() + off, sizeof(ts));
+    if (ts < *prev_ts) {
+      return Status::InvalidArgument(
+          StrCat("line ", *line_no, ": timestamps must be non-decreasing (",
+                 ts, " after ", *prev_ts, ")"));
+    }
+    *prev_ts = ts;
+    ++rows;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void AppendCsv(const Schema& schema, const uint8_t* rows, size_t bytes,
@@ -110,51 +169,13 @@ Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
                                      const std::string& text,
                                      const CsvOptions& opts) {
   std::vector<uint8_t> out;
-  const size_t tsz = schema.tuple_size();
-  const size_t nf = schema.num_fields();
   std::istringstream in(text);
-  std::string line;
   size_t line_no = 0;
   int64_t prev_ts = INT64_MIN;
-  bool first = true;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (first && opts.header) {
-      first = false;
-      continue;
-    }
-    first = false;
-    if (line.empty()) continue;
-
-    // Split on the delimiter (no quoting: stream schemas are numeric-only).
-    std::vector<std::string> cells;
-    size_t start = 0;
-    for (size_t i = 0; i <= line.size(); ++i) {
-      if (i == line.size() || line[i] == opts.delimiter) {
-        cells.push_back(line.substr(start, i - start));
-        start = i + 1;
-      }
-    }
-    if (cells.size() != nf) {
-      return Status::InvalidArgument(StrCat("line ", line_no, ": expected ",
-                                            nf, " fields, got ", cells.size()));
-    }
-    const size_t off = out.size();
-    out.resize(off + tsz, 0);
-    TupleWriter w(out.data() + off, &schema);
-    for (size_t f = 0; f < nf; ++f) {
-      SABER_RETURN_NOT_OK(ParseField(schema, f, cells[f], line_no, &w));
-    }
-    int64_t ts;
-    std::memcpy(&ts, out.data() + off, sizeof(ts));
-    if (ts < prev_ts) {
-      return Status::InvalidArgument(
-          StrCat("line ", line_no, ": timestamps must be non-decreasing (", ts,
-                 " after ", prev_ts, ")"));
-    }
-    prev_ts = ts;
-  }
+  bool skip_header = opts.header;
+  SABER_RETURN_NOT_OK(ParseRows(in, schema, opts,
+                                std::numeric_limits<size_t>::max(), &line_no,
+                                &prev_ts, &skip_header, &out));
   return out;
 }
 
@@ -172,11 +193,49 @@ Status WriteCsvFile(const std::string& path, const Schema& schema,
 Result<std::vector<uint8_t>> ReadCsvFile(const std::string& path,
                                          const Schema& schema,
                                          const CsvOptions& opts) {
-  std::ifstream f(path);
-  if (!f) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  return FromCsv(schema, buf.str(), opts);
+  CsvChunkReader reader(path, schema, opts);
+  std::vector<uint8_t> out;
+  while (!reader.done()) {
+    Result<std::vector<uint8_t>> chunk = reader.Next();
+    if (!chunk.ok()) return chunk.status();
+    const std::vector<uint8_t>& c = chunk.value();
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+CsvChunkReader::CsvChunkReader(const std::string& path, Schema schema,
+                               CsvOptions opts, size_t chunk_tuples)
+    : schema_(std::move(schema)),
+      opts_(opts),
+      chunk_tuples_(std::max<size_t>(1, chunk_tuples)),
+      path_(path),
+      prev_ts_(INT64_MIN),
+      skip_header_(opts.header) {
+  auto in = std::make_unique<std::ifstream>(path);
+  if (*in) {
+    in_ = std::move(in);
+  }  // else: the open failure surfaces as IOError on the first Next()
+}
+
+CsvChunkReader::~CsvChunkReader() = default;
+
+Result<std::vector<uint8_t>> CsvChunkReader::Next() {
+  if (in_ == nullptr) {
+    done_ = true;
+    return Status::IOError("cannot open '" + path_ + "'");
+  }
+  if (done_) return std::vector<uint8_t>();
+  std::vector<uint8_t> out;
+  out.reserve(chunk_tuples_ * schema_.tuple_size());
+  const Status st = ParseRows(*in_, schema_, opts_, chunk_tuples_, &line_no_,
+                              &prev_ts_, &skip_header_, &out);
+  if (!st.ok()) {
+    done_ = true;
+    return st;
+  }
+  if (out.size() < chunk_tuples_ * schema_.tuple_size()) done_ = true;
+  return out;
 }
 
 }  // namespace saber::io

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,8 +45,55 @@ Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
 Status WriteCsvFile(const std::string& path, const Schema& schema,
                     const uint8_t* rows, size_t bytes,
                     const CsvOptions& opts = {});
+/// Materializes the whole file. For large files prefer CsvChunkReader,
+/// which this is implemented on top of.
 Result<std::vector<uint8_t>> ReadCsvFile(const std::string& path,
                                          const Schema& schema,
                                          const CsvOptions& opts = {});
+
+/// Streaming chunked CSV reader: parses a file into serialized tuples a
+/// bounded chunk at a time, so arbitrarily large inputs can feed a producer
+/// (saber_cli --input, ingestion shards) with bounded memory instead of
+/// materializing the whole file. Parsing is as strict as FromCsv — row
+/// arity, numeric syntax and the non-decreasing-timestamp invariant are
+/// enforced with line numbers, across chunk boundaries too.
+///
+/// Usage:
+///   CsvChunkReader reader(path, schema);
+///   while (!reader.done()) {
+///     auto chunk = reader.Next();           // at most chunk_tuples tuples
+///     if (!chunk.ok()) return chunk.status();
+///     q->Insert(chunk.value().data(), chunk.value().size());
+///   }
+class CsvChunkReader {
+ public:
+  CsvChunkReader(const std::string& path, Schema schema, CsvOptions opts = {},
+                 size_t chunk_tuples = 8192);
+  ~CsvChunkReader();
+
+  CsvChunkReader(const CsvChunkReader&) = delete;
+  CsvChunkReader& operator=(const CsvChunkReader&) = delete;
+
+  /// Parses and returns the next chunk (an empty vector once the file is
+  /// exhausted). A failed open or a parse error is returned as a Status;
+  /// the reader is then done().
+  Result<std::vector<uint8_t>> Next();
+
+  /// True once the file is exhausted or an error was returned.
+  bool done() const { return done_; }
+  /// Lines consumed so far (header included).
+  size_t line_number() const { return line_no_; }
+
+ private:
+  Schema schema_;
+  CsvOptions opts_;
+  size_t chunk_tuples_;
+  std::unique_ptr<std::ifstream> in_;  // null after open failure
+  std::string path_;
+  size_t line_no_ = 0;
+  int64_t prev_ts_;
+  bool skip_header_;
+  bool done_ = false;
+};
 
 }  // namespace saber::io

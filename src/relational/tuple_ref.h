@@ -107,4 +107,24 @@ class TupleWriter {
   const Schema* schema_;
 };
 
+/// Scans a block of serialized tuples (field 0 = int64 timestamp) for a
+/// timestamp regression, starting against `*prev`. Returns the index of
+/// the first violating tuple, or -1 and updates `*prev` to the block's
+/// last timestamp. Shared by the stream-order validation at the
+/// Engine::InsertInto boundary and in ingest::ProducerHandle::Append, so
+/// the ordering contract lives in exactly one scan.
+inline int64_t FirstTimestampRegression(const void* tuples, size_t bytes,
+                                        size_t tuple_size, int64_t* prev) {
+  const uint8_t* src = static_cast<const uint8_t*>(tuples);
+  int64_t p = *prev;
+  for (size_t off = 0; off < bytes; off += tuple_size) {
+    int64_t ts;
+    std::memcpy(&ts, src + off, sizeof(ts));
+    if (ts < p) return static_cast<int64_t>(off / tuple_size);
+    p = ts;
+  }
+  *prev = p;
+  return -1;
+}
+
 }  // namespace saber

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "runtime/status.h"
+
+/// \file sharding.h
+/// Producer-shard partitioning for the sharded ingestion stage
+/// (ingest::ShardedIngress). The watermark merger emits tuples in
+/// (timestamp, producer index, producer-local order); partitioning a stream
+/// by *timestamp group* — every tuple sharing a timestamp goes to the same
+/// shard, with the groups dealt round-robin across shards — therefore
+/// reconstructs the original stream byte-identically: groups are totally
+/// ordered by timestamp, so no merge decision ever falls back to the
+/// producer-index tie-break. This is the partitioning the workload shard
+/// generators, saber_cli --producers and the merger fuzz tests use.
+
+namespace saber::workloads {
+
+/// Returns shard `shard` of `data` (serialized tuples, field 0 = int64
+/// timestamp, non-decreasing): the tuples of every timestamp-group g with
+/// g % num_shards == shard, in stream order. The concatenation of all
+/// shards' timestamp-groups in timestamp order equals `data`.
+inline std::vector<uint8_t> ExtractTimestampShard(
+    const std::vector<uint8_t>& data, size_t tuple_size, int shard,
+    int num_shards) {
+  SABER_CHECK(num_shards > 0 && shard >= 0 && shard < num_shards);
+  SABER_CHECK(tuple_size >= sizeof(int64_t) && data.size() % tuple_size == 0);
+  std::vector<uint8_t> out;
+  out.reserve(data.size() / static_cast<size_t>(num_shards) + tuple_size);
+  int64_t group = -1;
+  int64_t prev_ts = 0;
+  for (size_t off = 0; off < data.size(); off += tuple_size) {
+    int64_t ts;
+    std::memcpy(&ts, data.data() + off, sizeof(ts));
+    if (group < 0 || ts != prev_ts) {
+      SABER_CHECK(group < 0 || ts > prev_ts);  // input must be sorted
+      ++group;
+      prev_ts = ts;
+    }
+    if (group % num_shards == shard) {
+      out.insert(out.end(), data.begin() + static_cast<ptrdiff_t>(off),
+                 data.begin() + static_cast<ptrdiff_t>(off + tuple_size));
+    }
+  }
+  return out;
+}
+
+}  // namespace saber::workloads

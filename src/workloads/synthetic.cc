@@ -5,6 +5,7 @@
 
 #include "relational/tuple_ref.h"
 #include "runtime/strcat.h"
+#include "workloads/sharding.h"
 
 namespace saber::syn {
 
@@ -30,6 +31,17 @@ std::vector<uint8_t> Generate(size_t n, const GeneratorOptions& opts) {
     for (size_t f = 2; f <= 6; ++f) w.SetInt32(f, attr(rng));
   }
   return out;
+}
+
+std::vector<uint8_t> GenerateShard(size_t n, int shard, int num_shards,
+                                   const GeneratorOptions& opts) {
+  // Generate-then-extract keeps the shard contents exactly the
+  // timestamp-group partition of the single-producer stream (same RNG
+  // draws), which is what the merge-equivalence property needs. O(n) per
+  // shard is fine at benchmark scale; a shard-local RNG would diverge.
+  return workloads::ExtractTimestampShard(Generate(n, opts),
+                                          SyntheticSchema().tuple_size(),
+                                          shard, num_shards);
 }
 
 QueryDef MakeProjection(int m, int expr_chain, WindowDefinition w) {

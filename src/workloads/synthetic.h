@@ -29,6 +29,14 @@ struct GeneratorOptions {
 /// Generates n serialized tuples.
 std::vector<uint8_t> Generate(size_t n, const GeneratorOptions& opts = {});
 
+/// Producer shard `shard` of Generate(n, opts): the timestamp-groups of the
+/// full stream dealt round-robin across `num_shards` shards (see
+/// workloads/sharding.h), so each ingestion producer can synthesize its own
+/// shard and a watermark merge of all shards reproduces Generate(n, opts)
+/// byte for byte.
+std::vector<uint8_t> GenerateShard(size_t n, int shard, int num_shards,
+                                   const GeneratorOptions& opts = {});
+
 /// PROJ_m: projects the timestamp plus m attributes, each passed through a
 /// chain of `expr_chain` arithmetic operations (§6.6 uses chains of 100).
 QueryDef MakeProjection(int m, int expr_chain = 1,

@@ -304,6 +304,64 @@ TEST(Engine, DrainWithNoDataIsClean) {
 
 using EngineDeathTest = ::testing::Test;
 
+TEST(EngineDeathTest, MisalignedInsertAborts) {
+  // The InsertInto boundary rejects partial tuples: a misaligned byte count
+  // would shift every later tuple's field reads and silently corrupt
+  // dispatch (nothing guarded this before the sharded-ingestion PR).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Schema s = SynSchema();
+  const auto stream = RandomStream(s, 4, /*seed=*/1);
+  EXPECT_DEATH(
+      {
+        Engine engine(SmallOptions(1, false));
+        QueryHandle* q = engine.AddQuery(QueryBuilder("misaligned", s).Build());
+        q->Insert(stream.data(), s.tuple_size() + 3);
+      },
+      "not a multiple of the");
+}
+
+TEST(EngineDeathTest, DecreasingTimestampsAbortAcrossInserts) {
+  // Timestamp regressions are caught across insert calls, not only within
+  // one block, wherever the engine consumes time: time-based windows (pane
+  // cutting) and joins (the dispatch cut). Count-based windows stay exempt
+  // — re-feeding a block with restarting timestamps is their benchmark
+  // idiom (StreamFeeder shift_timestamps=false).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Schema s = SynSchema();
+  auto ok = testing::MakeStream(s, {{7, 0, 0, 0}});
+  auto bad = testing::MakeStream(s, {{3, 0, 0, 0}});
+  EXPECT_DEATH(
+      {
+        Engine engine(SmallOptions(1, false));
+        QueryHandle* q = engine.AddQuery(QueryBuilder("ts_order", s)
+                                             .Window(WindowDefinition::Time(4, 2))
+                                             .Build());
+        q->Insert(ok.data(), ok.size());
+        q->Insert(bad.data(), bad.size());
+      },
+      "non-decreasing");
+}
+
+TEST(Engine, CountWindowsTolerateRestartingTimestamps) {
+  // The repeated-feed idiom: count windows ignore time, so feeding the
+  // same block twice (timestamps restart at the block boundary) must keep
+  // working.
+  Schema s = SynSchema();
+  const auto stream = RandomStream(s, 512, /*seed=*/5);
+  Engine engine(SmallOptions(1, false));
+  QueryHandle* q = engine.AddQuery(
+      QueryBuilder("count_refeed", s).Window(WindowDefinition::Count(8, 8)).Build());
+  int64_t rows = 0;
+  q->SetSink([&](const uint8_t*, size_t n) {
+    rows += static_cast<int64_t>(n / q->output_schema().tuple_size());
+  });
+  engine.Start();
+  q->Insert(stream.data(), stream.size());
+  q->Insert(stream.data(), stream.size());  // restarts timestamps: fine
+  engine.Drain();
+  EXPECT_EQ(rows, 2 * 512);
+}
+
 TEST(EngineDeathTest, SetSinkWhileRunningAborts) {
   // Regression: SetSink lacked the !running_ guard that Engine::Connect
   // has. Workers invoke the sink from TryAssemble without synchronization,

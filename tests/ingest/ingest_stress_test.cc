@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "ingest/sharded_ingress.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file ingest_stress_test.cc
+/// Races the sharded ingestion stage's concurrency protocol (run under the
+/// TSan preset in CI): N producers hammering tiny staging rings (so every
+/// append rides the staging free channel), the merger racing appends and
+/// Close, Drain racing delivery, and Stop racing all of it. Also asserts
+/// the back-pressure wedge claim from docs/architecture.md: a merger
+/// stalled on downstream (engine input-buffer) back-pressure is a pure
+/// producer — it holds no assembly token — so the engine keeps executing
+/// and assembling tasks, and the whole pipeline drains instead of
+/// deadlocking (the PR 2 deadlock shape cannot be recreated in front of
+/// the dispatcher).
+
+namespace saber {
+namespace {
+
+using ingest::IngressOptions;
+using ingest::ShardedIngress;
+
+TEST(IngestStress, ProducersBackpressureAndDrain) {
+  // 4 producers × 100 KB shards through 8 KB staging rings and 4 KB merge
+  // batches: staging back-pressure on nearly every append.
+  constexpr int kShards = 4;
+  const auto stream = syn::Generate(20000);
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+
+  std::vector<uint8_t> merged;
+  IngressOptions opts;
+  opts.num_producers = kShards;
+  opts.staging_buffer_bytes = 8 << 10;
+  opts.merge_batch_bytes = 4 << 10;
+  ShardedIngress ingress(tsz, opts,
+                         [&](const uint8_t* d, size_t n) {
+                           merged.insert(merged.end(), d, d + n);
+                         });
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kShards; ++s) {
+    producers.emplace_back([&, s] {
+      const auto shard =
+          workloads::ExtractTimestampShard(stream, tsz, s, kShards);
+      const size_t step = 64 * tsz;
+      for (size_t off = 0; off < shard.size(); off += step) {
+        ingress.producer(s)->Append(shard.data() + off,
+                                    std::min(step, shard.size() - off));
+      }
+      ingress.producer(s)->Close();
+    });
+  }
+  for (auto& t : producers) t.join();
+  ingress.Drain();
+  ASSERT_EQ(merged.size(), stream.size());
+  EXPECT_EQ(std::memcmp(merged.data(), stream.data(), stream.size()), 0);
+  int64_t waits = 0;
+  for (const auto& p : ingress.stats().producers) {
+    waits += p.backpressure_waits;
+  }
+  EXPECT_GT(waits, 0) << "staging rings were sized to force back-pressure";
+}
+
+TEST(IngestStress, StalledMergerCannotWedgeTheEngine) {
+  // The merger blocks inside Engine::InsertInto on a deliberately tiny
+  // input buffer while producers keep appending. If a stalled merger could
+  // hold anything the result stage needs (the PR 2 wedge shape: a blocked
+  // thread owning an assembly token), this test would deadlock; instead
+  // the workers' assemblies free the input buffer, the merger resumes, and
+  // everything drains.
+  constexpr int kShards = 3;
+  const auto stream = syn::Generate(60000);  // ~1.9 MB through a 64 KB buffer
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+
+  EngineOptions eo;
+  eo.num_cpu_workers = 2;
+  eo.use_gpu = false;
+  eo.task_size = 8 << 10;
+  eo.input_buffer_size = 64 << 10;
+  Engine engine(eo);
+  QueryHandle* q = engine.AddQuery(
+      syn::MakeAggregation(AggregateFunction::kSum,
+                           WindowDefinition::Count(128, 32)));
+  std::atomic<int64_t> sink_bytes{0};
+  q->SetSink([&](const uint8_t*, size_t n) {
+    sink_bytes.fetch_add(static_cast<int64_t>(n));
+  });
+  engine.Start();
+
+  IngressOptions opts;
+  opts.num_producers = kShards;
+  opts.staging_buffer_bytes = 32 << 10;
+  opts.merge_batch_bytes = 16 << 10;
+  auto ingress = ShardedIngress::ForQuery(q, 0, opts);
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kShards; ++s) {
+    producers.emplace_back([&, s] {
+      const auto shard =
+          workloads::ExtractTimestampShard(stream, tsz, s, kShards);
+      const size_t step = 256 * tsz;
+      for (size_t off = 0; off < shard.size(); off += step) {
+        ingress->producer(s)->Append(shard.data() + off,
+                                     std::min(step, shard.size() - off));
+      }
+      ingress->producer(s)->Close();
+    });
+  }
+  for (auto& t : producers) t.join();
+  ingress->Drain();
+  engine.Drain();
+  EXPECT_EQ(q->tuples_in(), static_cast<int64_t>(stream.size() / tsz));
+  EXPECT_GT(sink_bytes.load(), 0);
+  EXPECT_TRUE(ingress->drained());
+}
+
+TEST(IngestStress, StopRacesAppendsAndMerge) {
+  // Producers append an unbounded stream; the main thread stops the engine
+  // and then the ingress mid-flight. No ordering of appends, merges,
+  // deliveries and the two stops may hang or trip TSan.
+  constexpr int kShards = 3;
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  for (int round = 0; round < 5; ++round) {
+    EngineOptions eo;
+    eo.num_cpu_workers = 1;
+    eo.use_gpu = false;
+    eo.task_size = 4 << 10;
+    eo.input_buffer_size = 32 << 10;
+    Engine engine(eo);
+    QueryHandle* q = engine.AddQuery(syn::MakeProjection(2));
+    q->SetSink([](const uint8_t*, size_t) {});
+    engine.Start();
+
+    IngressOptions opts;
+    opts.num_producers = kShards;
+    opts.staging_buffer_bytes = 16 << 10;
+    opts.merge_batch_bytes = 8 << 10;
+    auto ingress = ShardedIngress::ForQuery(q, 0, opts);
+    std::atomic<bool> quit{false};
+    std::vector<std::thread> producers;
+    for (int s = 0; s < kShards; ++s) {
+      producers.emplace_back([&, s] {
+        syn::GeneratorOptions go;
+        go.seed = static_cast<uint32_t>(round * 31 + s);
+        go.start_ts = 0;
+        // Shard s emits timestamps ≡ s (mod kShards): disjoint, unbounded.
+        const auto block = syn::Generate(512, go);
+        std::vector<uint8_t> shifted(block.size());
+        int64_t base = 0;
+        while (!quit.load(std::memory_order_acquire)) {
+          std::memcpy(shifted.data(), block.data(), block.size());
+          for (size_t i = 0; i < shifted.size() / tsz; ++i) {
+            int64_t ts;
+            std::memcpy(&ts, shifted.data() + i * tsz, sizeof(ts));
+            ts = (base + ts) * kShards + s;
+            std::memcpy(shifted.data() + i * tsz, &ts, sizeof(ts));
+          }
+          if (!ingress->producer(s)->Append(shifted.data(), shifted.size())) {
+            break;  // stopped
+          }
+          base += 512;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 + 10 * round));
+    // Stop the engine first: it wakes the input-buffer free channel, which
+    // is what unblocks a merger sitting in InsertInto (documented order).
+    engine.Stop();
+    ingress->Stop();
+    quit.store(true, std::memory_order_release);
+    for (auto& t : producers) t.join();
+  }
+}
+
+}  // namespace
+}  // namespace saber

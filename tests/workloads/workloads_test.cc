@@ -4,6 +4,7 @@
 #include "test_util.h"
 #include "workloads/cluster_monitoring.h"
 #include "workloads/linear_road.h"
+#include "workloads/sharding.h"
 #include "workloads/smart_grid.h"
 #include "workloads/synthetic.h"
 
@@ -241,6 +242,62 @@ TEST(LinearRoad, LRB4NestedQueriesCompose) {
   EXPECT_EQ(q4.outer.group_by.size(), 3u);
   EXPECT_EQ(q4.outer.input_schema[0].tuple_size(),
             q4.inner.output_schema.tuple_size());
+}
+
+TEST(Sharding, TimestampShardsPartitionTheStream) {
+  // Shards are disjoint, cover the stream, keep whole timestamp groups
+  // (the property the watermark merge's byte-identity relies on), and
+  // re-merging by timestamp reproduces the original stream exactly.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  for (int num_shards : {1, 2, 3, 5}) {
+    syn::GeneratorOptions go;
+    go.tuples_per_ts = 7;
+    const auto stream = syn::Generate(5000, go);
+    std::vector<std::vector<uint8_t>> shards;
+    size_t total = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      shards.push_back(
+          workloads::ExtractTimestampShard(stream, tsz, s, num_shards));
+      total += shards.back().size();
+      // GenerateShard is exactly generate-then-extract.
+      EXPECT_EQ(shards.back(), syn::GenerateShard(5000, s, num_shards, go));
+    }
+    ASSERT_EQ(total, stream.size());
+    // Merge by (timestamp, shard index): walk all shards, repeatedly taking
+    // the full head timestamp-group with the smallest timestamp. Groups
+    // never split across shards, so ties cannot occur.
+    std::vector<size_t> pos(static_cast<size_t>(num_shards), 0);
+    std::vector<uint8_t> merged;
+    auto ts_at = [&](int s, size_t off) {
+      int64_t ts;
+      std::memcpy(&ts, shards[static_cast<size_t>(s)].data() + off,
+                  sizeof(ts));
+      return ts;
+    };
+    while (merged.size() < stream.size()) {
+      int best = -1;
+      int64_t best_ts = 0;
+      for (int s = 0; s < num_shards; ++s) {
+        if (pos[static_cast<size_t>(s)] >= shards[static_cast<size_t>(s)].size()) continue;
+        const int64_t ts = ts_at(s, pos[static_cast<size_t>(s)]);
+        if (best < 0 || ts < best_ts) {
+          best = s;
+          best_ts = ts;
+        }
+      }
+      ASSERT_GE(best, 0);
+      auto& p = pos[static_cast<size_t>(best)];
+      while (p < shards[static_cast<size_t>(best)].size() &&
+             ts_at(best, p) == best_ts) {
+        const uint8_t* t = shards[static_cast<size_t>(best)].data() + p;
+        merged.insert(merged.end(), t, t + tsz);
+        p += tsz;
+      }
+    }
+    ASSERT_EQ(merged.size(), stream.size());
+    EXPECT_EQ(std::memcmp(merged.data(), stream.data(), stream.size()), 0)
+        << num_shards << " shards";
+  }
 }
 
 }  // namespace

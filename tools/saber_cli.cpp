@@ -26,7 +26,14 @@
 ///                    unless a policy is given explicitly)
 ///   --limit N       output rows to print                  (default 10)
 ///   --seed N        generator seed                        (default 42)
-///   --input F.csv   read input stream 0 from a CSV file (header expected)
+///   --producers N   sharded ingestion: N producer threads per input feed
+///                   the query through ingest::ShardedIngress (default 1 =
+///                   direct single-producer insertion). Streams — generated
+///                   or CSV — are partitioned by whole timestamp groups,
+///                   so output is byte-identical to the single-producer
+///                   run.
+///   --input F.csv   read input stream 0 from a CSV file (header expected;
+///                   streamed in bounded chunks for single-input queries)
 ///   --output F.csv  write the ordered output stream to a CSV file
 ///
 /// Examples:
@@ -40,12 +47,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
+#include "ingest/sharded_ingress.h"
 #include "io/csv.h"
+#include "runtime/blocking_queue.h"
 #include "sql/parser.h"
+#include "workloads/sharding.h"
 #include "workloads/cluster_monitoring.h"
 #include "workloads/linear_road.h"
 #include "workloads/smart_grid.h"
@@ -61,6 +73,7 @@ struct CliOptions {
   bool use_gpu = true;
   size_t task_size = 1 << 20;
   TaskSizeControllerOptions task_sizing;
+  int producers = 1;
   int64_t limit = 10;
   uint32_t seed = 42;
   std::string input_csv;   // read stream 0 from a CSV file instead
@@ -72,7 +85,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s [--tuples N] [--workers N] [--no-gpu] "
                "[--task-size B] [--policy fixed|aimd|guard] [--target-ms N] "
-               "[--min-task-size B] [--limit N] [--seed N] \"SQL\"\n",
+               "[--min-task-size B] [--producers N] [--limit N] [--seed N] "
+               "\"SQL\"\n",
                argv0);
   std::exit(2);
 }
@@ -108,6 +122,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
     } else if (a == "--min-task-size") {
       o->task_sizing.min_task_size = std::strtoull(next(), nullptr, 10);
       adaptive_knob_used = true;
+    } else if (a == "--producers") {
+      o->producers = std::atoi(next());
+      if (o->producers < 1) {
+        std::fprintf(stderr, "--producers must be >= 1\n");
+        return false;
+      }
     } else if (a == "--limit") {
       o->limit = std::atoll(next());
     } else if (a == "--seed") {
@@ -234,9 +254,19 @@ int main(int argc, char** argv) {
     }
   });
 
+  // The CSV input (stream 0) is streamed through CsvChunkReader — bounded
+  // memory regardless of file size — whenever nothing needs the whole
+  // stream at once: single-input queries, any number of producers. Only
+  // two-input queries with a CSV side still materialize it (both inputs
+  // must be fed interleaved for the join cut to advance).
+  const bool stream_csv = !cli.input_csv.empty() && num_inputs == 1;
   std::vector<std::vector<uint8_t>> streams;
   for (int i = 0; i < num_inputs; ++i) {
     if (i == 0 && !cli.input_csv.empty()) {
+      if (stream_csv) {
+        streams.emplace_back();  // fed from the reader below
+        continue;
+      }
       auto loaded = io::ReadCsvFile(cli.input_csv, q->def().input_schema[0]);
       if (!loaded.ok()) {
         std::fprintf(stderr, "input error: %s\n",
@@ -253,17 +283,126 @@ int main(int argc, char** argv) {
   engine.Start();
   Stopwatch wall;
   const size_t kChunkTuples = 8192;
-  std::vector<size_t> offs(num_inputs, 0);
-  for (bool progress = true; progress;) {
-    progress = false;
+  std::vector<std::unique_ptr<ingest::ShardedIngress>> ingresses;
+  if (cli.producers > 1) {
+    // Sharded ingestion: one ingress per input, N producer threads each.
+    // Both feeds partition by whole timestamp groups — generated streams
+    // via ExtractTimestampShard, CSV via the group-aligned chunk pump
+    // below — so the merged stream, and therefore the query output, is
+    // byte-identical to the single-producer run.
+    ingest::IngressOptions iopts;
+    iopts.num_producers = cli.producers;
+    for (int i = 0; i < num_inputs; ++i) {
+      ingresses.push_back(ingest::ShardedIngress::ForQuery(q, i, iopts));
+    }
+    std::vector<std::thread> feeders;
+    // Bounded hand-off queues keep the CSV path's memory bounded too.
+    std::vector<std::unique_ptr<BlockingQueue<std::vector<uint8_t>>>> qs;
+    // Error unwind for the CSV pump: feeders must be joined before their
+    // queues/ingresses go out of scope (a joinable std::thread destructor
+    // calls std::terminate), and the engine must stop before the ingresses
+    // so a merger blocked in InsertInto is woken.
+    auto abort_feed = [&] {
+      for (auto& queue : qs) queue->Close();
+      for (auto& t : feeders) t.join();
+      engine.Stop();
+      for (auto& ing : ingresses) ing->Stop();
+    };
     for (int i = 0; i < num_inputs; ++i) {
       const size_t tsz = q->def().input_schema[i].tuple_size();
-      const size_t chunk = kChunkTuples * tsz;
-      if (offs[i] < streams[i].size()) {
-        const size_t m = std::min(chunk, streams[i].size() - offs[i]);
-        q->InsertInto(i, streams[i].data() + offs[i], m);
-        offs[i] += m;
-        progress = true;
+      for (int p = 0; p < cli.producers; ++p) {
+        if (i == 0 && stream_csv) {
+          qs.emplace_back(new BlockingQueue<std::vector<uint8_t>>(4));
+          BlockingQueue<std::vector<uint8_t>>* src = qs.back().get();
+          feeders.emplace_back([&, i, p, src] {
+            while (auto chunk = src->Pop()) {
+              ingresses[i]->producer(p)->Append(chunk->data(), chunk->size());
+            }
+            ingresses[i]->producer(p)->Close();
+          });
+          continue;
+        }
+        feeders.emplace_back([&, i, p, tsz] {
+          const std::vector<uint8_t> shard = workloads::ExtractTimestampShard(
+              streams[i], tsz, p, cli.producers);
+          const size_t chunk = kChunkTuples * tsz;
+          for (size_t off = 0; off < shard.size(); off += chunk) {
+            ingresses[i]->producer(p)->Append(
+                shard.data() + off, std::min(chunk, shard.size() - off));
+          }
+          ingresses[i]->producer(p)->Close();
+        });
+      }
+    }
+    if (stream_csv) {
+      io::CsvChunkReader reader(cli.input_csv, q->def().input_schema[0]);
+      const size_t tsz0 = q->def().input_schema[0].tuple_size();
+      // Deal whole timestamp groups, never splitting one across producers:
+      // the trailing (possibly still growing) group is carried into the
+      // next chunk. Groups are totally ordered by timestamp, so the
+      // watermark merge reproduces the file's stream byte-identically —
+      // count-window results match the --producers 1 run too.
+      std::vector<uint8_t> carry;
+      size_t next = 0;
+      auto last_group_start = [&](const std::vector<uint8_t>& buf) {
+        size_t off = buf.size() - tsz0;
+        int64_t last_ts;
+        std::memcpy(&last_ts, buf.data() + off, sizeof(last_ts));
+        while (off >= tsz0) {
+          int64_t ts;
+          std::memcpy(&ts, buf.data() + off - tsz0, sizeof(ts));
+          if (ts != last_ts) break;
+          off -= tsz0;
+        }
+        return off;
+      };
+      while (!reader.done()) {
+        auto chunk = reader.Next();
+        if (!chunk.ok()) {
+          std::fprintf(stderr, "input error: %s\n",
+                       chunk.status().ToString().c_str());
+          abort_feed();
+          return 1;
+        }
+        if (chunk.value().empty()) break;
+        carry.insert(carry.end(), chunk.value().begin(), chunk.value().end());
+        const size_t cut = last_group_start(carry);
+        if (cut == 0) continue;  // one still-open group: keep accumulating
+        std::vector<uint8_t> block(carry.begin(),
+                                   carry.begin() + static_cast<ptrdiff_t>(cut));
+        carry.erase(carry.begin(), carry.begin() + static_cast<ptrdiff_t>(cut));
+        qs[next % qs.size()]->Push(std::move(block));
+        ++next;
+      }
+      if (!carry.empty()) qs[next % qs.size()]->Push(std::move(carry));
+      for (auto& queue : qs) queue->Close();
+    }
+    for (auto& t : feeders) t.join();
+    for (auto& ing : ingresses) ing->Drain();
+  } else if (stream_csv) {
+    io::CsvChunkReader reader(cli.input_csv, q->def().input_schema[0]);
+    while (!reader.done()) {
+      auto chunk = reader.Next();
+      if (!chunk.ok()) {
+        std::fprintf(stderr, "input error: %s\n",
+                     chunk.status().ToString().c_str());
+        return 1;
+      }
+      q->Insert(chunk.value().data(), chunk.value().size());
+    }
+  } else {
+    std::vector<size_t> offs(num_inputs, 0);
+    for (bool progress = true; progress;) {
+      progress = false;
+      for (int i = 0; i < num_inputs; ++i) {
+        const size_t tsz = q->def().input_schema[i].tuple_size();
+        const size_t chunk = kChunkTuples * tsz;
+        if (offs[i] < streams[i].size()) {
+          const size_t m = std::min(chunk, streams[i].size() - offs[i]);
+          q->InsertInto(i, streams[i].data() + offs[i], m);
+          offs[i] += m;
+          progress = true;
+        }
       }
     }
   }
@@ -297,6 +436,23 @@ int main(int argc, char** argv) {
         static_cast<long long>(cs.clamp_events), cs.last_p99_nanos / 1e6);
   }
   std::printf("\n");
+  for (size_t i = 0; i < ingresses.size(); ++i) {
+    const ingest::IngressStats is = ingresses[i]->stats();
+    std::printf("ingest in%zu   : %d producers, %lld merged batches, "
+                "%lld merge runs, %lld watermark stalls\n",
+                i, static_cast<int>(is.producers.size()),
+                static_cast<long long>(is.merged_batches),
+                static_cast<long long>(is.merge_runs),
+                static_cast<long long>(is.watermark_stalls));
+    for (size_t p = 0; p < is.producers.size(); ++p) {
+      std::printf("  producer %zu : %lld tuples, %.1f MB, %lld appends, "
+                  "%lld backpressure waits\n",
+                  p, static_cast<long long>(is.producers[p].tuples),
+                  static_cast<double>(is.producers[p].bytes) / (1 << 20),
+                  static_cast<long long>(is.producers[p].appends),
+                  static_cast<long long>(is.producers[p].backpressure_waits));
+    }
+  }
   if (dump_csv) {
     std::ofstream f(cli.output_csv, std::ios::trunc);
     if (!f) {
