@@ -5,8 +5,11 @@
 #include <limits>
 
 #include "cpu/cpu_operators.h"
+#include "ingest/ingress_options.h"
+#include "ingest/sharded_ingress.h"
 #include "relational/tuple_ref.h"
 #include "runtime/clock.h"
+#include "runtime/strcat.h"
 
 namespace saber {
 
@@ -17,49 +20,149 @@ constexpr int kStored = 1;
 
 thread_local bool Engine::in_worker_thread_ = false;
 
+/// Per-query engine state. Owned jointly by the registry slot and the
+/// query's handle (shared_ptr): retirement frees the heavyweight pieces
+/// (input buffers, ingress) and detaches the slot, while the statistics,
+/// controller and definition stay readable through the handle forever.
+struct QueryState {
+  struct Slot {
+    std::atomic<int> status{0};  // 0 = empty, 1 = stored
+    QueryTask* task = nullptr;
+    TaskResult* result = nullptr;
+  };
+
+  QueryDef def;
+  int index = 0;
+  size_t task_size = 0;  // configured (maximum) φ rounded to the tuple size
+
+  // Dynamic lifecycle (docs/architecture.md, "Query lifecycle & admission").
+  // Admitted -> Running -> Draining -> Retired, monotone. The store to
+  // kDraining and the insert-pin fetch_add below are both seq_cst: either
+  // the producer observes Draining (and drops), or RemoveQuery observes the
+  // pin (and waits) — never neither.
+  std::atomic<QueryLifecycle> lifecycle{QueryLifecycle::kAdmitted};
+  /// Producers inside InsertInto hold a pin; RemoveQuery flips the
+  /// lifecycle, wakes the free channels and waits for pins to reach zero
+  /// before it may touch the buffers. notify on the 1 -> 0 edge.
+  std::atomic<int> insert_refs{0};
+  /// Tuples rejected because they arrived at a Draining/Retired query.
+  std::atomic<int64_t> tuples_dropped{0};
+  /// Claimed by the (single) RemoveQuery call that will retire this query.
+  std::atomic<bool> removal_started{false};
+
+  // Owns the live φ (task_size_controller.h): the dispatcher reads
+  // controller->phi() on every cut decision, the result stage feeds it
+  // latencies under the assembly token.
+  std::unique_ptr<TaskSizeController> controller;
+  std::unique_ptr<Operator> cpu_op;
+  std::unique_ptr<GpuOperatorBase> gpu_op;
+
+  // Dispatching stage (§4.1). buffer[i] is non-null from admission until
+  // retirement; every dereference outside a pinned InsertInto happens under
+  // dispatch_mu, which is also where retirement resets it.
+  std::unique_ptr<CircularBuffer> buffer[2];
+  std::mutex dispatch_mu;
+  /// Last inserted timestamp per input, for the InsertInto boundary
+  /// validation. Producer-thread-private (one logical producer per input
+  /// stream), so unlocked: for connected queries successive writers are
+  /// serialized by the assembly token's release/acquire pair.
+  int64_t insert_prev_ts[2] = {std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::min()};
+  int64_t next_task_start[2] = {0, 0};
+  int64_t tuples_dispatched[2] = {0, 0};
+  int64_t prev_last_ts[2] = {-1, -1};
+  int64_t last_ingest_ts[2] = {-1, -1};
+  int64_t window_start_pos[2] = {0, 0};
+  int64_t window_start_index[2] = {0, 0};
+  int64_t next_task_id = 0;
+  std::atomic<int64_t> tasks_dispatched{0};
+
+  // Engine-managed sharded ingress fronts (AttachIngress), revoked and
+  // drained as the first phase of RemoveQuery, stopped by Engine::Stop.
+  std::unique_ptr<ingest::ShardedIngress> ingress[2];
+
+  // Result stage (§4.3).
+  static constexpr size_t kSlots = 128;
+  /// Stateless and join queries assemble by concatenation (§4.3); their
+  /// fragment results are forwarded zero-copy instead of re-buffered.
+  bool concat_assembly = false;
+  std::vector<std::unique_ptr<Slot>> slots;
+  std::atomic<int64_t> next_assemble{0};
+  std::atomic<bool> assembling{false};
+  std::atomic<int64_t> tasks_assembled{0};
+  std::unique_ptr<AssemblyState> assembly_state;
+  ByteBuffer assembly_scratch;
+  std::function<void(const uint8_t*, size_t)> sink;
+
+  // Statistics.
+  std::atomic<int64_t> bytes_in{0};
+  std::atomic<int64_t> tuples_in{0};
+  std::atomic<int64_t> rows_out{0};
+  std::atomic<int64_t> tasks_on[kNumProcessors] = {};
+  std::atomic<int64_t> bytes_on[kNumProcessors] = {};
+  LatencyHistogram latency;
+};
+
+namespace {
+using Slot = QueryState::Slot;
+
+/// RAII insert pin: taken before the lifecycle check in InsertInto, released
+/// on every exit path. The release notifies RemoveQuery's wait on the
+/// 1 -> 0 edge.
+struct InsertPin {
+  explicit InsertPin(QueryState& qs) : qs(qs) {
+    qs.insert_refs.fetch_add(1);  // seq_cst: pairs with the kDraining store
+  }
+  ~InsertPin() {
+    if (qs.insert_refs.fetch_sub(1) == 1) qs.insert_refs.notify_all();
+  }
+  QueryState& qs;
+};
+
+bool AcceptingInserts(const QueryState& qs) {
+  const QueryLifecycle lc = qs.lifecycle.load();  // seq_cst, see InsertPin
+  return lc == QueryLifecycle::kAdmitted || lc == QueryLifecycle::kRunning;
+}
+}  // namespace
+
 // ===========================================================================
 // QueryHandle forwarding.
 // ===========================================================================
 
 void QueryHandle::InsertInto(int input, const void* tuples, size_t bytes) {
-  engine_->InsertInto(index_, input, tuples, bytes);
+  engine_->InsertInto(*qs_, input, tuples, bytes);
 }
-void QueryHandle::SetSink(std::function<void(const uint8_t*, size_t)> sink) {
-  // Same guard as Engine::Connect: workers invoke the sink from TryAssemble
-  // without synchronization, so swapping it mid-run is a data race on the
-  // std::function (and UB if a call is in flight).
-  SABER_CHECK(!engine_->running_.load());
-  engine_->queries_[index_]->sink = std::move(sink);
+Status QueryHandle::SetSink(std::function<void(const uint8_t*, size_t)> sink) {
+  return engine_->SetSinkFor(*qs_, std::move(sink));
 }
-const QueryDef& QueryHandle::def() const {
-  return engine_->queries_[index_]->def;
+Result<ingest::ShardedIngress*> QueryHandle::AttachIngress(
+    const ingest::IngressOptions& options, int input) {
+  return engine_->AttachIngress(this, input, options);
 }
+const QueryDef& QueryHandle::def() const { return qs_->def; }
 const Schema& QueryHandle::output_schema() const {
-  return engine_->queries_[index_]->def.output_schema;
+  return qs_->def.output_schema;
 }
-int64_t QueryHandle::bytes_in() const {
-  return engine_->queries_[index_]->bytes_in.load();
-}
-int64_t QueryHandle::tuples_in() const {
-  return engine_->queries_[index_]->tuples_in.load();
-}
-int64_t QueryHandle::rows_out() const {
-  return engine_->queries_[index_]->rows_out.load();
+QueryLifecycle QueryHandle::lifecycle() const { return qs_->lifecycle.load(); }
+double QueryHandle::weight() const { return qs_->def.weight; }
+int64_t QueryHandle::bytes_in() const { return qs_->bytes_in.load(); }
+int64_t QueryHandle::tuples_in() const { return qs_->tuples_in.load(); }
+int64_t QueryHandle::rows_out() const { return qs_->rows_out.load(); }
+int64_t QueryHandle::tuples_dropped() const {
+  return qs_->tuples_dropped.load();
 }
 int64_t QueryHandle::tasks_on(Processor p) const {
-  return engine_->queries_[index_]->tasks_on[static_cast<int>(p)].load();
+  return qs_->tasks_on[static_cast<int>(p)].load();
 }
 int64_t QueryHandle::bytes_on(Processor p) const {
-  return engine_->queries_[index_]->bytes_on[static_cast<int>(p)].load();
+  return qs_->bytes_on[static_cast<int>(p)].load();
 }
-const LatencyHistogram& QueryHandle::latency() const {
-  return engine_->queries_[index_]->latency;
-}
+const LatencyHistogram& QueryHandle::latency() const { return qs_->latency; }
 size_t QueryHandle::current_task_size() const {
-  return engine_->queries_[index_]->controller->phi();
+  return qs_->controller->phi();
 }
 ControllerStats QueryHandle::controller_stats() const {
-  return engine_->queries_[index_]->controller->Stats();
+  return qs_->controller->Stats();
 }
 
 // ===========================================================================
@@ -67,10 +170,20 @@ ControllerStats QueryHandle::controller_stats() const {
 // ===========================================================================
 
 Engine::Engine(EngineOptions options) : options_(options) {
+  SABER_CHECK(options_.max_queries > 0 &&
+              options_.max_queries <= kMaxQuerySlots);
   if (options_.use_gpu) {
     device_ = std::make_unique<SimDevice>(options_.device);
   }
+  // Sized for the slot capacity up front (queries appear and vanish at
+  // runtime; the matrix and scheduler never resize).
+  matrix_ = std::make_unique<ThroughputMatrix>(options_.max_queries,
+                                               options_.matrix_initial_rate,
+                                               options_.matrix_update_nanos);
   task_queue_ = std::make_unique<TaskQueue>(options_.task_queue_capacity);
+  // Rate drift can flip task preferences: instead of re-polling the queue on
+  // a timer, blocked workers are woken whenever the matrix publishes.
+  matrix_->SetRefreshListener([this] { task_queue_->OnEligibilityChanged(); });
   task_pool_ = std::make_unique<ObjectPool<QueryTask>>(
       [] { return std::make_unique<QueryTask>(); }, 64);
   result_pool_ = std::make_unique<ObjectPool<TaskResult>>(
@@ -89,28 +202,49 @@ Engine::Engine(EngineOptions options) : options_(options) {
       policy_ = std::make_unique<StaticScheduler>(options_.static_assignment);
       break;
   }
+  registry_.resize(options_.max_queries);
+  live_.reset(new std::atomic<QueryState*>[options_.max_queries]);
+  for (size_t i = 0; i < options_.max_queries; ++i) live_[i].store(nullptr);
 }
 
 Engine::~Engine() { Stop(); }
 
 QueryHandle* Engine::AddQuery(QueryDef def) {
-  SABER_CHECK(!running_.load());
-  // QueryBuilder::TryBuild already surfaces limit violations as a Status;
-  // re-check here so hand-assembled QueryDefs fail at registration with a
-  // clear message instead of aborting mid-task on a worker thread.
-  const Status limits = def.ValidateLimits();
-  if (!limits.ok()) {
-    std::fprintf(stderr, "Engine::AddQuery: %s\n", limits.ToString().c_str());
+  Result<QueryHandle*> added = TryAddQuery(std::move(def));
+  if (!added.ok()) {
+    std::fprintf(stderr, "Engine::AddQuery: %s\n",
+                 added.status().ToString().c_str());
     std::abort();
   }
-  auto qs = std::make_unique<QueryState>();
+  return added.value();
+}
+
+Result<QueryHandle*> Engine::TryAddQuery(QueryDef def) {
+  // QueryBuilder::TryBuild already surfaces limit violations as a Status;
+  // re-check here so hand-assembled QueryDefs fail at admission with a
+  // clear message instead of aborting mid-task on a worker thread.
+  SABER_RETURN_NOT_OK(def.ValidateLimits());
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t slot = registry_.size();
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    if (registry_[i] == nullptr) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == registry_.size()) {
+    return Status::ResourceExhausted(
+        StrCat("cannot admit query '", def.name, "': all ",
+               options_.max_queries,
+               " query slots are occupied (EngineOptions::max_queries)"));
+  }
+  auto qs = std::make_shared<QueryState>();
   qs->def = std::move(def);
-  qs->index = static_cast<int>(queries_.size());
+  qs->index = static_cast<int>(slot);
   const size_t tsz0 = qs->def.input_schema[0].tuple_size();
   qs->task_size = std::max(tsz0, options_.task_size / tsz0 * tsz0);
-  // The throughput-guard policy consults the matrix, which exists only
-  // between Start() and destruction; before that — and until a cell has
-  // published a *measured* rate rather than the uniform prior — the rate
+  // The throughput-guard policy consults the matrix; until a cell has
+  // published a *measured* rate rather than the uniform prior, the rate
   // reads as "unknown" and the guard stays open (it must not clamp on
   // fictional data). The controller outlives the matrix-reading threads
   // (workers join in Stop).
@@ -135,33 +269,209 @@ QueryHandle* Engine::AddQuery(QueryDef def) {
   }
   qs->assembly_state = qs->cpu_op->MakeAssemblyState();
   qs->concat_assembly = !qs->def.is_aggregation() && !qs->def.is_udf();
-  queries_.push_back(std::move(qs));
-  handles_.emplace_back(new QueryHandle(this, queries_.back()->index));
+  // The slot may be recycled: scrub the tenant-local scheduler/matrix state
+  // before the dispatcher can see the new query.
+  policy_->SetQueryWeight(qs->index, qs->def.weight);
+  const bool live_engine = running_.load();
+  qs->lifecycle.store(live_engine ? QueryLifecycle::kRunning
+                                  : QueryLifecycle::kAdmitted);
+  registry_[slot] = qs;
+  live_[slot].store(qs.get(), std::memory_order_release);
+  handles_.emplace_back(new QueryHandle(this, qs->index, qs));
+  if (live_engine) {
+    // Blocked workers re-derive eligibility now that the topology changed.
+    task_queue_->OnEligibilityChanged();
+  }
   return handles_.back().get();
+}
+
+Status Engine::RemoveQuery(QueryHandle* query) {
+  if (query == nullptr || query->engine_ != this) {
+    return Status::NotFound("RemoveQuery: handle does not belong to this engine");
+  }
+  if (in_worker_thread_) {
+    // A worker waiting for its own query's in-flight tasks to assemble would
+    // deadlock (same reasoning as TaskQueue::Push's force flag).
+    return Status::InvalidArgument(
+        StrCat("RemoveQuery('", query->def().name,
+               "'): must not be called from an engine worker thread"));
+  }
+  std::shared_ptr<QueryState> qs = query->qs_;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    const size_t slot = static_cast<size_t>(qs->index);
+    if (qs->lifecycle.load() == QueryLifecycle::kRetired) {
+      return Status::InvalidArgument(
+          StrCat("RemoveQuery('", qs->def.name, "'): query already retired"));
+    }
+    if (slot >= registry_.size() || registry_[slot] != qs) {
+      return Status::NotFound(
+          StrCat("RemoveQuery('", qs->def.name, "'): query is not registered"));
+    }
+    for (const auto& edge : connections_) {
+      if (edge.first == qs->index || edge.second == qs->index) {
+        return Status::InvalidArgument(StrCat(
+            "RemoveQuery('", qs->def.name,
+            "'): query is one half of a connected pair; connected pipelines "
+            "are removed only by engine shutdown"));
+      }
+    }
+    if (qs->removal_started.exchange(true)) {
+      return Status::InvalidArgument(StrCat("RemoveQuery('", qs->def.name,
+                                            "'): removal already in progress"));
+    }
+  }
+
+  const bool live_engine = running_.load();
+
+  // Phase 1 — tear down the engine-managed ingress while the query is still
+  // Running: revoked producers stop appending, but everything already staged
+  // is merged and delivered downstream (into a query that still accepts it)
+  // before the merger is joined. Skipped without workers (pre-Start): the
+  // merger could block forever on a full input buffer nobody drains.
+  for (auto& ing : qs->ingress) {
+    if (ing == nullptr) continue;
+    ing->Revoke();
+    if (live_engine) ing->Drain();
+    ing->Stop();
+  }
+
+  // Phase 2 — stop accepting inserts. seq_cst store pairs with the insert
+  // pin (see QueryState::lifecycle); then wake any producer parked on a full
+  // buffer so it can observe Draining, and wait for the pins to drain.
+  qs->lifecycle.store(QueryLifecycle::kDraining);
+  {
+    std::lock_guard<std::mutex> lock(qs->dispatch_mu);
+    for (int i = 0; i < qs->def.num_inputs; ++i) {
+      if (qs->buffer[i]) qs->buffer[i]->WakeProducer();
+    }
+  }
+  for (;;) {
+    const int refs = qs->insert_refs.load();
+    if (refs == 0) break;
+    qs->insert_refs.wait(refs);
+  }
+
+  // Phase 3 — drain the pipeline: cut the sub-φ remainder into a final task,
+  // then sleep on the assembly channel until every dispatched task has been
+  // executed and assembled. Without workers there is nothing in flight —
+  // whatever sits in the task queue is swept below.
+  if (live_engine) {
+    FlushRemainder(*qs);
+    for (;;) {
+      if (stopping_.load()) {
+        // Engine shutdown interrupts the quiesce; tasks may have been
+        // abandoned. Leave the teardown to Stop()/~Engine — the handle keeps
+        // its statistics and reads lifecycle Draining.
+        return Status::OK();
+      }
+      const uint32_t gen = assembly_gen_.load(std::memory_order_acquire);
+      if (!qs->assembling.load(std::memory_order_acquire) &&
+          qs->tasks_assembled.load() == qs->tasks_dispatched.load()) {
+        break;
+      }
+      assembly_gen_.wait(gen, std::memory_order_acquire);
+    }
+  }
+
+  // Phase 4 — retire: no producer is pinned, no task of this query is queued
+  // (running case: all assembled; stopped case: swept here), so the slot can
+  // be scrubbed and recycled.
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  RetireLocked(qs);
+  return Status::OK();
+}
+
+void Engine::RetireLocked(const std::shared_ptr<QueryState>& qs) {
+  const int index = qs->index;
+  std::vector<QueryTask*> swept = task_queue_->SweepQuery(index);
+  if (!swept.empty()) {
+    // Exact capacity accounting: the swept tasks were dispatched but will
+    // never assemble; the release below re-opens queue capacity and the
+    // counter adjustment keeps dispatched == assembled for Drain.
+    qs->tasks_dispatched.fetch_sub(static_cast<int64_t>(swept.size()));
+    for (QueryTask* t : swept) {
+      task_pool_->Release(std::unique_ptr<QueryTask>(t));
+    }
+  }
+  qs->lifecycle.store(QueryLifecycle::kRetired);
+  live_[static_cast<size_t>(index)].store(nullptr, std::memory_order_release);
+  {
+    // dispatch_mu orders the buffer teardown against any straggling
+    // dispatcher-side reader (Drain's FlushRemainder snapshot).
+    std::lock_guard<std::mutex> dl(qs->dispatch_mu);
+    for (auto& buf : qs->buffer) buf.reset();
+  }
+  for (auto& ing : qs->ingress) ing.reset();
+  matrix_->ResetQuery(index);
+  policy_->OnQueryRetired(index);
+  registry_[static_cast<size_t>(index)].reset();
+  // The queue topology changed (a tenant vanished): blocked workers
+  // re-derive eligibility.
+  task_queue_->OnEligibilityChanged();
 }
 
 void Engine::Connect(QueryHandle* from, QueryHandle* to, int input) {
   SABER_CHECK(!running_.load());
   Engine* self = this;
-  const int to_index = to->index_;
+  // The sink shares ownership of the downstream state: connected queries
+  // are only torn down together (RemoveQuery refuses either half), so the
+  // captured pointer can never dangle.
+  std::shared_ptr<QueryState> to_qs = to->qs_;
   // The upstream query's assembly (ordered, single-threaded via the assembly
   // token) acts as the single logical producer for the downstream stream.
-  from->SetSink([self, to_index, input](const uint8_t* data, size_t bytes) {
-    self->InsertInto(to_index, input, data, bytes);
-  });
+  const Status set = from->SetSink(
+      [self, to_qs, input](const uint8_t* data, size_t bytes) {
+        self->InsertInto(*to_qs, input, data, bytes);
+      });
+  SABER_CHECK(set.ok());
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  connections_.emplace_back(from->index_, to->index_);
+}
+
+Result<ingest::ShardedIngress*> Engine::AttachIngress(
+    QueryHandle* q, int input, const ingest::IngressOptions& options) {
+  if (q == nullptr || q->engine_ != this) {
+    return Status::NotFound(
+        "AttachIngress: handle does not belong to this engine");
+  }
+  std::shared_ptr<QueryState> qs = q->qs_;
+  if (input < 0 || input >= qs->def.num_inputs) {
+    return Status::InvalidArgument(
+        StrCat("AttachIngress('", qs->def.name, "'): input ", input,
+               " out of range (query has ", qs->def.num_inputs, " inputs)"));
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!AcceptingInserts(*qs) ||
+      registry_[static_cast<size_t>(qs->index)] != qs) {
+    return Status::InvalidArgument(
+        StrCat("AttachIngress('", qs->def.name, "'): query is ",
+               QueryLifecycleName(qs->lifecycle.load()),
+               "; ingress can only feed an Admitted or Running query"));
+  }
+  if (qs->ingress[input] != nullptr) {
+    return Status::AlreadyExists(
+        StrCat("AttachIngress('", qs->def.name, "'): input ", input,
+               " already has an engine-managed ingress"));
+  }
+  qs->ingress[input] = ingest::ShardedIngress::ForQuery(q, input, options);
+  return qs->ingress[input].get();
 }
 
 void Engine::Start() {
   // A worker-less engine would accept inserts and then hang in Drain.
   SABER_CHECK(options_.num_cpu_workers > 0 || options_.use_gpu);
   SABER_CHECK(!running_.exchange(true));
-  matrix_ = std::make_unique<ThroughputMatrix>(queries_.size(),
-                                               options_.matrix_initial_rate,
-                                               options_.matrix_update_nanos);
-  // Rate drift can flip task preferences: instead of re-polling the queue on
-  // a timer, blocked workers are woken whenever the matrix publishes.
-  matrix_->SetRefreshListener([this] { task_queue_->OnEligibilityChanged(); });
   stopping_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& qs : registry_) {
+      if (qs != nullptr &&
+          qs->lifecycle.load() == QueryLifecycle::kAdmitted) {
+        qs->lifecycle.store(QueryLifecycle::kRunning);
+      }
+    }
+  }
   for (int i = 0; i < options_.num_cpu_workers; ++i) {
     workers_.emplace_back([this, i] { CpuWorkerLoop(i); });
   }
@@ -170,36 +480,58 @@ void Engine::Start() {
   }
 }
 
+std::vector<std::shared_ptr<QueryState>> Engine::SnapshotQueries() const {
+  std::vector<std::shared_ptr<QueryState>> out;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& qs : registry_) {
+    if (qs != nullptr) out.push_back(qs);
+  }
+  return out;
+}
+
+size_t Engine::num_live_queries() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t n = 0;
+  for (const auto& qs : registry_) {
+    if (qs != nullptr) ++n;
+  }
+  return n;
+}
+
 void Engine::Drain() {
   if (!running_.load()) return;
-  // A single snapshot reads the queries in a fixed order, so a connected
-  // query's sink dispatch can slip between the downstream-counter read and
-  // the upstream-counter read: Drain would see both "idle" while a freshly
-  // pushed downstream task sits in the queue, and Stop() would abandon it.
-  // Each full re-read is ordered after the previous one and therefore
-  // observes any dispatch that preceded a counter value the previous pass
-  // already saw — a chain of connected queries can fool at most one pass
-  // per hop, so queries_.size() + 1 consecutive idle passes are conclusive.
-  auto idle_snapshot = [&] {
-    bool idle = task_queue_->empty();
-    for (auto& qs : queries_) {
-      idle = idle && !qs->assembling.load(std::memory_order_acquire) &&
-             qs->tasks_assembled.load() == qs->tasks_dispatched.load();
-    }
-    return idle;
-  };
   for (;;) {
     // The generation is read before the idleness check: an assembly that
     // completes between the check and the wait bumps it, so the wait
     // returns immediately instead of losing the wakeup.
     const uint32_t gen = assembly_gen_.load(std::memory_order_acquire);
+    // Re-snapshotted every round: queries admitted mid-drain are picked up,
+    // queries retired mid-drain already satisfied the idle condition
+    // (retirement waits for assembled == dispatched).
+    const auto queries = SnapshotQueries();
+    // A single snapshot reads the queries in a fixed order, so a connected
+    // query's sink dispatch can slip between the downstream-counter read and
+    // the upstream-counter read: Drain would see both "idle" while a freshly
+    // pushed downstream task sits in the queue, and Stop() would abandon it.
+    // Each full re-read is ordered after the previous one and therefore
+    // observes any dispatch that preceded a counter value the previous pass
+    // already saw — a chain of connected queries can fool at most one pass
+    // per hop, so size() + 1 consecutive idle passes are conclusive.
+    auto idle_snapshot = [&] {
+      bool idle = task_queue_->empty();
+      for (const auto& qs : queries) {
+        idle = idle && !qs->assembling.load(std::memory_order_acquire) &&
+               qs->tasks_assembled.load() == qs->tasks_dispatched.load();
+      }
+      return idle;
+    };
     bool idle = true;
-    for (size_t pass = 0; pass <= queries_.size() && idle; ++pass) {
+    for (size_t pass = 0; pass <= queries.size() && idle; ++pass) {
       idle = idle_snapshot();
     }
     if (idle) {
       bool flushed = false;
-      for (auto& qs : queries_) flushed = FlushRemainder(*qs) || flushed;
+      for (const auto& qs : queries) flushed = FlushRemainder(*qs) || flushed;
       if (!flushed) break;
       continue;  // remainder tasks dispatched: wait for their assemblies
     }
@@ -212,13 +544,30 @@ void Engine::Stop() {
   if (!running_.load()) return;
   stopping_.store(true);
   task_queue_->Close();
+  const auto queries = SnapshotQueries();
   // Producers may be blocked on input-buffer back-pressure; they re-check
-  // stopping_ once the free channel is signalled.
-  for (auto& qs : queries_) {
-    for (int i = 0; i < qs->def.num_inputs; ++i) qs->buffer[i]->WakeProducer();
+  // stopping_ once the free channel is signalled. dispatch_mu guards against
+  // a concurrent RemoveQuery retiring the buffers.
+  for (const auto& qs : queries) {
+    std::lock_guard<std::mutex> lock(qs->dispatch_mu);
+    for (int i = 0; i < qs->def.num_inputs; ++i) {
+      if (qs->buffer[i]) qs->buffer[i]->WakeProducer();
+    }
+  }
+  // Engine-managed ingress: the wake above unblocks a merger stuck inside
+  // InsertInto, so the join inside Stop terminates.
+  for (const auto& qs : queries) {
+    for (auto& ing : qs->ingress) {
+      if (ing != nullptr) ing->Stop();
+    }
   }
   for (auto& w : workers_) w.join();
   workers_.clear();
+  // Release a RemoveQuery waiter parked on the assembly channel: with the
+  // workers gone its counters will never converge, and it re-checks
+  // stopping_ on wake.
+  assembly_gen_.fetch_add(1, std::memory_order_release);
+  assembly_gen_.notify_all();
   for (QueryTask* t : task_queue_->DrainRemaining()) {
     task_pool_->Release(std::unique_ptr<QueryTask>(t));
   }
@@ -236,8 +585,27 @@ int64_t Engine::TsAt(const CircularBuffer& buf, const Schema& /*schema*/,
   return ts;
 }
 
-void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) {
-  QueryState& qs = *queries_[query];
+Status Engine::SetSinkFor(QueryState& qs,
+                          std::function<void(const uint8_t*, size_t)> sink) {
+  // Workers invoke the sink from TryAssemble without synchronization, so
+  // swapping it while results can be in flight is a data race on the
+  // std::function (and UB if a call is in progress). Holding dispatch_mu
+  // with zero dispatched tasks is sufficient: every dispatch happens under
+  // dispatch_mu, so no task exists and none can be created while we swap.
+  std::lock_guard<std::mutex> lock(qs.dispatch_mu);
+  if (running_.load() && qs.tasks_dispatched.load() > 0) {
+    return Status::InvalidArgument(
+        StrCat("SetSink('", qs.def.name,
+               "'): the engine is running and the query has dispatched "
+               "tasks; set the sink before Start() or directly after "
+               "admission"));
+  }
+  qs.sink = std::move(sink);
+  return Status::OK();
+}
+
+void Engine::InsertInto(QueryState& qs, int input, const void* tuples,
+                        size_t bytes) {
   const Schema& schema = qs.def.input_schema[input];
   const size_t tsz = schema.tuple_size();
   // Boundary validation: everything past this point — the φ cut arithmetic,
@@ -253,6 +621,14 @@ void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) 
     std::abort();
   }
   if (bytes == 0) return;
+  // Pin before the lifecycle gate: RemoveQuery waits for pins to reach zero
+  // before it may retire the buffers, so a producer that saw
+  // Admitted/Running here can safely dereference them for the whole insert.
+  InsertPin pin(qs);
+  if (!AcceptingInserts(qs)) {
+    qs.tuples_dropped.fetch_add(static_cast<int64_t>(bytes / tsz));
+    return;
+  }
   // Timestamp order is validated only where the engine consumes time:
   // time-based windows (pane cutting scans the timestamp column) and
   // two-input queries (the dispatch cut T = min(last ingested ts) − 1 and
@@ -297,6 +673,14 @@ void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) 
       // then sleep until FreeUpTo (or shutdown) signals the free channel.
       TryCreateTasks(qs);
       if (stopping_.load()) return;
+      if (!AcceptingInserts(qs)) {
+        // The query went Draining while we were parked: drop the rest of
+        // the block (RemoveQuery's WakeProducer bumped the free epoch, so
+        // this re-check is reached promptly).
+        qs.tuples_dropped.fetch_add(
+            static_cast<int64_t>((bytes - off) / tsz));
+        return;
+      }
       buf.WaitFreeEpoch(epoch);
     }
     off += chunk;
@@ -315,6 +699,7 @@ void Engine::InsertInto(int query, int input, const void* tuples, size_t bytes) 
 
 void Engine::TryCreateTasks(QueryState& qs) {
   std::lock_guard<std::mutex> lock(qs.dispatch_mu);
+  if (qs.buffer[0] == nullptr) return;  // retired
   if (qs.def.num_inputs == 2) {  // θ-join or two-input UDF
     while (TryCreateJoinTask(qs, /*flush=*/false)) {
     }
@@ -330,6 +715,7 @@ void Engine::TryCreateTasks(QueryState& qs) {
 
 bool Engine::FlushRemainder(QueryState& qs) {
   std::lock_guard<std::mutex> lock(qs.dispatch_mu);
+  if (qs.buffer[0] == nullptr) return false;  // retired
   if (qs.def.num_inputs == 2) {
     return TryCreateJoinTask(qs, /*flush=*/true);
   }
@@ -509,10 +895,9 @@ bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
 void Engine::PushTask(QueryState& qs, QueryTask* task) {
   qs.tasks_dispatched.fetch_add(1);
   // policy/matrix let Push wake only the processors that could select this
-  // task (matrix_ is null before Start: Push then wakes everyone). Worker
-  // threads dispatch connected-query tasks from inside the result stage and
-  // must never block on queue capacity (see TaskQueue::Push): the queue
-  // only drains through them.
+  // task. Worker threads dispatch connected-query tasks from inside the
+  // result stage and must never block on queue capacity (see
+  // TaskQueue::Push): the queue only drains through them.
   if (!task_queue_->Push(task, policy_.get(), matrix_.get(),
                          /*force=*/in_worker_thread_)) {
     // Engine stopping: recycle the task.
@@ -567,7 +952,11 @@ void Engine::CpuWorkerLoop(int /*worker_id*/) {
       if (stopping_.load()) return;
       continue;
     }
-    QueryState& qs = *queries_[t->query_index];
+    // Retirement sweeps the queue and waits for in-flight tasks before the
+    // slot pointer is retracted, so a selected task's state is always live.
+    QueryState* qsp = LiveSlot(t->query_index);
+    SABER_CHECK(qsp != nullptr);
+    QueryState& qs = *qsp;
     TaskContext ctx = BuildContext(qs, *t);
     std::unique_ptr<TaskResult> holder = result_pool_->Acquire();
     TaskResult* r = holder.release();
@@ -611,9 +1000,12 @@ void Engine::GpuWorkerLoop() {
       ping_pending.store(false, std::memory_order_release);
       return;
     }
-    QueryState& qs = *queries_[e.task->query_index];
+    // In-flight tasks pin their query (retirement waits for assembly), so
+    // the slot lookup cannot fail even though the submit happened earlier.
+    QueryState* qsp = LiveSlot(e.task->query_index);
+    SABER_CHECK(qsp != nullptr);
     matrix_->RecordCompletion(e.task->query_index, Processor::kGpu);
-    StoreAndAssemble(qs, e.task, e.result, Processor::kGpu);
+    StoreAndAssemble(*qsp, e.task, e.result, Processor::kGpu);
     --inflight;
   };
 
@@ -623,7 +1015,9 @@ void Engine::GpuWorkerLoop() {
       QueryTask* t = task_queue_->Select(*policy_, Processor::kGpu, *matrix_,
                                          /*wait=*/false);
       if (t != nullptr) {
-        QueryState& qs = *queries_[t->query_index];
+        QueryState* qsp = LiveSlot(t->query_index);
+        SABER_CHECK(qsp != nullptr);
+        QueryState& qs = *qsp;
         TaskContext ctx = BuildContext(qs, *t);
         std::unique_ptr<TaskResult> holder = result_pool_->Acquire();
         TaskResult* r = holder.release();

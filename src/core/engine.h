@@ -33,8 +33,20 @@
 ///
 /// Queries are chained by connecting one query's (ordered) output stream to
 /// another's input (used by SG3, LRB2 and LRB4).
+///
+/// Dynamic query lifecycle: unlike the paper's fixed query set, queries may
+/// be admitted (TryAddQuery) and removed (RemoveQuery) while the engine is
+/// running. The registry is a fixed array of slots; the dispatch, execution
+/// and result stages read a lock-free per-slot pointer, and removal quiesces
+/// in phases (see docs/architecture.md, "Query lifecycle & admission")
+/// before the slot is retired and recycled.
 
 namespace saber {
+
+namespace ingest {
+class ShardedIngress;
+struct IngressOptions;
+}  // namespace ingest
 
 enum class SchedulerKind { kHls, kFcfs, kStatic };
 
@@ -90,8 +102,16 @@ struct EngineOptions {
   /// pushes (connected queries) force past it — see TaskQueue::Push.
   size_t task_queue_capacity = 256;
 
-  /// Scheduling-stage policy: kHls (Alg. 1), kFcfs, or kStatic. Default:
-  /// kHls. kStatic additionally requires `static_assignment`.
+  /// Registered-query capacity: the fixed number of query *slots* the
+  /// engine, throughput matrix and schedulers size their per-query state
+  /// for. Unit: queries. Default: 64 (must be <= kMaxQuerySlots).
+  /// TryAddQuery fails with ResourceExhausted when every slot holds a
+  /// non-retired query; RemoveQuery recycles slots.
+  size_t max_queries = 64;
+
+  /// Scheduling-stage policy: kHls (Alg. 1 + weighted-fair tenant
+  /// selection), kFcfs, or kStatic. Default: kHls. kStatic additionally
+  /// requires `static_assignment`.
   SchedulerKind scheduler = SchedulerKind::kHls;
   /// HLS switch threshold n (Alg. 1): consecutive same-processor executions
   /// of a query before the other processor may "explore" it. Unit: tasks.
@@ -116,7 +136,16 @@ struct EngineOptions {
 
 class Engine;
 
-/// Per-query facade: input ingestion, output sink, statistics.
+/// Engine-internal per-query state (defined in engine.cc). Forward-declared
+/// here so a QueryHandle can share ownership: the handle keeps the struct —
+/// and with it every statistics counter — alive after the query retires,
+/// while the retire path frees the expensive pieces (input buffers, ingress).
+struct QueryState;
+
+/// Per-query facade: input ingestion, output sink, statistics. Handles stay
+/// valid for the engine's lifetime, across RemoveQuery: inserting into a
+/// Draining/Retired query drops the tuples (counted in tuples_dropped())
+/// instead of corrupting the pipeline.
 class QueryHandle {
  public:
   /// Appends serialized tuples to input stream 0. Blocks on back-pressure.
@@ -133,15 +162,38 @@ class QueryHandle {
   void InsertInto(int input, const void* tuples, size_t bytes);
 
   /// Ordered output callback: invoked with batches of serialized output rows
-  /// in stream order, from worker threads. Set before Engine::Start.
-  void SetSink(std::function<void(const uint8_t*, size_t)> sink);
+  /// in stream order, from worker threads. Legal before Engine::Start, or on
+  /// a live-admitted query before its first task is dispatched; afterwards a
+  /// swap would race the result stage's unsynchronized sink calls, so the
+  /// call fails with InvalidArgument instead (lifecycle misuse is a Status,
+  /// not an abort). The returned Status may be ignored by pre-Start callers.
+  Status SetSink(std::function<void(const uint8_t*, size_t)> sink);
+
+  /// Creates a sharded multi-producer ingress front (src/ingest/) for input
+  /// `input`, owned by the engine: RemoveQuery and engine shutdown tear it
+  /// down (revoke producers → drain the watermark merger → stop). At most
+  /// one engine-managed ingress per input. Forwards to
+  /// Engine::AttachIngress.
+  Result<ingest::ShardedIngress*> AttachIngress(
+      const ingest::IngressOptions& options, int input = 0);
 
   const QueryDef& def() const;
   const Schema& output_schema() const;
 
+  /// Registry slot of this query (stable until retirement; slots are
+  /// recycled by later admissions).
+  int index() const { return index_; }
+  /// Current lifecycle state (racy snapshot).
+  QueryLifecycle lifecycle() const;
+  /// Weighted-fair scheduling share (QueryDef::weight).
+  double weight() const;
+
   int64_t bytes_in() const;
   int64_t tuples_in() const;
   int64_t rows_out() const;
+  /// Tuples rejected because they arrived while the query was Draining or
+  /// Retired (survivor-correctness metric for the churn bench).
+  int64_t tuples_dropped() const;
   /// Current query task size φ (differs from EngineOptions::task_size only
   /// under an adaptive task_sizing policy).
   size_t current_task_size() const;
@@ -156,9 +208,11 @@ class QueryHandle {
 
  private:
   friend class Engine;
-  QueryHandle(Engine* engine, int index) : engine_(engine), index_(index) {}
+  QueryHandle(Engine* engine, int index, std::shared_ptr<QueryState> qs)
+      : engine_(engine), index_(index), qs_(std::move(qs)) {}
   Engine* engine_;
   int index_;
+  std::shared_ptr<QueryState> qs_;
 };
 
 class Engine {
@@ -169,12 +223,43 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Registers a query before Start. The handle remains owned by the engine.
+  /// Registers a query; callable before Start *and* on a live engine (the
+  /// new query starts Running immediately). The handle remains owned by the
+  /// engine. Aborts on an invalid definition or exhausted capacity — the
+  /// fluent-call tail for trusted definitions; services validating user
+  /// input use TryAddQuery.
   QueryHandle* AddQuery(QueryDef def);
 
+  /// Status-returning admission: validates the definition (ValidateLimits,
+  /// weight > 0) and capacity (max_queries slots), allocates the query's
+  /// buffers and operators, and splices it into the dispatcher — on a
+  /// running engine the query is schedulable when this returns.
+  /// InvalidArgument on a bad definition, ResourceExhausted when every slot
+  /// is occupied.
+  Result<QueryHandle*> TryAddQuery(QueryDef def);
+
+  /// Removes a query from a (possibly running) engine. Quiesces in phases:
+  /// tear down the engine-managed ingress (revoke producers, drain staged
+  /// tuples through the watermark merger into the still-running query),
+  /// stop accepting inserts (lifecycle → Draining; later inserts drop and
+  /// count), flush the sub-φ remainder, wait for in-flight tasks and the
+  /// assembly line to complete, then retire: sweep the task queue, free the
+  /// input buffers, reset the matrix/scheduler slot and recycle it. The
+  /// handle stays valid for statistics. Errors: NotFound (handle unknown to
+  /// this engine), InvalidArgument (already Draining/Retired, one half of a
+  /// Connect pair, or called from an engine worker thread — a worker
+  /// waiting on its own pipeline would deadlock).
+  Status RemoveQuery(QueryHandle* query);
+
   /// Routes `from`'s output stream into input `input` of `to` (operator
-  /// graphs spanning multiple queries: SG3, LRB4).
+  /// graphs spanning multiple queries: SG3, LRB4). Connected queries form
+  /// one pipeline and cannot be individually removed.
   void Connect(QueryHandle* from, QueryHandle* to, int input = 0);
+
+  /// Engine-managed sharded ingress for `q`'s input `input` (see
+  /// QueryHandle::AttachIngress).
+  Result<ingest::ShardedIngress*> AttachIngress(
+      QueryHandle* q, int input, const ingest::IngressOptions& options);
 
   void Start();
 
@@ -187,6 +272,9 @@ class Engine {
   /// Immediate stop (pending tasks are abandoned).
   void Stop();
 
+  /// Queries currently occupying a slot (Admitted/Running/Draining).
+  size_t num_live_queries() const;
+
   const ThroughputMatrix& matrix() const { return *matrix_; }
   ThroughputMatrix& matrix() { return *matrix_; }
   SimDevice* device() { return device_.get(); }
@@ -196,65 +284,9 @@ class Engine {
  private:
   friend class QueryHandle;
 
-  struct Slot {
-    std::atomic<int> status{0};  // 0 = empty, 1 = stored
-    QueryTask* task = nullptr;
-    TaskResult* result = nullptr;
-  };
-
-  struct QueryState {
-    QueryDef def;
-    int index = 0;
-    size_t task_size = 0;  // configured (maximum) φ rounded to the tuple size
-
-    // Owns the live φ (task_size_controller.h): the dispatcher reads
-    // controller->phi() on every cut decision, the result stage feeds it
-    // latencies under the assembly token.
-    std::unique_ptr<TaskSizeController> controller;
-    std::unique_ptr<Operator> cpu_op;
-    std::unique_ptr<GpuOperatorBase> gpu_op;
-
-    // Dispatching stage (§4.1).
-    std::unique_ptr<CircularBuffer> buffer[2];
-    std::mutex dispatch_mu;
-    /// Last inserted timestamp per input, for the InsertInto boundary
-    /// validation. Producer-thread-private (one logical producer per input
-    /// stream), so unlocked: for connected queries successive writers are
-    /// serialized by the assembly token's release/acquire pair.
-    int64_t insert_prev_ts[2] = {std::numeric_limits<int64_t>::min(),
-                                 std::numeric_limits<int64_t>::min()};
-    int64_t next_task_start[2] = {0, 0};
-    int64_t tuples_dispatched[2] = {0, 0};
-    int64_t prev_last_ts[2] = {-1, -1};
-    int64_t last_ingest_ts[2] = {-1, -1};
-    int64_t window_start_pos[2] = {0, 0};
-    int64_t window_start_index[2] = {0, 0};
-    int64_t next_task_id = 0;
-    std::atomic<int64_t> tasks_dispatched{0};
-
-    // Result stage (§4.3).
-    static constexpr size_t kSlots = 128;
-    /// Stateless and join queries assemble by concatenation (§4.3); their
-    /// fragment results are forwarded zero-copy instead of re-buffered.
-    bool concat_assembly = false;
-    std::vector<std::unique_ptr<Slot>> slots;
-    std::atomic<int64_t> next_assemble{0};
-    std::atomic<bool> assembling{false};
-    std::atomic<int64_t> tasks_assembled{0};
-    std::unique_ptr<AssemblyState> assembly_state;
-    ByteBuffer assembly_scratch;
-    std::function<void(const uint8_t*, size_t)> sink;
-
-    // Statistics.
-    std::atomic<int64_t> bytes_in{0};
-    std::atomic<int64_t> tuples_in{0};
-    std::atomic<int64_t> rows_out{0};
-    std::atomic<int64_t> tasks_on[kNumProcessors] = {};
-    std::atomic<int64_t> bytes_on[kNumProcessors] = {};
-    LatencyHistogram latency;
-  };
-
-  void InsertInto(int query, int input, const void* tuples, size_t bytes);
+  void InsertInto(QueryState& qs, int input, const void* tuples, size_t bytes);
+  Status SetSinkFor(QueryState& qs,
+                    std::function<void(const uint8_t*, size_t)> sink);
   void TryCreateTasks(QueryState& qs);
   bool FlushRemainder(QueryState& qs);
   void CreateSingleInputTask(QueryState& qs, int64_t end_pos);
@@ -273,8 +305,20 @@ class Engine {
   int64_t TsAt(const CircularBuffer& buf, const Schema& schema,
                int64_t pos) const;
 
+  /// Live QueryState for a slot, or nullptr. Lock-free: the pointer is
+  /// guaranteed non-null while any task of the slot's query is dispatched
+  /// and not yet assembled (retire waits for the counters to converge).
+  QueryState* LiveSlot(int index) const {
+    return live_[static_cast<size_t>(index)].load(std::memory_order_acquire);
+  }
+  /// Registry snapshot (shared ownership) for control-plane iteration.
+  std::vector<std::shared_ptr<QueryState>> SnapshotQueries() const;
+  /// Final teardown of a quiesced query. Caller holds registry_mu_.
+  void RetireLocked(const std::shared_ptr<QueryState>& qs);
+
   EngineOptions options_;
-  // Destruction order: queries (operators) must die before the device.
+  // Destruction order: queries (operators) must die before the device, so
+  // every QueryState owner (registry_, handles_) is declared after device_.
   std::unique_ptr<SimDevice> device_;
   std::unique_ptr<ThroughputMatrix> matrix_;
   std::unique_ptr<TaskQueue> task_queue_;
@@ -282,7 +326,20 @@ class Engine {
   std::unique_ptr<ObjectPool<QueryTask>> task_pool_;
   std::unique_ptr<ObjectPool<TaskResult>> result_pool_;
 
-  std::vector<std::unique_ptr<QueryState>> queries_;
+  /// Query registry. Writers (admission, retirement, Connect bookkeeping)
+  /// serialize on registry_mu_; the data path never takes it — workers and
+  /// the dispatcher go through live_, a fixed array of per-slot atomic
+  /// pointers (RCU-flavored: writers publish/retract, readers are
+  /// lock-free, and retirement is deferred until no reader can hold the
+  /// pointer — the quiesce phases play the role of the grace period).
+  /// registry_ holds the owning references; handles_ co-own so statistics
+  /// outlive retirement; slot i is free iff registry_[i] == nullptr.
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<QueryState>> registry_;
+  std::unique_ptr<std::atomic<QueryState*>[]> live_;
+  /// Connect edges (from-slot, to-slot): members of a connected pair are
+  /// not individually removable.
+  std::vector<std::pair<int, int>> connections_;
   std::vector<std::unique_ptr<QueryHandle>> handles_;
 
   std::vector<std::thread> workers_;
@@ -296,11 +353,12 @@ class Engine {
   /// (see TaskQueue::Push).
   static thread_local bool in_worker_thread_;
 
-  /// Drain's wakeup channel (the "drained condition"): bumped (futex
-  /// notify) by TryAssemble after every assembly batch; Drain reads it
-  /// before its idleness check and sleeps until it changes, so a completion
-  /// landing mid-check is never lost. 32-bit for the raw-futex fast path;
-  /// wrap-around is harmless (inequality compare only).
+  /// Drain's and RemoveQuery's wakeup channel (the "drained condition"):
+  /// bumped (futex notify) by TryAssemble after every assembly batch and by
+  /// Stop after the workers join; waiters read it before their idleness
+  /// check and sleep until it changes, so a completion landing mid-check is
+  /// never lost. 32-bit for the raw-futex fast path; wrap-around is
+  /// harmless (inequality compare only).
   std::atomic<uint32_t> assembly_gen_{0};
 };
 

@@ -45,6 +45,29 @@ enum class StreamFunction : uint8_t {
   kIStream,  // only newly arrived tuples (default for π and σ, §2.4)
 };
 
+/// Lifecycle of a registered query inside a (possibly running) engine.
+/// Transitions are strictly forward:
+///
+///   kAdmitted ──Start()──► kRunning ──RemoveQuery()──► kDraining ─► kRetired
+///        └──────────(AddQuery on a running engine admits straight to Running)
+///
+/// kAdmitted: registered before Engine::Start(); inserts are staged.
+/// kRunning:  inserts accepted, tasks dispatched and scheduled.
+/// kDraining: inserts rejected (counted in tuples_dropped); staged ingest,
+///            in-flight tasks and the result-stage assembly line drain.
+/// kRetired:  buffers freed, slot recycled; the handle stays valid for stats.
+enum class QueryLifecycle : uint8_t { kAdmitted, kRunning, kDraining, kRetired };
+
+inline const char* QueryLifecycleName(QueryLifecycle s) {
+  switch (s) {
+    case QueryLifecycle::kAdmitted: return "Admitted";
+    case QueryLifecycle::kRunning: return "Running";
+    case QueryLifecycle::kDraining: return "Draining";
+    case QueryLifecycle::kRetired: return "Retired";
+  }
+  return "?";
+}
+
 /// How the assembly stage computes sliding-window aggregates from pane
 /// partials (§5.3). kAuto picks the cheapest sound strategy: subtract-based
 /// incremental for invertible functions, two-stacks (two_stacks.h, [50]) for
@@ -75,6 +98,11 @@ struct QueryDef {
   ExprPtr having;                 // evaluated over the *output* row
 
   AssemblyMode assembly_mode = AssemblyMode::kAuto;
+
+  /// Weighted-fair scheduling share. The HLS scheduler charges each query's
+  /// virtual service as bytes/weight, so a weight-8 query receives ~8x the
+  /// execution bytes of a weight-1 query under contention. Must be > 0.
+  double weight = 1.0;
 
   /// θ-join predicate over a (left, right) tuple pair; set iff num_inputs==2.
   ExprPtr join_predicate;
@@ -114,6 +142,11 @@ struct QueryDef {
           " GROUP-BY keys (packed key ", group_key_size(),
           " bytes); the operator limit is kMaxGroupKeyBytes=",
           kMaxGroupKeyBytes, " (8 bytes per key)"));
+    }
+    if (!(weight > 0.0)) {  // also rejects NaN
+      return Status::InvalidArgument(StrCat(
+          "query '", name, "' has scheduling weight ", weight,
+          "; weights must be > 0"));
     }
     return Status::OK();
   }
@@ -191,6 +224,12 @@ class QueryBuilder {
 
   QueryBuilder& Assembly(AssemblyMode mode) {
     def_.assembly_mode = mode;
+    return *this;
+  }
+
+  /// Sets the weighted-fair scheduling share (default 1.0, must be > 0).
+  QueryBuilder& Weight(double weight) {
+    def_.weight = weight;
     return *this;
   }
 

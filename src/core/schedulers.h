@@ -1,12 +1,15 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <bitset>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/task.h"
 #include "core/throughput_matrix.h"
@@ -51,6 +54,12 @@
 
 namespace saber {
 
+/// Upper bound on concurrently registered query slots across the engine and
+/// the schedulers (EngineOptions::max_queries must not exceed it). Sized so
+/// per-slot scheduler state (weights, virtual service) stays a small fixed
+/// array that Select can read lock-free.
+inline constexpr size_t kMaxQuerySlots = 256;
+
 /// Resumable scan state: positions [0, resume_pos) of the queue have been
 /// proven ineligible for one processor under the current rates and switch
 /// counts, with `resume_delay` the preferred-processor delay accumulated
@@ -92,6 +101,16 @@ class Scheduler {
   /// per-task and fixed, so their removals need no broadcast. Defaults to
   /// true — the safe answer for policies that don't know.
   virtual bool RemovalChangesEligibility() const { return true; }
+
+  /// Dynamic-topology hooks: the engine admits/retires queries while workers
+  /// are inside Select, so implementations must tolerate a slot's weight
+  /// changing between (never during) scans. Default: policy has no per-query
+  /// state.
+  virtual void SetQueryWeight(int query, double weight) {
+    (void)query;
+    (void)weight;
+  }
+  virtual void OnQueryRetired(int query) { (void)query; }
 };
 
 class FcfsScheduler final : public Scheduler {
@@ -152,7 +171,27 @@ class StaticScheduler final : public Scheduler {
   std::map<int, Processor> assignment_;
 };
 
-/// Algorithm 1 (§4.2).
+/// Algorithm 1 (§4.2), extended with weighted-fair tenant selection.
+///
+/// The original algorithm removes the *first* HLS-eligible task in scan
+/// order, which lets one hot tenant that keeps the queue prefix full starve
+/// the rest. This variant keeps Alg. 1's per-task eligibility test (lines
+/// 4-6, delay accounting, switch threshold) unchanged but collects one
+/// candidate per query — the query's earliest queued task, preserving the
+/// per-query task-id order the result stage's slot ring depends on — and
+/// then picks the candidate whose tenant has the least normalized virtual
+/// service (served bytes / weight), a deficit-style discipline: a weight-8
+/// query accrues service 8x more slowly than a weight-1 query per byte, so
+/// it wins ~8x the selections under contention. Ties (including the common
+/// all-zero startup state and byte-less synthetic tasks) break toward the
+/// earliest queue position, which makes the variant selection-identical to
+/// Alg. 1 whenever service is balanced.
+///
+/// Queries may be admitted or retired between Select calls: per-slot weight
+/// and service live in a fixed kMaxQuerySlots array, and a newly admitted
+/// slot starts at the current service baseline (the least service observed
+/// among recently queued tenants) so it neither monopolizes the queue to
+/// "catch up" from zero nor starts in debt.
 class HlsScheduler final : public Scheduler {
  public:
   /// `cpu_enabled`/`gpu_enabled` declare which processor types have workers:
@@ -163,7 +202,9 @@ class HlsScheduler final : public Scheduler {
   /// configurations.
   explicit HlsScheduler(int switch_threshold = 20, size_t lookahead_cap = 64,
                         bool cpu_enabled = true, bool gpu_enabled = true)
-      : st_(switch_threshold), lookahead_cap_(lookahead_cap) {
+      : st_(switch_threshold),
+        lookahead_cap_(lookahead_cap),
+        shares_(new Share[kMaxQuerySlots]) {
     enabled_[static_cast<int>(Processor::kCpu)] = cpu_enabled;
     enabled_[static_cast<int>(Processor::kGpu)] = gpu_enabled;
   }
@@ -177,35 +218,90 @@ class HlsScheduler final : public Scheduler {
     double delay = scan == nullptr ? 0.0 : scan->resume_delay;  // line 2
     size_t pos = scan == nullptr ? 0 : std::min(scan->resume_pos, queue.size());
     const size_t limit = std::min(queue.size(), lookahead_cap_);
+    QueryTask* best = nullptr;  // least-served candidate so far
+    size_t best_pos = 0;
+    Processor best_ppref = p;
+    double best_norm = 0.0;
+    double min_norm = 0.0;  // least service among candidate tenants
+    std::bitset<kMaxQuerySlots> candidate_query;
     for (; pos < limit; ++pos) {                            // line 3
       QueryTask* v = queue[pos];
       const int q = v->query_index;                         // line 4
       Processor ppref = matrix.Preferred(q);                // line 5
       if (!enabled_[static_cast<int>(ppref)]) ppref = p;
-      const double rate_p = matrix.Rate(q, p);
-      // Line 6: take the task if (i) this is the preferred processor and the
-      // switch threshold has not been exceeded, or (ii) this is not the
-      // preferred processor but either the threshold forces a switch or the
-      // accumulated delay on the preferred processor exceeds this
-      // processor's execution time for the task.
-      const bool preferred_ok =
-          p == ppref && (!have_other || matrix.Count(q, p) < st_);
-      const bool steal_ok =
-          p != ppref &&
-          (matrix.Count(q, ppref) >= st_ || delay >= 1.0 / rate_p);
-      if (preferred_ok || steal_ok) {
-        if (matrix.Count(q, ppref) >= st_) matrix.ResetCount(q, ppref);  // l.7
-        matrix.IncrementCount(q, p);                        // line 8
-        queue.erase(queue.begin() + static_cast<long>(pos));
-        return v;                                           // line 9
+      // Only a query's earliest queued task may be selected (per-query id
+      // order); later tasks of a candidate query still count as queued work.
+      if (!candidate_query.test(static_cast<size_t>(q) % kMaxQuerySlots)) {
+        const double rate_p = matrix.Rate(q, p);
+        // Line 6: take the task if (i) this is the preferred processor and
+        // the switch threshold has not been exceeded, or (ii) this is not
+        // the preferred processor but either the threshold forces a switch
+        // or the accumulated delay on the preferred processor exceeds this
+        // processor's execution time for the task.
+        const bool preferred_ok =
+            p == ppref && (!have_other || matrix.Count(q, p) < st_);
+        const bool steal_ok =
+            p != ppref &&
+            (matrix.Count(q, ppref) >= st_ || delay >= 1.0 / rate_p);
+        if (preferred_ok || steal_ok) {
+          candidate_query.set(static_cast<size_t>(q) % kMaxQuerySlots);
+          const double norm = NormServiceOf(q);
+          if (best == nullptr) {
+            min_norm = norm;
+          } else {
+            min_norm = std::min(min_norm, norm);
+          }
+          // Strict < keeps ties on the earliest position (Alg. 1 order).
+          if (best == nullptr || norm < best_norm) {
+            best = v;
+            best_pos = pos;
+            best_ppref = ppref;
+            best_norm = norm;
+          }
+          continue;  // candidates do not contribute to the delay estimate
+        }
       }
       delay += 1.0 / matrix.Rate(q, ppref);                 // line 10
+    }
+    if (best != nullptr) {
+      const int q = best->query_index;
+      if (matrix.Count(q, best_ppref) >= st_) {
+        matrix.ResetCount(q, best_ppref);                   // line 7
+      }
+      matrix.IncrementCount(q, p);                          // line 8
+      ChargeService(q, best->total_bytes);
+      // Advance the admission baseline to the least-served tenant seen this
+      // scan: a slot admitted later starts here, not at zero.
+      double base = base_vserv_.load(std::memory_order_relaxed);
+      if (min_norm > base) {
+        base_vserv_.store(min_norm, std::memory_order_relaxed);
+      }
+      queue.erase(queue.begin() + static_cast<long>(best_pos));
+      return best;                                          // line 9
     }
     if (scan != nullptr) {
       scan->resume_pos = pos;
       scan->resume_delay = delay;
     }
     return nullptr;                                         // nothing eligible
+  }
+
+  /// Admission (or re-weighting) of a query slot. Resets the slot's virtual
+  /// service to the current baseline, so a readmitted slot does not inherit
+  /// the service history of the retired tenant that used it before.
+  void SetQueryWeight(int query, double weight) override {
+    if (query < 0 || static_cast<size_t>(query) >= kMaxQuerySlots) return;
+    Share& s = shares_[static_cast<size_t>(query)];
+    s.weight.store(std::max(weight, 1e-9), std::memory_order_relaxed);
+    s.vserv.store(base_vserv_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+
+  void OnQueryRetired(int query) override {
+    if (query < 0 || static_cast<size_t>(query) >= kMaxQuerySlots) return;
+    Share& s = shares_[static_cast<size_t>(query)];
+    s.weight.store(1.0, std::memory_order_relaxed);
+    s.vserv.store(0.0, std::memory_order_relaxed);
   }
 
   ProcessorMask EligibleProcessors(const QueryTask& task, bool queue_was_empty,
@@ -241,8 +337,33 @@ class HlsScheduler final : public Scheduler {
   }
 
  private:
+  /// Per-slot weighted-fair state. Atomics because the engine re-weights /
+  /// retires slots from control threads while workers run Select under the
+  /// queue lock; Select itself is serialized by that lock.
+  struct Share {
+    std::atomic<double> weight{1.0};
+    std::atomic<double> vserv{0.0};  // served bytes / weight
+  };
+
+  double NormServiceOf(int q) const {
+    return shares_[static_cast<size_t>(q) % kMaxQuerySlots].vserv.load(
+        std::memory_order_relaxed);
+  }
+
+  void ChargeService(int q, size_t bytes) {
+    Share& s = shares_[static_cast<size_t>(q) % kMaxQuerySlots];
+    const double w = s.weight.load(std::memory_order_relaxed);
+    // Select runs under the queue lock, so load+store does not race another
+    // charge; a concurrent SetQueryWeight reset may win, which is fine.
+    s.vserv.store(s.vserv.load(std::memory_order_relaxed) +
+                      static_cast<double>(bytes) / w,
+                  std::memory_order_relaxed);
+  }
+
   const int st_;
   const size_t lookahead_cap_;
+  std::unique_ptr<Share[]> shares_;
+  std::atomic<double> base_vserv_{0.0};
   bool enabled_[kNumProcessors];
 };
 
@@ -344,6 +465,32 @@ class TaskQueue {
     closed_ = true;
     not_full_.notify_all();
     NotifyLocked(kAllProcessors, /*everyone=*/true);
+  }
+
+  /// Removes and returns every queued task of one query (query retirement:
+  /// the engine sweeps a retired slot so no worker ever dequeues a task
+  /// whose QueryState is gone). The caller releases the tasks to the pool
+  /// and fixes its dispatch accounting, keeping capacity accounting exact —
+  /// freed capacity wakes blocked pushers, and since queue positions
+  /// shifted, scan hints are invalidated and all workers are re-woken.
+  std::vector<QueryTask*> SweepQuery(int query_index) {
+    std::vector<QueryTask*> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto keep = tasks_.begin();
+    for (QueryTask* t : tasks_) {
+      if (t->query_index == query_index) {
+        out.push_back(t);
+      } else {
+        *keep++ = t;
+      }
+    }
+    if (!out.empty()) {
+      tasks_.erase(keep, tasks_.end());
+      InvalidateScansLocked();
+      not_full_.notify_all();
+      NotifyLocked(kAllProcessors, /*everyone=*/true);
+    }
+    return out;
   }
 
   /// Removes and returns all remaining tasks (engine shutdown).

@@ -40,10 +40,28 @@ class ThroughputMatrix {
   explicit ThroughputMatrix(size_t num_queries,
                             double initial_rate = 100.0,
                             int64_t update_interval_nanos = 100'000'000)
-      : update_interval_nanos_(update_interval_nanos) {
+      : update_interval_nanos_(update_interval_nanos),
+        initial_rate_(initial_rate) {
     cells_.reserve(num_queries * kNumProcessors);
     for (size_t i = 0; i < num_queries * kNumProcessors; ++i) {
       cells_.push_back(std::make_unique<Cell>(initial_rate));
+    }
+  }
+
+  /// Returns a query's cells to the uniform-assumption prior (query slot
+  /// retirement: a readmitted slot must not inherit the retired tenant's
+  /// measured rates or switch counts). Safe to call concurrently with
+  /// readers; they observe either the old rates or the prior.
+  void ResetQuery(int query) {
+    for (int pi = 0; pi < kNumProcessors; ++pi) {
+      Cell& c = cell(query, static_cast<Processor>(pi));
+      std::lock_guard<std::mutex> lock(c.mu);
+      c.head = 0;
+      for (size_t i = 0; i < kWindow; ++i) c.completions[i] = 0;
+      c.published.store(false, std::memory_order_relaxed);
+      c.rate.store(initial_rate_, std::memory_order_relaxed);
+      c.last_refresh.store(0, std::memory_order_relaxed);
+      c.exec_count.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -159,6 +177,7 @@ class ThroughputMatrix {
   }
 
   const int64_t update_interval_nanos_;
+  const double initial_rate_;
   std::vector<std::unique_ptr<Cell>> cells_;
   std::function<void()> refresh_listener_;
 };

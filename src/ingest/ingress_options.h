@@ -35,6 +35,13 @@ struct IngressOptions {
   /// the tuple size, floored at one tuple). Default: 256 KiB. Larger blocks
   /// amortize better but add merge latency and retain staging bytes longer.
   size_t merge_batch_bytes = size_t{256} << 10;
+
+  /// Initial per-producer rate limit (token bucket in front of each shard's
+  /// staging insert). Unit: bytes/second; <= 0 leaves producers unmetered.
+  /// Default: 0. Re-meter a live producer with
+  /// `ShardedIngress::SetProducerRate` (thread-safe, takes effect within
+  /// one limiter wait slice — see runtime/rate_limiter.h).
+  double producer_rate_bytes_per_sec = 0.0;
 };
 
 /// Per-producer counters (monotone; readable from any thread while the
@@ -44,6 +51,9 @@ struct ProducerStats {
   int64_t bytes = 0;              ///< bytes accepted by Append
   int64_t appends = 0;            ///< successful Append calls
   int64_t backpressure_waits = 0; ///< sleeps on the staging free channel
+  int64_t throttle_waits = 0;     ///< sleeps forced by the rate limiter
+  /// Current rate-limit setting (bytes/s; <= 0 = unmetered).
+  double rate_limit_bytes_per_sec = 0.0;
 };
 
 /// Snapshot of one ingress: per-producer counters plus merger counters.

@@ -25,6 +25,7 @@ bool ProducerHandle::Append(const void* tuples, size_t bytes) {
     std::abort();
   }
   if (owner_->stopped()) return false;  // appended data would be abandoned
+  if (revoked_.load()) return false;    // engine tore this shard down
   if (bytes == 0) return true;
 
   // Validate the shard-local timestamp order up front: the merged stream's
@@ -40,6 +41,27 @@ bool ProducerHandle::Append(const void* tuples, size_t bytes) {
                  index_, static_cast<long long>(bad));
     std::abort();
   }
+  // Per-tenant metering, before the in-append window opens: a throttled
+  // shard sleeps here without making the watermark treat it as mid-append.
+  limiter_.Acquire(static_cast<int64_t>(bytes));
+
+  // The in_append_/revoked_ handshake (all four accesses seq_cst): either
+  // this thread observes revoked_ below and bails before staging anything,
+  // or Revoke's caller — and through the epoch bump, the merger — observes
+  // in_append_ == true and keeps treating the shard as unfinished until the
+  // guard clears the flag. Both misses at once would let the merger advance
+  // the watermark past a chunk still landing, which would merge it out of
+  // order downstream.
+  in_append_.store(true);
+  struct InAppendGuard {
+    ProducerHandle* p;
+    ~InAppendGuard() {
+      p->in_append_.store(false);
+      // The merger may be parked waiting for this shard to finish.
+      p->owner_->BumpIngestEpoch();
+    }
+  } guard{this};
+  if (revoked_.load()) return false;
   const uint8_t* src = static_cast<const uint8_t*>(tuples);
 
   // A block larger than the staging ring can never fit in one piece; split
@@ -55,7 +77,7 @@ bool ProducerHandle::Append(const void* tuples, size_t bytes) {
       // wait below return immediately (no lost wakeup).
       const uint32_t epoch = staging_.free_epoch();
       if (staging_.TryInsert(src + off, chunk)) break;
-      if (owner_->stopped()) return false;
+      if (owner_->stopped() || revoked_.load()) return false;
       // The merger frees staged bytes as it seals them; make sure it is
       // awake (it may be waiting for this shard to pass the watermark),
       // then sleep on the staging free channel.
@@ -85,6 +107,17 @@ void ProducerHandle::Close() {
   // Wake the merger: this shard no longer pins the watermark, so previously
   // unsealable data (its own remainder, and other shards' tuples this one
   // was holding back) may now merge.
+  owner_->BumpIngestEpoch();
+}
+
+void ProducerHandle::Revoke() {
+  if (revoked_.exchange(true)) return;  // seq_cst, see the Append handshake
+  // Unpark an Append sleeping on staging back-pressure (it re-checks
+  // revoked_ before waiting again) and one throttled inside the limiter
+  // (bounded wait slices; the rate is left as configured).
+  staging_.WakeProducer();
+  // Re-derive the watermark: if no Append is in flight this shard is now
+  // finished and stops pinning W; if one is, its exit bumps the epoch again.
   owner_->BumpIngestEpoch();
 }
 

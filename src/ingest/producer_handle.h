@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "runtime/circular_buffer.h"
+#include "runtime/rate_limiter.h"
 
 /// \file producer_handle.h
 /// One shard of a `ShardedIngress`: the handle a single client thread uses
@@ -31,8 +32,9 @@ class ProducerHandle {
   /// multiple of the tuple size) and timestamps non-decreasing *within this
   /// producer* — both are CHECKed with a clear message, because a violation
   /// would corrupt the merged stream's ordering invariant. Blocks while the
-  /// staging buffer is full. Returns false iff the ingress was stopped (the
-  /// data is then not fully appended); one thread per handle.
+  /// staging buffer is full, and while the per-tenant rate limiter withholds
+  /// budget. Returns false iff the ingress was stopped or this shard revoked
+  /// (the data is then not fully appended); one thread per handle.
   bool Append(const void* tuples, size_t bytes);
 
   /// Declares this shard finished: the producer will never append again, so
@@ -42,8 +44,33 @@ class ProducerHandle {
   /// after Close is a programmer error (CHECK).
   void Close();
 
+  /// Engine-driven teardown (query removal): unlike Close — which only the
+  /// appending thread may call — Revoke is safe from any thread while an
+  /// Append is in flight. The next Append (or the in-flight one, at its next
+  /// chunk boundary) returns false instead of aborting, a parked Append is
+  /// woken, and the shard stops constraining the watermark once the
+  /// in-flight call has left (see finished()). Idempotent.
+  void Revoke();
+
   int index() const { return index_; }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
+  bool revoked() const { return revoked_.load(std::memory_order_acquire); }
+
+  /// True once this shard is guaranteed to never publish another staged
+  /// byte: closed or revoked, with no Append in flight. This — not
+  /// closed() — is what the watermark computation and the drain condition
+  /// consult: a revoked shard with an Append mid-chunk must keep pinning
+  /// the watermark, or the chunk could land below an already-advanced W and
+  /// break the merged stream's ordering invariant. seq_cst against the
+  /// in_append_/revoked_ handshake in Append (see the .cc).
+  bool finished() const {
+    return (closed_.load() || revoked_.load()) && !in_append_.load();
+  }
+
+  /// Re-meters this shard's token bucket (thread-safe; takes effect within
+  /// one limiter wait slice even mid-Acquire). <= 0 disables limiting.
+  void SetRate(double bytes_per_second) { limiter_.SetRate(bytes_per_second); }
+  double rate_bytes_per_sec() const { return limiter_.rate_bytes_per_sec(); }
 
   int64_t tuples() const { return tuples_.load(std::memory_order_relaxed); }
   int64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
@@ -51,6 +78,9 @@ class ProducerHandle {
   int64_t backpressure_waits() const {
     return waits_.load(std::memory_order_relaxed);
   }
+  /// Sleeps forced by the rate limiter (throttle pressure, distinct from
+  /// staging back-pressure).
+  int64_t throttle_waits() const { return limiter_.throttle_waits(); }
 
  private:
   friend class ShardedIngress;
@@ -59,11 +89,12 @@ class ProducerHandle {
   static constexpr int64_t kNoTimestamp = std::numeric_limits<int64_t>::min();
 
   ProducerHandle(ShardedIngress* owner, int index, size_t staging_bytes,
-                 size_t tuple_size)
+                 size_t tuple_size, double rate_bytes_per_sec)
       : owner_(owner),
         index_(index),
         tuple_size_(tuple_size),
-        staging_(staging_bytes, tuple_size) {}
+        staging_(staging_bytes, tuple_size),
+        limiter_(rate_bytes_per_sec) {}
 
   ShardedIngress* const owner_;
   const int index_;
@@ -87,6 +118,16 @@ class ProducerHandle {
   /// real last_ts_ whenever the flag is set.
   std::atomic<bool> has_appended_{false};
   std::atomic<bool> closed_{false};
+  /// Engine-driven revocation flag (Revoke). Unlike closed_, it can flip
+  /// while an Append is in flight; in_append_ closes the resulting race
+  /// with the watermark (see finished()).
+  std::atomic<bool> revoked_{false};
+  /// True while the appending thread is between Append entry and exit.
+  std::atomic<bool> in_append_{false};
+
+  /// Per-tenant token bucket (0 = unmetered). Acquire runs on the appending
+  /// thread before the staging insert; SetRate may race from any thread.
+  RateLimiter limiter_;
 
   /// Producer-thread-private validation state (no lock: one thread per
   /// handle by contract).

@@ -14,7 +14,8 @@ ShardedIngress::ShardedIngress(size_t tuple_size, const IngressOptions& options,
   raw.reserve(static_cast<size_t>(options_.num_producers));
   for (int i = 0; i < options_.num_producers; ++i) {
     producers_.emplace_back(new ProducerHandle(
-        this, i, options_.staging_buffer_bytes, tuple_size_));
+        this, i, options_.staging_buffer_bytes, tuple_size_,
+        options_.producer_rate_bytes_per_sec));
     raw.push_back(producers_.back().get());
   }
   merger_ = std::make_unique<WatermarkMerger>(
@@ -36,6 +37,18 @@ ShardedIngress::~ShardedIngress() { Stop(); }
 
 void ShardedIngress::CloseAll() {
   for (auto& p : producers_) p->Close();
+}
+
+void ShardedIngress::Revoke() {
+  // Unlike CloseAll this is safe while client threads are mid-Append: each
+  // shard's in_append_ handshake keeps the watermark honest until the
+  // in-flight call bails out. After every shard is finished, Drain() waits
+  // only for the staged remainder to merge and deliver.
+  for (auto& p : producers_) p->Revoke();
+}
+
+void ShardedIngress::SetProducerRate(int producer, double bytes_per_second) {
+  producers_[static_cast<size_t>(producer)]->SetRate(bytes_per_second);
 }
 
 void ShardedIngress::Drain() {
@@ -76,6 +89,8 @@ IngressStats ShardedIngress::stats() const {
     ps.bytes = p->bytes();
     ps.appends = p->appends();
     ps.backpressure_waits = p->backpressure_waits();
+    ps.throttle_waits = p->throttle_waits();
+    ps.rate_limit_bytes_per_sec = p->rate_bytes_per_sec();
     s.producers.push_back(ps);
   }
   s.merge_cycles = merger_->merge_cycles();
@@ -111,8 +126,9 @@ void ShardedIngress::MergerLoop() {
     if (stop_.load(std::memory_order_acquire)) return;
     const WatermarkMerger::CycleResult r = merger_->RunCycle();
     if (r.drained) {
-      // All shards closed and empty: nothing can ever arrive again (Close
-      // is terminal), so the merger retires. Stop() still joins us.
+      // All shards finished and empty: nothing can ever arrive again (Close
+      // and Revoke are terminal), so the merger retires. Stop() still joins
+      // us.
       drained_.store(true, std::memory_order_release);
       done_epoch_.fetch_add(1, std::memory_order_release);
       done_epoch_.notify_all();

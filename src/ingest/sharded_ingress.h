@@ -85,6 +85,19 @@ class ShardedIngress {
   /// single-threaded); joins-then-drain callers use it as shorthand.
   void CloseAll();
 
+  /// Engine-driven teardown (query removal): revokes every producer. Safe
+  /// while client threads are mid-Append — their current call returns false
+  /// at the next chunk boundary instead of aborting, and everything staged
+  /// before revocation still merges and delivers. Follow with Drain() to
+  /// wait for that delivery, then Stop().
+  void Revoke();
+
+  /// Live per-tenant re-metering: re-rates producer `producer`'s token
+  /// bucket (thread-safe, takes effect within one limiter wait slice;
+  /// <= 0 disables limiting). Initial rates come from
+  /// IngressOptions::producer_rate_bytes_per_sec.
+  void SetProducerRate(int producer, double bytes_per_second);
+
   /// Blocks until every producer is closed AND every staged tuple has been
   /// merged and delivered downstream. Does not close producers itself: a
   /// still-open shard legitimately keeps Drain waiting (call from the

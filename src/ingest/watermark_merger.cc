@@ -80,18 +80,21 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
   const int64_t tsz = static_cast<int64_t>(tuple_size_);
 
   // --- 1. Low watermark over the open producers. -------------------------
-  // Closed shards never append again, so they do not constrain the
-  // watermark (their staged remainder still merges by timestamp below). An
-  // open shard that has never appended pins the watermark: its first tuple
-  // could still carry any timestamp.
-  bool all_closed = true;
+  // Finished shards — closed, or revoked with no Append in flight — never
+  // publish another staged byte, so they do not constrain the watermark
+  // (their staged remainder still merges by timestamp below). A revoked
+  // shard whose Append is still mid-chunk stays "open" here: its landing
+  // chunk may carry timestamps at the shard's current last_ts, which must
+  // not be overtaken. An open shard that has never appended pins the
+  // watermark: its first tuple could still carry any timestamp.
+  bool all_finished = true;
   bool unknown = false;
   int64_t min_last = kInt64Max;
   int m_index = -1;  // smallest index of an open shard with last_ts == W
   for (size_t i = 0; i < producers_.size(); ++i) {
     const ProducerHandle* p = producers_[i];
-    if (p->closed_.load(std::memory_order_acquire)) continue;
-    all_closed = false;
+    if (p->finished()) continue;
+    all_finished = false;
     if (!p->has_appended_.load(std::memory_order_acquire)) {
       unknown = true;
       continue;
@@ -133,7 +136,7 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
   // then seal nothing (shard m may still append more INT64_MIN tuples that
   // must merge before theirs).
   bool above_m_sealable = true;
-  if (all_closed) {
+  if (all_finished) {
     seal_below_m = seal_above_m = kInt64Max;  // final drain: seal everything
   } else if (!unknown) {
     seal_below_m = min_last;
@@ -161,7 +164,7 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
     pending = pending || read_pos_[i] < end[i];
   }
   if (!pending) {
-    return CycleResult{0, all_closed};
+    return CycleResult{0, all_finished};
   }
 
   // --- 3. K-way merge of the sealed prefixes, run at a time. -------------
@@ -243,7 +246,7 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
     stalls_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  bool drained = all_closed;
+  bool drained = all_finished;
   for (size_t i = 0; i < n && drained; ++i) {
     drained = read_pos_[i] >= end[i];
   }

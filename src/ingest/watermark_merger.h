@@ -15,9 +15,10 @@
 /// bounded, amortized batches.
 ///
 /// Sealing rule (low watermark): let W = min over *open* producers of the
-/// last timestamp each has published (closed producers never append again
-/// and so do not constrain W; an open producer that has never appended
-/// pins the watermark — nothing seals). Tuples with ts <= W - 1 are
+/// last timestamp each has published (finished producers — closed or
+/// revoked, with no append in flight — never append again and so do not
+/// constrain W; an open producer that has never appended pins the
+/// watermark — nothing seals). Tuples with ts <= W - 1 are
 /// *sealed*: no future append on any shard can carry a timestamp < W
 /// (each shard is non-decreasing and already past W), so the sealed set is
 /// complete and can be merged and released. This is the same cut the join
@@ -53,8 +54,9 @@ class WatermarkMerger {
 
   struct CycleResult {
     size_t merged_bytes = 0;
-    /// Every producer closed and every staged byte merged and delivered:
-    /// nothing will ever arrive again.
+    /// Every producer finished (closed or revoked, no Append in flight) and
+    /// every staged byte merged and delivered: nothing will ever arrive
+    /// again.
     bool drained = false;
   };
 

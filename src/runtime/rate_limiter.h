@@ -1,7 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "runtime/clock.h"
 
@@ -10,48 +12,105 @@
 /// a 10 Gbps NIC (§6.1); since our generators are in-process, experiments
 /// that report "saturates the network link" (Figs. 7, 9) reproduce the
 /// plateau by limiting the ingest rate to the equivalent 1.25 GB/s.
+///
+/// Per-tenant metering (the sharded ingestion stage attaches one limiter per
+/// producer) needs *live* re-metering: an operator turns a tenant's rate up
+/// or down while its producer thread is mid-Acquire. SetRate() is therefore
+/// thread-safe with respect to a concurrent Acquire(): the bucket state is
+/// guarded by a mutex, waits happen outside the lock in bounded slices, and
+/// every slice re-reads the current rate, so a re-rate takes effect within
+/// one slice (<= 1 ms) instead of after the old wait completes.
 
 namespace saber {
 
 class RateLimiter {
  public:
   /// `bytes_per_second` <= 0 disables limiting.
-  explicit RateLimiter(double bytes_per_second,
-                       double burst_seconds = 0.005)
-      : rate_(bytes_per_second),
-        burst_bytes_(std::max(1.0, bytes_per_second * burst_seconds)),
-        tokens_(burst_bytes_),
-        last_refill_nanos_(NowNanos()) {}
+  explicit RateLimiter(double bytes_per_second, double burst_seconds = 0.005)
+      : burst_seconds_(burst_seconds) {
+    SetRate(bytes_per_second);
+    tokens_ = burst_bytes_;  // start with a full bucket (no ctor concurrency)
+  }
 
-  bool enabled() const { return rate_ > 0; }
+  bool enabled() const { return rate_.load(std::memory_order_relaxed) > 0; }
+  double rate_bytes_per_sec() const {
+    return rate_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of times Acquire had to sleep (throttle pressure indicator,
+  /// surfaced in ingest stats).
+  int64_t throttle_waits() const {
+    return throttle_waits_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-meters the limiter. Thread-safe against a concurrent Acquire (which
+  /// runs on the producer thread). <= 0 disables limiting and releases any
+  /// waiter within one wait slice. The burst window (seconds) is kept from
+  /// construction; tokens are clamped to the new burst so lowering the rate
+  /// does not leave a stale oversized burst behind.
+  void SetRate(double bytes_per_second) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked();
+    rate_.store(bytes_per_second, std::memory_order_relaxed);
+    burst_bytes_ = std::max(1.0, bytes_per_second * burst_seconds_);
+    tokens_ = std::min(tokens_, burst_bytes_);
+    if (tokens_ < 0 && bytes_per_second <= 0) tokens_ = 0;  // forgive debt
+  }
 
   /// Blocks until `n` bytes of budget are available, then consumes them.
-  /// Single-threaded use (one producer per stream). Requests larger than the
-  /// burst are served by letting the bucket go into debt and waiting it out,
-  /// so any `n` terminates while the long-run rate stays enforced.
+  /// One producer thread per limiter; SetRate may race from any thread.
+  /// Requests larger than the burst are served by letting the bucket go into
+  /// debt and waiting it out, so any `n` terminates while the long-run rate
+  /// stays enforced.
   void Acquire(int64_t n) {
     if (!enabled()) return;
-    Refill();
-    tokens_ -= static_cast<double>(n);
-    while (tokens_ < 0) {
-      const int64_t wait = static_cast<int64_t>(-tokens_ / rate_ * 1e9);
-      WaitUntilNanos(NowNanos() + std::max<int64_t>(wait, 200));
-      Refill();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      RefillLocked();
+      tokens_ -= static_cast<double>(n);
+      if (tokens_ >= 0) return;
+    }
+    throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      int64_t wait;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        RefillLocked();
+        const double rate = rate_.load(std::memory_order_relaxed);
+        if (rate <= 0) {  // re-metered to "unlimited" mid-wait
+          tokens_ = std::max(tokens_, 0.0);
+          return;
+        }
+        if (tokens_ >= 0) return;
+        wait = static_cast<int64_t>(-tokens_ / rate * 1e9);
+      }
+      // Sleep outside the lock, in bounded slices, so SetRate never blocks
+      // behind a long debt wait and takes effect promptly.
+      wait = std::clamp<int64_t>(wait, 200, kMaxWaitSliceNanos);
+      WaitUntilNanos(NowNanos() + wait);
     }
   }
 
  private:
-  void Refill() {
+  static constexpr int64_t kMaxWaitSliceNanos = 1 * 1000 * 1000;  // 1 ms
+
+  void RefillLocked() {
     const int64_t now = NowNanos();
-    tokens_ = std::min(burst_bytes_,
-                       tokens_ + rate_ * (now - last_refill_nanos_) * 1e-9);
+    const double rate = rate_.load(std::memory_order_relaxed);
+    if (rate > 0) {
+      tokens_ = std::min(burst_bytes_,
+                         tokens_ + rate * (now - last_refill_nanos_) * 1e-9);
+    }
     last_refill_nanos_ = now;
   }
 
-  const double rate_;
-  const double burst_bytes_;
-  double tokens_;
-  int64_t last_refill_nanos_;
+  const double burst_seconds_;
+  std::mutex mu_;
+  std::atomic<double> rate_{0};  // readable without mu_ (enabled()/rate())
+  double burst_bytes_ = 1.0;    // guarded by mu_
+  double tokens_ = 0;           // guarded by mu_
+  int64_t last_refill_nanos_ = 0;  // guarded by mu_
+  std::atomic<int64_t> throttle_waits_{0};
 };
 
 }  // namespace saber

@@ -362,20 +362,25 @@ TEST(Engine, CountWindowsTolerateRestartingTimestamps) {
   EXPECT_EQ(rows, 2 * 512);
 }
 
-TEST(EngineDeathTest, SetSinkWhileRunningAborts) {
-  // Regression: SetSink lacked the !running_ guard that Engine::Connect
-  // has. Workers invoke the sink from TryAssemble without synchronization,
-  // so swapping it mid-run is a data race (UB while a call is in flight);
-  // it must fail fast instead.
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(Engine, SetSinkLifecycleGuard) {
+  // Workers invoke the sink from TryAssemble without synchronization, so
+  // swapping it once tasks can be in flight is a data race (UB while a call
+  // is in progress); that misuse surfaces as a Status now, not an abort.
+  // Legal windows: before Start, and on a running engine before the query's
+  // first dispatched task (the live-admission path sets its sink there).
   Schema s = SynSchema();
   QueryDef def = QueryBuilder("sink_guard", s).Build();
   Engine engine(SmallOptions(1, false));
   QueryHandle* q = engine.AddQuery(def);
-  q->SetSink([](const uint8_t*, size_t) {});  // before Start: fine
+  EXPECT_TRUE(q->SetSink([](const uint8_t*, size_t) {}).ok());  // pre-Start
   engine.Start();
-  EXPECT_DEATH(q->SetSink([](const uint8_t*, size_t) {}),
-               "SABER_CHECK failed");
+  // Running but nothing dispatched yet: still safe, still allowed.
+  EXPECT_TRUE(q->SetSink([](const uint8_t*, size_t) {}).ok());
+  const auto stream = RandomStream(s, 4096, /*seed=*/7);
+  q->Insert(stream.data(), stream.size());  // > φ: dispatches tasks
+  const Status swap = q->SetSink([](const uint8_t*, size_t) {});
+  EXPECT_FALSE(swap.ok());
+  EXPECT_EQ(swap.code(), StatusCode::kInvalidArgument);
   engine.Drain();
 }
 

@@ -116,6 +116,92 @@ TEST(HlsScheduler, SwitchThresholdForcesExploration) {
   EXPECT_EQ(gpu_runs, 2);  // every 4th task explores the GPGPU
 }
 
+TEST(HlsScheduler, WeightedSharesServeProportionally) {
+  // Two always-backlogged tenants with weights 8:1 on a single processor.
+  // The deficit discipline charges service as bytes/weight, so over N
+  // selections the heavy tenant must win ~8/9 of them — and the light
+  // tenant must never wait much longer than its fair period (anti-
+  // starvation: this is the regression the weighted variant exists for;
+  // plain Alg. 1 serves the scan prefix and can starve a tenant forever
+  // behind a hot one).
+  ThroughputMatrix m(2);
+  HlsScheduler hls(/*switch_threshold=*/1 << 20, /*lookahead_cap=*/64,
+                   /*cpu_enabled=*/true, /*gpu_enabled=*/false);
+  hls.SetQueryWeight(0, 8.0);
+  hls.SetQueryWeight(1, 1.0);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> queue;
+  auto feed = [&](int query) {
+    QueryTask* t = MakeTask(owner, query, static_cast<int64_t>(owner.size()));
+    t->total_bytes = 4096;
+    queue.push_back(t);
+  };
+  for (int i = 0; i < 4; ++i) {
+    feed(0);
+    feed(1);
+  }
+  int counts[2] = {0, 0};
+  int light_gap = 0, max_light_gap = 0;
+  for (int round = 0; round < 900; ++round) {
+    QueryTask* t = hls.Select(queue, Processor::kCpu, m);
+    ASSERT_NE(t, nullptr);
+    ++counts[t->query_index];
+    if (t->query_index == 1) {
+      light_gap = 0;
+    } else {
+      max_light_gap = std::max(max_light_gap, ++light_gap);
+    }
+    feed(t->query_index);  // keep the selected tenant backlogged
+  }
+  EXPECT_EQ(counts[0] + counts[1], 900);
+  EXPECT_NEAR(counts[0], 800, 16);  // 8/9 of 900, modulo startup transient
+  EXPECT_NEAR(counts[1], 100, 16);
+  // Fair period is 9 selections; 2x covers the deficit phase boundaries.
+  EXPECT_GT(counts[1], 0);
+  EXPECT_LE(max_light_gap, 18);
+}
+
+TEST(HlsScheduler, LateAdmissionStartsAtTheServiceBaseline) {
+  // A tenant admitted after others accumulated service must start at the
+  // current baseline, not at zero — zero would hand it every selection
+  // until it "caught up", monopolizing the queue on admission.
+  ThroughputMatrix m(3);
+  HlsScheduler hls(/*switch_threshold=*/1 << 20, /*lookahead_cap=*/64,
+                   /*cpu_enabled=*/true, /*gpu_enabled=*/false);
+  hls.SetQueryWeight(0, 8.0);
+  hls.SetQueryWeight(1, 1.0);
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> queue;
+  auto feed = [&](int query) {
+    QueryTask* t = MakeTask(owner, query, static_cast<int64_t>(owner.size()));
+    t->total_bytes = 4096;
+    queue.push_back(t);
+  };
+  for (int i = 0; i < 4; ++i) {
+    feed(0);
+    feed(1);
+  }
+  for (int round = 0; round < 450; ++round) {
+    QueryTask* t = hls.Select(queue, Processor::kCpu, m);
+    ASSERT_NE(t, nullptr);
+    feed(t->query_index);
+  }
+  // Admit tenant 2 (weight 1) into the warmed-up engine.
+  hls.SetQueryWeight(2, 1.0);
+  feed(2);
+  int late_count = 0;
+  for (int round = 0; round < 100; ++round) {
+    QueryTask* t = hls.Select(queue, Processor::kCpu, m);
+    ASSERT_NE(t, nullptr);
+    if (t->query_index == 2) ++late_count;
+    feed(t->query_index);
+  }
+  // Fair share is 1/10 of 100 selections. Allow generous slack both ways:
+  // the failure mode guarded against is winning nearly everything.
+  EXPECT_GE(late_count, 2);
+  EXPECT_LE(late_count, 40);
+}
+
 TEST(FcfsScheduler, AlwaysTakesHead) {
   ThroughputMatrix m(2);
   m.SetRate(0, Processor::kCpu, 1);

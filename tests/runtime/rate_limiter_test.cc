@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 namespace saber {
 namespace {
 
@@ -37,6 +40,76 @@ TEST(RateLimiter, RequestLargerThanBurstTerminates) {
   const double secs = (NowNanos() - t0) * 1e-9;
   EXPECT_GT(secs, 0.1);
   EXPECT_LT(secs, 1.0);
+}
+
+TEST(RateLimiter, SetRateTakesEffectForLaterAcquires) {
+  // Start throttled hard, then re-rate to effectively unlimited: the later
+  // acquires must be near-instant (a stale 1 MB/s budget would take ~10 s).
+  RateLimiter rl(1.0 * 1024 * 1024);  // 1 MB/s
+  rl.Acquire(64 * 1024);              // dent the bucket
+  rl.SetRate(10.0 * 1024 * 1024 * 1024);  // 10 GB/s
+  EXPECT_DOUBLE_EQ(rl.rate_bytes_per_sec(), 10.0 * 1024 * 1024 * 1024);
+  const int64_t t0 = NowNanos();
+  for (int i = 0; i < 100; ++i) rl.Acquire(1 << 20);
+  EXPECT_LT(NowNanos() - t0, 500 * 1000 * 1000);
+}
+
+TEST(RateLimiter, DisableMidWaitReleasesTheWaiter) {
+  // A producer stuck in a long debt wait must be released within a wait
+  // slice when the limiter is disabled from another thread. The debt here
+  // is ~20 s at the configured rate; the test passes only via the re-rate.
+  RateLimiter rl(100.0 * 1024);  // 100 KB/s, burst ~512 B
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    rl.Acquire(2 * 1024 * 1024);  // ~20 s of debt
+    rl.Acquire(1);                // must not re-block after the disable
+    released.store(true);
+  });
+  // Give the waiter time to go to sleep inside Acquire, then disable.
+  WaitUntilNanos(NowNanos() + 20 * 1000 * 1000);
+  rl.SetRate(0);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_FALSE(rl.enabled());
+  EXPECT_GE(rl.throttle_waits(), 1);
+}
+
+TEST(RateLimiter, LoweringRateClampsTheBurst) {
+  // Re-rating downward must clamp the stored tokens to the new burst:
+  // otherwise the first post-re-rate acquires ride a stale oversized burst.
+  RateLimiter rl(1000.0 * 1024 * 1024);  // 1000 MB/s, burst ~5 MB (full)
+  rl.SetRate(1.0 * 1024 * 1024);         // 1 MB/s, burst ~5 KB
+  const int64_t t0 = NowNanos();
+  rl.Acquire(256 * 1024);  // ~250 ms at 1 MB/s; free if the burst leaked
+  rl.Acquire(1);           // pays off the debt
+  const double secs = (NowNanos() - t0) * 1e-9;
+  EXPECT_GT(secs, 0.1);
+  EXPECT_LT(secs, 2.0);
+}
+
+TEST(RateLimiter, ReRateUnderConcurrentAcquireIsCoherent) {
+  // Hammer SetRate from one thread while the producer thread acquires:
+  // nothing should deadlock, and the producer finishes promptly because the
+  // re-rater keeps flipping the limiter between throttled and unlimited.
+  RateLimiter rl(512.0 * 1024);  // 512 KB/s: throttled when enabled
+  std::atomic<bool> done{false};
+  std::thread rerater([&] {
+    bool fast = true;
+    while (!done.load()) {
+      rl.SetRate(fast ? 0.0 : 512.0 * 1024);
+      fast = !fast;
+      WaitUntilNanos(NowNanos() + 1000 * 1000);  // 1 ms
+    }
+  });
+  const int64_t t0 = NowNanos();
+  int64_t acquired = 0;
+  while (acquired < 16 * 1024 * 1024) {  // ~32 s at 512 KB/s if never freed
+    rl.Acquire(64 * 1024);
+    acquired += 64 * 1024;
+  }
+  done.store(true);
+  rerater.join();
+  EXPECT_LT((NowNanos() - t0) * 1e-9, 10.0);
 }
 
 TEST(Clock, PacingIsAccurate) {

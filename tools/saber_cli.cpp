@@ -32,6 +32,12 @@
 ///                   or CSV — are partitioned by whole timestamp groups,
 ///                   so output is byte-identical to the single-producer
 ///                   run.
+///   --rate B        meter each sharded producer at B bytes/second
+///                   (per-tenant token bucket; requires --producers >= 2)
+///   --churn N       while the main workload streams, run N add/remove
+///                   cycles of a synthetic selection (weight 2) against the
+///                   live engine; admission/removal latency percentiles are
+///                   reported with the statistics
 ///   --input F.csv   read input stream 0 from a CSV file (header expected;
 ///                   streamed in bounded chunks for single-input queries)
 ///   --output F.csv  write the ordered output stream to a CSV file
@@ -43,6 +49,7 @@
 ///   saber_cli --no-gpu "select * from PosSpeedStr [range unbounded]
 ///              where speed > 60.0"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +63,7 @@
 #include "ingest/sharded_ingress.h"
 #include "io/csv.h"
 #include "runtime/blocking_queue.h"
+#include "runtime/clock.h"
 #include "sql/parser.h"
 #include "workloads/sharding.h"
 #include "workloads/cluster_monitoring.h"
@@ -74,6 +82,8 @@ struct CliOptions {
   size_t task_size = 1 << 20;
   TaskSizeControllerOptions task_sizing;
   int producers = 1;
+  double rate = 0.0;  // bytes/s per sharded producer; <= 0 = unmetered
+  int churn = 0;      // add/remove cycles against the live engine
   int64_t limit = 10;
   uint32_t seed = 42;
   std::string input_csv;   // read stream 0 from a CSV file instead
@@ -85,8 +95,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s [--tuples N] [--workers N] [--no-gpu] "
                "[--task-size B] [--policy fixed|aimd|guard] [--target-ms N] "
-               "[--min-task-size B] [--producers N] [--limit N] [--seed N] "
-               "\"SQL\"\n",
+               "[--min-task-size B] [--producers N] [--rate B] [--churn N] "
+               "[--limit N] [--seed N] \"SQL\"\n",
                argv0);
   std::exit(2);
 }
@@ -128,6 +138,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
         std::fprintf(stderr, "--producers must be >= 1\n");
         return false;
       }
+    } else if (a == "--rate") {
+      o->rate = std::atof(next());
+    } else if (a == "--churn") {
+      o->churn = std::atoi(next());
+      if (o->churn < 0) {
+        std::fprintf(stderr, "--churn must be >= 0\n");
+        return false;
+      }
     } else if (a == "--limit") {
       o->limit = std::atoll(next());
     } else if (a == "--seed") {
@@ -152,6 +170,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
     o->task_sizing.policy = TaskSizePolicy::kLatencyTargetAimd;
     std::fprintf(stderr,
                  "note: --target-ms/--min-task-size imply --policy aimd\n");
+  }
+  if (o->rate > 0 && o->producers < 2) {
+    std::fprintf(stderr,
+                 "--rate meters sharded producers; it needs --producers >= 2\n");
+    return false;
   }
   return !o->sql.empty();
 }
@@ -281,6 +304,47 @@ int main(int argc, char** argv) {
   }
 
   engine.Start();
+
+  // --churn: a synthetic selection tenant (weight 2) is repeatedly admitted
+  // against the live engine, fed one small block and removed through the
+  // full quiesce, concurrently with the main feed below. Joined before
+  // Drain; early error exits must join it too (see abort paths).
+  std::vector<double> churn_add_us;
+  std::vector<double> churn_remove_us;
+  std::string churn_error;
+  std::thread churner;
+  if (cli.churn > 0) {
+    churner = std::thread([&engine, &cli, &churn_add_us, &churn_remove_us,
+                           &churn_error] {
+      QueryDef churn_def = syn::MakeSelection(1);
+      churn_def.weight = 2.0;
+      const std::vector<uint8_t> block = syn::Generate(8192);
+      for (int c = 0; c < cli.churn; ++c) {
+        churn_def.name = "churn_" + std::to_string(c);
+        Stopwatch add_sw;
+        Result<QueryHandle*> added = engine.TryAddQuery(churn_def);
+        if (!added.ok()) {
+          churn_error = added.status().ToString();
+          return;
+        }
+        churn_add_us.push_back(add_sw.ElapsedNanos() * 1e-3);
+        QueryHandle* cq = added.value();
+        if (Status s = cq->SetSink([](const uint8_t*, size_t) {}); !s.ok()) {
+          churn_error = s.ToString();
+          return;
+        }
+        cq->Insert(block.data(), block.size());
+        Stopwatch rm_sw;
+        if (Status s = engine.RemoveQuery(cq); !s.ok()) {
+          churn_error = s.ToString();
+          return;
+        }
+        churn_remove_us.push_back(rm_sw.ElapsedNanos() * 1e-3);
+        WaitUntilNanos(NowNanos() + 2'000'000);  // pace: ~2 ms between cycles
+      }
+    });
+  }
+
   Stopwatch wall;
   const size_t kChunkTuples = 8192;
   std::vector<std::unique_ptr<ingest::ShardedIngress>> ingresses;
@@ -292,6 +356,7 @@ int main(int argc, char** argv) {
     // byte-identical to the single-producer run.
     ingest::IngressOptions iopts;
     iopts.num_producers = cli.producers;
+    if (cli.rate > 0) iopts.producer_rate_bytes_per_sec = cli.rate;
     for (int i = 0; i < num_inputs; ++i) {
       ingresses.push_back(ingest::ShardedIngress::ForQuery(q, i, iopts));
     }
@@ -303,6 +368,7 @@ int main(int argc, char** argv) {
     // calls std::terminate), and the engine must stop before the ingresses
     // so a merger blocked in InsertInto is woken.
     auto abort_feed = [&] {
+      if (churner.joinable()) churner.join();
       for (auto& queue : qs) queue->Close();
       for (auto& t : feeders) t.join();
       engine.Stop();
@@ -386,6 +452,7 @@ int main(int argc, char** argv) {
       if (!chunk.ok()) {
         std::fprintf(stderr, "input error: %s\n",
                      chunk.status().ToString().c_str());
+        if (churner.joinable()) churner.join();
         return 1;
       }
       q->Insert(chunk.value().data(), chunk.value().size());
@@ -406,6 +473,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (churner.joinable()) churner.join();
   engine.Drain();
   const double secs = wall.ElapsedSeconds();
 
@@ -436,6 +504,24 @@ int main(int argc, char** argv) {
         static_cast<long long>(cs.clamp_events), cs.last_p99_nanos / 1e6);
   }
   std::printf("\n");
+  std::printf("weight       : %.1f (weighted-fair HLS share)\n",
+              q->def().weight);
+  if (cli.churn > 0) {
+    auto pct = [](std::vector<double> v, double p) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      return v[static_cast<size_t>(p * static_cast<double>(v.size() - 1))];
+    };
+    std::printf("churn        : %zu/%d add/remove cycles, add p50/p99 = "
+                "%.0f/%.0f us, remove p50/p99 = %.0f/%.0f us\n",
+                churn_remove_us.size(), cli.churn, pct(churn_add_us, 0.5),
+                pct(churn_add_us, 0.99), pct(churn_remove_us, 0.5),
+                pct(churn_remove_us, 0.99));
+    if (!churn_error.empty()) {
+      std::printf("churn error  : %s\n", churn_error.c_str());
+    }
+    std::printf("queries live : %zu\n", engine.num_live_queries());
+  }
   for (size_t i = 0; i < ingresses.size(); ++i) {
     const ingest::IngressStats is = ingresses[i]->stats();
     std::printf("ingest in%zu   : %d producers, %lld merged batches, "
@@ -446,11 +532,17 @@ int main(int argc, char** argv) {
                 static_cast<long long>(is.watermark_stalls));
     for (size_t p = 0; p < is.producers.size(); ++p) {
       std::printf("  producer %zu : %lld tuples, %.1f MB, %lld appends, "
-                  "%lld backpressure waits\n",
+                  "%lld backpressure waits, %lld throttle waits",
                   p, static_cast<long long>(is.producers[p].tuples),
                   static_cast<double>(is.producers[p].bytes) / (1 << 20),
                   static_cast<long long>(is.producers[p].appends),
-                  static_cast<long long>(is.producers[p].backpressure_waits));
+                  static_cast<long long>(is.producers[p].backpressure_waits),
+                  static_cast<long long>(is.producers[p].throttle_waits));
+      if (is.producers[p].rate_limit_bytes_per_sec > 0) {
+        std::printf(" (metered %.1f MB/s)",
+                    is.producers[p].rate_limit_bytes_per_sec / (1 << 20));
+      }
+      std::printf("\n");
     }
   }
   if (dump_csv) {
