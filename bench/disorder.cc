@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ingest/sharded_ingress.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file disorder.cc
+/// Cost of the bounded-disorder contract: aggregate insert throughput of a
+/// sharded ingress whose producers are fed timestamp-jittered shards
+/// (workloads::ApplyBoundedDisorder via syn::GenerateDisorderedShard), as a
+/// function of (jitter, allowed lateness). Every configuration inserts the
+/// same tuple multiset through the same machinery; the measured difference
+/// is the per-producer reorder buffer — calendar-bucket inserts and flushes
+/// on the append path and the deeper sealing watermark
+/// (min(max seen) − lateness − 1).
+///
+/// Rows (all under LatePolicy::kDropAndCount so an under-provisioned
+/// lateness degrades to counted drops instead of aborting):
+///
+///   in-order     jitter 0,  lateness 0  — the PR 5 fast path (baseline)
+///   reordered    jitter J,  lateness J  — full recovery, zero drops
+///   degraded     jitter J,  lateness J/4 — horizon too shallow: drops
+///   heavy        jitter 4J, lateness 4J — deep buffer, zero drops
+///
+/// The degraded lateness is J/4, not J/2: round-robin sharding across P
+/// producers leaves in-shard timestamps P ticks apart, so a jitter draw of
+/// at most J displaces a tuple by at most the largest multiple of P below
+/// J (4 ticks at the default J=8, P=4). A J/2 horizon would never be
+/// exceeded; J/4 reliably is.
+///
+/// with J = --jitter (default 8 timestamp ticks). Runs are interleaved
+/// across configurations (docs/benchmarks.md methodology) and medians feed
+/// BENCH_disorder.json.
+///
+/// --check enforces the CI gates: the `reordered` row must drop zero tuples
+/// (jitter <= lateness is invisible), the `degraded` row must drop some
+/// (the counter actually counts), and `reordered` median throughput must
+/// stay >= 0.8x the in-order baseline.
+///
+/// Flags: --quick, --check, --producers N, --jitter J, --out <path>.
+
+namespace saber::bench {
+namespace {
+
+struct DisorderRun {
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  int64_t late_dropped = 0;
+  int64_t watermark_stalls = 0;
+};
+
+EngineOptions IngestBoundOptions() {
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;
+  o.task_size = 1 << 20;
+  o.input_buffer_size = size_t{64} << 20;
+  return o;
+}
+
+/// Appends pre-jittered shards through a ShardedIngress with the given
+/// lateness into an ingest-bound engine and times insert-to-drain.
+DisorderRun RunConfig(const std::vector<std::vector<uint8_t>>& shards,
+                      size_t total_tuples, size_t tsz, int64_t lateness) {
+  Engine engine(IngestBoundOptions());
+  QueryHandle* q = engine.AddQuery(syn::MakeSelection(1));
+  q->SetSink([](const uint8_t*, size_t) {});
+  engine.Start();
+
+  ingest::IngressOptions iopts;
+  iopts.num_producers = static_cast<int>(shards.size());
+  iopts.allowed_lateness = lateness;
+  iopts.late_policy = ingest::LatePolicy::kDropAndCount;
+  auto ingress = ingest::ShardedIngress::ForQuery(q, 0, iopts);
+  const size_t call_bytes = 64 * tsz;  // the many-small-clients call shape
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    threads.emplace_back([&, p] {
+      const std::vector<uint8_t>& shard = shards[p];
+      for (size_t off = 0; off < shard.size(); off += call_bytes) {
+        ingress->producer(static_cast<int>(p))
+            ->Append(shard.data() + off,
+                     std::min(call_bytes, shard.size() - off));
+      }
+      ingress->producer(static_cast<int>(p))->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ingress->Drain();
+  engine.Drain();
+
+  DisorderRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  const ingest::IngressStats st = ingress->stats();
+  r.watermark_stalls = st.watermark_stalls;
+  for (const auto& ps : st.producers) r.late_dropped += ps.late_dropped;
+  return r;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  int producers = 4;
+  int64_t jitter = 8;
+  std::string out = "BENCH_disorder.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      producers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jitter") == 0 && i + 1 < argc) {
+      jitter = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--check] [--producers N] "
+                   "[--jitter J] [--out path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t tuples = quick ? 1'000'000 : 4'000'000;
+  const int reps = quick ? 3 : 5;
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  syn::GeneratorOptions go;  // default 64 tuples/tick: jitter spans ~J*64 tuples
+
+  struct Config {
+    const char* name;
+    int64_t jitter;
+    int64_t lateness;
+  };
+  const Config configs[] = {
+      {"in-order", 0, 0},
+      {"reordered", jitter, jitter},
+      {"degraded", jitter, jitter / 4},
+      {"heavy", 4 * jitter, 4 * jitter},
+  };
+  const size_t nc = sizeof(configs) / sizeof(configs[0]);
+
+  // Shard + jitter once per configuration, outside the timed region.
+  std::vector<std::vector<std::vector<uint8_t>>> shards(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    for (int p = 0; p < producers; ++p) {
+      shards[c].push_back(syn::GenerateDisorderedShard(
+          tuples, p, producers, configs[c].jitter, go));
+    }
+  }
+
+  PrintHeader(StrCat("disorder: sharded ingest under jitter, ", producers,
+                     " producers"),
+              {"config", "jitter", "lateness", "Mtuples/s", "seconds",
+               "drops", "drop-rate"});
+
+  std::vector<std::vector<double>> rates(nc);
+  std::vector<DisorderRun> last(nc);
+  // Interleaved A/B/C/D rounds; medians cancel environment drift.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t c = 0; c < nc; ++c) {
+      last[c] = RunConfig(shards[c], tuples, tsz, configs[c].lateness);
+      rates[c].push_back(last[c].tuples_per_sec);
+    }
+  }
+
+  std::vector<JsonObject> results;
+  std::vector<double> medians(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    medians[c] = Median(rates[c]);
+    const double drop_rate =
+        static_cast<double>(last[c].late_dropped) / static_cast<double>(tuples);
+    PrintCell(std::string(configs[c].name));
+    PrintCell(static_cast<double>(configs[c].jitter));
+    PrintCell(static_cast<double>(configs[c].lateness));
+    PrintCell(medians[c] / 1e6);
+    PrintCell(last[c].seconds);
+    PrintCell(static_cast<double>(last[c].late_dropped));
+    PrintCell(drop_rate);
+    EndRow();
+    JsonObject rec;
+    rec.Str("config", configs[c].name)
+        .Int("jitter", configs[c].jitter)
+        .Int("lateness", configs[c].lateness)
+        .Int("producers", producers)
+        .Num("tuples_per_sec_median", medians[c])
+        .Num("seconds_last", last[c].seconds)
+        .Int("late_dropped_last", last[c].late_dropped)
+        .Num("drop_rate_last", drop_rate)
+        .Int("watermark_stalls_last", last[c].watermark_stalls);
+    results.push_back(std::move(rec));
+  }
+
+  const double retained = medians[0] > 0 ? medians[1] / medians[0] : 0;
+  std::printf("\nreordered/in-order throughput at jitter %lld: %.2fx\n",
+              static_cast<long long>(jitter), retained);
+
+  JsonObject meta;
+  meta.Int("tuples", static_cast<int64_t>(tuples))
+      .Int("reps", reps)
+      .Int("producers", producers)
+      .Int("jitter", jitter)
+      .Num("reordered_retained", retained)
+      .Bool("quick", quick);
+  if (!WriteBenchJson(out, "disorder", meta, results)) return 1;
+
+  if (check) {
+    if (last[1].late_dropped != 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: %lld drops with jitter %lld <= lateness "
+                   "%lld (gate: disorder within the lateness is invisible)\n",
+                   static_cast<long long>(last[1].late_dropped),
+                   static_cast<long long>(configs[1].jitter),
+                   static_cast<long long>(configs[1].lateness));
+      return 1;
+    }
+    if (last[2].late_dropped == 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: zero drops with jitter %lld > lateness "
+                   "%lld (gate: the drop counter counts)\n",
+                   static_cast<long long>(configs[2].jitter),
+                   static_cast<long long>(configs[2].lateness));
+      return 1;
+    }
+    if (retained < 0.8) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: reordered ingest at %.2fx in-order "
+                   "throughput (gate: >= 0.8x)\n",
+                   retained);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace saber::bench
+
+int main(int argc, char** argv) { return saber::bench::Run(argc, argv); }

@@ -208,7 +208,8 @@ int Run(int argc, char** argv) {
     std::vector<std::vector<uint8_t>> shards;
     for (int p = 0; p < producers; ++p) {
       shards.push_back(
-          workloads::ExtractTimestampShard(stream, tsz, p, producers));
+          workloads::ExtractTimestampShard(stream, tsz, p, producers)
+              .value());
     }
     // Interleaved A/B pairs; medians cancel environment drift
     // (docs/benchmarks.md).

@@ -52,7 +52,9 @@ MicroBatchEngine::~MicroBatchEngine() = default;
 
 MicroBatchReport MicroBatchEngine::Run(const QueryDef& q,
                                        const std::vector<uint8_t>& stream) {
-  SABER_CHECK(q.window[0].time_based());
+  // Aligned time-based windows only: the micro-batch boundaries are slide
+  // multiples, which data-driven session windows do not have.
+  SABER_CHECK(q.window[0].time_based() && !q.window[0].session());
   const Schema& schema = q.input_schema[0];
   const size_t tsz = schema.tuple_size();
   const size_t n = stream.size() / tsz;

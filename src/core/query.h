@@ -148,6 +148,22 @@ struct QueryDef {
           "query '", name, "' has scheduling weight ", weight,
           "; weights must be > 0"));
     }
+    for (int i = 0; i < num_inputs; ++i) {
+      if (!window[i].session()) continue;
+      // Sessions are data-driven (no aligned pane grid), so only the
+      // aggregation path — whose assembly merges adjacent segment partials
+      // by gap — implements them. Projection/UDF/join would need per-path
+      // session state that does not exist.
+      if (!is_aggregation()) {
+        return Status::InvalidArgument(StrCat(
+            "query '", name, "' uses a session window on input ", i,
+            "; session windows are supported for aggregation queries only"));
+      }
+      if (window[i].unbounded) {
+        return Status::InvalidArgument(StrCat(
+            "query '", name, "' combines session and unbounded on input ", i));
+      }
+    }
     return Status::OK();
   }
 };

@@ -153,6 +153,14 @@ class CpuAggregationOperator final : public Operator {
       : Operator(q), fmt_(PaneFormat::For(*q)) {}
 
   void ProcessBatch(const TaskContext& ctx, TaskResult* out) const override {
+    if (query_->window[0].session()) {
+      if (fmt_.grouped()) {
+        ProcessGroupedSession(ctx, out);
+      } else {
+        ProcessUngroupedSession(ctx, out);
+      }
+      return;
+    }
     if (fmt_.grouped()) {
       ProcessGrouped(ctx, out);
     } else {
@@ -170,6 +178,126 @@ class CpuAggregationOperator final : public Operator {
   }
 
  private:
+  // Session windows: the batch is cut at inactivity gaps into *segments*
+  // (maximal runs with consecutive timestamps at most gap apart) instead of
+  // grid panes; each segment ships [first_ts][last_ts] plus its partial so
+  // the assembly can merge adjacent segments whose boundary gap did not
+  // elapse (fragment_assembly.h). PaneEntry::pane_index is a task-local
+  // ordinal — segments have no grid to index into.
+
+  void ProcessUngroupedSession(const TaskContext& ctx, TaskResult* out) const {
+    const StreamBatch& in = ctx.input[0];
+    const Schema& schema = query_->input_schema[0];
+    const WindowDefinition& w = query_->window[0];
+    const Expression* where = query_->where.get();
+    const size_t n = in.num_tuples();
+    const size_t na = fmt_.num_aggs;
+    const int64_t gap = w.gap();
+
+    out->axis_p = in.AxisP(w);
+    out->axis_q = in.AxisQ(w);
+
+    AggState cur[kMaxAggregatesPerQuery];
+    SABER_CHECK(na <= kMaxAggregatesPerQuery);
+    bool open = false;
+    int64_t first_ts = 0, last_ts = 0, seg = 0;
+
+    auto flush = [&]() {
+      if (!open) return;
+      const uint32_t off = static_cast<uint32_t>(out->partials.size());
+      out->partials.AppendValue<int64_t>(first_ts);
+      out->partials.AppendValue<int64_t>(last_ts);
+      out->partials.Append(cur, na * sizeof(AggState));
+      out->panes.push_back(PaneEntry{
+          seg++, off, static_cast<uint32_t>(fmt_.session_ungrouped_bytes())});
+      open = false;
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+      TupleRef t(in.tuple(i), &schema);
+      const int64_t ts = t.timestamp();
+      if (open && !SessionExtends(last_ts, ts, gap)) flush();
+      if (!open) {
+        open = true;
+        first_ts = ts;
+        for (size_t a = 0; a < na; ++a) AggInit(&cur[a]);
+      }
+      last_ts = ts;  // raw extent: filtered tuples still hold the session open
+      if (where != nullptr && !where->EvalBool(t, nullptr)) continue;
+      for (size_t a = 0; a < na; ++a) {
+        const auto& spec = query_->aggregates[a];
+        const double v =
+            spec.input != nullptr ? spec.input->EvalDouble(t, nullptr) : 0.0;
+        AggAdd(&cur[a], v);
+      }
+    }
+    flush();
+  }
+
+  void ProcessGroupedSession(const TaskContext& ctx, TaskResult* out) const {
+    const StreamBatch& in = ctx.input[0];
+    const Schema& schema = query_->input_schema[0];
+    const WindowDefinition& w = query_->window[0];
+    const Expression* where = query_->where.get();
+    const size_t n = in.num_tuples();
+    const size_t na = fmt_.num_aggs;
+    const size_t nk = query_->group_by.size();
+    const int64_t gap = w.gap();
+
+    out->axis_p = in.AxisP(w);
+    out->axis_q = in.AxisQ(w);
+
+    GroupHashTable table(fmt_.key_size, na, kGroupTableTaskCapacity);
+    bool open = false;
+    int64_t first_ts = 0, last_ts = 0, seg = 0;
+    uint8_t key[kMaxGroupKeyBytes];
+    SABER_CHECK(fmt_.key_size <= sizeof(key));
+
+    auto flush = [&]() {
+      if (!open) return;
+      const uint32_t off = static_cast<uint32_t>(out->partials.size());
+      // Header even when the table is empty: a fully filtered segment still
+      // defines session extent (the assembly needs its first/last ts).
+      out->partials.AppendValue<int64_t>(first_ts);
+      out->partials.AppendValue<int64_t>(last_ts);
+      if (table.size() > 0) table.SerializeTo(&out->partials);
+      out->panes.push_back(PaneEntry{
+          seg++, off, static_cast<uint32_t>(out->partials.size() - off)});
+      table.Clear();
+      open = false;
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+      TupleRef t(in.tuple(i), &schema);
+      const int64_t ts = t.timestamp();
+      if (open && !SessionExtends(last_ts, ts, gap)) flush();
+      if (!open) {
+        open = true;
+        first_ts = ts;
+      }
+      last_ts = ts;
+      if (where != nullptr && !where->EvalBool(t, nullptr)) continue;
+      for (size_t k = 0; k < nk; ++k) {
+        const int64_t kv = query_->group_by[k]->EvalInt64(t, nullptr);
+        std::memcpy(key + k * 8, &kv, sizeof(kv));
+      }
+      if (table.NeedsGrow()) table.Grow();
+      AggState* aggs = table.Upsert(key, static_cast<int32_t>(i), ts);
+      if (aggs == nullptr) {
+        table.Grow();
+        aggs = table.Upsert(key, static_cast<int32_t>(i), ts);
+        SABER_CHECK(aggs != nullptr);
+      }
+      for (size_t a = 0; a < na; ++a) {
+        const auto& spec = query_->aggregates[a];
+        const double v =
+            spec.input != nullptr ? spec.input->EvalDouble(t, nullptr) : 0.0;
+        AggAdd(&aggs[a], v);
+      }
+    }
+    flush();
+  }
+
   void ProcessUngrouped(const TaskContext& ctx, TaskResult* out) const {
     const StreamBatch& in = ctx.input[0];
     const Schema& schema = query_->input_schema[0];
@@ -645,6 +773,14 @@ class CpuVectorAggregationOperator final : public Operator {
   bool vectorizable() const { return vectorizable_; }
 
   void ProcessBatch(const TaskContext& ctx, TaskResult* out) const override {
+    if (query_->window[0].session()) {
+      if (fmt_.grouped()) {
+        ProcessGroupedSession(ctx, out);
+      } else {
+        ProcessUngroupedSession(ctx, out);
+      }
+      return;
+    }
     if (fmt_.grouped()) {
       ProcessGrouped(ctx, out);
     } else {
@@ -662,6 +798,184 @@ class CpuVectorAggregationOperator final : public Operator {
   }
 
  private:
+  /// Invokes run_fn(run_base, run_count, run_ts, batch_index) for each
+  /// maximal gap-free run within one contiguous segment of the batch. The
+  /// callers' merge-or-flush accumulator rejoins runs split by the ring
+  /// wrap, so segment boundaries match the scalar operator's exactly (the
+  /// differential fuzz suite compares TaskResults byte-for-byte).
+  template <typename Fn>
+  void ForEachSessionRun(const StreamBatch& in, int64_t gap, size_t tuple_size,
+                         Fn&& run_fn) const {
+    VecScratch& tls = Tls();
+    ForEachSegment(in.data, tuple_size,
+                   [&](const uint8_t* base, size_t m, size_t seg_off) {
+      if (tls.ts.size() < m) tls.ts.resize(m);
+      for (size_t i = 0; i < m; ++i) tls.ts[i] = LoadTs(base + i * tuple_size);
+      size_t i = 0;
+      while (i < m) {
+        size_t j = i + 1;
+        while (j < m && SessionExtends(tls.ts[j - 1], tls.ts[j], gap)) ++j;
+        run_fn(base + i * tuple_size, j - i, tls.ts.data() + i, seg_off + i);
+        i = j;
+      }
+    });
+  }
+
+  void ProcessUngroupedSession(const TaskContext& ctx, TaskResult* out) const {
+    const StreamBatch& in = ctx.input[0];
+    const WindowDefinition& w = query_->window[0];
+    const size_t tsz = query_->input_schema[0].tuple_size();
+    const size_t na = fmt_.num_aggs;
+    const int64_t gap = w.gap();
+    const bool has_where = !where_.empty();
+    VecScratch& tls = Tls();
+
+    out->axis_p = in.AxisP(w);
+    out->axis_q = in.AxisQ(w);
+
+    AggState cur[kMaxAggregatesPerQuery];
+    bool open = false;
+    int64_t first_ts = 0, last_ts = 0, seg = 0;
+
+    auto flush = [&]() {
+      if (!open) return;
+      const uint32_t off = static_cast<uint32_t>(out->partials.size());
+      out->partials.AppendValue<int64_t>(first_ts);
+      out->partials.AppendValue<int64_t>(last_ts);
+      out->partials.Append(cur, na * sizeof(AggState));
+      out->panes.push_back(PaneEntry{
+          seg++, off, static_cast<uint32_t>(fmt_.session_ungrouped_bytes())});
+      open = false;
+    };
+
+    ForEachSessionRun(in, gap, tsz,
+                      [&](const uint8_t* base, size_t m, const int64_t* ts,
+                          size_t) {
+      if (open && !SessionExtends(last_ts, ts[0], gap)) flush();
+      if (!open) {
+        open = true;
+        first_ts = ts[0];
+        for (size_t a = 0; a < na; ++a) AggInit(&cur[a]);
+      }
+      last_ts = ts[m - 1];
+      const uint32_t* sel = nullptr;
+      size_t cnt = m;
+      if (has_where) {
+        if (tls.sel.size() < m) tls.sel.resize(m);
+        cnt = where_.EvalBatchBool(base, tsz, m, tls.sel.data());
+        sel = tls.sel.data();
+      }
+      if (cnt == 0) return;
+      if (tls.f64.size() < cnt) tls.f64.resize(cnt);
+      for (size_t a = 0; a < na; ++a) {
+        if (inputs_[a].empty()) {  // count(*): every survivor contributes 0.0
+          for (size_t j = 0; j < cnt; ++j) AggAdd(&cur[a], 0.0);
+          continue;
+        }
+        inputs_[a].EvalBatchDouble(base, tsz, sel, cnt, tls.f64.data());
+        for (size_t j = 0; j < cnt; ++j) AggAdd(&cur[a], tls.f64[j]);
+      }
+    });
+    flush();
+  }
+
+  void ProcessGroupedSession(const TaskContext& ctx, TaskResult* out) const {
+    const StreamBatch& in = ctx.input[0];
+    const WindowDefinition& w = query_->window[0];
+    const size_t tsz = query_->input_schema[0].tuple_size();
+    const size_t na = fmt_.num_aggs;
+    const size_t nk = keys_.size();
+    const size_t key_size = fmt_.key_size;
+    const int64_t gap = w.gap();
+    VecScratch& tls = Tls();
+    const bool has_where = !where_.empty();
+
+    out->axis_p = in.AxisP(w);
+    out->axis_q = in.AxisQ(w);
+
+    std::unique_ptr<GroupHashTable> table = table_pool_.Acquire();
+    bool open = false;
+    int64_t first_ts = 0, last_ts = 0, seg = 0;
+
+    auto flush = [&]() {
+      if (!open) return;
+      const uint32_t off = static_cast<uint32_t>(out->partials.size());
+      // Header even when the table is empty (see the scalar operator).
+      out->partials.AppendValue<int64_t>(first_ts);
+      out->partials.AppendValue<int64_t>(last_ts);
+      if (table->size() > 0) table->SerializeTo(&out->partials);
+      out->panes.push_back(PaneEntry{
+          seg++, off, static_cast<uint32_t>(out->partials.size() - off)});
+      table->Clear();
+      open = false;
+    };
+
+    ForEachSessionRun(in, gap, tsz,
+                      [&](const uint8_t* base, size_t m, const int64_t* ts,
+                          size_t batch_index) {
+      if (open && !SessionExtends(last_ts, ts[0], gap)) flush();
+      if (!open) {
+        open = true;
+        first_ts = ts[0];
+      }
+      last_ts = ts[m - 1];
+      const uint32_t* sel = nullptr;
+      size_t cnt = m;
+      if (has_where) {
+        if (tls.sel.size() < m) tls.sel.resize(m);
+        cnt = where_.EvalBatchBool(base, tsz, m, tls.sel.data());
+        sel = tls.sel.data();
+      }
+      if (cnt == 0) return;
+
+      if (tls.keys.size() < cnt * key_size) tls.keys.resize(cnt * key_size);
+      if (tls.i64.size() < cnt) tls.i64.resize(cnt);
+      for (size_t k = 0; k < nk; ++k) {
+        keys_[k].EvalBatchInt64(base, tsz, sel, cnt, tls.i64.data());
+        uint8_t* dst = tls.keys.data() + k * 8;
+        for (size_t j = 0; j < cnt; ++j, dst += key_size) {
+          std::memcpy(dst, &tls.i64[j], sizeof(int64_t));
+        }
+      }
+      if (tls.hashes.size() < cnt) tls.hashes.resize(cnt);
+      for (size_t j = 0; j < cnt; ++j) {
+        tls.hashes[j] = table->Hash(tls.keys.data() + j * key_size);
+      }
+      if (tls.f64.size() < na * cnt) tls.f64.resize(na * cnt);
+      for (size_t a = 0; a < na; ++a) {
+        double* col = tls.f64.data() + a * cnt;
+        if (inputs_[a].empty()) {
+          std::fill(col, col + cnt, 0.0);
+        } else {
+          inputs_[a].EvalBatchDouble(base, tsz, sel, cnt, col);
+        }
+      }
+      for (size_t j = 0; j < cnt; ++j) {
+        const uint8_t* key = tls.keys.data() + j * key_size;
+        const size_t row = sel != nullptr ? sel[j] : j;
+        const int32_t idx = static_cast<int32_t>(batch_index + row);
+        const int64_t row_ts = ts[row];
+        if (table->NeedsGrow()) table->Grow();
+        AggState* aggs = table->UpsertHashed(tls.hashes[j], key, idx, row_ts);
+        if (aggs == nullptr) {
+          table->Grow();
+          aggs = table->UpsertHashed(tls.hashes[j], key, idx, row_ts);
+          SABER_CHECK(aggs != nullptr);
+        }
+        for (size_t a = 0; a < na; ++a) {
+          AggAdd(&aggs[a], tls.f64[a * cnt + j]);
+        }
+      }
+    });
+    flush();
+
+    // Pool only never-grown tables (see ProcessGrouped).
+    if (table->capacity() == kGroupTableTaskCapacity) {
+      table->Clear();
+      table_pool_.Release(std::move(table));
+    }
+  }
+
   /// Invokes run_fn(run_base, run_count, run_ts, pane, batch_index) for each
   /// maximal same-pane run within the batch, in order. `run_ts` points at
   /// the run's decoded timestamp column.

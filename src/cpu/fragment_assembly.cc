@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 namespace saber {
 
@@ -35,11 +36,87 @@ AggregationAssembly::AggregationAssembly(const QueryDef& q)
 }
 
 void AggregationAssembly::Ingest(const TaskResult& result, ByteBuffer* output) {
+  if (w_.session()) {
+    // Segment partials arrive in stream order (tasks in task order, and in
+    // axis order within a task); gaps between them close sessions inline.
+    for (const PaneEntry& e : result.panes) {
+      MergeSessionSegment(result.partials.data() + e.offset, e.length, output);
+    }
+    watermark_ = std::max(watermark_, result.axis_q);
+    if (session_open_ &&
+        SessionClosed(session_last_ts_, watermark_, w_.gap())) {
+      EmitSession(output);
+    }
+    return;
+  }
   for (const PaneEntry& e : result.panes) {
     MergeEntry(e.pane_index, result.partials.data() + e.offset, e.length);
   }
   watermark_ = std::max(watermark_, result.axis_q);
   EmitReadyWindows(output);
+}
+
+void AggregationAssembly::MergeSessionSegment(const uint8_t* data, size_t len,
+                                              ByteBuffer* output) {
+  int64_t first, last;
+  std::memcpy(&first, data, sizeof(first));
+  std::memcpy(&last, data + 8, sizeof(last));
+  if (session_open_ && !SessionExtends(session_last_ts_, first, w_.gap())) {
+    // A segment opening more than gap later proves the open session can
+    // never grow again (all future tuples are >= first): close it now,
+    // before the watermark would.
+    EmitSession(output);
+  }
+  if (!session_open_) {
+    session_open_ = true;
+    session_first_ts_ = first;
+    session_group_max_ts_ = std::numeric_limits<int64_t>::min();
+    if (!fmt_.grouped()) {
+      session_aggs_.resize(fmt_.num_aggs);
+      for (auto& s : session_aggs_) AggInit(&s);
+    }
+  } else {
+    SABER_DCHECK(SessionExtends(session_last_ts_, first, w_.gap()));
+  }
+  session_last_ts_ = std::max(session_last_ts_, last);
+  if (!fmt_.grouped()) {
+    SABER_DCHECK(len == fmt_.session_ungrouped_bytes());
+    const auto* aggs =
+        reinterpret_cast<const AggState*>(data + PaneFormat::kSessionHeaderBytes);
+    for (size_t a = 0; a < fmt_.num_aggs; ++a) {
+      AggMerge(&session_aggs_[a], aggs[a]);
+    }
+  } else {
+    // Entries after the header (possibly none: a fully filtered segment
+    // still extends the session's raw extent).
+    const uint8_t* entries = data + PaneFormat::kSessionHeaderBytes;
+    const size_t elen = len - PaneFormat::kSessionHeaderBytes;
+    const size_t esz = fmt_.grouped_entry_bytes();
+    SABER_DCHECK(elen % esz == 0);
+    session_group_bytes_.insert(session_group_bytes_.end(), entries,
+                                entries + elen);
+    for (size_t off = 0; off < elen; off += esz) {
+      int64_t ts;
+      std::memcpy(&ts, entries + off, sizeof(ts));
+      session_group_max_ts_ = std::max(session_group_max_ts_, ts);
+    }
+  }
+}
+
+void AggregationAssembly::EmitSession(ByteBuffer* output) {
+  if (!fmt_.grouped()) {
+    // Like ungrouped grid windows, a session emits even when every tuple
+    // was filtered out (the aggregates are then their init states); the
+    // row timestamp is the session's last *raw* tuple timestamp.
+    EmitUngroupedRow(session_last_ts_, session_aggs_.data(), output);
+  } else if (!session_group_bytes_.empty()) {
+    scratch_.Clear();
+    scratch_.MergeSerialized(session_group_bytes_.data(),
+                             session_group_bytes_.size());
+    EmitGroupedRows(session_group_max_ts_, output);
+  }
+  session_open_ = false;
+  session_group_bytes_.clear();
 }
 
 void AggregationAssembly::MergeEntry(int64_t pane, const uint8_t* data,
@@ -225,7 +302,11 @@ void AggregationAssembly::EmitGroupedWindow(int64_t j, ByteBuffer* output) {
     any = true;
   }
   if (!any) return;
+  EmitGroupedRows(window_ts, output);
+}
 
+void AggregationAssembly::EmitGroupedRows(int64_t window_ts,
+                                          ByteBuffer* output) {
   // Deterministic output: sort groups by key bytes. (Hash-table iteration
   // order would otherwise depend on which processor executed which task.)
   sort_scratch_.clear();

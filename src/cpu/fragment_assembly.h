@@ -28,6 +28,14 @@ namespace saber {
 ///  - ungrouped pane partial: [int64 max_ts][AggState x num_aggs]
 ///  - grouped pane partial:   repeated GroupHashTable entries
 ///    [int64 ts][key bytes][AggState x num_aggs]
+///  - session segment (kSession windows; PaneEntry::pane_index is a
+///    task-local ordinal, not a grid index):
+///      ungrouped: [int64 first_ts][int64 last_ts][AggState x num_aggs]
+///      grouped:   [int64 first_ts][int64 last_ts] + repeated entries as
+///                 above. The header is present even when every tuple of
+///                 the segment was filtered out — the session's extent is
+///                 defined by *raw* tuples, so an entry-less segment still
+///                 extends (or separates) sessions.
 struct PaneFormat {
   size_t num_aggs;
   size_t key_size;  // 0 if ungrouped (8 * num group keys otherwise)
@@ -40,6 +48,11 @@ struct PaneFormat {
   size_t ungrouped_bytes() const { return 8 + num_aggs * sizeof(AggState); }
   size_t grouped_entry_bytes() const {
     return 8 + key_size + num_aggs * sizeof(AggState);
+  }
+  /// Session-segment header: [first_ts][last_ts].
+  static constexpr size_t kSessionHeaderBytes = 16;
+  size_t session_ungrouped_bytes() const {
+    return kSessionHeaderBytes + num_aggs * sizeof(AggState);
   }
 };
 
@@ -68,6 +81,15 @@ class AggregationAssembly : public AssemblyState {
   void EmitWindow(int64_t j, ByteBuffer* output);
   void EmitUngroupedRow(int64_t ts, const AggState* aggs, ByteBuffer* output);
   void EmitGroupedWindow(int64_t j, ByteBuffer* output);
+  /// Sorts and writes the groups currently in scratch_ (shared tail of the
+  /// grouped pane and session emission paths). All rows carry `window_ts`.
+  void EmitGroupedRows(int64_t window_ts, ByteBuffer* output);
+  /// Session path: folds one segment partial into the open session,
+  /// emitting the previous session first when the segment opens a new one
+  /// (its first_ts is more than gap past the open session's last_ts).
+  void MergeSessionSegment(const uint8_t* data, size_t len,
+                           ByteBuffer* output);
+  void EmitSession(ByteBuffer* output);
   void AdvanceRunning(int64_t j);
   void AdvanceStacks(int64_t j);
   void PruneBefore(int64_t pane);
@@ -98,6 +120,19 @@ class AggregationAssembly : public AssemblyState {
   bool use_stacks_;
   TwoStacksAggregator stacks_;
   std::vector<AggState> stacks_query_;
+
+  // Session path (w_.session()): there is no pane grid — segment partials
+  // arrive in stream order and fold into a single open-session accumulator.
+  // A session closes when a later segment opens more than gap past it, or
+  // when the watermark passes last_ts + gap (window_math.h SessionClosed).
+  // The final session of a stream never emits: no watermark can ever pass
+  // it (mirrors reference.cc).
+  bool session_open_ = false;
+  int64_t session_first_ts_ = 0;
+  int64_t session_last_ts_ = 0;
+  int64_t session_group_max_ts_ = 0;   // max entry ts (grouped rows' stamp)
+  std::vector<AggState> session_aggs_;        // ungrouped accumulator
+  std::vector<uint8_t> session_group_bytes_;  // grouped: serialized entries
 
   // Scratch for grouped emission.
   GroupHashTable scratch_;

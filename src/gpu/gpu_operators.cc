@@ -10,6 +10,7 @@
 #include "relational/expression_compiler.h"
 #include "relational/field_plan.h"
 #include "relational/hash_table.h"
+#include "window/window_math.h"
 
 namespace saber {
 
@@ -195,6 +196,30 @@ std::vector<PaneRange> ComputePaneRanges(const StreamBatch& in,
   return out;
 }
 
+/// Session-window variant of the CPU-side boundary pre-pass: maximal
+/// gap-free runs of the batch, in order. `pane` carries the task-local
+/// segment ordinal (there is no pane grid for data-driven windows); the
+/// assembly ignores it and folds segments in emission order.
+std::vector<PaneRange> ComputeSessionRanges(const StreamBatch& in,
+                                            int64_t gap) {
+  std::vector<PaneRange> out;
+  const size_t n = in.num_tuples();
+  if (n == 0) return out;
+  int64_t seg = 0;
+  uint32_t start = 0;
+  int64_t last_ts = RawTs(in.tuple(0));
+  for (size_t i = 1; i < n; ++i) {
+    const int64_t ts = RawTs(in.tuple(i));
+    if (!SessionExtends(last_ts, ts, gap)) {
+      out.push_back(PaneRange{seg++, start, static_cast<uint32_t>(i)});
+      start = static_cast<uint32_t>(i);
+    }
+    last_ts = ts;
+  }
+  out.push_back(PaneRange{seg, start, static_cast<uint32_t>(n)});
+  return out;
+}
+
 class GpuAggregationOperator final : public GpuOperatorBase {
  public:
   GpuAggregationOperator(const QueryDef* q, SimDevice* device)
@@ -238,8 +263,12 @@ class GpuAggregationOperator final : public GpuOperatorBase {
       dev->ReleaseJob(j);
       done();
     };
-    // CPU-side window-boundary computation (§6.4).
-    std::vector<PaneRange> ranges = ComputePaneRanges(in, w);
+    // CPU-side window-boundary computation (§6.4). Session windows have no
+    // pane grid: the pre-pass instead splits the batch into maximal
+    // gap-free segments.
+    std::vector<PaneRange> ranges = w.session()
+                                        ? ComputeSessionRanges(in, w.gap())
+                                        : ComputePaneRanges(in, w);
     job->kernel = [this, ranges = std::move(ranges)](SimDevice& d, GpuJob& j) {
       Kernel(d, j, ranges);
     };
@@ -262,9 +291,13 @@ class GpuAggregationOperator final : public GpuOperatorBase {
     const size_t np = ranges.size();
     const uint8_t* in = j.device_in.data();
     const bool has_where = query_->where != nullptr;
+    const bool session = query_->window[0].session();
 
     if (!fmt_.grouped()) {
-      const size_t slot = fmt_.ungrouped_bytes();
+      // Session segments carry a [first_ts][last_ts] header instead of the
+      // pane partial's single max_ts; the accumulation body is identical.
+      const size_t slot =
+          session ? fmt_.session_ungrouped_bytes() : fmt_.ungrouped_bytes();
       j.device_scratch.Resize(np * slot);
       dev.ParallelFor(np, [&](size_t p, size_t) {
         const PaneRange& r = ranges[p];
@@ -283,8 +316,15 @@ class GpuAggregationOperator final : public GpuOperatorBase {
             AggAdd(&acc[a], v);
           }
         }
-        std::memcpy(dst, &max_ts, sizeof(max_ts));
-        std::memcpy(dst + 8, acc, na * sizeof(AggState));
+        if (session) {
+          const int64_t first_ts = RawTs(in + r.lo * tsz);
+          std::memcpy(dst, &first_ts, sizeof(first_ts));
+          std::memcpy(dst + 8, &max_ts, sizeof(max_ts));
+          std::memcpy(dst + 16, acc, na * sizeof(AggState));
+        } else {
+          std::memcpy(dst, &max_ts, sizeof(max_ts));
+          std::memcpy(dst + 8, acc, na * sizeof(AggState));
+        }
       });
       // Every pane has raw tuples by construction: ship them all, in order.
       j.device_out.Resize(np * slot);
@@ -299,13 +339,22 @@ class GpuAggregationOperator final : public GpuOperatorBase {
     }
 
     // Grouped: per-pane hash table (same layout and hash as the CPU, §5.4),
-    // serialized per pane and concatenated in pane order.
+    // serialized per pane and concatenated in pane order. Session segments
+    // prepend a [first_ts][last_ts] header — present even when every tuple
+    // was filtered out, because the session's extent is defined by raw
+    // tuples (cpu/fragment_assembly.h).
     std::vector<ByteBuffer> pane_out(np);
     const size_t nk = key_progs_.size();
     dev.ParallelFor(np, [&](size_t p, size_t thread) {
       const PaneRange& r = ranges[p];
       GroupHashTable* table = tables_[thread % tables_.size()].get();
       table->Clear();
+      if (session) {
+        const int64_t first_ts = RawTs(in + r.lo * tsz);
+        const int64_t last_ts = RawTs(in + (r.hi - 1) * tsz);
+        pane_out[p].AppendValue<int64_t>(first_ts);
+        pane_out[p].AppendValue<int64_t>(last_ts);
+      }
       uint8_t key[kMaxGroupKeyBytes];
       for (uint32_t i = r.lo; i < r.hi; ++i) {
         const uint8_t* t = in + i * tsz;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 /// \file ingress_options.h
@@ -10,6 +11,32 @@
 /// docs/architecture.md ("Ingestion stage") for the end-to-end walkthrough.
 
 namespace saber::ingest {
+
+/// What a producer does with a tuple that arrives *later than the allowed
+/// lateness permits* — its timestamp is below the shard's disorder horizon
+/// `max seen timestamp − allowed_lateness` (with `allowed_lateness == 0`
+/// that is exactly a timestamp regression). See producer_handle.h for the
+/// reorder-buffer mechanics and docs/architecture.md ("Event time &
+/// disorder") for the end-to-end contract.
+enum class LatePolicy : uint8_t {
+  /// Abort the process with a clear message — the pre-disorder behavior and
+  /// the default. With `allowed_lateness == 0` the message is byte-for-byte
+  /// the historical "timestamps must be non-decreasing" abort.
+  kAbort,
+  /// Silently drop the tuple and count it (ProducerStats::late_dropped).
+  kDropAndCount,
+  /// Hand the tuple to `IngressOptions::dead_letter_sink` and count it
+  /// (ProducerStats::dead_lettered). Falls back to kDropAndCount semantics
+  /// when no sink is configured (the count still lands in dead_lettered).
+  kDeadLetter,
+};
+
+/// Side sink for kDeadLetter tuples. Runs on the *producer's* thread, once
+/// per late tuple, before Append returns; it must not call back into the
+/// ingress. `tuple` points at `tuple_size` serialized bytes valid only for
+/// the duration of the call.
+using DeadLetterSink =
+    std::function<void(int producer, const void* tuple, size_t tuple_size)>;
 
 /// Knobs of one `ShardedIngress` (one sharded front end for one query input
 /// stream). Units, defaults and interactions follow the EngineOptions
@@ -42,6 +69,39 @@ struct IngressOptions {
   /// `ShardedIngress::SetProducerRate` (thread-safe, takes effect within
   /// one limiter wait slice — see runtime/rate_limiter.h).
   double producer_rate_bytes_per_sec = 0.0;
+
+  /// Bounded-disorder contract: how far below its shard's maximum seen
+  /// timestamp a tuple may arrive and still be accepted. Unit: timestamp
+  /// ticks. Default: 0 (strictly ordered input, the historical contract).
+  /// A positive value arms a per-producer reorder buffer: accepted tuples
+  /// are held and re-sorted until the shard's disorder horizon
+  /// `max_seen − allowed_lateness` passes them, so the stream each shard
+  /// *stages* stays non-decreasing and every PR 5 merge invariant holds
+  /// unchanged. The effective sealing watermark becomes
+  /// `min(max seen) − allowed_lateness − 1`: lateness directly adds
+  /// result latency, it never reorders the merged output.
+  int64_t allowed_lateness = 0;
+
+  /// What to do with a tuple below the disorder horizon. Default: kAbort
+  /// (the historical behavior). Applies with or without lateness: with
+  /// `allowed_lateness == 0`, kDropAndCount/kDeadLetter turn the historical
+  /// regression abort into a counted drop / side-channel delivery.
+  LatePolicy late_policy = LatePolicy::kAbort;
+
+  /// Receives kDeadLetter tuples (see DeadLetterSink). Default: none.
+  DeadLetterSink dead_letter_sink;
+
+  /// Reorder-buffer capacity per producer, bounding how many accepted
+  /// tuples can be simultaneously in flight inside the lateness horizon.
+  /// Unit: bytes (floored at one tuple). Default: 1 MiB. When the buffer
+  /// is full the producer force-flushes its earliest held tuple early and
+  /// raises the shard's late threshold to that tuple's timestamp — the
+  /// memory bound is hard, and overflow *shrinks the effective lateness*
+  /// instead of growing the buffer (late tuples under the raised threshold
+  /// follow late_policy). Size it at least
+  /// `tuples_per_tick × allowed_lateness × tuple_size` to make overflow
+  /// impossible.
+  size_t reorder_buffer_bytes = size_t{1} << 20;
 };
 
 /// Per-producer counters (monotone; readable from any thread while the
@@ -52,6 +112,11 @@ struct ProducerStats {
   int64_t appends = 0;            ///< successful Append calls
   int64_t backpressure_waits = 0; ///< sleeps on the staging free channel
   int64_t throttle_waits = 0;     ///< sleeps forced by the rate limiter
+  /// Tuples below the disorder horizon dropped under kDropAndCount.
+  int64_t late_dropped = 0;
+  /// Tuples below the disorder horizon routed to the dead-letter sink
+  /// under kDeadLetter (counted even when no sink is configured).
+  int64_t dead_lettered = 0;
   /// Current rate-limit setting (bytes/s; <= 0 = unmetered).
   double rate_limit_bytes_per_sec = 0.0;
 };

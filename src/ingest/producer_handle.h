@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
+#include "ingest/ingress_options.h"
 #include "runtime/circular_buffer.h"
 #include "runtime/rate_limiter.h"
 
@@ -17,6 +20,33 @@
 /// watermark merge or the engine downstream is behind) parks the producer
 /// on the staging buffer's futex free channel, exactly like a direct
 /// `Engine::InsertInto` producer parks on the input buffer's.
+///
+/// Bounded disorder (`IngressOptions::allowed_lateness > 0`, or a non-abort
+/// `late_policy`): the handle interposes a producer-thread-private reorder
+/// buffer between Append and the staging ring. A tuple whose timestamp is
+/// below the shard's disorder horizon `max seen − allowed_lateness` is
+/// *late* and follows the configured LatePolicy; every other tuple is held
+/// and flushed to staging — in sorted, arrival-stable (timestamp, arrival)
+/// order — once the horizon passes it. The staged stream is therefore
+/// non-decreasing exactly as before, the watermark merger is untouched, and
+/// the published `last_ts_` trails the newest accepted timestamp by up to
+/// `allowed_lateness`, which is how the sealing watermark becomes
+/// `min(max seen) − lateness − 1`. Overflow of the fixed-size buffer
+/// force-flushes the earliest held timestamp early and raises the late
+/// threshold to it (hard memory bound; effective lateness shrinks — see
+/// IngressOptions::reorder_buffer_bytes).
+///
+/// Two holding structures, picked at construction by the lateness:
+///  - calendar buckets (lateness < kMaxBucketLateness, the common case): a
+///    power-of-two ring of per-tick FIFO slot lists indexed by
+///    `ts & mask`, plus a tiny min-heap of the *distinct* ticks present.
+///    Insert is O(1) (slab copy + bucket push); a flush walks ticks in
+///    order off the tick heap, so its cost is per distinct tick, not per
+///    tuple. Pending ticks always span < bucket count — Append flushes up
+///    to the horizon before a colliding tick could be inserted — so two
+///    live ticks never share a bucket.
+///  - a per-tuple (ts, seq) min-heap fallback for extreme lateness values,
+///    where a tick ring would be larger than the buffer it indexes.
 
 namespace saber::ingest {
 
@@ -29,19 +59,28 @@ class ProducerHandle {
   ProducerHandle& operator=(const ProducerHandle&) = delete;
 
   /// Appends serialized tuples to this shard. Tuples must be whole (bytes a
-  /// multiple of the tuple size) and timestamps non-decreasing *within this
-  /// producer* — both are CHECKed with a clear message, because a violation
-  /// would corrupt the merged stream's ordering invariant. Blocks while the
-  /// staging buffer is full, and while the per-tenant rate limiter withholds
-  /// budget. Returns false iff the ingress was stopped or this shard revoked
-  /// (the data is then not fully appended); one thread per handle.
+  /// multiple of the tuple size; CHECKed). Under the strict-order contract
+  /// (allowed_lateness == 0 with LatePolicy::kAbort, the default) timestamps
+  /// must additionally be non-decreasing *within this producer* — CHECKed
+  /// with a clear message, because a violation would corrupt the merged
+  /// stream's ordering invariant. Under the bounded-disorder contract (see
+  /// the file comment) tuples may arrive up to `allowed_lateness` ticks
+  /// below the shard's maximum seen timestamp; anything later follows the
+  /// configured LatePolicy. Blocks while the staging buffer is full, and
+  /// while the per-tenant rate limiter withholds budget. Returns false iff
+  /// the ingress was stopped or this shard revoked (the data is then not
+  /// fully appended); one thread per handle.
   bool Append(const void* tuples, size_t bytes);
 
   /// Declares this shard finished: the producer will never append again, so
   /// the watermark merge stops waiting on it (its staged remainder becomes
-  /// sealable regardless of the other shards' progress). Must be called by
-  /// the appending thread after its last Append; idempotent. Appending
-  /// after Close is a programmer error (CHECK).
+  /// sealable regardless of the other shards' progress). Flushes the
+  /// reorder buffer — every held tuple stages, in order, before the shard
+  /// closes — so a bounded-disorder shard loses nothing at end of stream
+  /// (the flush may block on staging back-pressure like Append; it bails if
+  /// the ingress was stopped or the shard revoked). Must be called by the
+  /// appending thread after its last Append; idempotent. Appending after
+  /// Close is a programmer error (CHECK).
   void Close();
 
   /// Engine-driven teardown (query removal): unlike Close — which only the
@@ -81,24 +120,111 @@ class ProducerHandle {
   /// Sleeps forced by the rate limiter (throttle pressure, distinct from
   /// staging back-pressure).
   int64_t throttle_waits() const { return limiter_.throttle_waits(); }
+  /// Late tuples dropped under LatePolicy::kDropAndCount.
+  int64_t late_dropped() const {
+    return late_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Late tuples routed to the dead-letter sink under LatePolicy::kDeadLetter
+  /// (counted even when no sink is configured).
+  int64_t dead_lettered() const {
+    return dead_lettered_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class ShardedIngress;
   friend class WatermarkMerger;
 
   static constexpr int64_t kNoTimestamp = std::numeric_limits<int64_t>::min();
+  /// Lateness ceiling (in ticks) for the calendar-bucket reorder structure;
+  /// at or above it the tick ring would cost more memory than the tuple
+  /// slab it indexes, so the handle falls back to the per-tuple min-heap.
+  static constexpr int64_t kMaxBucketLateness = int64_t{1} << 12;
 
-  ProducerHandle(ShardedIngress* owner, int index, size_t staging_bytes,
-                 size_t tuple_size, double rate_bytes_per_sec)
+  ProducerHandle(ShardedIngress* owner, int index, size_t tuple_size,
+                 const IngressOptions& options)
       : owner_(owner),
         index_(index),
         tuple_size_(tuple_size),
-        staging_(staging_bytes, tuple_size),
-        limiter_(rate_bytes_per_sec) {}
+        lateness_(std::max<int64_t>(0, options.allowed_lateness)),
+        late_policy_(options.late_policy),
+        dead_letter_(options.dead_letter_sink),
+        staging_(options.staging_buffer_bytes, tuple_size),
+        limiter_(options.producer_rate_bytes_per_sec) {
+    if (disordered()) {
+      reorder_capacity_ =
+          std::max<size_t>(size_t{1}, options.reorder_buffer_bytes / tuple_size);
+      reorder_slab_.resize(reorder_capacity_ * tuple_size);
+      free_slots_.reserve(reorder_capacity_);
+      for (size_t s = reorder_capacity_; s-- > 0;) {
+        free_slots_.push_back(static_cast<uint32_t>(s));
+      }
+      use_buckets_ = lateness_ < kMaxBucketLateness;
+      if (use_buckets_) {
+        // Power-of-two ring covering the live tick span (< lateness + 1).
+        uint64_t ring = 1;
+        while (ring < static_cast<uint64_t>(lateness_) + 1) ring <<= 1;
+        buckets_.resize(ring);
+        bucket_mask_ = ring - 1;
+        tick_heap_.reserve(std::min<uint64_t>(ring, 64));
+      } else {
+        heap_.reserve(reorder_capacity_);
+      }
+    }
+  }
+
+  /// True when Append routes through the reorder buffer instead of the
+  /// historical strict-order path. A non-abort policy arms it even with
+  /// zero lateness (the buffer then drains fully on every Append), so the
+  /// late-tuple handling below is one code path.
+  bool disordered() const {
+    return lateness_ > 0 || late_policy_ != LatePolicy::kAbort;
+  }
+
+  /// One tuple held inside the lateness horizon (heap fallback only; the
+  /// bucket path gets arrival stability for free from per-tick FIFOs).
+  /// `seq` is the arrival ordinal, making the (ts, seq) min-heap order
+  /// arrival-stable so a disorder-injected stream flushes byte-identically
+  /// to its stable sort.
+  struct Pending {
+    int64_t ts;
+    uint64_t seq;
+    uint32_t slot;
+  };
+
+  /// Comparator for the (ts, seq) min-heap: true iff `a` flushes after `b`
+  /// (std::push_heap builds a max-heap under it, so the front is the min).
+  static bool HeapAfter(const Pending& a, const Pending& b) {
+    return a.ts > b.ts || (a.ts == b.ts && a.seq > b.seq);
+  }
+
+  /// Stages `bytes` at `src` through the chunked staging loop (splitting
+  /// blocks larger than the ring, publishing last_ts_/counters per chunk).
+  /// Returns false iff stopped or revoked mid-way. Caller holds in_append_.
+  bool StageBytes(const uint8_t* src, size_t bytes);
+  /// Reorder-buffer Append path (see the file comment). Caller holds
+  /// in_append_ and has validated the block shape.
+  bool AppendDisordered(const uint8_t* src, size_t bytes);
+  /// Pops every held tuple with ts <= horizon (in (ts, seq) order) into
+  /// flush_scratch_ and stages it. INT64_MAX flushes everything (Close).
+  bool FlushReorderBuffer(int64_t horizon);
+  /// Bucket-path collector: drains every tick <= horizon (in tick order,
+  /// arrival order within a tick) into flush_scratch_ without staging.
+  void CollectBucketTicksTo(int64_t horizon);
+  /// Bucket-path hard memory bound: force-flushes the entire earliest held
+  /// tick into flush_scratch_ and raises late_floor_ to it, freeing at
+  /// least one slot. Requires pending_count_ > 0.
+  void EvictEarliestTick();
+  /// Handles one late tuple per late_policy_. Returns false only for
+  /// kAbort (which does not return at all — it aborts).
+  void HandleLateTuple(const uint8_t* tuple);
 
   ShardedIngress* const owner_;
   const int index_;
   const size_t tuple_size_;
+  /// Bounded-disorder contract (copied from IngressOptions; immutable).
+  const int64_t lateness_;
+  const LatePolicy late_policy_;
+  const DeadLetterSink dead_letter_;
 
   /// Staging ring: this producer inserts, the merger reads and frees. The
   /// buffer's free-epoch futex doubles as the producer's back-pressure
@@ -133,10 +259,36 @@ class ProducerHandle {
   /// handle by contract).
   int64_t prev_append_ts_ = kNoTimestamp;
 
+  /// --- Reorder buffer (producer-thread-private; armed iff disordered()).
+  /// Slab of reorder_capacity_ tuple slots + a free list. Occupied slots
+  /// are indexed either by the calendar ring (buckets_[ts & bucket_mask_]
+  /// is the FIFO of slots holding tick ts; tick_heap_ is a min-heap of the
+  /// distinct ticks present; pending_count_ counts held tuples) or, above
+  /// kMaxBucketLateness, by heap_ — a min-heap over (ts, seq). max_seen_ts_
+  /// drives the disorder horizon; late_floor_ is the overflow-raised late
+  /// threshold (a tuple is late iff
+  /// ts < max(max_seen_ts_ − lateness_, late_floor_)).
+  size_t reorder_capacity_ = 0;
+  std::vector<uint8_t> reorder_slab_;
+  std::vector<uint32_t> free_slots_;
+  bool use_buckets_ = false;
+  std::vector<std::vector<uint32_t>> buckets_;
+  uint64_t bucket_mask_ = 0;
+  std::vector<int64_t> tick_heap_;
+  size_t pending_count_ = 0;
+  std::vector<Pending> heap_;
+  std::vector<uint8_t> flush_scratch_;
+  uint64_t reorder_seq_ = 0;
+  int64_t max_seen_ts_ = kNoTimestamp;
+  int64_t late_floor_ = kNoTimestamp;
+  bool has_seen_ts_ = false;
+
   std::atomic<int64_t> tuples_{0};
   std::atomic<int64_t> bytes_{0};
   std::atomic<int64_t> appends_{0};
   std::atomic<int64_t> waits_{0};
+  std::atomic<int64_t> late_dropped_{0};
+  std::atomic<int64_t> dead_lettered_{0};
 };
 
 }  // namespace saber::ingest

@@ -13,9 +13,7 @@ ShardedIngress::ShardedIngress(size_t tuple_size, const IngressOptions& options,
   std::vector<ProducerHandle*> raw;
   raw.reserve(static_cast<size_t>(options_.num_producers));
   for (int i = 0; i < options_.num_producers; ++i) {
-    producers_.emplace_back(new ProducerHandle(
-        this, i, options_.staging_buffer_bytes, tuple_size_,
-        options_.producer_rate_bytes_per_sec));
+    producers_.emplace_back(new ProducerHandle(this, i, tuple_size_, options_));
     raw.push_back(producers_.back().get());
   }
   merger_ = std::make_unique<WatermarkMerger>(
@@ -90,6 +88,8 @@ IngressStats ShardedIngress::stats() const {
     ps.appends = p->appends();
     ps.backpressure_waits = p->backpressure_waits();
     ps.throttle_waits = p->throttle_waits();
+    ps.late_dropped = p->late_dropped();
+    ps.dead_lettered = p->dead_lettered();
     ps.rate_limit_bytes_per_sec = p->rate_bytes_per_sec();
     s.producers.push_back(ps);
   }

@@ -30,7 +30,13 @@
 /// watermark T = min(open producers' last timestamp) − 1, merges the sealed
 /// prefixes in (timestamp, producer index) order — preserving the
 /// non-decreasing-timestamp invariant the dispatcher relies on — and feeds
-/// the downstream in `merge_batch_bytes`-bounded batches. Back-pressure
+/// the downstream in `merge_batch_bytes`-bounded batches. Under the
+/// bounded-disorder contract (IngressOptions::allowed_lateness) each
+/// producer re-sorts its input inside a lateness-deep reorder buffer before
+/// staging (see producer_handle.h), so the published last timestamps — and
+/// with them the sealing watermark — trail the newest accepted timestamps
+/// by the lateness: T = min(max seen) − allowed_lateness − 1. The merger
+/// itself is untouched; every staged stream is still non-decreasing. Back-pressure
 /// propagates through the PR 2 futex/epoch machinery at every hop: the
 /// engine's input-buffer free channel blocks the merger inside InsertInto,
 /// staging rings fill, and each producer parks on its own staging free

@@ -126,14 +126,49 @@ Status ParseRows(std::istream& in, const Schema& schema,
     int64_t ts;
     std::memcpy(&ts, out->data() + off, sizeof(ts));
     if (ts < *prev_ts) {
-      return Status::InvalidArgument(
-          StrCat("line ", *line_no, ": timestamps must be non-decreasing (",
-                 ts, " after ", *prev_ts, ")"));
+      // `prev_ts` tracks the maximum timestamp seen. With no allowed
+      // lateness that equals the previous row's timestamp, and the strict
+      // invariant (and its exact message) is preserved.
+      if (opts.allowed_lateness == 0) {
+        return Status::InvalidArgument(
+            StrCat("line ", *line_no, ": timestamps must be non-decreasing (",
+                   ts, " after ", *prev_ts, ")"));
+      }
+      if (ts < *prev_ts - opts.allowed_lateness) {
+        return Status::InvalidArgument(StrCat(
+            "line ", *line_no, ": timestamp ", ts,
+            " is below the lateness horizon (max seen ", *prev_ts,
+            ", allowed lateness ", opts.allowed_lateness, ")"));
+      }
+    } else {
+      *prev_ts = ts;
     }
-    *prev_ts = ts;
     ++rows;
   }
   return Status::OK();
+}
+
+/// Stable-sorts serialized tuples by timestamp (rows sharing a timestamp
+/// keep their order). Identity on already-sorted input.
+void StableSortByTimestamp(std::vector<uint8_t>* data, size_t tuple_size) {
+  const size_t n = data->size() / tuple_size;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  auto ts_at = [&](size_t i) {
+    int64_t ts;
+    std::memcpy(&ts, data->data() + i * tuple_size, sizeof(ts));
+    return ts;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return ts_at(a) < ts_at(b); });
+  std::vector<uint8_t> sorted;
+  sorted.reserve(data->size());
+  for (size_t i : order) {
+    sorted.insert(sorted.end(),
+                  data->begin() + static_cast<ptrdiff_t>(i * tuple_size),
+                  data->begin() + static_cast<ptrdiff_t>((i + 1) * tuple_size));
+  }
+  *data = std::move(sorted);
 }
 
 }  // namespace
@@ -176,6 +211,9 @@ Result<std::vector<uint8_t>> FromCsv(const Schema& schema,
   SABER_RETURN_NOT_OK(ParseRows(in, schema, opts,
                                 std::numeric_limits<size_t>::max(), &line_no,
                                 &prev_ts, &skip_header, &out));
+  if (opts.allowed_lateness > 0) {
+    StableSortByTimestamp(&out, schema.tuple_size());
+  }
   return out;
 }
 
@@ -226,16 +264,57 @@ Result<std::vector<uint8_t>> CsvChunkReader::Next() {
     return Status::IOError("cannot open '" + path_ + "'");
   }
   if (done_) return std::vector<uint8_t>();
+  const size_t tsz = schema_.tuple_size();
   std::vector<uint8_t> out;
-  out.reserve(chunk_tuples_ * schema_.tuple_size());
+  out.reserve(chunk_tuples_ * tsz);
   const Status st = ParseRows(*in_, schema_, opts_, chunk_tuples_, &line_no_,
                               &prev_ts_, &skip_header_, &out);
   if (!st.ok()) {
     done_ = true;
     return st;
   }
-  if (out.size() < chunk_tuples_ * schema_.tuple_size()) done_ = true;
-  return out;
+  const bool exhausted = out.size() < chunk_tuples_ * tsz;
+  if (exhausted) done_ = true;
+  if (opts_.allowed_lateness == 0) return out;
+
+  // Reorder path: move the parsed rows into the cross-chunk buffer, then
+  // release everything at or below the horizon (max seen - lateness; the
+  // whole buffer once the file is exhausted) in stable (ts, arrival) order.
+  // Thresholds only grow and accepted rows are never below the current
+  // horizon, so the concatenation of all chunks equals one stable sort of
+  // the full file.
+  for (size_t off = 0; off < out.size(); off += tsz) {
+    int64_t ts;
+    std::memcpy(&ts, out.data() + off, sizeof(ts));
+    pending_.push_back(PendingRow{
+        ts, pending_seq_++,
+        std::vector<uint8_t>(out.begin() + static_cast<ptrdiff_t>(off),
+                             out.begin() + static_cast<ptrdiff_t>(off + tsz))});
+  }
+  // prev_ts_ starts at INT64_MIN (no row yet): clamp the subtraction so the
+  // horizon stays at INT64_MIN instead of wrapping.
+  const int64_t floor = std::numeric_limits<int64_t>::min();
+  const int64_t horizon =
+      exhausted ? std::numeric_limits<int64_t>::max()
+                : (prev_ts_ < floor + opts_.allowed_lateness
+                       ? floor
+                       : prev_ts_ - opts_.allowed_lateness);
+  std::vector<PendingRow> release;
+  std::vector<PendingRow> keep;
+  for (auto& p : pending_) {
+    (p.ts <= horizon ? release : keep).push_back(std::move(p));
+  }
+  pending_ = std::move(keep);
+  std::sort(release.begin(), release.end(),
+            [](const PendingRow& a, const PendingRow& b) {
+              return a.ts != b.ts ? a.ts < b.ts : a.seq < b.seq;
+            });
+  std::vector<uint8_t> sorted;
+  sorted.reserve(release.size() * tsz);
+  for (const auto& p : release) {
+    sorted.insert(sorted.end(), p.bytes.begin(), p.bytes.end());
+  }
+  return sorted;
 }
 
 }  // namespace saber::io

@@ -24,6 +24,15 @@ struct CsvOptions {
   char delimiter = ',';
   /// Input: skip the first line; output: emit a header line of field names.
   bool header = true;
+  /// Input: allowed timestamp disorder. 0 (default) keeps the strict
+  /// non-decreasing-timestamp invariant. With L > 0, rows may arrive up to
+  /// L timestamp units behind the maximum seen so far; parsers reorder them
+  /// (FromCsv sorts the materialized stream, CsvChunkReader holds rows in a
+  /// cross-chunk reorder buffer until the horizon passes), and a row older
+  /// than the horizon is still a parse error. Reordering is stable: rows
+  /// sharing a timestamp keep file order, so a chunked read equals a
+  /// one-shot stable sort of the file byte for byte.
+  int64_t allowed_lateness = 0;
 };
 
 /// Serializes `rows_bytes` (whole tuples of `schema`) as CSV text.
@@ -91,9 +100,21 @@ class CsvChunkReader {
   std::unique_ptr<std::ifstream> in_;  // null after open failure
   std::string path_;
   size_t line_no_ = 0;
-  int64_t prev_ts_;
+  int64_t prev_ts_;  // maximum timestamp seen (== previous row's when
+                     // allowed_lateness is 0, hence the name)
   bool skip_header_;
   bool done_ = false;
+
+  // Reorder buffer for opts_.allowed_lateness > 0: rows within the horizon
+  // of the maximum seen timestamp, held across Next() calls and released
+  // (stable-sorted by (timestamp, arrival)) once the horizon passes them.
+  struct PendingRow {
+    int64_t ts;
+    uint64_t seq;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<PendingRow> pending_;
+  uint64_t pending_seq_ = 0;
 };
 
 }  // namespace saber::io

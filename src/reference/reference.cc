@@ -58,7 +58,123 @@ ByteBuffer EvalStateless(const QueryDef& q, const Stream& in) {
   return out;
 }
 
+/// Explicit memcmp comparator: identical ordering to
+/// std::less<std::vector<uint8_t>>, but avoids the libstdc++
+/// lexicographical_compare_three_way path that GCC 12 misdiagnoses under
+/// -Wstringop-overread at -O2.
+struct KeyLess {
+  bool operator()(const std::vector<uint8_t>& a,
+                  const std::vector<uint8_t>& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+    return c < 0 || (c == 0 && a.size() < b.size());
+  }
+};
+
+/// Session windows: sessions are maximal gap-free runs of raw tuples; a
+/// session emits once the stream watermark (the last timestamp) passes its
+/// last tuple by more than gap. The final session never emits — no
+/// watermark can ever pass it (the engine's assembly behaves identically).
+ByteBuffer EvalSessionAggregation(const QueryDef& q, const Stream& in) {
+  ByteBuffer out;
+  if (in.n == 0) return out;
+  const WindowDefinition& w = q.window[0];
+  const size_t na = q.aggregates.size();
+  const size_t nk = q.group_by.size();
+  const int64_t gap = w.gap();
+  const int64_t watermark = in.tuple(in.n - 1).timestamp();
+
+  auto emit_having = [&](ByteBuffer* buf) {
+    if (q.having == nullptr) return;
+    TupleRef row(buf->data() + buf->size() - q.output_schema.tuple_size(),
+                 &q.output_schema);
+    if (!q.having->EvalBool(row, nullptr)) {
+      buf->Resize(buf->size() - q.output_schema.tuple_size());
+    }
+  };
+
+  size_t i = 0;
+  while (i < in.n) {
+    // Delimit the session: [i, j) with consecutive gaps <= gap.
+    size_t j = i + 1;
+    int64_t last_ts = in.tuple(i).timestamp();
+    while (j < in.n && SessionExtends(last_ts, in.tuple(j).timestamp(), gap)) {
+      last_ts = in.tuple(j).timestamp();
+      ++j;
+    }
+    if (!SessionClosed(last_ts, watermark, gap)) break;  // still open
+
+    if (nk == 0) {
+      std::vector<AggState> acc(na);
+      for (auto& s : acc) AggInit(&s);
+      for (size_t k = i; k < j; ++k) {
+        TupleRef t = in.tuple(k);
+        if (q.where != nullptr && !q.where->EvalBool(t, nullptr)) continue;
+        for (size_t a = 0; a < na; ++a) {
+          const double v = q.aggregates[a].input != nullptr
+                               ? q.aggregates[a].input->EvalDouble(t, nullptr)
+                               : 0.0;
+          AggAdd(&acc[a], v);
+        }
+      }
+      // A session always has raw tuples by construction: emit even when
+      // every tuple was filtered, stamped with the max raw timestamp.
+      uint8_t* row = out.AppendUninitialized(q.output_schema.tuple_size());
+      TupleWriter wr(row, &q.output_schema);
+      wr.SetInt64(0, last_ts);
+      for (size_t a = 0; a < na; ++a) {
+        wr.SetDouble(1 + a, AggFinalize(q.aggregates[a].fn, acc[a]));
+      }
+      emit_having(&out);
+    } else {
+      struct Group {
+        std::vector<AggState> acc;
+      };
+      std::vector<uint8_t> key(nk * 8);
+      std::map<std::vector<uint8_t>, Group, KeyLess> groups;
+      int64_t window_ts = std::numeric_limits<int64_t>::min();
+      for (size_t k = i; k < j; ++k) {
+        TupleRef t = in.tuple(k);
+        if (q.where != nullptr && !q.where->EvalBool(t, nullptr)) continue;
+        for (size_t kk = 0; kk < nk; ++kk) {
+          const int64_t kv = q.group_by[kk]->EvalInt64(t, nullptr);
+          std::memcpy(key.data() + kk * 8, &kv, sizeof(kv));
+        }
+        Group& grp = groups[key];
+        if (grp.acc.empty()) {
+          grp.acc.resize(na);
+          for (auto& s : grp.acc) AggInit(&s);
+        }
+        window_ts = std::max(window_ts, t.timestamp());
+        for (size_t a = 0; a < na; ++a) {
+          const double v = q.aggregates[a].input != nullptr
+                               ? q.aggregates[a].input->EvalDouble(t, nullptr)
+                               : 0.0;
+          AggAdd(&grp.acc[a], v);
+        }
+      }
+      for (const auto& [kbytes, grp] : groups) {
+        uint8_t* row = out.AppendUninitialized(q.output_schema.tuple_size());
+        TupleWriter wr(row, &q.output_schema);
+        wr.SetInt64(0, window_ts);
+        for (size_t kk = 0; kk < nk; ++kk) {
+          int64_t kv;
+          std::memcpy(&kv, kbytes.data() + kk * 8, sizeof(kv));
+          wr.SetInt64(1 + kk, kv);
+        }
+        for (size_t a = 0; a < na; ++a) {
+          wr.SetDouble(1 + nk + a, AggFinalize(q.aggregates[a].fn, grp.acc[a]));
+        }
+        emit_having(&out);
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
 ByteBuffer EvalAggregation(const QueryDef& q, const Stream& in) {
+  if (q.window[0].session()) return EvalSessionAggregation(q, in);
   ByteBuffer out;
   if (in.n == 0) return out;
   const WindowDefinition& w = q.window[0];
@@ -124,18 +240,6 @@ ByteBuffer EvalAggregation(const QueryDef& q, const Stream& in) {
     // windows, so chained queries see an ordered stream).
     struct Group {
       std::vector<AggState> acc;
-    };
-    // Explicit memcmp comparator: identical ordering to
-    // std::less<std::vector<uint8_t>>, but avoids the libstdc++
-    // lexicographical_compare_three_way path that GCC 12 misdiagnoses
-    // under -Wstringop-overread at -O2.
-    struct KeyLess {
-      bool operator()(const std::vector<uint8_t>& a,
-                      const std::vector<uint8_t>& b) const {
-        const size_t n = std::min(a.size(), b.size());
-        const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
-        return c < 0 || (c == 0 && a.size() < b.size());
-      }
     };
     std::vector<uint8_t> key(nk * 8);
     std::map<std::vector<uint8_t>, Group, KeyLess> groups;
@@ -309,6 +413,45 @@ ByteBuffer ReferenceEvaluate(const QueryDef& q, const std::vector<uint8_t>& s0,
   }
   if (q.is_aggregation()) return EvalAggregation(q, a);
   return EvalStateless(q, a);
+}
+
+std::vector<uint8_t> ReferenceReorderWithLateness(
+    const std::vector<uint8_t>& in, size_t tuple_size, int64_t lateness,
+    std::vector<uint8_t>* rejects) {
+  const size_t n = tuple_size == 0 ? 0 : in.size() / tuple_size;
+  struct Survivor {
+    int64_t ts;
+    size_t index;  // arrival order, for stable ties
+  };
+  std::vector<Survivor> survivors;
+  survivors.reserve(n);
+  int64_t max_seen = 0;
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t ts;
+    std::memcpy(&ts, in.data() + i * tuple_size, sizeof(ts));
+    if (any && ts < max_seen - lateness) {
+      if (rejects != nullptr) {
+        rejects->insert(rejects->end(), in.begin() + i * tuple_size,
+                        in.begin() + (i + 1) * tuple_size);
+      }
+      continue;
+    }
+    max_seen = any ? std::max(max_seen, ts) : ts;
+    any = true;
+    survivors.push_back(Survivor{ts, i});
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const Survivor& a, const Survivor& b) {
+                     return a.ts < b.ts;
+                   });
+  std::vector<uint8_t> out;
+  out.reserve(survivors.size() * tuple_size);
+  for (const Survivor& s : survivors) {
+    out.insert(out.end(), in.begin() + s.index * tuple_size,
+               in.begin() + (s.index + 1) * tuple_size);
+  }
+  return out;
 }
 
 }  // namespace saber

@@ -21,6 +21,13 @@
 ///    within the covered axis range are emitted; output timestamp is the
 ///    maximum input timestamp in the window (per group when grouped); group
 ///    rows are ordered by packed key bytes;
+///  - session aggregation (kSession windows): sessions are maximal runs of
+///    raw tuples whose consecutive timestamp gaps are <= gap; a session is
+///    emitted once the stream watermark (last timestamp) passes its last
+///    tuple by more than gap — the final session of a stream never emits;
+///    row timestamp is the session's max raw timestamp (ungrouped; emitted
+///    even when every tuple was filtered) or max filtered timestamp
+///    (grouped; skipped when no tuple passes the filter);
 ///  - θ-join (RStream): pairs in arrival order (merge by timestamp, left
 ///    stream wins ties), each pair once, when the later element arrives;
 ///    output timestamp is max of the pair.
@@ -31,5 +38,17 @@ namespace saber {
 /// Returns the serialized output stream.
 ByteBuffer ReferenceEvaluate(const QueryDef& q, const std::vector<uint8_t>& s0,
                              const std::vector<uint8_t>& s1 = {});
+
+/// Golden model of one ingress producer's bounded-disorder contract
+/// (ingest/ingress_options.h): scanning `in` in arrival order, a tuple is
+/// late iff its timestamp is below max_seen - lateness; late tuples are
+/// appended to `rejects` (in arrival order) if given, survivors are
+/// stable-sorted by timestamp (ties keep arrival order — the reorder
+/// buffer's (ts, seq) heap order). The engine fed the disordered stream
+/// through a producer with allowed_lateness = lateness (and a large enough
+/// reorder buffer) must see exactly the returned byte stream.
+std::vector<uint8_t> ReferenceReorderWithLateness(
+    const std::vector<uint8_t>& in, size_t tuple_size, int64_t lateness,
+    std::vector<uint8_t>* rejects = nullptr);
 
 }  // namespace saber

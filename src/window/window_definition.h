@@ -15,10 +15,20 @@
 /// windows and the logical timestamp for time-based windows. Supports sliding
 /// (l < s), tumbling (l = s) and unbounded windows (LRB1's `range unbounded`,
 /// which makes stateless operators purely per-tuple).
+///
+/// Session windows (kSession) are the data-driven exception to the aligned
+/// grid: a session is a maximal run of tuples in which consecutive
+/// timestamps are at most `gap` apart, and it closes once the event-time
+/// watermark passes `last timestamp + gap` (equivalently: once a tuple
+/// arrives more than `gap` after the session's last tuple). They are
+/// aggregation-only (validated in QueryDef::ValidateLimits) and reuse the
+/// size/slide storage: size = slide = gap, so pane arithmetic — meaningless
+/// for sessions — degenerates harmlessly and `time_based()` is true (the
+/// session axis is the timestamp).
 
 namespace saber {
 
-enum class WindowType : uint8_t { kCount, kTime };
+enum class WindowType : uint8_t { kCount, kTime, kSession };
 
 struct WindowDefinition {
   WindowType type = WindowType::kCount;
@@ -37,10 +47,24 @@ struct WindowDefinition {
   static WindowDefinition Unbounded() {
     return WindowDefinition{WindowType::kTime, 1, 1, true};
   }
+  /// Gap-based session window: a session closes when event time advances
+  /// more than `gap` past its last tuple. `gap` is in timestamp units.
+  static WindowDefinition Session(int64_t gap) {
+    SABER_CHECK(gap >= 1);
+    return WindowDefinition{WindowType::kSession, gap, gap, false};
+  }
 
   bool tumbling() const { return slide == size; }
   bool sliding() const { return slide < size; }
-  bool time_based() const { return type == WindowType::kTime; }
+  /// True when the window axis is the timestamp (time and session windows):
+  /// the dispatcher then validates non-decreasing timestamps on insert and
+  /// batch spans are timestamp ranges.
+  bool time_based() const {
+    return type == WindowType::kTime || type == WindowType::kSession;
+  }
+  bool session() const { return type == WindowType::kSession; }
+  /// Session inactivity gap (timestamp units). Meaningful only for kSession.
+  int64_t gap() const { return size; }
 
   /// Pane length g = gcd(s, l): the largest axis unit such that every window
   /// is a concatenation of panes (§2.1 [41]).
@@ -52,6 +76,7 @@ struct WindowDefinition {
 
   std::string ToString() const {
     if (unbounded) return "w(unbounded)";
+    if (session()) return StrCat("w(session,", gap(), ")");
     return StrCat("w(", time_based() ? "time," : "count,", size, ",", slide,
                   ")");
   }

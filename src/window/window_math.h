@@ -127,4 +127,27 @@ inline WindowIndexRange PanesIntersecting(const WindowDefinition& w, int64_t P,
   return r;
 }
 
+// --------------------------------------------------------------------------
+// Session arithmetic. Sessions have no aligned grid: a session is a maximal
+// run of tuples whose consecutive timestamps differ by at most gap. The two
+// decisions every layer (operators, assembly, reference) must agree on:
+// --------------------------------------------------------------------------
+
+/// True if the tuple at `ts` belongs to the session whose last tuple so far
+/// is `session_last_ts` — i.e. the inactivity gap has not elapsed. The
+/// subtraction is on the right to avoid overflow near INT64_MAX.
+constexpr bool SessionExtends(int64_t session_last_ts, int64_t ts,
+                              int64_t gap) {
+  return ts - session_last_ts <= gap;  // ts >= session_last_ts (ordered axis)
+}
+
+/// True if a session whose last tuple is at `session_last_ts` is closed by
+/// an event-time watermark at `watermark` (the largest timestamp known to
+/// have been reached, inclusive): closed iff watermark > last + gap, i.e.
+/// a tuple at `watermark` could no longer extend the session.
+constexpr bool SessionClosed(int64_t session_last_ts, int64_t watermark,
+                             int64_t gap) {
+  return watermark - session_last_ts > gap;
+}
+
 }  // namespace saber

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "runtime/status.h"
@@ -22,8 +25,11 @@ namespace saber::workloads {
 /// Returns shard `shard` of `data` (serialized tuples, field 0 = int64
 /// timestamp, non-decreasing): the tuples of every timestamp-group g with
 /// g % num_shards == shard, in stream order. The concatenation of all
-/// shards' timestamp-groups in timestamp order equals `data`.
-inline std::vector<uint8_t> ExtractTimestampShard(
+/// shards' timestamp-groups in timestamp order equals `data`. Unsorted
+/// input is a data error, not a programmer error — it yields
+/// InvalidArgument (callers feeding untrusted streams surface it; callers
+/// with generated streams use .value()).
+inline Result<std::vector<uint8_t>> ExtractTimestampShard(
     const std::vector<uint8_t>& data, size_t tuple_size, int shard,
     int num_shards) {
   SABER_CHECK(num_shards > 0 && shard >= 0 && shard < num_shards);
@@ -36,7 +42,12 @@ inline std::vector<uint8_t> ExtractTimestampShard(
     int64_t ts;
     std::memcpy(&ts, data.data() + off, sizeof(ts));
     if (group < 0 || ts != prev_ts) {
-      SABER_CHECK(group < 0 || ts > prev_ts);  // input must be sorted
+      if (group >= 0 && ts < prev_ts) {
+        return Status::InvalidArgument(
+            "ExtractTimestampShard: timestamps must be non-decreasing (" +
+            std::to_string(ts) + " after " + std::to_string(prev_ts) +
+            " at tuple " + std::to_string(off / tuple_size) + ")");
+      }
       ++group;
       prev_ts = ts;
     }
@@ -44,6 +55,54 @@ inline std::vector<uint8_t> ExtractTimestampShard(
       out.insert(out.end(), data.begin() + static_cast<ptrdiff_t>(off),
                  data.begin() + static_cast<ptrdiff_t>(off + tuple_size));
     }
+  }
+  return out;
+}
+
+/// Injects bounded, seeded timestamp disorder into a sorted stream: tuples
+/// are stable-sorted by (ts + jitter_of_group) where jitter_of_group is a
+/// per-timestamp-group uniform draw from [0, jitter]. Properties:
+///  - every tuple's displacement is bounded: if tuple b precedes tuple a in
+///    the output, then ts(a) >= ts(b) - jitter, so an ingress producer with
+///    allowed_lateness >= jitter never sees a late tuple;
+///  - tuples sharing a timestamp share a draw, so the original relative
+///    order within a timestamp group survives the round trip and reordering
+///    under lateness >= jitter reproduces `data` byte-identically;
+///  - jitter == 0 returns `data` unchanged.
+inline std::vector<uint8_t> ApplyBoundedDisorder(
+    const std::vector<uint8_t>& data, size_t tuple_size, int64_t jitter,
+    uint64_t seed) {
+  SABER_CHECK(tuple_size >= sizeof(int64_t) && data.size() % tuple_size == 0);
+  SABER_CHECK(jitter >= 0);
+  if (jitter == 0 || data.empty()) return data;
+  const size_t n = data.size() / tuple_size;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> draw(0, jitter);
+  std::vector<int64_t> sort_key(n);
+  int64_t prev_ts = 0;
+  int64_t group_key = 0;
+  bool first = true;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t ts;
+    std::memcpy(&ts, data.data() + i * tuple_size, sizeof(ts));
+    if (first || ts != prev_ts) {
+      SABER_CHECK(first || ts > prev_ts);  // input must be sorted
+      group_key = ts + draw(rng);
+      prev_ts = ts;
+      first = false;
+    }
+    sort_key[i] = group_key;
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sort_key[a] < sort_key[b];
+  });
+  std::vector<uint8_t> out;
+  out.reserve(data.size());
+  for (size_t i : order) {
+    out.insert(out.end(), data.begin() + static_cast<ptrdiff_t>(i * tuple_size),
+               data.begin() + static_cast<ptrdiff_t>((i + 1) * tuple_size));
   }
   return out;
 }

@@ -39,9 +39,21 @@ std::vector<uint8_t> GenerateShard(size_t n, int shard, int num_shards,
   // timestamp-group partition of the single-producer stream (same RNG
   // draws), which is what the merge-equivalence property needs. O(n) per
   // shard is fine at benchmark scale; a shard-local RNG would diverge.
+  // Generated streams are sorted by construction, so .value() cannot fail.
   return workloads::ExtractTimestampShard(Generate(n, opts),
                                           SyntheticSchema().tuple_size(),
-                                          shard, num_shards);
+                                          shard, num_shards)
+      .value();
+}
+
+std::vector<uint8_t> GenerateDisorderedShard(size_t n, int shard,
+                                             int num_shards, int64_t jitter,
+                                             const GeneratorOptions& opts) {
+  return workloads::ApplyBoundedDisorder(
+      GenerateShard(n, shard, num_shards, opts),
+      SyntheticSchema().tuple_size(), jitter,
+      static_cast<uint64_t>(opts.seed) * 1000003u +
+          static_cast<uint64_t>(shard));
 }
 
 QueryDef MakeProjection(int m, int expr_chain, WindowDefinition w) {

@@ -37,6 +37,17 @@ std::vector<uint8_t> Generate(size_t n, const GeneratorOptions& opts = {});
 std::vector<uint8_t> GenerateShard(size_t n, int shard, int num_shards,
                                    const GeneratorOptions& opts = {});
 
+/// GenerateShard with bounded, seeded timestamp disorder injected
+/// (workloads::ApplyBoundedDisorder): every tuple arrives at most `jitter`
+/// timestamp units after a later-stamped tuple, so an ingestion producer
+/// with allowed_lateness >= jitter reorders the shard back to
+/// GenerateShard(n, shard, num_shards, opts) byte for byte. jitter == 0 is
+/// exactly GenerateShard. The disorder seed is derived from opts.seed and
+/// the shard index so shards are jittered independently but reproducibly.
+std::vector<uint8_t> GenerateDisorderedShard(size_t n, int shard,
+                                             int num_shards, int64_t jitter,
+                                             const GeneratorOptions& opts = {});
+
 /// PROJ_m: projects the timestamp plus m attributes, each passed through a
 /// chain of `expr_chain` arithmetic operations (§6.6 uses chains of 100).
 QueryDef MakeProjection(int m, int expr_chain = 1,

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "ingest/sharded_ingress.h"
+#include "reference/reference.h"
+#include "test_util.h"
+#include "window/window_definition.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file disorder_test.cc
+/// The bounded-disorder contract of the ingestion stage: producers fed
+/// timestamp-jittered shards with `allowed_lateness >= jitter` must merge
+/// byte-identically to the pre-sorted stream (the tentpole differential
+/// guarantee), tuples below the horizon follow the configured late policy
+/// (drop-and-count / dead-letter) in exact agreement with the reference
+/// reorder model, and a producer whose tuples all sit inside its reorder
+/// buffer pins the low watermark — observable as `watermark_stalls`, never
+/// as reordered or lost output.
+
+namespace saber {
+namespace {
+
+using ingest::IngressOptions;
+using ingest::LatePolicy;
+using ingest::ShardedIngress;
+
+struct Capture {
+  std::vector<uint8_t> bytes;
+  std::atomic<int64_t> calls{0};
+  ShardedIngress::Downstream fn() {
+    return [this](const uint8_t* data, size_t n) {
+      bytes.insert(bytes.end(), data, data + n);
+      calls.fetch_add(1);
+    };
+  }
+};
+
+/// Feeds `num_shards` independently-jittered shards of Generate(n, go)
+/// through an ingress on concurrent threads and returns the merged bytes.
+std::vector<uint8_t> MergeDisorderedShards(size_t n, int num_shards,
+                                           int64_t jitter, uint32_t seed,
+                                           const IngressOptions& base) {
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  syn::GeneratorOptions go;
+  go.seed = seed;
+  Capture cap;
+  IngressOptions opts = base;
+  opts.num_producers = num_shards;
+  ShardedIngress ingress(tsz, opts, cap.fn());
+  std::vector<std::thread> threads;
+  for (int s = 0; s < num_shards; ++s) {
+    threads.emplace_back([&, s] {
+      const std::vector<uint8_t> shard =
+          syn::GenerateDisorderedShard(n, s, num_shards, jitter, go);
+      std::mt19937 rng(seed * 31u + static_cast<uint32_t>(s));
+      std::uniform_int_distribution<size_t> batch(1, 257);
+      const size_t nt = shard.size() / tsz;
+      for (size_t i = 0; i < nt;) {
+        const size_t m = std::min(batch(rng), nt - i);
+        ASSERT_TRUE(
+            ingress.producer(s)->Append(shard.data() + i * tsz, m * tsz));
+        i += m;
+      }
+      ingress.producer(s)->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ingress.Drain();
+  EXPECT_TRUE(ingress.drained());
+  return cap.bytes;
+}
+
+TEST(Disorder, JitteredShardsMergeByteIdenticalUnderLateness) {
+  // The differential guarantee: disorder <= lateness is invisible — the
+  // merged stream equals the pre-sorted stream byte for byte.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 8; ++iter) {
+    std::uniform_int_distribution<int> shards(1, 4);
+    std::uniform_int_distribution<int64_t> jit(0, 9);
+    std::uniform_int_distribution<size_t> n_dist(1000, 6000);
+    const int num_shards = shards(rng);
+    const int64_t jitter = jit(rng);
+    const size_t n = n_dist(rng);
+    const uint32_t seed = static_cast<uint32_t>(rng());
+    syn::GeneratorOptions go;
+    go.seed = seed;
+    const auto want = syn::Generate(n, go);
+    IngressOptions base;
+    base.allowed_lateness = jitter;  // exactly the injected bound
+    base.staging_buffer_bytes = 32 << 10;
+    base.merge_batch_bytes = 8 << 10;
+    const auto merged =
+        MergeDisorderedShards(n, num_shards, jitter, seed, base);
+    ASSERT_EQ(merged.size(), want.size())
+        << "iter " << iter << " shards " << num_shards << " jitter " << jitter;
+    ASSERT_EQ(std::memcmp(merged.data(), want.data(), want.size()), 0)
+        << "iter " << iter << " shards " << num_shards << " jitter " << jitter;
+    (void)tsz;
+  }
+}
+
+TEST(Disorder, LatenessBeyondJitterAlsoRoundTrips) {
+  // Extra slack only adds latency, never changes the merged bytes. A
+  // lateness this deep (above ProducerHandle's calendar-bucket ceiling)
+  // also routes through the (ts, seq) min-heap fallback, so both reorder
+  // structures are covered by the byte-identity tests.
+  syn::GeneratorOptions go;
+  go.seed = 7;
+  const auto want = syn::Generate(4000, go);
+  IngressOptions base;
+  base.allowed_lateness = 5000;  // far more than the injected jitter of 5
+  const auto merged = MergeDisorderedShards(4000, 3, 5, 7, base);
+  ASSERT_EQ(merged.size(), want.size());
+  EXPECT_EQ(std::memcmp(merged.data(), want.data(), want.size()), 0);
+}
+
+TEST(Disorder, DropPolicyMatchesReferenceReorderModel) {
+  // jitter > lateness: some tuples fall below the horizon. Under
+  // kDropAndCount the survivors must equal ReferenceReorderWithLateness
+  // byte for byte and the drop counter must equal its reject count.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  syn::GeneratorOptions go;
+  go.seed = 99;
+  const int64_t jitter = 8, lateness = 2;
+  const auto shard = syn::GenerateDisorderedShard(5000, 0, 1, jitter, go);
+  std::vector<uint8_t> rejects;
+  const auto survivors =
+      ReferenceReorderWithLateness(shard, tsz, lateness, &rejects);
+  ASSERT_GT(rejects.size(), 0u) << "test needs actual late tuples";
+
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 1;
+  opts.allowed_lateness = lateness;
+  opts.late_policy = LatePolicy::kDropAndCount;
+  ShardedIngress ingress(tsz, opts, cap.fn());
+  ASSERT_TRUE(ingress.producer(0)->Append(shard.data(), shard.size()));
+  ingress.producer(0)->Close();
+  ingress.Drain();
+
+  const ingest::IngressStats st = ingress.stats();
+  EXPECT_EQ(st.producers[0].late_dropped,
+            static_cast<int64_t>(rejects.size() / tsz));
+  EXPECT_EQ(st.producers[0].dead_lettered, 0);
+  ASSERT_EQ(cap.bytes.size(), survivors.size());
+  EXPECT_EQ(std::memcmp(cap.bytes.data(), survivors.data(), survivors.size()),
+            0);
+}
+
+TEST(Disorder, DeadLetterSinkReceivesExactLateTuples) {
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  syn::GeneratorOptions go;
+  go.seed = 3;
+  const auto shard = syn::GenerateDisorderedShard(4000, 0, 1, 10, go);
+  std::vector<uint8_t> rejects;
+  const auto survivors = ReferenceReorderWithLateness(shard, tsz, 3, &rejects);
+  ASSERT_GT(rejects.size(), 0u);
+
+  std::mutex mu;
+  std::vector<uint8_t> lettered;
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 1;
+  opts.allowed_lateness = 3;
+  opts.late_policy = LatePolicy::kDeadLetter;
+  opts.dead_letter_sink = [&](int producer, const void* tuple, size_t bytes) {
+    EXPECT_EQ(producer, 0);
+    EXPECT_EQ(bytes, tsz);
+    std::lock_guard<std::mutex> lock(mu);
+    const uint8_t* p = static_cast<const uint8_t*>(tuple);
+    lettered.insert(lettered.end(), p, p + bytes);
+  };
+  ShardedIngress ingress(tsz, opts, cap.fn());
+  ASSERT_TRUE(ingress.producer(0)->Append(shard.data(), shard.size()));
+  ingress.producer(0)->Close();
+  ingress.Drain();
+
+  // The sink runs on the producer thread in arrival order — exactly the
+  // reference model's reject order.
+  ASSERT_EQ(lettered.size(), rejects.size());
+  EXPECT_EQ(std::memcmp(lettered.data(), rejects.data(), rejects.size()), 0);
+  EXPECT_EQ(ingress.stats().producers[0].dead_lettered,
+            static_cast<int64_t>(rejects.size() / tsz));
+  ASSERT_EQ(cap.bytes.size(), survivors.size());
+  EXPECT_EQ(std::memcmp(cap.bytes.data(), survivors.data(), survivors.size()),
+            0);
+}
+
+TEST(Disorder, DropPolicyWithZeroLatenessCountsRegressions) {
+  // With no lateness at all, kDropAndCount turns the historical regression
+  // abort into a counted drop of exactly the out-of-order tuples.
+  Schema s = syn::SyntheticSchema();
+  const size_t tsz = s.tuple_size();
+  auto stream = testing::MakeStream(s, {{5, 1, 0, 0, 0, 0, 0},
+                                        {4, 2, 0, 0, 0, 0, 0},  // late
+                                        {6, 3, 0, 0, 0, 0, 0},
+                                        {6, 4, 0, 0, 0, 0, 0},
+                                        {2, 5, 0, 0, 0, 0, 0}});  // late
+  auto want = testing::MakeStream(s, {{5, 1, 0, 0, 0, 0, 0},
+                                      {6, 3, 0, 0, 0, 0, 0},
+                                      {6, 4, 0, 0, 0, 0, 0}});
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 1;
+  opts.late_policy = LatePolicy::kDropAndCount;
+  ShardedIngress ingress(tsz, opts, cap.fn());
+  ASSERT_TRUE(ingress.producer(0)->Append(stream.data(), stream.size()));
+  ingress.producer(0)->Close();
+  ingress.Drain();
+  EXPECT_EQ(ingress.stats().producers[0].late_dropped, 2);
+  ASSERT_EQ(cap.bytes.size(), want.size());
+  EXPECT_EQ(std::memcmp(cap.bytes.data(), want.data(), want.size()), 0);
+}
+
+TEST(Disorder, ReorderBufferedProducerPinsWatermark) {
+  // Mirror of IngestStress.StalledMergerCannotWedgeTheEngine /
+  // ShardedIngress.StalledProducerHoldsWatermarkUntilClose for the reorder
+  // buffer: producer 0 HAS appended, but with a huge allowed lateness every
+  // tuple sits inside its reorder buffer (nothing staged), so the merger
+  // must hold producer 1's staged bytes back — visible as watermark_stalls,
+  // not as premature delivery. Close flushes the buffer and releases
+  // everything in order.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  const auto stream = syn::Generate(4096);
+  const auto s0 = workloads::ExtractTimestampShard(stream, tsz, 0, 2).value();
+  const auto s1 = workloads::ExtractTimestampShard(stream, tsz, 1, 2).value();
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 2;
+  opts.allowed_lateness = int64_t{1} << 40;  // horizon never passes anything
+  ShardedIngress ingress(tsz, opts, cap.fn());
+  ASSERT_TRUE(ingress.producer(0)->Append(s0.data(), s0.size()));
+  ASSERT_TRUE(ingress.producer(1)->Append(s1.data(), s1.size()));
+  ingress.producer(1)->Close();  // flushes p1's buffer into staging
+  // The append succeeded (the tuples are held in the reorder buffer, not
+  // staged yet — `tuples` counts staged data and stays 0 here).
+  EXPECT_EQ(ingress.stats().producers[0].appends, 1);
+  EXPECT_EQ(ingress.stats().producers[0].tuples, 0);
+  for (int i = 0; i < 200 && ingress.stats().watermark_stalls == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(ingress.stats().watermark_stalls, 0);
+  EXPECT_EQ(ingress.stats().merged_bytes, 0);
+
+  ingress.producer(0)->Close();
+  ingress.Drain();
+  ASSERT_EQ(cap.bytes.size(), stream.size());
+  EXPECT_EQ(std::memcmp(cap.bytes.data(), stream.data(), stream.size()), 0);
+}
+
+TEST(Disorder, ReorderBufferOverflowDegradesToDropsNotDisorder) {
+  // A reorder buffer two tuples deep cannot hold a jitter-9 horizon: it
+  // force-flushes early and raises the late threshold. The contract under
+  // kDropAndCount: output stays non-decreasing, nothing is lost silently
+  // (accepted + dropped == appended), and no abort happens.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  syn::GeneratorOptions go;
+  go.seed = 11;
+  const auto shard = syn::GenerateDisorderedShard(3000, 0, 1, 9, go);
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 1;
+  opts.allowed_lateness = 9;
+  opts.late_policy = LatePolicy::kDropAndCount;
+  opts.reorder_buffer_bytes = 2 * tsz;
+  ShardedIngress ingress(tsz, opts, cap.fn());
+  ASSERT_TRUE(ingress.producer(0)->Append(shard.data(), shard.size()));
+  ingress.producer(0)->Close();
+  ingress.Drain();
+  const ingest::IngressStats st = ingress.stats();
+  const int64_t out_tuples = static_cast<int64_t>(cap.bytes.size() / tsz);
+  EXPECT_EQ(out_tuples + st.producers[0].late_dropped,
+            static_cast<int64_t>(shard.size() / tsz));
+  int64_t prev = std::numeric_limits<int64_t>::min();
+  for (size_t off = 0; off < cap.bytes.size(); off += tsz) {
+    int64_t ts;
+    std::memcpy(&ts, cap.bytes.data() + off, sizeof(ts));
+    ASSERT_GE(ts, prev) << "merged output regressed at tuple " << off / tsz;
+    prev = ts;
+  }
+}
+
+TEST(Disorder, EngineOutputUnderDisorderMatchesSortedReference) {
+  // End to end across window kinds: disordered shards -> reorder buffers ->
+  // watermark merge -> engine must equal the reference evaluation of the
+  // pre-sorted stream, for count, time and session windows alike.
+  const Schema s = syn::SyntheticSchema();
+  const size_t tsz = s.tuple_size();
+  const size_t n = 30000;
+  const int64_t jitter = 6;
+  struct Case {
+    const char* name;
+    QueryDef def;
+    std::vector<uint8_t> sorted;
+  };
+  std::vector<Case> cases;
+  // Count/time windows over the dense synthetic stream; sessions need real
+  // silences, so they get a gappy random stream (max gap 5 > session gap 2).
+  cases.push_back({"count", syn::MakeGroupBy(8, WindowDefinition::Count(256, 64)),
+                   syn::Generate(n)});
+  cases.push_back({"time", syn::MakeAggregationAll(WindowDefinition::Time(32, 8)),
+                   syn::Generate(n)});
+  cases.push_back({"session", syn::MakeGroupBy(4, WindowDefinition::Session(2)),
+                   testing::RandomStream(s, n, /*seed=*/17, /*max_ts_gap=*/5)});
+  for (auto& c : cases) {
+    const std::vector<uint8_t>& sorted = c.sorted;
+    ByteBuffer want = ReferenceEvaluate(c.def, sorted);
+    EngineOptions eo;
+    eo.num_cpu_workers = 2;
+    eo.use_gpu = false;
+    eo.task_size = 16 << 10;
+    Engine engine(eo);
+    QueryHandle* q = engine.AddQuery(c.def);
+    ByteBuffer got;
+    q->SetSink([&](const uint8_t* d, size_t m) { got.Append(d, m); });
+    engine.Start();
+    constexpr int kShards = 3;
+    IngressOptions opts;
+    opts.num_producers = kShards;
+    opts.allowed_lateness = jitter;
+    auto ingress = ShardedIngress::ForQuery(q, 0, opts);
+    std::vector<std::thread> producers;
+    for (int sh = 0; sh < kShards; ++sh) {
+      producers.emplace_back([&, sh] {
+        const auto shard = workloads::ApplyBoundedDisorder(
+            workloads::ExtractTimestampShard(sorted, tsz, sh, kShards).value(),
+            tsz, jitter, 977u * static_cast<uint64_t>(sh) + 5u);
+        const size_t step = 1024 * tsz;
+        for (size_t off = 0; off < shard.size(); off += step) {
+          ingress->producer(sh)->Append(shard.data() + off,
+                                        std::min(step, shard.size() - off));
+        }
+        ingress->producer(sh)->Close();
+      });
+    }
+    for (auto& t : producers) t.join();
+    ingress->Drain();
+    EXPECT_EQ(ingress->stats().merged_bytes,
+              static_cast<int64_t>(sorted.size()))
+        << c.name;
+    engine.Drain();
+    EXPECT_TRUE(testing::BuffersEqual(got, want,
+                                      c.def.output_schema.tuple_size()))
+        << c.name;
+  }
+}
+
+TEST(DisorderDeathTest, AbortPolicyStillAbortsOnLateTuples) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Schema s = syn::SyntheticSchema();
+  // ts=4 is 6 below max seen 10: beyond the allowed lateness of 2.
+  auto bad = testing::MakeStream(s, {{10, 0, 0, 0, 0, 0, 0},
+                                     {4, 0, 0, 0, 0, 0, 0}});
+  IngressOptions opts;
+  opts.num_producers = 1;
+  opts.allowed_lateness = 2;
+  ASSERT_DEATH(
+      {
+        ShardedIngress ingress(s.tuple_size(), opts,
+                               [](const uint8_t*, size_t) {});
+        ingress.producer(0)->Append(bad.data(), bad.size());
+      },
+      "lateness");
+}
+
+}  // namespace
+}  // namespace saber

@@ -49,7 +49,7 @@ TEST(IngestStress, ProducersBackpressureAndDrain) {
   for (int s = 0; s < kShards; ++s) {
     producers.emplace_back([&, s] {
       const auto shard =
-          workloads::ExtractTimestampShard(stream, tsz, s, kShards);
+          workloads::ExtractTimestampShard(stream, tsz, s, kShards).value();
       const size_t step = 64 * tsz;
       for (size_t off = 0; off < shard.size(); off += step) {
         ingress.producer(s)->Append(shard.data() + off,
@@ -104,7 +104,7 @@ TEST(IngestStress, StalledMergerCannotWedgeTheEngine) {
   for (int s = 0; s < kShards; ++s) {
     producers.emplace_back([&, s] {
       const auto shard =
-          workloads::ExtractTimestampShard(stream, tsz, s, kShards);
+          workloads::ExtractTimestampShard(stream, tsz, s, kShards).value();
       const size_t step = 256 * tsz;
       for (size_t off = 0; off < shard.size(); off += step) {
         ingress->producer(s)->Append(shard.data() + off,

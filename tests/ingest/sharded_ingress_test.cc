@@ -57,7 +57,8 @@ std::vector<uint8_t> MergeThroughIngress(const std::vector<uint8_t>& stream,
   for (int s = 0; s < num_shards; ++s) {
     threads.emplace_back([&, s] {
       const std::vector<uint8_t> shard =
-          workloads::ExtractTimestampShard(stream, tuple_size, s, num_shards);
+          workloads::ExtractTimestampShard(stream, tuple_size, s, num_shards)
+              .value();
       std::mt19937 rng(seed * 977u + static_cast<uint32_t>(s));
       std::uniform_int_distribution<size_t> batch(1, 257);
       std::uniform_int_distribution<int> delay(0, 3);
@@ -237,8 +238,10 @@ TEST(ShardedIngress, EngineOutputMatchesSingleProducerRun) {
       std::vector<std::thread> producers;
       for (int sh = 0; sh < kShards; ++sh) {
         producers.emplace_back([&, sh] {
-          const auto shard = workloads::ExtractTimestampShard(
-              stream, syn::SyntheticSchema().tuple_size(), sh, kShards);
+          const auto shard =
+              workloads::ExtractTimestampShard(
+                  stream, syn::SyntheticSchema().tuple_size(), sh, kShards)
+                  .value();
           const size_t step = 1024 * syn::SyntheticSchema().tuple_size();
           for (size_t off = 0; off < shard.size(); off += step) {
             ingress->producer(sh)->Append(shard.data() + off,
@@ -331,8 +334,10 @@ TEST(ShardedIngress, StatsCountPerProducerTraffic) {
   IngressOptions opts;
   opts.num_producers = 2;
   ShardedIngress ingress(tsz, opts, cap.fn());
-  const auto s0 = workloads::ExtractTimestampShard(stream, tsz, 0, 2);
-  const auto s1 = workloads::ExtractTimestampShard(stream, tsz, 1, 2);
+  const auto s0 =
+      workloads::ExtractTimestampShard(stream, tsz, 0, 2).value();
+  const auto s1 =
+      workloads::ExtractTimestampShard(stream, tsz, 1, 2).value();
   ASSERT_TRUE(ingress.producer(0)->Append(s0.data(), s0.size()));
   ASSERT_TRUE(ingress.producer(1)->Append(s1.data(), s1.size()));
   ingress.CloseAll();

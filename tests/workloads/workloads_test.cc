@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "reference/reference.h"
 #include "test_util.h"
 #include "workloads/cluster_monitoring.h"
@@ -257,7 +260,8 @@ TEST(Sharding, TimestampShardsPartitionTheStream) {
     size_t total = 0;
     for (int s = 0; s < num_shards; ++s) {
       shards.push_back(
-          workloads::ExtractTimestampShard(stream, tsz, s, num_shards));
+          workloads::ExtractTimestampShard(stream, tsz, s, num_shards)
+              .value());
       total += shards.back().size();
       // GenerateShard is exactly generate-then-extract.
       EXPECT_EQ(shards.back(), syn::GenerateShard(5000, s, num_shards, go));
@@ -298,6 +302,76 @@ TEST(Sharding, TimestampShardsPartitionTheStream) {
     EXPECT_EQ(std::memcmp(merged.data(), stream.data(), stream.size()), 0)
         << num_shards << " shards";
   }
+}
+
+TEST(Sharding, UnsortedInputIsAnInvalidArgumentNotAnAbort) {
+  Schema s = syn::SyntheticSchema();
+  auto bad = testing::MakeStream(s, {{5, 0, 0, 0, 0, 0, 0},
+                                     {7, 0, 0, 0, 0, 0, 0},
+                                     {3, 0, 0, 0, 0, 0, 0}});
+  auto r = workloads::ExtractTimestampShard(bad, s.tuple_size(), 0, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("non-decreasing"), std::string::npos);
+  EXPECT_NE(r.status().message().find("3 after 7"), std::string::npos);
+}
+
+TEST(Sharding, BoundedDisorderIsSeededAndBounded) {
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  const auto stream = syn::Generate(4000);
+  // jitter 0 is the identity.
+  EXPECT_EQ(workloads::ApplyBoundedDisorder(stream, tsz, 0, 1), stream);
+  const int64_t jitter = 7;
+  const auto a = workloads::ApplyBoundedDisorder(stream, tsz, jitter, 9);
+  // Deterministic in the seed; a different seed shuffles differently.
+  EXPECT_EQ(workloads::ApplyBoundedDisorder(stream, tsz, jitter, 9), a);
+  EXPECT_NE(workloads::ApplyBoundedDisorder(stream, tsz, jitter, 10), a);
+  EXPECT_NE(a, stream);  // jitter 7 across 1-tick groups actually reorders
+  // Same multiset of tuples, and displacement bounded by the jitter: no
+  // tuple precedes one stamped more than `jitter` ticks earlier.
+  ASSERT_EQ(a.size(), stream.size());
+  int64_t max_seen = 0;  // synthetic timestamps start at 0
+  for (size_t off = 0; off < a.size(); off += tsz) {
+    int64_t ts;
+    std::memcpy(&ts, a.data() + off, sizeof(ts));
+    EXPECT_GE(ts, max_seen - jitter) << "tuple " << off / tsz;
+    max_seen = std::max(max_seen, ts);
+  }
+}
+
+TEST(Sharding, BoundedDisorderRoundTripsThroughTheReferenceModel) {
+  // The property every disorder test leans on: reordering under a lateness
+  // equal to the injected jitter restores the stream byte for byte, with
+  // zero rejects.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  for (int64_t jitter : {1, 4, 11}) {
+    syn::GeneratorOptions go;
+    go.seed = 5 + static_cast<uint32_t>(jitter);
+    const auto stream = syn::Generate(3000, go);
+    const auto jittered = workloads::ApplyBoundedDisorder(
+        stream, tsz, jitter, static_cast<uint64_t>(jitter) * 77u);
+    std::vector<uint8_t> rejects;
+    const auto back =
+        ReferenceReorderWithLateness(jittered, tsz, jitter, &rejects);
+    EXPECT_EQ(rejects.size(), 0u) << "jitter " << jitter;
+    ASSERT_EQ(back.size(), stream.size()) << "jitter " << jitter;
+    EXPECT_EQ(std::memcmp(back.data(), stream.data(), stream.size()), 0)
+        << "jitter " << jitter;
+  }
+}
+
+TEST(Sharding, DisorderedShardMatchesJitteredShard) {
+  // GenerateDisorderedShard is exactly shard-then-jitter with the documented
+  // derived seed, and jitter 0 degrades to GenerateShard.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  syn::GeneratorOptions go;
+  go.seed = 21;
+  EXPECT_EQ(syn::GenerateDisorderedShard(2000, 1, 3, 0, go),
+            syn::GenerateShard(2000, 1, 3, go));
+  const auto d = syn::GenerateDisorderedShard(2000, 1, 3, 5, go);
+  EXPECT_EQ(d, workloads::ApplyBoundedDisorder(
+                   syn::GenerateShard(2000, 1, 3, go), tsz, 5,
+                   static_cast<uint64_t>(go.seed) * 1000003u + 1u));
 }
 
 }  // namespace

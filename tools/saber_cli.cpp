@@ -34,6 +34,20 @@
 ///                   run.
 ///   --rate B        meter each sharded producer at B bytes/second
 ///                   (per-tenant token bucket; requires --producers >= 2)
+///   --disorder J    inject bounded timestamp disorder into each generated
+///                   producer shard: every tuple arrives at most J timestamp
+///                   units late (workloads::ApplyBoundedDisorder; seeded).
+///                   Implies ingestion through ingest::ShardedIngress even
+///                   with --producers 1.
+///   --lateness L    per-producer allowed lateness: an ingress reorder
+///                   buffer sorts tuples within L timestamp units before the
+///                   watermark merge (IngressOptions::allowed_lateness).
+///                   With L >= J the output is byte-identical to the
+///                   in-order run. Implies ingress like --disorder.
+///   --late-policy P what happens to tuples older than the lateness
+///                   horizon: abort (default, fail fast), drop (count in
+///                   ingest stats), dead-letter (divert to a side sink,
+///                   counted and reported)
 ///   --churn N       while the main workload streams, run N add/remove
 ///                   cycles of a synthetic selection (weight 2) against the
 ///                   live engine; admission/removal latency percentiles are
@@ -50,6 +64,7 @@
 ///              where speed > 60.0"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +99,9 @@ struct CliOptions {
   int producers = 1;
   double rate = 0.0;  // bytes/s per sharded producer; <= 0 = unmetered
   int churn = 0;      // add/remove cycles against the live engine
+  int64_t disorder = 0;  // max timestamp jitter injected per producer shard
+  int64_t lateness = 0;  // ingress reorder-buffer horizon (allowed lateness)
+  ingest::LatePolicy late_policy = ingest::LatePolicy::kAbort;
   int64_t limit = 10;
   uint32_t seed = 42;
   std::string input_csv;   // read stream 0 from a CSV file instead
@@ -96,6 +114,8 @@ struct CliOptions {
                "usage: %s [--tuples N] [--workers N] [--no-gpu] "
                "[--task-size B] [--policy fixed|aimd|guard] [--target-ms N] "
                "[--min-task-size B] [--producers N] [--rate B] [--churn N] "
+               "[--disorder J] [--lateness L] "
+               "[--late-policy abort|drop|dead-letter] "
                "[--limit N] [--seed N] \"SQL\"\n",
                argv0);
   std::exit(2);
@@ -140,6 +160,32 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
       }
     } else if (a == "--rate") {
       o->rate = std::atof(next());
+    } else if (a == "--disorder") {
+      o->disorder = std::atoll(next());
+      if (o->disorder < 0) {
+        std::fprintf(stderr, "--disorder must be >= 0\n");
+        return false;
+      }
+    } else if (a == "--lateness") {
+      o->lateness = std::atoll(next());
+      if (o->lateness < 0) {
+        std::fprintf(stderr, "--lateness must be >= 0\n");
+        return false;
+      }
+    } else if (a == "--late-policy") {
+      const std::string p = next();
+      if (p == "abort") {
+        o->late_policy = ingest::LatePolicy::kAbort;
+      } else if (p == "drop") {
+        o->late_policy = ingest::LatePolicy::kDropAndCount;
+      } else if (p == "dead-letter") {
+        o->late_policy = ingest::LatePolicy::kDeadLetter;
+      } else {
+        std::fprintf(stderr,
+                     "unknown late policy: %s (abort|drop|dead-letter)\n",
+                     p.c_str());
+        return false;
+      }
     } else if (a == "--churn") {
       o->churn = std::atoi(next());
       if (o->churn < 0) {
@@ -175,6 +221,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
     std::fprintf(stderr,
                  "--rate meters sharded producers; it needs --producers >= 2\n");
     return false;
+  }
+  if (o->disorder > o->lateness &&
+      o->late_policy == ingest::LatePolicy::kAbort) {
+    std::fprintf(stderr,
+                 "note: --disorder exceeds --lateness under --late-policy "
+                 "abort; ingestion will abort on the first late tuple\n");
   }
   return !o->sql.empty();
 }
@@ -290,7 +342,10 @@ int main(int argc, char** argv) {
         streams.emplace_back();  // fed from the reader below
         continue;
       }
-      auto loaded = io::ReadCsvFile(cli.input_csv, q->def().input_schema[0]);
+      io::CsvOptions csv_opts;
+      csv_opts.allowed_lateness = cli.lateness;
+      auto loaded =
+          io::ReadCsvFile(cli.input_csv, q->def().input_schema[0], csv_opts);
       if (!loaded.ok()) {
         std::fprintf(stderr, "input error: %s\n",
                      loaded.status().ToString().c_str());
@@ -348,15 +403,30 @@ int main(int argc, char** argv) {
   Stopwatch wall;
   const size_t kChunkTuples = 8192;
   std::vector<std::unique_ptr<ingest::ShardedIngress>> ingresses;
-  if (cli.producers > 1) {
+  // Event-time knobs route through the ingress even with one producer: the
+  // reorder buffer and late-tuple policy live in the producer handle.
+  const bool use_ingress = cli.producers > 1 || cli.disorder > 0 ||
+                           cli.lateness > 0 ||
+                           cli.late_policy != ingest::LatePolicy::kAbort;
+  std::atomic<int64_t> dead_letter_tuples{0};
+  if (use_ingress) {
     // Sharded ingestion: one ingress per input, N producer threads each.
     // Both feeds partition by whole timestamp groups — generated streams
     // via ExtractTimestampShard, CSV via the group-aligned chunk pump
     // below — so the merged stream, and therefore the query output, is
-    // byte-identical to the single-producer run.
+    // byte-identical to the single-producer run (with --disorder J and
+    // --lateness >= J the reorder buffers restore that same stream).
     ingest::IngressOptions iopts;
     iopts.num_producers = cli.producers;
     if (cli.rate > 0) iopts.producer_rate_bytes_per_sec = cli.rate;
+    iopts.allowed_lateness = cli.lateness;
+    iopts.late_policy = cli.late_policy;
+    if (cli.late_policy == ingest::LatePolicy::kDeadLetter) {
+      iopts.dead_letter_sink = [&dead_letter_tuples](int, const void*,
+                                                     size_t) {
+        dead_letter_tuples.fetch_add(1, std::memory_order_relaxed);
+      };
+    }
     for (int i = 0; i < num_inputs; ++i) {
       ingresses.push_back(ingest::ShardedIngress::ForQuery(q, i, iopts));
     }
@@ -389,8 +459,16 @@ int main(int argc, char** argv) {
           continue;
         }
         feeders.emplace_back([&, i, p, tsz] {
-          const std::vector<uint8_t> shard = workloads::ExtractTimestampShard(
-              streams[i], tsz, p, cli.producers);
+          std::vector<uint8_t> shard = workloads::ExtractTimestampShard(
+                                           streams[i], tsz, p, cli.producers)
+                                           .value();
+          if (cli.disorder > 0) {
+            shard = workloads::ApplyBoundedDisorder(
+                shard, tsz, cli.disorder,
+                static_cast<uint64_t>(cli.seed) * 1000003u +
+                    static_cast<uint64_t>(i) * 131u +
+                    static_cast<uint64_t>(p));
+          }
           const size_t chunk = kChunkTuples * tsz;
           for (size_t off = 0; off < shard.size(); off += chunk) {
             ingresses[i]->producer(p)->Append(
@@ -401,7 +479,10 @@ int main(int argc, char** argv) {
       }
     }
     if (stream_csv) {
-      io::CsvChunkReader reader(cli.input_csv, q->def().input_schema[0]);
+      io::CsvOptions csv_opts;
+      csv_opts.allowed_lateness = cli.lateness;
+      io::CsvChunkReader reader(cli.input_csv, q->def().input_schema[0],
+                                csv_opts);
       const size_t tsz0 = q->def().input_schema[0].tuple_size();
       // Deal whole timestamp groups, never splitting one across producers:
       // the trailing (possibly still growing) group is carried into the
@@ -446,7 +527,10 @@ int main(int argc, char** argv) {
     for (auto& t : feeders) t.join();
     for (auto& ing : ingresses) ing->Drain();
   } else if (stream_csv) {
-    io::CsvChunkReader reader(cli.input_csv, q->def().input_schema[0]);
+    io::CsvOptions csv_opts;
+    csv_opts.allowed_lateness = cli.lateness;
+    io::CsvChunkReader reader(cli.input_csv, q->def().input_schema[0],
+                              csv_opts);
     while (!reader.done()) {
       auto chunk = reader.Next();
       if (!chunk.ok()) {
@@ -542,8 +626,21 @@ int main(int argc, char** argv) {
         std::printf(" (metered %.1f MB/s)",
                     is.producers[p].rate_limit_bytes_per_sec / (1 << 20));
       }
+      if (cli.lateness > 0 ||
+          cli.late_policy != ingest::LatePolicy::kAbort ||
+          is.producers[p].late_dropped > 0 ||
+          is.producers[p].dead_lettered > 0) {
+        std::printf(", %lld late-dropped, %lld dead-lettered",
+                    static_cast<long long>(is.producers[p].late_dropped),
+                    static_cast<long long>(is.producers[p].dead_lettered));
+      }
       std::printf("\n");
     }
+  }
+  if (cli.late_policy == ingest::LatePolicy::kDeadLetter) {
+    std::printf("dead letters : %lld tuples diverted to the side sink\n",
+                static_cast<long long>(
+                    dead_letter_tuples.load(std::memory_order_relaxed)));
   }
   if (dump_csv) {
     std::ofstream f(cli.output_csv, std::ios::trunc);
