@@ -1,0 +1,290 @@
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "ingest/sharded_ingress.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/parser.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file net.cc
+/// Network front-end benchmark: aggregate ingest throughput with N remote
+/// producers — each a TCP connection over loopback feeding its own
+/// timestamp shard of ONE query input — against the in-process ceiling:
+///
+///   inproc — ingest::ShardedIngress fed by N local threads (the PR 5
+///            subsystem bench_ingest gates); no sockets, no frames, no
+///            copies beyond the staging ring.
+///   remote — the same shards through saber_server's data plane: each
+///            producer a net::ProducerClient connection, frames landing in
+///            the same staging rings via the per-connection reader threads.
+///            One connection per producer — the 1:1 binding the protocol
+///            prescribes — so the sweep over producers is the sweep over
+///            connections.
+///
+/// Both modes run the identical SQL statement and insert identical bytes
+/// in identical call sizes; the measured difference is exactly the TCP
+/// framing path (loopback syscalls + one frame→ring copy). Runs are
+/// interleaved A/B/A/B... (docs/benchmarks.md methodology) and medians
+/// feed BENCH_net.json.
+///
+/// --check enforces the CI gate: with 4 remote producers, remote median
+/// aggregate tuples/s >= 0.5x the in-process sharded median.
+///
+/// Flags: --quick, --check, --producers N (gate point), --call-tuples N,
+///        --out <path>.
+
+namespace saber::bench {
+namespace {
+
+/// Cheap stateless selection at unbounded φ: the regime stays
+/// ingest-bound, so the producers — not the operator path — are measured.
+constexpr const char* kBenchSql =
+    "select * from Syn [range unbounded] where a2 >= 0";
+
+struct NetRun {
+  double seconds = 0;
+  double tuples_per_sec = 0;
+};
+
+EngineOptions IngestBoundOptions() {
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;
+  o.task_size = 1 << 20;
+  o.input_buffer_size = size_t{64} << 20;
+  return o;
+}
+
+/// The in-process ceiling: N local threads through a ShardedIngress.
+NetRun RunInProcess(const std::vector<std::vector<uint8_t>>& shards,
+                    size_t total_tuples, size_t call_bytes,
+                    const sql::Catalog& catalog) {
+  Engine engine(IngestBoundOptions());
+  auto q = engine.TryAddQuery(sql::Parse(kBenchSql, catalog).value());
+  q.value()->SetSink([](const uint8_t*, size_t) {});
+  engine.Start();
+
+  ingest::IngressOptions iopts;
+  iopts.num_producers = static_cast<int>(shards.size());
+  auto ingress = ingest::ShardedIngress::ForQuery(q.value(), 0, iopts);
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    threads.emplace_back([&, p] {
+      const std::vector<uint8_t>& shard = shards[p];
+      for (size_t off = 0; off < shard.size(); off += call_bytes) {
+        ingress->producer(static_cast<int>(p))
+            ->Append(shard.data() + off,
+                     std::min(call_bytes, shard.size() - off));
+      }
+      ingress->producer(static_cast<int>(p))->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ingress->Drain();
+  engine.Drain();
+
+  NetRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  engine.Stop();
+  return r;
+}
+
+/// The same shards through a real SaberServer on a loopback ephemeral
+/// port: one ProducerClient connection per shard. Connect and submit
+/// outside the timer; the measured interval is first Send to drained.
+NetRun RunRemote(const std::vector<std::vector<uint8_t>>& shards,
+                 size_t total_tuples, size_t call_bytes,
+                 const sql::Catalog& catalog) {
+  Engine engine(IngestBoundOptions());
+  engine.Start();
+  net::ServerOptions sopts;
+  net::SaberServer server(&engine, catalog, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "cannot start server\n");
+    std::exit(1);
+  }
+  const int port = server.port();
+
+  auto control = net::ControlClient::Connect("127.0.0.1", port);
+  auto info = control.value().Submit(kBenchSql);
+  const uint32_t id = info.value().query_id;
+  const auto tsz = info.value().input_tuple_size[0];
+
+  const int producers = static_cast<int>(shards.size());
+  std::vector<net::ProducerClient> clients;
+  for (int p = 0; p < producers; ++p) {
+    net::DataHello hello;
+    hello.query_id = id;
+    hello.producer = static_cast<uint16_t>(p);
+    hello.num_producers = static_cast<uint16_t>(producers);
+    hello.tuple_size = tsz;
+    auto c = net::ProducerClient::Connect("127.0.0.1", port, hello);
+    if (!c.ok()) {
+      std::fprintf(stderr, "producer connect: %s\n",
+                   c.status().ToString().c_str());
+      std::exit(1);
+    }
+    clients.push_back(std::move(c).value());
+  }
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::vector<uint8_t>& shard = shards[static_cast<size_t>(p)];
+      for (size_t off = 0; off < shard.size(); off += call_bytes) {
+        if (!clients[static_cast<size_t>(p)]
+                 .Send(shard.data() + off,
+                       std::min(call_bytes, shard.size() - off))
+                 .ok()) {
+          std::fprintf(stderr, "send failed\n");
+          std::exit(1);
+        }
+      }
+      if (!clients[static_cast<size_t>(p)].End().ok()) {
+        std::fprintf(stderr, "end failed\n");
+        std::exit(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (!control.value().Drain(id).ok()) std::exit(1);
+  engine.Drain();  // the server runs in-process, so the engine is ours
+
+  NetRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  server.Stop();
+  engine.Stop();
+  return r;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  int gate_producers = 4;
+  size_t call_tuples = 8192;
+  std::string out = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      gate_producers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--call-tuples") == 0 && i + 1 < argc) {
+      call_tuples = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--check] [--producers N] "
+                   "[--call-tuples N] [--out path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t tuples = quick ? 1'000'000 : 2'000'000;
+  const int reps = quick ? 3 : 5;
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  const size_t call_bytes = call_tuples * tsz;
+  const auto stream = syn::Generate(tuples);
+  const sql::Catalog catalog{{"Syn", syn::SyntheticSchema()}};
+
+  const int producer_counts[] = {1, 2, gate_producers};
+  PrintHeader(StrCat("network data plane: in-process vs remote (loopback), ",
+                     call_tuples, " tuples/call"),
+              {"mode", "conns", "Mtuples/s", "seconds"});
+
+  std::vector<JsonObject> results;
+  double inproc_gate = 0, remote_gate = 0;
+  for (int producers : producer_counts) {
+    std::vector<std::vector<uint8_t>> shards;
+    for (int p = 0; p < producers; ++p) {
+      shards.push_back(
+          workloads::ExtractTimestampShard(stream, tsz, p, producers)
+              .value());
+    }
+    std::vector<double> inproc_rates, remote_rates;
+    NetRun last_inproc, last_remote;
+    for (int rep = 0; rep < reps; ++rep) {
+      last_inproc = RunInProcess(shards, tuples, call_bytes, catalog);
+      inproc_rates.push_back(last_inproc.tuples_per_sec);
+      last_remote = RunRemote(shards, tuples, call_bytes, catalog);
+      remote_rates.push_back(last_remote.tuples_per_sec);
+    }
+    const double inproc_med = Median(inproc_rates);
+    const double remote_med = Median(remote_rates);
+    if (producers == gate_producers) {
+      inproc_gate = inproc_med;
+      remote_gate = remote_med;
+    }
+    struct Row {
+      const char* mode;
+      double med;
+      const NetRun* last;
+    } rows[] = {{"inproc", inproc_med, &last_inproc},
+                {"remote", remote_med, &last_remote}};
+    for (const Row& row : rows) {
+      PrintCell(std::string(row.mode));
+      PrintCell(static_cast<double>(producers));
+      PrintCell(row.med / 1e6);
+      PrintCell(row.last->seconds);
+      EndRow();
+      JsonObject rec;
+      rec.Str("mode", row.mode)
+          .Int("producers", producers)
+          .Num("tuples_per_sec_median", row.med)
+          .Num("seconds_last", row.last->seconds);
+      results.push_back(std::move(rec));
+    }
+  }
+
+  const double ratio = inproc_gate > 0 ? remote_gate / inproc_gate : 0;
+  std::printf("\nremote/in-process ingest ratio at %d connections: %.2fx\n",
+              gate_producers, ratio);
+
+  JsonObject meta;
+  meta.Int("tuples", static_cast<int64_t>(tuples))
+      .Int("call_tuples", static_cast<int64_t>(call_tuples))
+      .Int("reps", reps)
+      .Int("gate_producers", gate_producers)
+      .Num("gate_ratio", ratio)
+      .Bool("quick", quick);
+  if (!WriteBenchJson(out, "net", meta, results)) return 1;
+
+  if (check && ratio < 0.5) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: remote ingest %.2fx in-process at %d "
+                 "connections (gate: >= 0.5x)\n",
+                 ratio, gate_producers);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace saber::bench
+
+int main(int argc, char** argv) { return saber::bench::Run(argc, argv); }

@@ -1,0 +1,176 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/strcat.h"
+
+namespace saber::net {
+
+namespace {
+
+/// Awaits one frame and maps kError payloads back into their Status.
+Result<FrameHeader> RecvOrError(int fd, std::vector<uint8_t>* payload) {
+  auto h = RecvFrame(fd, kMaxFramePayload, payload);
+  if (!h.ok()) return h.status();
+  if (h.value().type == FrameType::kError) {
+    return DecodeError(payload->data(), payload->size());
+  }
+  return h;
+}
+
+Status ExpectFrame(int fd, FrameType want, std::vector<uint8_t>* payload) {
+  auto h = RecvOrError(fd, payload);
+  if (!h.ok()) return h.status();
+  if (h.value().type != want) {
+    return Status::Internal(StrCat("expected ", FrameTypeName(want), ", got ",
+                                   FrameTypeName(h.value().type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ControlClient> ControlClient::Connect(const std::string& host,
+                                             int port) {
+  auto sock = Dial(host, port);
+  if (!sock.ok()) return sock.status();
+  ControlClient c;
+  c.sock_ = std::move(sock).value();
+  (void)SetNoDelay(c.sock_.fd());
+  WireWriter w;
+  w.U32(kProtocolVersion);
+  SABER_RETURN_NOT_OK(SendFrame(c.sock_.fd(), FrameType::kHelloControl,
+                                w.buf().data(), w.buf().size()));
+  std::vector<uint8_t> payload;
+  SABER_RETURN_NOT_OK(ExpectFrame(c.sock_.fd(), FrameType::kHelloOk, &payload));
+  return c;
+}
+
+Result<QueryInfo> ControlClient::Submit(const std::string& sql) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  SABER_RETURN_NOT_OK(
+      SendFrame(sock_.fd(), FrameType::kSubmit, sql.data(), sql.size()));
+  std::vector<uint8_t> payload;
+  SABER_RETURN_NOT_OK(
+      ExpectFrame(sock_.fd(), FrameType::kQueryInfo, &payload));
+  return DecodeQueryInfo(payload.data(), payload.size());
+}
+
+Status ControlClient::SimpleCommand(FrameType type, uint32_t query_id) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  WireWriter w;
+  w.U32(query_id);
+  SABER_RETURN_NOT_OK(
+      SendFrame(sock_.fd(), type, w.buf().data(), w.buf().size()));
+  std::vector<uint8_t> payload;
+  return ExpectFrame(sock_.fd(), FrameType::kOk, &payload);
+}
+
+Status ControlClient::Remove(uint32_t query_id) {
+  // A subscribed connection receives its own kSubscribeEnd (and possibly
+  // final result batches) before the kOk; skip past them.
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  WireWriter w;
+  w.U32(query_id);
+  SABER_RETURN_NOT_OK(SendFrame(sock_.fd(), FrameType::kRemove, w.buf().data(),
+                                w.buf().size()));
+  std::vector<uint8_t> payload;
+  for (;;) {
+    auto h = RecvOrError(sock_.fd(), &payload);
+    if (!h.ok()) return h.status();
+    if (h.value().type == FrameType::kOk) return Status::OK();
+    if (h.value().type == FrameType::kResultBatch ||
+        h.value().type == FrameType::kSubscribeEnd) {
+      continue;
+    }
+    return Status::Internal(StrCat("expected kOk, got ",
+                                   FrameTypeName(h.value().type)));
+  }
+}
+
+Status ControlClient::Drain(uint32_t query_id) {
+  return SimpleCommand(FrameType::kDrain, query_id);
+}
+
+Status ControlClient::Subscribe(uint32_t query_id) {
+  return SimpleCommand(FrameType::kSubscribe, query_id);
+}
+
+Result<bool> ControlClient::NextBatch(std::vector<uint8_t>* batch) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  auto h = RecvOrError(sock_.fd(), batch);
+  if (!h.ok()) return h.status();
+  if (h.value().type == FrameType::kSubscribeEnd) {
+    batch->clear();
+    return false;
+  }
+  if (h.value().type != FrameType::kResultBatch) {
+    return Status::Internal(StrCat("expected kResultBatch, got ",
+                                   FrameTypeName(h.value().type)));
+  }
+  return true;
+}
+
+Result<ProducerClient> ProducerClient::Connect(const std::string& host,
+                                               int port, DataHello hello) {
+  if (hello.tuple_size == 0) {
+    return Status::InvalidArgument("hello.tuple_size must be set");
+  }
+  auto sock = Dial(host, port);
+  if (!sock.ok()) return sock.status();
+  ProducerClient p;
+  p.sock_ = std::move(sock).value();
+  p.tuple_size_ = hello.tuple_size;
+  // Largest whole-tuple payload within the frame bound.
+  p.max_chunk_ = kMaxFramePayload / hello.tuple_size * hello.tuple_size;
+  hello.version = kProtocolVersion;
+  const std::vector<uint8_t> payload = EncodeDataHello(hello);
+  SABER_RETURN_NOT_OK(SendFrame(p.sock_.fd(), FrameType::kHelloData,
+                                payload.data(), payload.size()));
+  std::vector<uint8_t> reply;
+  SABER_RETURN_NOT_OK(ExpectFrame(p.sock_.fd(), FrameType::kHelloOk, &reply));
+  return p;
+}
+
+Status ProducerClient::Send(const void* tuples, size_t bytes) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  if (bytes % tuple_size_ != 0) {
+    return Status::InvalidArgument(
+        StrCat("Send of ", bytes, " bytes is not a multiple of the ",
+               tuple_size_, "-byte tuple size"));
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(tuples);
+  for (size_t off = 0; off < bytes; off += max_chunk_) {
+    const size_t n = std::min<size_t>(max_chunk_, bytes - off);
+    SABER_RETURN_NOT_OK(SendFrame(sock_.fd(), FrameType::kTuples, p + off, n));
+  }
+  return Status::OK();
+}
+
+Status ProducerClient::End() {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  SABER_RETURN_NOT_OK(SendFrame(sock_.fd(), FrameType::kDataEnd, nullptr, 0));
+  std::vector<uint8_t> payload;
+  const Status s = ExpectFrame(sock_.fd(), FrameType::kDataEndOk, &payload);
+  sock_.Close();
+  return s;
+}
+
+Status ProducerClient::LastServerError() {
+  if (!sock_.valid()) return Status::Internal("not connected");
+  (void)SetRecvTimeout(sock_.fd(), 100);
+  std::vector<uint8_t> payload;
+  auto h = RecvFrame(sock_.fd(), kMaxFramePayload, &payload);
+  if (!h.ok()) {
+    return Status::Internal(
+        StrCat("no server error available: ", h.status().message()));
+  }
+  if (h.value().type != FrameType::kError) {
+    return Status::Internal(StrCat("expected kError, got ",
+                                   FrameTypeName(h.value().type)));
+  }
+  return DecodeError(payload.data(), payload.size());
+}
+
+}  // namespace saber::net

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "runtime/status.h"
+
+/// \file client.h
+/// Client library for the SABER network front end (src/net/server.h), used
+/// by `saber_cli --connect`, the examples and the net benchmark. One class
+/// per plane:
+///
+///  - ControlClient: SQL submit / remove / drain, and result subscription.
+///    Strictly request → response; not thread-safe.
+///  - ProducerClient: one producer shard of one query input. Send() chunks
+///    arbitrarily large tuple runs into kTuples frames; a full server-side
+///    staging ring surfaces as Send() blocking (TCP back-pressure), exactly
+///    like an in-process ProducerHandle::Append.
+
+namespace saber::net {
+
+class ControlClient {
+ public:
+  /// Dials and runs the control handshake.
+  static Result<ControlClient> Connect(const std::string& host, int port);
+
+  ControlClient() = default;
+  ControlClient(ControlClient&&) = default;
+  ControlClient& operator=(ControlClient&&) = default;
+
+  /// Submits one SQL statement; on success returns the admitted query's
+  /// wire id, schemas and tuple sizes. A server-side parse/admission error
+  /// comes back as the server's own Status.
+  Result<QueryInfo> Submit(const std::string& sql);
+
+  /// Removes a query: quiesces its data plane, flushes the window remainder
+  /// through its sink, retires it. Subscribed connections (including this
+  /// one) receive kSubscribeEnd.
+  Status Remove(uint32_t query_id);
+
+  /// Blocks until every currently bound producer shard of the query has
+  /// ended and all staged tuples are merged into the engine.
+  Status Drain(uint32_t query_id);
+
+  /// Subscribes this connection to the query's result batches. After this,
+  /// interleave NextBatch with other commands at your own peril: batches
+  /// arrive asynchronously, so NextBatch is the only safe read.
+  Status Subscribe(uint32_t query_id);
+
+  /// Reads the next result batch into *batch. Returns false when the
+  /// subscription ended (query removed), true with tuple bytes otherwise.
+  Result<bool> NextBatch(std::vector<uint8_t>* batch);
+
+  bool valid() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+  /// Wakes a NextBatch blocked in recv from another thread.
+  void Shutdown() { sock_.ShutdownBoth(); }
+
+ private:
+  /// Sends a u32-payload command and awaits kOk (or decodes kError).
+  Status SimpleCommand(FrameType type, uint32_t query_id);
+
+  Socket sock_;
+};
+
+class ProducerClient {
+ public:
+  /// Dials and binds to producer shard `hello.producer` of input
+  /// `hello.input` of query `hello.query_id`. `hello.version` is filled in;
+  /// everything else (num_producers, tuple_size, lateness, policy, rate) is
+  /// the caller's negotiation. Fails if the shard is already bound or the
+  /// hello does not match the query (the server's error comes back as-is).
+  static Result<ProducerClient> Connect(const std::string& host, int port,
+                                        DataHello hello);
+
+  ProducerClient() = default;
+  ProducerClient(ProducerClient&&) = default;
+  ProducerClient& operator=(ProducerClient&&) = default;
+
+  /// Appends whole tuples (bytes must be a multiple of the hello's
+  /// tuple_size). Chunks to the frame bound on tuple boundaries; blocks on
+  /// server back-pressure. The data plane is one-way until End(), so a
+  /// server-side rejection (late tuple under abort semantics, framing
+  /// violation) typically surfaces as an IOError on a later Send — call
+  /// LastServerError() for the kError the server left behind.
+  Status Send(const void* tuples, size_t bytes);
+
+  /// Ends the stream: kDataEnd, awaits kDataEndOk. The shard closes and the
+  /// watermark releases. The connection is unusable afterwards.
+  Status End();
+
+  /// Abandons the stream (no kDataEnd). The server treats the disconnect
+  /// like an orderly Close: the shard finishes and the watermark releases.
+  void Close() { sock_.Close(); }
+
+  /// After a failed Send/End: tries to read the server's parting kError off
+  /// the socket (best-effort, 100 ms budget). Internal if there is none.
+  Status LastServerError();
+
+  bool valid() const { return sock_.valid(); }
+  size_t tuple_size() const { return tuple_size_; }
+
+ private:
+  Socket sock_;
+  size_t tuple_size_ = 0;
+  uint32_t max_chunk_ = kMaxFramePayload;
+};
+
+}  // namespace saber::net

@@ -1,0 +1,155 @@
+#include "net/protocol.h"
+
+#include "runtime/strcat.h"
+
+namespace saber::net {
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kHelloControl: return "kHelloControl";
+    case FrameType::kHelloData: return "kHelloData";
+    case FrameType::kHelloOk: return "kHelloOk";
+    case FrameType::kSubmit: return "kSubmit";
+    case FrameType::kQueryInfo: return "kQueryInfo";
+    case FrameType::kRemove: return "kRemove";
+    case FrameType::kDrain: return "kDrain";
+    case FrameType::kOk: return "kOk";
+    case FrameType::kSubscribe: return "kSubscribe";
+    case FrameType::kResultBatch: return "kResultBatch";
+    case FrameType::kSubscribeEnd: return "kSubscribeEnd";
+    case FrameType::kTuples: return "kTuples";
+    case FrameType::kDataEnd: return "kDataEnd";
+    case FrameType::kDataEndOk: return "kDataEndOk";
+    case FrameType::kError: return "kError";
+  }
+  return "kUnknown";
+}
+
+bool IsKnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHelloControl) &&
+         t <= static_cast<uint8_t>(FrameType::kError);
+}
+
+void EncodeFrameHeader(const FrameHeader& h, uint8_t* out) {
+  std::memcpy(out, &h.payload_len, 4);
+  out[4] = static_cast<uint8_t>(h.type);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* in, uint32_t max_payload) {
+  FrameHeader h;
+  std::memcpy(&h.payload_len, in, 4);
+  const uint8_t type = in[4];
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument(
+        StrCat("unknown frame type ", static_cast<int>(type)));
+  }
+  h.type = static_cast<FrameType>(type);
+  if (h.payload_len > max_payload) {
+    return Status::InvalidArgument(StrCat("frame payload of ", h.payload_len,
+                                          " bytes exceeds the ", max_payload,
+                                          "-byte limit"));
+  }
+  return h;
+}
+
+bool WireReader::ReadString(std::string* v) {
+  uint32_t n = 0;
+  if (!ReadU32(&n)) return false;
+  if (remaining() < n) return false;
+  v->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+std::vector<uint8_t> EncodeDataHello(const DataHello& h) {
+  WireWriter w;
+  w.U32(h.version);
+  w.U32(h.query_id);
+  w.U16(h.input);
+  w.U16(h.producer);
+  w.U16(h.num_producers);
+  w.U32(h.tuple_size);
+  w.I64(h.allowed_lateness);
+  w.U8(h.late_policy);
+  w.F64(h.rate_bytes_per_sec);
+  return w.Take();
+}
+
+Result<DataHello> DecodeDataHello(const uint8_t* payload, size_t len) {
+  WireReader r(payload, len);
+  DataHello h;
+  if (!r.ReadU32(&h.version) || !r.ReadU32(&h.query_id) ||
+      !r.ReadU16(&h.input) || !r.ReadU16(&h.producer) ||
+      !r.ReadU16(&h.num_producers) || !r.ReadU32(&h.tuple_size) ||
+      !r.ReadI64(&h.allowed_lateness) || !r.ReadU8(&h.late_policy) ||
+      !r.ReadF64(&h.rate_bytes_per_sec)) {
+    return Status::InvalidArgument("truncated kHelloData payload");
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after kHelloData payload");
+  }
+  if (h.late_policy > static_cast<uint8_t>(ingest::LatePolicy::kDeadLetter)) {
+    return Status::InvalidArgument(
+        StrCat("unknown late policy ", static_cast<int>(h.late_policy)));
+  }
+  return h;
+}
+
+std::vector<uint8_t> EncodeQueryInfo(const QueryInfo& info) {
+  WireWriter w;
+  w.U32(info.query_id);
+  w.U16(info.num_inputs);
+  w.U32(info.input_tuple_size[0]);
+  w.U32(info.input_tuple_size[1]);
+  w.U32(info.output_tuple_size);
+  w.String(info.name);
+  w.String(info.output_schema);
+  return w.Take();
+}
+
+Result<QueryInfo> DecodeQueryInfo(const uint8_t* payload, size_t len) {
+  WireReader r(payload, len);
+  QueryInfo info;
+  if (!r.ReadU32(&info.query_id) || !r.ReadU16(&info.num_inputs) ||
+      !r.ReadU32(&info.input_tuple_size[0]) ||
+      !r.ReadU32(&info.input_tuple_size[1]) ||
+      !r.ReadU32(&info.output_tuple_size) || !r.ReadString(&info.name) ||
+      !r.ReadString(&info.output_schema)) {
+    return Status::InvalidArgument("truncated kQueryInfo payload");
+  }
+  return info;
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.String(status.message());
+  return w.Take();
+}
+
+Status DecodeError(const uint8_t* payload, size_t len) {
+  WireReader r(payload, len);
+  uint8_t code = 0;
+  std::string msg;
+  if (!r.ReadU8(&code) || !r.ReadString(&msg)) {
+    return Status::Internal("malformed kError payload");
+  }
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kIOError)) {
+    return Status::Internal(StrCat("kError with unknown code ",
+                                   static_cast<int>(code), ": ", msg));
+  }
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kInvalidArgument: return Status::InvalidArgument(msg);
+    case StatusCode::kOutOfRange: return Status::OutOfRange(msg);
+    case StatusCode::kResourceExhausted: return Status::ResourceExhausted(msg);
+    case StatusCode::kNotFound: return Status::NotFound(msg);
+    case StatusCode::kAlreadyExists: return Status::AlreadyExists(msg);
+    case StatusCode::kUnavailable: return Status::Unavailable(msg);
+    case StatusCode::kInternal: return Status::Internal(msg);
+    case StatusCode::kNotImplemented: return Status::NotImplemented(msg);
+    case StatusCode::kIOError: return Status::IOError(msg);
+    default: return Status::Internal(msg);
+  }
+}
+
+}  // namespace saber::net

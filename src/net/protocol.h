@@ -1,0 +1,187 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ingest/ingress_options.h"
+#include "runtime/status.h"
+
+/// \file protocol.h
+/// Wire protocol of the SABER network front end (src/net/). Both planes —
+/// the SQL control plane and the binary tuple data plane — speak
+/// length-prefixed frames over TCP:
+///
+///   ┌────────────────────┬──────────────┬───────────────────────┐
+///   │ u32 payload length │ u8 frame type│ payload bytes ...     │
+///   └────────────────────┴──────────────┴───────────────────────┘
+///
+/// All integers are little-endian (the engine's native tuple byte order —
+/// tuple payloads are the engine's serialized rows verbatim, so the data
+/// plane is zero-transcode). The payload length counts payload bytes only,
+/// not the 5-byte header, and is bounded by `kMaxFramePayload` (a server may
+/// configure a smaller bound); an oversized length is a protocol violation
+/// and tears the connection down before any allocation of that size.
+///
+/// A connection chooses its plane with its first frame:
+///  - kHelloControl → SQL control session (Submit/Remove/Drain/Subscribe);
+///  - kHelloData    → tuple producer session bound 1:1 to one
+///    `ingest::ProducerHandle` shard of one query input (see server.h for
+///    the connection ↔ producer lifecycle).
+/// Anything else as a first frame is answered with kError and a close.
+///
+/// See docs/architecture.md §13 ("Network front end") for the full frame
+/// table and the control-plane state machine.
+
+namespace saber::net {
+
+/// Protocol version spoken by this tree. Hellos carry the client's version;
+/// the server rejects mismatches with kError/InvalidArgument.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Frame header size on the wire: u32 length + u8 type.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Hard upper bound for a frame payload. Chosen to comfortably hold one
+/// merge-batch of tuples while keeping a hostile `length = 0xffffffff`
+/// header from provoking a giant allocation.
+inline constexpr uint32_t kMaxFramePayload = 4u << 20;
+
+enum class FrameType : uint8_t {
+  kHelloControl = 1,  ///< c→s: open a control session  {u32 version}
+  kHelloData = 2,     ///< c→s: open a data session     {DataHello}
+  kHelloOk = 3,       ///< s→c: hello accepted          {u32 version}
+  kSubmit = 4,        ///< c→s: SQL statement           {bytes sql}
+  kQueryInfo = 5,     ///< s→c: submit result           {QueryInfo}
+  kRemove = 6,        ///< c→s: remove query            {u32 query_id}
+  kDrain = 7,         ///< c→s: drain query's ingress   {u32 query_id}
+  kOk = 8,            ///< s→c: command succeeded       {}
+  kSubscribe = 9,     ///< c→s: stream results          {u32 query_id}
+  kResultBatch = 10,  ///< s→c: output rows             {bytes rows}
+  kSubscribeEnd = 11, ///< s→c: subscription over       {}
+  kTuples = 12,       ///< c→s: serialized input tuples {bytes tuples}
+  kDataEnd = 13,      ///< c→s: shard complete          {}
+  kDataEndOk = 14,    ///< s→c: shard closed            {}
+  kError = 15,        ///< s→c: failure                 {u8 code, str msg}
+};
+
+/// Human-readable frame-type name ("kTuples"-style, for logs and errors).
+const char* FrameTypeName(FrameType t);
+
+/// True for the type values a well-formed peer may put on the wire.
+bool IsKnownFrameType(uint8_t t);
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  FrameType type = FrameType::kError;
+};
+
+/// Serializes `h` into `out[0..kFrameHeaderBytes)`.
+void EncodeFrameHeader(const FrameHeader& h, uint8_t* out);
+
+/// Parses a header from `in[0..kFrameHeaderBytes)`. Rejects unknown types
+/// and payloads beyond `max_payload` (protocol violation — the caller must
+/// tear the connection down, it cannot resynchronize a framing stream).
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* in, uint32_t max_payload);
+
+/// Data-plane handshake payload: binds this connection to producer shard
+/// `producer` of input `input` of query `query_id`.
+struct DataHello {
+  uint32_t version = kProtocolVersion;
+  uint32_t query_id = 0;
+  uint16_t input = 0;
+  uint16_t producer = 0;
+  /// Producers the ingress is sharded over. Every hello for the same
+  /// (query, input) must agree — the first one creates the ingress.
+  uint16_t num_producers = 1;
+  /// Client's idea of the serialized tuple size; must equal the input
+  /// schema's tuple_size() (cheap schema-drift detection).
+  uint32_t tuple_size = 0;
+  /// Bounded-disorder contract for this ingress; −1 inherits the lateness
+  /// the query's SQL statement declared (`with lateness N`).
+  int64_t allowed_lateness = -1;
+  /// ingest::LatePolicy for late tuples. kAbort keeps abort *semantics*
+  /// (the server answers kError and drops the connection — it never brings
+  /// the process down for a remote peer's data).
+  uint8_t late_policy = 0;
+  /// Token-bucket rate for this producer (bytes/s; <= 0 unmetered).
+  double rate_bytes_per_sec = 0.0;
+};
+
+std::vector<uint8_t> EncodeDataHello(const DataHello& h);
+Result<DataHello> DecodeDataHello(const uint8_t* payload, size_t len);
+
+/// Control-plane answer to kSubmit: everything a client needs to feed and
+/// read the admitted query.
+struct QueryInfo {
+  uint32_t query_id = 0;
+  uint16_t num_inputs = 1;
+  uint32_t input_tuple_size[2] = {0, 0};
+  uint32_t output_tuple_size = 0;
+  std::string name;
+  std::string output_schema;  ///< Schema::ToString of the output rows
+};
+
+std::vector<uint8_t> EncodeQueryInfo(const QueryInfo& info);
+Result<QueryInfo> DecodeQueryInfo(const uint8_t* payload, size_t len);
+
+/// kError payload: the Status that failed the command.
+std::vector<uint8_t> EncodeError(const Status& status);
+Status DecodeError(const uint8_t* payload, size_t len);
+
+/// Bounds-checked little-endian payload reader. Every accessor returns
+/// false once the payload is exhausted; decoders turn that into
+/// InvalidArgument instead of reading past the frame.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, 1); }
+  bool ReadU16(uint16_t* v) { return ReadRaw(v, 2); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, 4); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, 8); }
+  bool ReadF64(double* v) { return ReadRaw(v, 8); }
+  /// u32 length + bytes.
+  bool ReadString(std::string* v);
+
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (len_ - pos_ < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Little-endian payload writer (appends to a byte vector).
+class WireWriter {
+ public:
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void F64(double v) { Raw(&v, 8); }
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  const std::vector<uint8_t>& buf() const { return buf_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace saber::net

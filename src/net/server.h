@@ -1,0 +1,204 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "ingest/sharded_ingress.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "sql/parser.h"
+
+/// \file server.h
+/// The SABER network front end: one TCP listener, two planes.
+///
+///   clients                    saber server                  engine
+///   ───────────────  ─────────────────────────────────  ───────────────
+///   control conns ──► epoll event loop ── Submit ─────► TryAddQuery
+///     (SQL text)        │    │            Remove ─────► RemoveQuery
+///                       │    └─ Subscribe: per-conn     (sink fans out
+///                       │       outbox ◄────────────────  result batches)
+///   data conns ────► handshake, then one blocking
+///     (kTuples)      reader thread per connection ──► ProducerHandle
+///                                                      (staging ring)
+///
+/// **Data plane.** Each data connection binds 1:1 to one
+/// `ingest::ProducerHandle` shard of one query input; the first hello for a
+/// (query, input) pair creates the `ShardedIngress` sized to the hello's
+/// `num_producers` (later hellos must agree). Tuple frames land in the
+/// staging ring with one copy (socket → frame buffer → ring); back-pressure
+/// propagates naturally — a full staging ring blocks `Append`, which blocks
+/// the reader thread, which stops draining the socket, which closes the
+/// client's TCP window. Disconnect (orderly end, EOF, or idle timeout) maps
+/// to `Close()`, so the shard's watermark releases and the merge proceeds
+/// without it. `IngressOptions` — allowed lateness, late policy, per-shard
+/// rate — are negotiated in the handshake (lateness −1 inherits the query's
+/// SQL `with lateness` clause).
+///
+/// A remote peer must never be able to bring the process down: the
+/// wire-level kAbort policy keeps *abort semantics* — the reader validates
+/// frame sizes and the lateness horizon itself and answers kError + close —
+/// while the ingress underneath always runs a non-aborting policy.
+///
+/// **Control plane.** Control connections stay on the epoll loop
+/// (non-blocking frame reassembly). kSubmit parses SQL through
+/// `sql::ParseStatement` (window clauses incl. `[session gap N]`, `with
+/// lateness` options) and admits via `Engine::TryAddQuery`; the query's sink
+/// is installed immediately — before any data plane exists — and fans result
+/// batches out to subscriber outboxes (bounded; a slow subscriber is
+/// disconnected rather than allowed to stall an engine worker). kRemove
+/// quiesces the data plane first (revoke shards, wake readers, join, drain
+/// staged tuples into the still-live query, stop the ingress), then
+/// `Engine::RemoveQuery` flushes the sub-φ remainder through the sink, then
+/// subscribers get kSubscribeEnd. Commands execute synchronously on the
+/// event loop — the control plane is low-rate by design, and a blocking
+/// Remove/Drain cannot deadlock it (the data plane runs on its own threads
+/// and the engine's workers drain independently).
+///
+/// **Teardown.** Stop the server before the engine: Stop() revokes every
+/// shard and shuts every data socket down (waking reads blocked in recv and
+/// appends parked on staging back-pressure), joins the reader threads and
+/// the event loop, and stops the ingresses — the engine must still be alive
+/// (or at least already stopping) so a merger blocked downstream can wake.
+/// Queries admitted through the server stay admitted; the embedding owns
+/// the engine's lifecycle.
+
+namespace saber::net {
+
+struct ServerOptions {
+  std::string bind_addr = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start.
+  int port = 0;
+  int listen_backlog = 64;
+  /// Frame payload bound for this server (≤ kMaxFramePayload).
+  uint32_t max_frame_bytes = kMaxFramePayload;
+  /// Slow-loris guard: a connection that is mid-handshake or mid-frame and
+  /// makes no progress for this long is torn down; a data connection whose
+  /// socket is silent this long is closed (shard → Close, watermark
+  /// releases). Unit: ms. <= 0 disables the guard.
+  int idle_timeout_ms = 30'000;
+  /// Per-subscriber outbox bound; a subscriber that falls further behind
+  /// than this is disconnected (results are fan-out copies — back-pressure
+  /// must never reach the engine's result stage). Unit: bytes.
+  size_t subscriber_buffer_bytes = size_t{64} << 20;
+  /// Template for the per-(query, input) ShardedIngress: staging ring,
+  /// merge batch and reorder-buffer sizes. num_producers / lateness /
+  /// late policy / rate come from the data-plane handshake.
+  ingest::IngressOptions ingress;
+};
+
+/// Monotone counters (racy snapshot; see stats()).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t control_connections = 0;
+  int64_t data_connections = 0;
+  int64_t protocol_errors = 0;
+  int64_t queries_submitted = 0;
+  int64_t queries_removed = 0;
+  int64_t tuple_frames = 0;
+  int64_t tuple_bytes = 0;
+  int64_t result_batches = 0;
+  int64_t subscriber_overflows = 0;
+  int64_t timeouts = 0;
+};
+
+class SaberServer {
+ public:
+  /// `engine` must outlive the server and should already be Started (a
+  /// pre-Start engine admits queries but queues their data). The catalog
+  /// maps stream names usable in SQL to their schemas.
+  SaberServer(Engine* engine, sql::Catalog catalog, ServerOptions options = {});
+  ~SaberServer();
+
+  SaberServer(const SaberServer&) = delete;
+  SaberServer& operator=(const SaberServer&) = delete;
+
+  /// Binds, listens and starts the event loop. IOError if the bind fails.
+  Status Start();
+
+  /// Idempotent. Wakes and joins every connection thread and the event
+  /// loop; abandons staged-but-unmerged tuples (like ShardedIngress::Stop).
+  /// Call before Engine::Stop (see file comment).
+  void Stop();
+
+  /// The bound port (valid after Start; useful with port 0).
+  int port() const { return port_; }
+
+  ServerStats stats() const;
+  /// Queries currently registered with this server.
+  size_t num_queries() const;
+
+ private:
+  struct Conn;
+  struct DataConn;
+  struct InputFront;
+  struct QueryEntry;
+
+  void EventLoop();
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Conn>& c);
+  /// Parses and dispatches every complete frame in c->rbuf. Returns false
+  /// when the connection must close (protocol violation or handoff).
+  bool DrainReadBuffer(const std::shared_ptr<Conn>& c);
+  /// One control/handshake frame. Returns false to close the connection.
+  bool ProcessFrame(const std::shared_ptr<Conn>& c, FrameType type,
+                    const uint8_t* payload, size_t len);
+  void HandleSubmit(const std::shared_ptr<Conn>& c, const uint8_t* payload,
+                    size_t len);
+  void HandleRemove(const std::shared_ptr<Conn>& c, uint32_t query_id);
+  void HandleDrain(const std::shared_ptr<Conn>& c, uint32_t query_id);
+  void HandleSubscribe(const std::shared_ptr<Conn>& c, uint32_t query_id);
+  /// kHelloData: validate, bind the producer shard, hand the socket to a
+  /// dedicated reader thread (with any pipelined bytes in `carry`).
+  Status StartDataConn(const std::shared_ptr<Conn>& c, const DataHello& hello,
+                       std::vector<uint8_t> carry);
+  void DataLoop(std::shared_ptr<QueryEntry> entry, DataConn* dc);
+
+  void EnqueueFrame(Conn& c, FrameType type, const void* payload, size_t len);
+  void EnqueueError(Conn& c, const Status& status);
+  /// Non-blocking write of c's outbox; arms EPOLLOUT on a partial write.
+  /// Returns false when the connection errored and must close.
+  bool FlushConn(Conn& c);
+  void CloseConn(int fd);
+  void SweepIdle(int64_t now_nanos);
+  void WakeLoop();
+  /// Joins every data-connection thread of `e` exactly once (guarded).
+  void ReapDataConns(QueryEntry& e);
+  void EndSubscriptions(QueryEntry& e);
+  /// Tears down e's data plane and removes the query from the engine.
+  Status RemoveEntry(const std::shared_ptr<QueryEntry>& e);
+
+  Engine* const engine_;
+  const sql::Catalog catalog_;
+  const ServerOptions options_;
+
+  Socket listener_;
+  int port_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// Control-plane connections; epoll-thread-owned (sink threads reach
+  /// individual Conns through QueryEntry::subscribers weak_ptrs and touch
+  /// only the mutex-guarded write side).
+  std::map<int, std::shared_ptr<Conn>> conns_;
+
+  mutable std::mutex queries_mu_;
+  std::map<uint32_t, std::shared_ptr<QueryEntry>> queries_;
+  uint32_t next_query_id_ = 1;
+
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace saber::net

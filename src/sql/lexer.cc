@@ -25,17 +25,30 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = input.size();
+  // Newlines are only ever consumed by the whitespace skip below (comments
+  // stop *before* their '\n'), so one counter there keeps line/column exact.
+  int line = 1;
+  size_t line_start = 0;
+  auto mark = [&](Token& t, size_t pos) {
+    t.position = pos;
+    t.line = line;
+    t.column = static_cast<int>(pos - line_start) + 1;
+  };
   auto push = [&](TokenKind k, size_t pos, std::string raw = "") {
     Token t;
     t.kind = k;
-    t.position = pos;
     t.raw = std::move(raw);
+    mark(t, pos);
     tokens.push_back(std::move(t));
   };
 
   while (i < n) {
     const char c = input[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
       ++i;
       continue;
     }
@@ -51,7 +64,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       t.kind = TokenKind::kIdent;
       t.raw = input.substr(start, i - start);
       t.text = Lower(t.raw);
-      t.position = start;
+      mark(t, start);
       tokens.push_back(std::move(t));
       continue;
     }
@@ -71,7 +84,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       t.number = std::strtod(t.raw.c_str(), nullptr);
       t.number_is_int = is_int;
       t.int_value = is_int ? std::strtoll(t.raw.c_str(), nullptr, 10) : 0;
-      t.position = start;
+      mark(t, start);
       tokens.push_back(std::move(t));
       continue;
     }
@@ -125,15 +138,17 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
           break;
         }
         return Status::InvalidArgument(
-            StrCat("unexpected '!' at offset ", pos));
+            StrCat("unexpected '!' at line ", line, ", column ",
+                   pos - line_start + 1));
       default:
         return Status::InvalidArgument(
-            StrCat("unexpected character '", c, "' at offset ", pos));
+            StrCat("unexpected character '", c, "' at line ", line,
+                   ", column ", pos - line_start + 1));
     }
   }
   Token end;
   end.kind = TokenKind::kEnd;
-  end.position = n;
+  mark(end, n);
   tokens.push_back(std::move(end));
   return tokens;
 }

@@ -42,14 +42,16 @@ struct Token {
   double number = 0;
   bool number_is_int = false;
   int64_t int_value = 0;
-  size_t position = 0;  // byte offset for error messages
+  size_t position = 0;  // byte offset
+  int line = 1;         // 1-based, for error messages
+  int column = 1;       // 1-based byte column within the line
 
   bool IsKeyword(const char* kw) const {
     return kind == TokenKind::kIdent && text == kw;
   }
 };
 
-/// Tokenizes `input`. On error returns InvalidArgument with the offset.
+/// Tokenizes `input`. On error returns InvalidArgument with line/column.
 Result<std::vector<Token>> Tokenize(const std::string& input);
 
 }  // namespace saber::sql

@@ -28,7 +28,7 @@ class Parser {
   Parser(std::vector<Token> tokens, const Catalog& catalog, std::string name)
       : tokens_(std::move(tokens)), catalog_(catalog), name_(std::move(name)) {}
 
-  Result<QueryDef> Run() {
+  Result<ParsedStatement> Run() {
     SABER_RETURN_NOT_OK(Expect("select"));
     // Columns in the select list resolve against the FROM sources, which
     // appear later in the statement: capture the select-list tokens and
@@ -42,6 +42,8 @@ class Parser {
       Token end;
       end.kind = TokenKind::kEnd;
       end.position = Peek().position;
+      end.line = Peek().line;
+      end.column = Peek().column;
       select_tokens.push_back(end);
     }
     SABER_RETURN_NOT_OK(Expect("from"));
@@ -78,19 +80,29 @@ class Parser {
     }
     // HAVING references *output* columns (aggregate aliases, group keys), so
     // its tokens are captured now and parsed after the output schema exists.
+    // The capture stops at WITH, the only clause allowed after HAVING.
     std::vector<Token> having_tokens;
     if (AcceptKeyword("having")) {
-      while (Peek().kind != TokenKind::kEnd) having_tokens.push_back(Next());
+      while (Peek().kind != TokenKind::kEnd && !Peek().IsKeyword("with")) {
+        having_tokens.push_back(Next());
+      }
       Token end;
       end.kind = TokenKind::kEnd;
+      end.position = Peek().position;
+      end.line = Peek().line;
+      end.column = Peek().column;
       having_tokens.push_back(end);
+    }
+    IngressSpec ingress;
+    if (AcceptKeyword("with")) {
+      SABER_RETURN_NOT_OK(ParseWithClause(&ingress));
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Err("unexpected trailing input");
     }
     auto def = Build(std::move(items), std::move(where), std::move(group_by),
                      std::move(group_names));
-    if (!def.ok()) return def;
+    if (!def.ok()) return def.status();
     QueryDef q = std::move(def).value();
     if (!having_tokens.empty()) {
       if (!q.is_aggregation()) {
@@ -108,7 +120,10 @@ class Parser {
       }
       q.having = std::move(h).value();
     }
-    return q;
+    ParsedStatement stmt;
+    stmt.def = std::move(q);
+    stmt.ingress = ingress;
+    return stmt;
   }
 
  private:
@@ -128,25 +143,26 @@ class Parser {
     ++pos_;
     return true;
   }
+  std::string Where() const {
+    return " at line " + std::to_string(Peek().line) + ", column " +
+           std::to_string(Peek().column);
+  }
   Status Expect(const char* kw) {
     if (!AcceptKeyword(kw)) {
-      return Status::InvalidArgument("expected '" + std::string(kw) +
-                                     "' at offset " +
-                                     std::to_string(Peek().position));
+      return Status::InvalidArgument("expected '" + std::string(kw) + "'" +
+                                     Where());
     }
     return Status::OK();
   }
   Status ExpectKind(TokenKind k, const char* what) {
     if (!Accept(k)) {
       return Status::InvalidArgument("expected " + std::string(what) +
-                                     " at offset " +
-                                     std::to_string(Peek().position));
+                                     Where());
     }
     return Status::OK();
   }
   Status Err(const std::string& msg) const {
-    return Status::InvalidArgument(msg + " at offset " +
-                                   std::to_string(Peek().position));
+    return Status::InvalidArgument(msg + Where());
   }
   std::string DescribeLast() const {
     return pos_ > 0 ? tokens_[pos_ - 1].raw : "expr";
@@ -168,7 +184,7 @@ class Parser {
       src.alias = Next().raw;
     } else if (Peek().kind == TokenKind::kIdent &&
                !Peek().IsKeyword("where") && !Peek().IsKeyword("group") &&
-               !Peek().IsKeyword("having")) {
+               !Peek().IsKeyword("having") && !Peek().IsKeyword("with")) {
       src.alias = Next().raw;
     } else {
       src.alias = src.stream;
@@ -186,12 +202,23 @@ class Parser {
   Status ParseWindow(WindowDefinition* out) {
     SABER_RETURN_NOT_OK(ExpectKind(TokenKind::kLBracket, "'['"));
     bool time_based;
+    if (AcceptKeyword("session")) {
+      SABER_RETURN_NOT_OK(Expect("gap"));
+      if (Peek().kind != TokenKind::kNumber || !Peek().number_is_int) {
+        return Err("expected integer session gap");
+      }
+      const int64_t gap = Next().int_value;
+      SABER_RETURN_NOT_OK(ExpectKind(TokenKind::kRBracket, "']'"));
+      if (gap < 1) return Err("invalid session window: need gap >= 1");
+      *out = WindowDefinition::Session(gap);
+      return Status::OK();
+    }
     if (AcceptKeyword("range")) {
       time_based = true;
     } else if (AcceptKeyword("rows")) {
       time_based = false;
     } else {
-      return Err("expected RANGE or ROWS");
+      return Err("expected RANGE, ROWS or SESSION");
     }
     if (time_based && AcceptKeyword("unbounded")) {
       SABER_RETURN_NOT_OK(ExpectKind(TokenKind::kRBracket, "']'"));
@@ -215,6 +242,32 @@ class Parser {
     }
     *out = time_based ? WindowDefinition::Time(size, slide)
                       : WindowDefinition::Count(size, slide);
+    return Status::OK();
+  }
+
+  Status ParseWithClause(IngressSpec* out) {
+    for (;;) {
+      if (AcceptKeyword("lateness")) {
+        if (Peek().kind != TokenKind::kNumber || !Peek().number_is_int ||
+            Peek().int_value < 0) {
+          return Err("expected non-negative integer lateness");
+        }
+        out->allowed_lateness = Next().int_value;
+      } else if (AcceptKeyword("late")) {
+        if (AcceptKeyword("abort")) {
+          out->late_policy = ingest::LatePolicy::kAbort;
+        } else if (AcceptKeyword("drop")) {
+          out->late_policy = ingest::LatePolicy::kDropAndCount;
+        } else if (AcceptKeyword("deadletter")) {
+          out->late_policy = ingest::LatePolicy::kDeadLetter;
+        } else {
+          return Err("expected ABORT, DROP or DEADLETTER");
+        }
+      } else {
+        return Err("expected LATENESS or LATE");
+      }
+      if (!Accept(TokenKind::kComma)) break;
+    }
     return Status::OK();
   }
 
@@ -458,7 +511,7 @@ class Parser {
           b.JoinSelect(item.expr, item.name);
         }
       }
-      return b.Build();
+      return b.TryBuild();
     }
 
     QueryBuilder b(name_, sources_[0].schema);
@@ -499,17 +552,17 @@ class Parser {
       for (auto& item : items) {
         if (item.is_aggregate) b.Aggregate(item.fn, item.agg_input, item.name);
       }
-      return b.Build();
+      return b.TryBuild();
     }
 
     if (items.size() == 1 && items[0].is_star) {
-      return b.Build();  // identity projection
+      return b.TryBuild();  // identity projection
     }
     for (auto& item : items) {
       if (item.is_star) return Err("mixed '*' and columns unsupported");
       b.Select(item.expr, item.name);
     }
-    return b.Build();
+    return b.TryBuild();
   }
 
   std::vector<Token> tokens_;
@@ -526,12 +579,20 @@ class Parser {
 
 }  // namespace
 
-Result<QueryDef> Parse(const std::string& statement, const Catalog& catalog,
-                       const std::string& query_name) {
+Result<ParsedStatement> ParseStatement(const std::string& statement,
+                                       const Catalog& catalog,
+                                       const std::string& query_name) {
   auto tokens = Tokenize(statement);
   if (!tokens.ok()) return tokens.status();
   Parser parser(std::move(tokens).value(), catalog, query_name);
   return parser.Run();
+}
+
+Result<QueryDef> Parse(const std::string& statement, const Catalog& catalog,
+                       const std::string& query_name) {
+  auto stmt = ParseStatement(statement, catalog, query_name);
+  if (!stmt.ok()) return stmt.status();
+  return std::move(stmt).value().def;
 }
 
 }  // namespace saber::sql

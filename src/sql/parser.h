@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/query.h"
+#include "ingest/ingress_options.h"
 #include "sql/lexer.h"
 
 /// \file parser.h
@@ -14,9 +15,13 @@
 ///   query      := SELECT select_list
 ///                 FROM source (',' source)?
 ///                 (WHERE expr)? (GROUP BY expr_list)? (HAVING expr)?
+///                 (WITH with_opt (',' with_opt)*)?
 ///   source     := stream_name window (AS? alias)?
 ///   window     := '[' RANGE (UNBOUNDED | n (SLIDE m)?) ']'        -- time
 ///               | '[' ROWS n (SLIDE m)? ']'                       -- count
+///               | '[' SESSION GAP n ']'                           -- session
+///   with_opt   := LATENESS n                 -- event-time disorder bound
+///               | LATE (ABORT | DROP | DEADLETTER)   -- late-tuple policy
 ///   select_list:= sel (',' sel)* ; sel := expr (AS ident)?
 ///   expr       := disjunctions/conjunctions of comparisons over
 ///                 +,-,*,/,% arithmetic; aggregates SUM/AVG/COUNT/MIN/MAX;
@@ -35,8 +40,26 @@ namespace saber::sql {
 /// Stream catalog: name -> schema (field 0 must be the timestamp).
 using Catalog = std::map<std::string, Schema>;
 
+/// Ingestion directives from the statement's WITH clause. The parser only
+/// records them — whoever admits the query (the network front end, a CLI)
+/// applies them to the ingress it builds.
+struct IngressSpec {
+  int64_t allowed_lateness = 0;
+  ingest::LatePolicy late_policy = ingest::LatePolicy::kAbort;
+};
+
+struct ParsedStatement {
+  QueryDef def;
+  IngressSpec ingress;
+};
+
 /// Parses one streaming SQL statement against the catalog.
 Result<QueryDef> Parse(const std::string& statement, const Catalog& catalog,
                        const std::string& query_name = "sql");
+
+/// Like Parse, but also returns the WITH-clause ingestion directives.
+Result<ParsedStatement> ParseStatement(const std::string& statement,
+                                       const Catalog& catalog,
+                                       const std::string& query_name = "sql");
 
 }  // namespace saber::sql

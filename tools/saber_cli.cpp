@@ -55,6 +55,12 @@
 ///   --input F.csv   read input stream 0 from a CSV file (header expected;
 ///                   streamed in bounded chunks for single-input queries)
 ///   --output F.csv  write the ordered output stream to a CSV file
+///   --connect H:P   remote mode: submit the SQL to a saber_server at host
+///                   H port P, feed the generated streams over the data
+///                   plane (--producers TCP connections per input, sharded
+///                   by timestamp group) and subscribe to the results.
+///                   --lateness/--late-policy/--rate travel in the data
+///                   handshake; --input and --churn are local-only.
 ///
 /// Examples:
 ///   saber_cli "select timestamp, avg(a1) as load from Syn [rows 256 slide 64]"
@@ -77,6 +83,7 @@
 #include "core/engine.h"
 #include "ingest/sharded_ingress.h"
 #include "io/csv.h"
+#include "net/client.h"
 #include "runtime/blocking_queue.h"
 #include "runtime/clock.h"
 #include "sql/parser.h"
@@ -101,7 +108,9 @@ struct CliOptions {
   int churn = 0;      // add/remove cycles against the live engine
   int64_t disorder = 0;  // max timestamp jitter injected per producer shard
   int64_t lateness = 0;  // ingress reorder-buffer horizon (allowed lateness)
+  bool lateness_set = false;  // explicit --lateness (remote: else inherit SQL)
   ingest::LatePolicy late_policy = ingest::LatePolicy::kAbort;
+  std::string connect;  // host:port of a saber_server (remote mode)
   int64_t limit = 10;
   uint32_t seed = 42;
   std::string input_csv;   // read stream 0 from a CSV file instead
@@ -115,7 +124,7 @@ struct CliOptions {
                "[--task-size B] [--policy fixed|aimd|guard] [--target-ms N] "
                "[--min-task-size B] [--producers N] [--rate B] [--churn N] "
                "[--disorder J] [--lateness L] "
-               "[--late-policy abort|drop|dead-letter] "
+               "[--late-policy abort|drop|dead-letter] [--connect H:P] "
                "[--limit N] [--seed N] \"SQL\"\n",
                argv0);
   std::exit(2);
@@ -168,10 +177,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
       }
     } else if (a == "--lateness") {
       o->lateness = std::atoll(next());
+      o->lateness_set = true;
       if (o->lateness < 0) {
         std::fprintf(stderr, "--lateness must be >= 0\n");
         return false;
       }
+    } else if (a == "--connect") {
+      o->connect = next();
     } else if (a == "--late-policy") {
       const std::string p = next();
       if (p == "abort") {
@@ -220,6 +232,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
   if (o->rate > 0 && o->producers < 2) {
     std::fprintf(stderr,
                  "--rate meters sharded producers; it needs --producers >= 2\n");
+    return false;
+  }
+  if (!o->connect.empty() && !o->input_csv.empty()) {
+    std::fprintf(stderr, "--input is local-only; it cannot combine with "
+                         "--connect (the server generates nothing)\n");
+    return false;
+  }
+  if (!o->connect.empty() && o->churn > 0) {
+    std::fprintf(stderr,
+                 "--churn drives a local engine; it cannot combine with "
+                 "--connect\n");
     return false;
   }
   if (o->disorder > o->lateness &&
@@ -280,6 +303,189 @@ void PrintRow(const Schema& s, const uint8_t* row) {
   std::printf("\n");
 }
 
+/// --connect mode: the engine lives in a saber_server; this process is a
+/// pure client. SQL goes over the control plane, the generated streams go
+/// over --producers data connections per input (sharded by whole timestamp
+/// groups, like the in-process ingress path, so the output matches the
+/// local run byte for byte), and results come back on a subscription.
+int RunRemote(const CliOptions& cli, const sql::Catalog& catalog) {
+  const size_t colon = cli.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == cli.connect.size()) {
+    std::fprintf(stderr, "--connect expects host:port\n");
+    return 2;
+  }
+  const std::string host = cli.connect.substr(0, colon);
+  const int port = std::atoi(cli.connect.c_str() + colon + 1);
+
+  // Parse locally too: the generators need the input schemas and the row
+  // printer the output schema. The server's parse is the authoritative one.
+  auto parsed = sql::Parse(cli.sql, catalog, "cli");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  const QueryDef def = std::move(parsed).value();
+
+  auto dialed = net::ControlClient::Connect(host, port);
+  if (!dialed.ok()) {
+    std::fprintf(stderr, "connect error: %s\n",
+                 dialed.status().ToString().c_str());
+    return 1;
+  }
+  net::ControlClient control = std::move(dialed).value();
+  auto submitted = control.Submit(cli.sql);
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "submit error: %s\n",
+                 submitted.status().ToString().c_str());
+    return 1;
+  }
+  const net::QueryInfo info = submitted.value();
+  std::printf("query        : %s\n", cli.sql.c_str());
+  std::printf("remote query : #%u (%s) on %s\n", info.query_id,
+              info.name.c_str(), cli.connect.c_str());
+  std::printf("output schema: %s\n", info.output_schema.c_str());
+  if (info.output_tuple_size != def.output_schema.tuple_size()) {
+    std::fprintf(stderr,
+                 "schema drift: server outputs %u-byte tuples, local parse "
+                 "says %zu\n",
+                 info.output_tuple_size, def.output_schema.tuple_size());
+    return 1;
+  }
+
+  // Results arrive asynchronously once subscribed, so the subscription gets
+  // its own control connection and reader thread.
+  auto sub_dialed = net::ControlClient::Connect(host, port);
+  if (!sub_dialed.ok()) {
+    std::fprintf(stderr, "connect error: %s\n",
+                 sub_dialed.status().ToString().c_str());
+    return 1;
+  }
+  net::ControlClient sub = std::move(sub_dialed).value();
+  if (Status s = sub.Subscribe(info.query_id); !s.ok()) {
+    std::fprintf(stderr, "subscribe error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const Schema& out = def.output_schema;
+  int64_t rows = 0;
+  std::string csv_out;
+  const bool dump_csv = !cli.output_csv.empty();
+  if (dump_csv) csv_out = io::ToCsv(out, nullptr, 0);  // header only
+  std::thread result_reader([&] {
+    std::vector<uint8_t> batch;
+    for (;;) {
+      auto more = sub.NextBatch(&batch);
+      if (!more.ok() || !more.value()) return;  // kSubscribeEnd or torn down
+      if (dump_csv) io::AppendCsv(out, batch.data(), batch.size(), &csv_out);
+      for (size_t off = 0; off < batch.size(); off += out.tuple_size()) {
+        if (rows < cli.limit) PrintRow(out, batch.data() + off);
+        if (rows == cli.limit) std::printf("  ... (further rows elided)\n");
+        ++rows;
+      }
+    }
+  });
+
+  Stopwatch wall;
+  std::atomic<int64_t> tuples_sent{0};
+  std::atomic<int64_t> bytes_sent{0};
+  std::mutex err_mu;
+  std::string feed_error;
+  auto record_error = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (feed_error.empty()) feed_error = s.ToString();
+  };
+  std::vector<std::thread> feeders;
+  for (int i = 0; i < def.num_inputs; ++i) {
+    const Schema& in = def.input_schema[i];
+    const std::vector<uint8_t> stream =
+        GenerateFor(in, cli.tuples, cli.seed + static_cast<uint32_t>(i));
+    for (int p = 0; p < cli.producers; ++p) {
+      feeders.emplace_back([&, i, p, stream] {
+        const size_t tsz = def.input_schema[i].tuple_size();
+        net::DataHello hello;
+        hello.query_id = info.query_id;
+        hello.input = static_cast<uint16_t>(i);
+        hello.producer = static_cast<uint16_t>(p);
+        hello.num_producers = static_cast<uint16_t>(cli.producers);
+        hello.tuple_size = static_cast<uint32_t>(tsz);
+        // No explicit --lateness inherits the statement's WITH clause.
+        hello.allowed_lateness = cli.lateness_set ? cli.lateness : -1;
+        hello.late_policy = static_cast<uint8_t>(cli.late_policy);
+        hello.rate_bytes_per_sec = cli.rate;
+        auto conn = net::ProducerClient::Connect(host, port, hello);
+        if (!conn.ok()) {
+          record_error(conn.status());
+          return;
+        }
+        net::ProducerClient producer = std::move(conn).value();
+        std::vector<uint8_t> shard =
+            workloads::ExtractTimestampShard(stream, tsz, p, cli.producers)
+                .value();
+        if (cli.disorder > 0) {
+          shard = workloads::ApplyBoundedDisorder(
+              shard, tsz, cli.disorder,
+              static_cast<uint64_t>(cli.seed) * 1000003u +
+                  static_cast<uint64_t>(i) * 131u + static_cast<uint64_t>(p));
+        }
+        const size_t chunk = size_t{8192} * tsz;
+        for (size_t off = 0; off < shard.size(); off += chunk) {
+          const size_t n = std::min(chunk, shard.size() - off);
+          if (Status s = producer.Send(shard.data() + off, n); !s.ok()) {
+            // A rejected stream (late tuple under abort semantics, ...)
+            // usually surfaces as a failed write; fetch the server's
+            // parting kError for the real story.
+            record_error(producer.LastServerError());
+            return;
+          }
+        }
+        tuples_sent.fetch_add(static_cast<int64_t>(shard.size() / tsz));
+        bytes_sent.fetch_add(static_cast<int64_t>(shard.size()));
+        if (Status s = producer.End(); !s.ok()) record_error(s);
+      });
+    }
+  }
+  for (auto& t : feeders) t.join();
+
+  int exit_code = 0;
+  if (Status s = control.Drain(info.query_id); !s.ok()) {
+    std::fprintf(stderr, "drain error: %s\n", s.ToString().c_str());
+    exit_code = 1;
+  }
+  // Remove flushes the window remainder through the sink and ends the
+  // subscription, which unblocks the reader thread.
+  if (Status s = control.Remove(info.query_id); !s.ok()) {
+    std::fprintf(stderr, "remove error: %s\n", s.ToString().c_str());
+    sub.Shutdown();
+    exit_code = 1;
+  }
+  result_reader.join();
+  const double secs = wall.ElapsedSeconds();
+
+  std::printf("\n-- statistics --\n");
+  std::printf("tuples sent  : %lld\n",
+              static_cast<long long>(tuples_sent.load()));
+  std::printf("rows out     : %lld\n", static_cast<long long>(rows));
+  std::printf("throughput   : %.2f Mtuples/s (%.3f GB/s) over TCP\n",
+              static_cast<double>(tuples_sent.load()) / secs / 1e6,
+              static_cast<double>(bytes_sent.load()) / secs / (1 << 30));
+  if (!feed_error.empty()) {
+    std::fprintf(stderr, "feed error   : %s\n", feed_error.c_str());
+    exit_code = 1;
+  }
+  if (dump_csv) {
+    std::ofstream f(cli.output_csv, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", cli.output_csv.c_str());
+      return 1;
+    }
+    f << csv_out;
+    std::printf("output file  : %s (%lld rows)\n", cli.output_csv.c_str(),
+                static_cast<long long>(rows));
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +498,8 @@ int main(int argc, char** argv) {
   catalog["SmartGridStr"] = sg::SmartGridSchema();
   catalog["PosSpeedStr"] = lrb::PositionSchema();
   catalog["SegSpeedStr"] = lrb::PositionSchema();
+
+  if (!cli.connect.empty()) return RunRemote(cli, catalog);
 
   Result<QueryDef> parsed = sql::Parse(cli.sql, catalog, "cli");
   if (!parsed.ok()) {
@@ -436,13 +644,16 @@ int main(int argc, char** argv) {
     // Error unwind for the CSV pump: feeders must be joined before their
     // queues/ingresses go out of scope (a joinable std::thread destructor
     // calls std::terminate), and the engine must stop before the ingresses
-    // so a merger blocked in InsertInto is woken.
+    // so a merger blocked in InsertInto is woken. The wake-ups have to come
+    // *before* the joins: a feeder parked in Append behind that blocked
+    // merger only returns once the engine, then its ingress, stops — and the
+    // churner exits on its first engine call after Stop.
     auto abort_feed = [&] {
-      if (churner.joinable()) churner.join();
-      for (auto& queue : qs) queue->Close();
-      for (auto& t : feeders) t.join();
       engine.Stop();
       for (auto& ing : ingresses) ing->Stop();
+      for (auto& queue : qs) queue->Close();
+      for (auto& t : feeders) t.join();
+      if (churner.joinable()) churner.join();
     };
     for (int i = 0; i < num_inputs; ++i) {
       const size_t tsz = q->def().input_schema[i].tuple_size();
@@ -536,6 +747,9 @@ int main(int argc, char** argv) {
       if (!chunk.ok()) {
         std::fprintf(stderr, "input error: %s\n",
                      chunk.status().ToString().c_str());
+        // Stop first so a churner mid-cycle errors out instead of running
+        // its remaining add/remove cycles against a doomed engine.
+        engine.Stop();
         if (churner.joinable()) churner.join();
         return 1;
       }

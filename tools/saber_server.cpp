@@ -1,0 +1,203 @@
+/// saber_server — the SABER engine behind a TCP front end.
+///
+/// Starts an Engine, binds a net::SaberServer on --port, and serves until
+/// SIGINT/SIGTERM. Remote clients submit streaming SQL over the control
+/// plane (saber_cli --connect, net::ControlClient), feed tuples over the
+/// data plane (net::ProducerClient) and subscribe to result batches. The
+/// catalog matches saber_cli: Syn, TaskEvents, SmartGridStr, PosSpeedStr,
+/// SegSpeedStr.
+///
+/// Flags:
+///   --port P             listen port (default 7643; 0 picks ephemeral)
+///   --bind A             bind address (default 127.0.0.1; use 0.0.0.0
+///                        to accept remote peers)
+///   --workers N          engine CPU worker threads (default 4)
+///   --no-gpu             disable the simulated GPGPU pipeline
+///   --task-size B        fixed task size in bytes (default 1 MiB)
+///   --idle-timeout-ms N  slow-loris guard / silent-connection sweep
+///                        (default 30000; <= 0 disables)
+///   --max-frame B        per-frame payload bound (default 4 MiB)
+///   --staging B          per-producer staging ring bytes (default 4 MiB)
+///   --stats-secs N       print a stats line every N seconds (0 = quiet)
+///
+/// Teardown order matters (see src/net/server.h): the server stops first —
+/// revoking shards and waking every blocked reader — and only then the
+/// engine.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/engine.h"
+#include "net/server.h"
+#include "runtime/clock.h"
+#include "sql/parser.h"
+#include "workloads/cluster_monitoring.h"
+#include "workloads/linear_road.h"
+#include "workloads/smart_grid.h"
+#include "workloads/synthetic.h"
+
+using namespace saber;
+
+namespace {
+
+struct ServerCliOptions {
+  int port = 7643;
+  std::string bind = "127.0.0.1";
+  int workers = 4;
+  bool use_gpu = true;
+  size_t task_size = 1 << 20;
+  int idle_timeout_ms = 30'000;
+  uint32_t max_frame = net::kMaxFramePayload;
+  size_t staging_bytes = size_t{4} << 20;
+  int stats_secs = 0;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--bind A] [--workers N] [--no-gpu] "
+               "[--task-size B] [--idle-timeout-ms N] [--max-frame B] "
+               "[--staging B] [--stats-secs N]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseArgs(int argc, char** argv, ServerCliOptions* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--port") {
+      o->port = std::atoi(next());
+      if (o->port < 0 || o->port > 65535) {
+        std::fprintf(stderr, "--port must be 0..65535\n");
+        return false;
+      }
+    } else if (a == "--bind") {
+      o->bind = next();
+    } else if (a == "--workers") {
+      o->workers = std::atoi(next());
+      if (o->workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--no-gpu") {
+      o->use_gpu = false;
+    } else if (a == "--task-size") {
+      o->task_size = static_cast<size_t>(std::atoll(next()));
+      if (o->task_size < 64) {
+        std::fprintf(stderr, "--task-size must be >= 64\n");
+        return false;
+      }
+    } else if (a == "--idle-timeout-ms") {
+      o->idle_timeout_ms = std::atoi(next());
+    } else if (a == "--max-frame") {
+      const long long v = std::atoll(next());
+      if (v < 64 || v > static_cast<long long>(net::kMaxFramePayload)) {
+        std::fprintf(stderr, "--max-frame must be 64..%u\n",
+                     net::kMaxFramePayload);
+        return false;
+      }
+      o->max_frame = static_cast<uint32_t>(v);
+    } else if (a == "--staging") {
+      const long long v = std::atoll(next());
+      if (v < 4096) {
+        std::fprintf(stderr, "--staging must be >= 4096\n");
+        return false;
+      }
+      o->staging_bytes = static_cast<size_t>(v);
+    } else if (a == "--stats-secs") {
+      o->stats_secs = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::sig_atomic_t volatile g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerCliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) Usage(argv[0]);
+
+  sql::Catalog catalog;
+  catalog["Syn"] = syn::SyntheticSchema();
+  catalog["TaskEvents"] = cm::TaskEventSchema();
+  catalog["SmartGridStr"] = sg::SmartGridSchema();
+  catalog["PosSpeedStr"] = lrb::PositionSchema();
+  catalog["SegSpeedStr"] = lrb::PositionSchema();
+
+  EngineOptions eopts;
+  eopts.num_cpu_workers = cli.workers;
+  eopts.use_gpu = cli.use_gpu;
+  eopts.task_size = cli.task_size;
+  Engine engine(eopts);
+  engine.Start();
+
+  net::ServerOptions sopts;
+  sopts.bind_addr = cli.bind;
+  sopts.port = cli.port;
+  sopts.idle_timeout_ms = cli.idle_timeout_ms;
+  sopts.max_frame_bytes = cli.max_frame;
+  sopts.ingress.staging_buffer_bytes = cli.staging_bytes;
+  net::SaberServer server(&engine, catalog, sopts);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", s.ToString().c_str());
+    engine.Stop();
+    return 1;
+  }
+
+  std::printf("saber_server listening on %s:%d (%d workers, gpu %s)\n",
+              cli.bind.c_str(), server.port(), cli.workers,
+              cli.use_gpu ? "on" : "off");
+  std::printf("catalog: Syn TaskEvents SmartGridStr PosSpeedStr SegSpeedStr\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  int64_t last_stats = NowNanos();
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (cli.stats_secs > 0 &&
+        NowNanos() - last_stats >=
+            static_cast<int64_t>(cli.stats_secs) * 1'000'000'000) {
+      const net::ServerStats st = server.stats();
+      std::printf(
+          "[stats] conns=%lld (ctl %lld data %lld) queries=%zu "
+          "submitted=%lld removed=%lld frames=%lld bytes=%lld "
+          "batches=%lld proto_errs=%lld timeouts=%lld\n",
+          static_cast<long long>(st.connections_accepted),
+          static_cast<long long>(st.control_connections),
+          static_cast<long long>(st.data_connections), server.num_queries(),
+          static_cast<long long>(st.queries_submitted),
+          static_cast<long long>(st.queries_removed),
+          static_cast<long long>(st.tuple_frames),
+          static_cast<long long>(st.tuple_bytes),
+          static_cast<long long>(st.result_batches),
+          static_cast<long long>(st.protocol_errors),
+          static_cast<long long>(st.timeouts));
+      std::fflush(stdout);
+      last_stats = NowNanos();
+    }
+  }
+
+  std::printf("shutting down\n");
+  server.Stop();   // first: wakes/joins the data plane, stops ingresses
+  engine.Stop();   // then the engine (merger may be parked downstream)
+  return 0;
+}
