@@ -1,0 +1,443 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/fault_registry.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/parser.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file faults.cc
+/// Cost of recovery: throughput and integrity under seeded fault injection
+/// (src/fault/fault_registry.h), two scenarios:
+///
+///   gpu-failover    — a GPGPU-enabled engine with gpu.kernel_fault armed
+///                     at 1% per device task, against the fault-free run of
+///                     the identical stream. Every failed task replays
+///                     CPU-only, so the fault shows up as scheduling work,
+///                     never as wrong output; the gate bounds that tax.
+///   reconnect-storm — N remote producers through a real SaberServer with
+///                     a reconnect grace window, net.server.drop_data_conn
+///                     severing a data connection every K frames. Each drop
+///                     parks the shard; the client redials, presents its
+///                     resume token and replays past the acked sequence.
+///                     The query output must stay byte-identical to the
+///                     fault-free run — zero lost, duplicated or reordered
+///                     tuples — while the storm rages.
+///
+/// Runs are interleaved across configurations (docs/benchmarks.md
+/// methodology) and medians feed BENCH_faults.json.
+///
+/// --check enforces the CI gates: gpu-failover median throughput >= 0.8x
+/// the fault-free baseline, and every reconnect-storm rep byte-identical
+/// with at least one actual resume (a storm that never dropped anything
+/// would gate nothing).
+///
+/// Flags: --quick, --check, --producers N, --out <path>.
+
+namespace saber::bench {
+namespace {
+
+/// The storm statement: deterministic output under the CPU-only engine, so
+/// byte-comparison against the uninterrupted run is exact.
+constexpr const char* kStormSql =
+    "select timestamp, sum(a1) as total, count(*) as n "
+    "from Syn [rows 256 slide 64] group by a3";
+
+sql::Catalog MakeCatalog() {
+  return sql::Catalog{{"Syn", syn::SyntheticSchema()}};
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: GPGPU task failover.
+// ---------------------------------------------------------------------------
+
+struct GpuFaultRun {
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  int64_t gpu_retries = 0;
+  int64_t quarantines = 0;
+};
+
+/// Small tasks so a 1% per-task fault rate lands tens of faults per run.
+EngineOptions GpuFaultOptions() {
+  EngineOptions o;
+  o.num_cpu_workers = 4;
+  o.use_gpu = true;
+  o.device.pace_transfers = false;
+  o.task_size = 1 << 14;
+  o.input_buffer_size = size_t{128} << 20;
+  return o;
+}
+
+/// Runs the aggregation over `data` under whatever faults are currently
+/// armed and reports throughput plus the engine's failover counters.
+GpuFaultRun RunGpuConfig(const std::vector<uint8_t>& data,
+                         size_t total_tuples) {
+  Engine engine(GpuFaultOptions());
+  QueryHandle* q = engine.AddQuery(syn::MakeAggregation(
+      AggregateFunction::kSum, WindowDefinition::Count(1024, 256)));
+  q->SetSink([](const uint8_t*, size_t) {});
+  engine.Start();
+  StreamFeeder feeder(q->def().input_schema[0], data);
+  Stopwatch wall;
+  feeder.Feed(q, 0, /*repeats=*/1, /*shift_timestamps=*/false);
+  engine.Drain();
+
+  GpuFaultRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  r.gpu_retries = engine.gpu_task_retries();
+  r.quarantines = engine.device_quarantines();
+  engine.Stop();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: producer reconnect storm.
+// ---------------------------------------------------------------------------
+
+struct StormRun {
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  int64_t reconnects = 0;
+  int64_t shards_parked = 0;
+  int64_t grace_expiries = 0;
+  bool byte_identical = false;
+};
+
+EngineOptions IngestBoundOptions() {
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = false;
+  o.task_size = 1 << 20;
+  o.input_buffer_size = size_t{64} << 20;
+  return o;
+}
+
+/// Ground truth: the storm statement run in-process, one producer.
+std::vector<uint8_t> RunLocal(const std::vector<uint8_t>& stream) {
+  auto def = sql::Parse(kStormSql, MakeCatalog());
+  if (!def.ok()) {
+    std::fprintf(stderr, "parse: %s\n", def.status().ToString().c_str());
+    std::exit(1);
+  }
+  Engine engine(IngestBoundOptions());
+  auto q = engine.TryAddQuery(std::move(def).value());
+  std::vector<uint8_t> out;
+  (void)q.value()->SetSink([&](const uint8_t* data, size_t len) {
+    out.insert(out.end(), data, data + len);
+  });
+  engine.Start();
+  q.value()->Insert(stream.data(), stream.size());
+  engine.Drain();
+  engine.Stop();
+  return out;
+}
+
+/// The storm statement through a real SaberServer: one ProducerClient per
+/// shard, small sends (many frames), drops injected at the server's reader
+/// loop by whatever faults are currently armed. Output collected through a
+/// subscriber and compared byte-for-byte against `expect`.
+StormRun RunStormConfig(const std::vector<std::vector<uint8_t>>& shards,
+                        size_t total_tuples, size_t call_bytes,
+                        const std::vector<uint8_t>& expect) {
+  Engine engine(IngestBoundOptions());
+  engine.Start();
+  net::ServerOptions sopts;
+  sopts.reconnect_grace_ms = 5'000;
+  net::SaberServer server(&engine, MakeCatalog(), sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "cannot start server\n");
+    std::exit(1);
+  }
+  const int port = server.port();
+
+  auto control = net::ControlClient::Connect("127.0.0.1", port);
+  auto info = control.value().Submit(kStormSql);
+  if (!info.ok()) {
+    std::fprintf(stderr, "submit: %s\n", info.status().ToString().c_str());
+    std::exit(1);
+  }
+  const uint32_t id = info.value().query_id;
+  const auto tsz = info.value().input_tuple_size[0];
+
+  std::vector<uint8_t> out;
+  auto sub = net::ControlClient::Connect("127.0.0.1", port);
+  if (!sub.value().Subscribe(id).ok()) std::exit(1);
+  std::thread reader([&] {
+    std::vector<uint8_t> batch;
+    for (;;) {
+      auto more = sub.value().NextBatch(&batch);
+      if (!more.ok() || !more.value()) break;
+      out.insert(out.end(), batch.begin(), batch.end());
+    }
+  });
+
+  const int producers = static_cast<int>(shards.size());
+  std::atomic<int64_t> reconnects{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      net::DataHello hello;
+      hello.query_id = id;
+      hello.producer = static_cast<uint16_t>(p);
+      hello.num_producers = static_cast<uint16_t>(producers);
+      hello.tuple_size = tsz;
+      net::ReconnectPolicy rp;
+      rp.connect_timeout_ms = 2'000;
+      rp.max_attempts = 10;
+      rp.initial_backoff_ms = 5;
+      rp.max_backoff_ms = 100;
+      auto c = net::ProducerClient::Connect("127.0.0.1", port, hello, rp);
+      if (!c.ok()) {
+        std::fprintf(stderr, "producer connect: %s\n",
+                     c.status().ToString().c_str());
+        std::exit(1);
+      }
+      const std::vector<uint8_t>& shard = shards[static_cast<size_t>(p)];
+      for (size_t off = 0; off < shard.size(); off += call_bytes) {
+        if (!c.value()
+                 .Send(shard.data() + off,
+                       std::min(call_bytes, shard.size() - off))
+                 .ok()) {
+          std::fprintf(stderr, "send failed: %s\n",
+                       c.value().LastServerError().ToString().c_str());
+          std::exit(1);
+        }
+      }
+      if (Status es = c.value().End(); !es.ok()) {
+        std::fprintf(stderr, "end failed: %s\n", es.ToString().c_str());
+        std::exit(1);
+      }
+      reconnects.fetch_add(c.value().reconnects());
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (!control.value().Drain(id).ok()) std::exit(1);
+  engine.Drain();
+
+  StormRun r;
+  r.seconds = wall.ElapsedSeconds();
+  r.tuples_per_sec =
+      static_cast<double>(total_tuples) / std::max(r.seconds, 1e-9);
+  r.reconnects = reconnects.load();
+  const net::ServerStats st = server.stats();
+  r.shards_parked = st.shards_parked;
+  r.grace_expiries = st.grace_expiries;
+
+  if (!control.value().Remove(id).ok()) std::exit(1);
+  reader.join();
+  server.Stop();
+  engine.Stop();
+
+  r.byte_identical = out.size() == expect.size() &&
+                     std::memcmp(out.data(), expect.data(), out.size()) == 0;
+  return r;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  int producers = 4;
+  std::string out = "BENCH_faults.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      producers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--check] [--producers N] "
+                   "[--out path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto& faults = fault::FaultRegistry::Global();
+  faults.DisarmAll();
+
+  const int reps = quick ? 3 : 5;
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+
+  // --- Scenario 1: GPGPU failover under 1% kernel faults. ---------------
+  const size_t gpu_tuples = quick ? 2'000'000 : 4'000'000;
+  const auto gpu_stream = syn::Generate(gpu_tuples);
+  fault::FaultSpec kernel_fault;
+  kernel_fault.probability = 0.01;
+  kernel_fault.seed = 1;
+
+  std::vector<double> clean_rates, faulted_rates;
+  GpuFaultRun last_clean, last_faulted;
+  int64_t gpu_retries_total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    faults.DisarmAll();
+    last_clean = RunGpuConfig(gpu_stream, gpu_tuples);
+    clean_rates.push_back(last_clean.tuples_per_sec);
+    faults.Arm("gpu.kernel_fault", kernel_fault);
+    last_faulted = RunGpuConfig(gpu_stream, gpu_tuples);
+    faults.DisarmAll();
+    faulted_rates.push_back(last_faulted.tuples_per_sec);
+    gpu_retries_total += last_faulted.gpu_retries;
+  }
+  const double clean_med = Median(clean_rates);
+  const double faulted_med = Median(faulted_rates);
+  const double retained = clean_med > 0 ? faulted_med / clean_med : 0;
+
+  PrintHeader("gpu failover: 1% kernel faults vs fault-free",
+              {"mode", "Mtuples/s", "retries", "quarantines"});
+  std::vector<JsonObject> results;
+  struct GpuRow {
+    const char* mode;
+    double med;
+    const GpuFaultRun* last;
+  } gpu_rows[] = {{"fault-free", clean_med, &last_clean},
+                  {"1pct-kernel-faults", faulted_med, &last_faulted}};
+  for (const GpuRow& row : gpu_rows) {
+    PrintCell(std::string(row.mode));
+    PrintCell(row.med / 1e6);
+    PrintCell(static_cast<double>(row.last->gpu_retries));
+    PrintCell(static_cast<double>(row.last->quarantines));
+    EndRow();
+    JsonObject rec;
+    rec.Str("scenario", "gpu-failover")
+        .Str("mode", row.mode)
+        .Num("tuples_per_sec_median", row.med)
+        .Int("gpu_retries_last", row.last->gpu_retries)
+        .Int("quarantines_last", row.last->quarantines);
+    results.push_back(std::move(rec));
+  }
+  std::printf(
+      "\nthroughput retained under 1%% GPGPU faults: %.2fx "
+      "(%lld CPU retries across %d reps)\n",
+      retained, static_cast<long long>(gpu_retries_total), reps);
+
+  // --- Scenario 2: producer reconnect storm. ----------------------------
+  const size_t storm_tuples = quick ? (256 << 10) : (512 << 10);
+  const auto storm_stream = syn::Generate(storm_tuples);
+  const std::vector<uint8_t> expect = RunLocal(storm_stream);
+  std::vector<std::vector<uint8_t>> shards;
+  for (int p = 0; p < producers; ++p) {
+    shards.push_back(
+        workloads::ExtractTimestampShard(storm_stream, tsz, p, producers)
+            .value());
+  }
+  const size_t call_bytes = 512 * tsz;  // many frames -> many drop chances
+  fault::FaultSpec drop;
+  drop.every_n = 100;  // sever a data connection every 100th frame read
+
+  std::vector<double> calm_rates, storm_rates;
+  StormRun last_calm, last_storm;
+  bool all_identical = true;
+  int64_t storm_reconnects = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    faults.DisarmAll();
+    last_calm = RunStormConfig(shards, storm_tuples, call_bytes, expect);
+    calm_rates.push_back(last_calm.tuples_per_sec);
+    all_identical = all_identical && last_calm.byte_identical;
+    faults.Arm("net.server.drop_data_conn", drop);
+    last_storm = RunStormConfig(shards, storm_tuples, call_bytes, expect);
+    faults.DisarmAll();
+    storm_rates.push_back(last_storm.tuples_per_sec);
+    all_identical = all_identical && last_storm.byte_identical;
+    storm_reconnects += last_storm.reconnects;
+  }
+  const double calm_med = Median(calm_rates);
+  const double storm_med = Median(storm_rates);
+
+  PrintHeader(StrCat("reconnect storm: drop every 100 frames, ", producers,
+                     " producers"),
+              {"mode", "Mtuples/s", "resumes", "identical"});
+  struct StormRow {
+    const char* mode;
+    double med;
+    const StormRun* last;
+  } storm_rows[] = {{"clean", calm_med, &last_calm},
+                    {"storm", storm_med, &last_storm}};
+  for (const StormRow& row : storm_rows) {
+    PrintCell(std::string(row.mode));
+    PrintCell(row.med / 1e6);
+    PrintCell(static_cast<double>(row.last->reconnects));
+    PrintCell(std::string(row.last->byte_identical ? "yes" : "NO"));
+    EndRow();
+    JsonObject rec;
+    rec.Str("scenario", "reconnect-storm")
+        .Str("mode", row.mode)
+        .Num("tuples_per_sec_median", row.med)
+        .Int("reconnects_last", row.last->reconnects)
+        .Int("shards_parked_last", row.last->shards_parked)
+        .Int("grace_expiries_last", row.last->grace_expiries)
+        .Bool("byte_identical_last", row.last->byte_identical);
+    results.push_back(std::move(rec));
+  }
+  std::printf(
+      "\nstorm integrity: %s, %lld resumes across %d reps\n",
+      all_identical ? "byte-identical" : "DIVERGED",
+      static_cast<long long>(storm_reconnects), reps);
+
+  JsonObject meta;
+  meta.Int("gpu_tuples", static_cast<int64_t>(gpu_tuples))
+      .Int("storm_tuples", static_cast<int64_t>(storm_tuples))
+      .Int("reps", reps)
+      .Int("producers", producers)
+      .Num("gpu_retained", retained)
+      .Int("gpu_retries_total", gpu_retries_total)
+      .Int("storm_reconnects", storm_reconnects)
+      .Bool("storm_identical", all_identical)
+      .Bool("quick", quick);
+  if (!WriteBenchJson(out, "faults", meta, results)) return 1;
+
+  if (check) {
+    if (retained < 0.8) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: %.2fx fault-free throughput under 1%% "
+                   "GPGPU faults (gate: >= 0.8x)\n",
+                   retained);
+      return 1;
+    }
+    if (gpu_retries_total == 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: no GPGPU task ever failed over, so the "
+                   "throughput gate exercised nothing\n");
+      return 1;
+    }
+    if (!all_identical) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: reconnect storm lost, duplicated or "
+                   "reordered tuples (gate: byte-identical output)\n");
+      return 1;
+    }
+    if (storm_reconnects == 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: the storm never dropped a connection, so "
+                   "the integrity gate exercised nothing\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace saber::bench
+
+int main(int argc, char** argv) { return saber::bench::Run(argc, argv); }

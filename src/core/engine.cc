@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 
@@ -740,6 +741,7 @@ void Engine::CreateSingleInputTask(QueryState& qs, int64_t end_pos) {
   t->id = qs.next_task_id++;
   t->query_index = qs.index;
   t->num_inputs = 1;
+  t->allowed = kAllProcessors;  // pooled: clear any failover narrowing
   auto& in = t->in[0];
   in.start_pos = start_pos;
   in.end_pos = end_pos;
@@ -820,6 +822,7 @@ bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
   t->id = qs.next_task_id++;
   t->query_index = qs.index;
   t->num_inputs = 2;
+  t->allowed = kAllProcessors;  // pooled: clear any failover narrowing
   for (int i = 0; i < 2; ++i) {
     auto& in = t->in[i];
     in.start_pos = qs.next_task_start[i];
@@ -995,23 +998,67 @@ void Engine::GpuWorkerLoop() {
   size_t inflight = 0;
   const size_t depth = options_.device.pipeline_depth;
 
+  // GPGPU failover state (docs/architecture.md §14). consecutive_failures
+  // counts device-failed completions since the last success; once it
+  // reaches the threshold the worker quarantines the device: no submissions
+  // until `quarantined_until`, then exactly one probe task at a time (the
+  // inflight <= 0 gate below) until a success clears the episode.
+  int consecutive_failures = 0;
+  int64_t quarantined_until = 0;
+
   auto handle = [&](Event& e) {
     if (e.task == nullptr) {
       ping_pending.store(false, std::memory_order_release);
       return;
     }
+    --inflight;
     // In-flight tasks pin their query (retirement waits for assembly), so
     // the slot lookup cannot fail even though the submit happened earlier.
     QueryState* qsp = LiveSlot(e.task->query_index);
     SABER_CHECK(qsp != nullptr);
+    if (e.result->device_failed) {
+      // The device failed the task: recycle the result, decay the device's
+      // published rate so HLS steers away, narrow the task to the CPU (when
+      // CPU workers exist — a GPGPU-only engine retries in place) and put
+      // it back at the queue *front* to preserve per-query id order. No
+      // RecordCompletion: a failure is not a throughput sample.
+      gpu_task_retries_.fetch_add(1);
+      matrix_->DecayRate(e.task->query_index, Processor::kGpu,
+                         options_.gpu_failure_decay);
+      if (options_.num_cpu_workers > 0) {
+        e.task->allowed = ProcessorBit(Processor::kCpu);
+      }
+      if (++consecutive_failures >= options_.gpu_quarantine_threshold) {
+        if (quarantined_until == 0) device_quarantines_.fetch_add(1);
+        quarantined_until = NowNanos() + options_.gpu_quarantine_nanos;
+      }
+      result_pool_->Release(std::unique_ptr<TaskResult>(e.result));
+      if (!task_queue_->Requeue(e.task)) {
+        // Queue closed (engine stopping): recycle like PushTask does.
+        qsp->tasks_dispatched.fetch_sub(1);
+        task_pool_->Release(std::unique_ptr<QueryTask>(e.task));
+      }
+      return;
+    }
+    if (quarantined_until != 0 || consecutive_failures != 0) {
+      // A healthy completion (steady state or probe) ends the episode; the
+      // matrix re-publishes measured rates as completions accumulate.
+      consecutive_failures = 0;
+      quarantined_until = 0;
+    }
     matrix_->RecordCompletion(e.task->query_index, Processor::kGpu);
     StoreAndAssemble(*qsp, e.task, e.result, Processor::kGpu);
-    --inflight;
   };
 
   for (;;) {
     for (Event& e : events.PopAll()) handle(e);
-    if (inflight < depth && !stopping_.load()) {
+    bool may_submit = inflight < depth && !stopping_.load();
+    if (may_submit && quarantined_until != 0) {
+      // Quarantined: hold all submissions inside the window; after it
+      // elapses admit one probe task at a time.
+      may_submit = NowNanos() >= quarantined_until && inflight == 0;
+    }
+    if (may_submit) {
       QueryTask* t = task_queue_->Select(*policy_, Processor::kGpu, *matrix_,
                                          /*wait=*/false);
       if (t != nullptr) {
@@ -1036,7 +1083,17 @@ void Engine::GpuWorkerLoop() {
     // Nothing to submit: block until a completion or an availability ping
     // arrives. Close() fires the availability listener, so shutdown wakes
     // this wait too; in-flight completions keep arriving from the device
-    // stage threads, which outlive the worker.
+    // stage threads, which outlive the worker. A quarantined worker with
+    // nothing in flight additionally wakes at the window's expiry — no
+    // event is coming to announce that the probe may go out.
+    if (quarantined_until != 0 && inflight == 0 && !stopping_.load()) {
+      const int64_t wait = quarantined_until - NowNanos();
+      if (wait > 0) {
+        if (auto e = events.PopFor(std::chrono::nanoseconds(wait))) handle(*e);
+        continue;
+      }
+      // Window elapsed but Select found nothing: wait for work as usual.
+    }
     if (auto e = events.Pop()) handle(*e);
   }
   // Detach under the queue lock before `events`/`ping_pending` go out of

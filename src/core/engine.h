@@ -132,6 +132,18 @@ struct EngineOptions {
   /// Default: 100. Until real completions refresh a cell, HLS plans with
   /// this value (the paper's "uniform assumption").
   double matrix_initial_rate = 100.0;
+
+  /// GPGPU failover (docs/architecture.md §14). A task the device fails is
+  /// requeued at the queue front narrowed to the CPU (when CPU workers
+  /// exist) and the device's published rate is multiplied by
+  /// `gpu_failure_decay` so HLS steers away. After
+  /// `gpu_quarantine_threshold` *consecutive* failures the GPGPU worker
+  /// stops submitting for `gpu_quarantine_nanos`, then lets a single probe
+  /// task through; a successful probe lifts the quarantine, a failed one
+  /// re-arms the window. Unit: tasks / nanoseconds / factor.
+  int gpu_quarantine_threshold = 3;
+  int64_t gpu_quarantine_nanos = 50'000'000;
+  double gpu_failure_decay = 0.5;
 };
 
 class Engine;
@@ -281,6 +293,12 @@ class Engine {
   size_t queue_depth() const { return task_queue_->size(); }
   const EngineOptions& options() const { return options_; }
 
+  /// Device-failed tasks retried (requeued CPU-narrowed) by the failover
+  /// path, and quarantine episodes entered (gpu_quarantine_threshold
+  /// consecutive failures). Both zero in fault-free runs.
+  int64_t gpu_task_retries() const { return gpu_task_retries_.load(); }
+  int64_t device_quarantines() const { return device_quarantines_.load(); }
+
  private:
   friend class QueryHandle;
 
@@ -345,6 +363,10 @@ class Engine {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+
+  /// GPGPU failover counters (see the public accessors).
+  std::atomic<int64_t> gpu_task_retries_{0};
+  std::atomic<int64_t> device_quarantines_{0};
 
   /// True on engine worker threads (CPU workers and the GPGPU worker).
   /// Worker-context task dispatch — a connected query's sink running inside

@@ -117,6 +117,10 @@ struct TaskResult {
   int64_t input_bytes = 0;
   int64_t dispatched_nanos = 0;  // for end-to-end latency accounting
 
+  /// The device failed the task (injected or real): no payload fields are
+  /// valid, and the GPGPU worker requeues the task instead of assembling.
+  bool device_failed = false;
+
   void Reset() {
     complete.Clear();
     partials.Clear();
@@ -125,6 +129,7 @@ struct TaskResult {
     free_pos[0] = free_pos[1] = 0;
     input_bytes = 0;
     dispatched_nanos = 0;
+    device_failed = false;
   }
 };
 

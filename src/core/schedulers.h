@@ -118,12 +118,27 @@ class FcfsScheduler final : public Scheduler {
   QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
                     ThroughputMatrix& matrix,
                     ScanState* scan = nullptr) override {
-    (void)scan;  // FCFS only ever looks at the head
-    if (queue.empty()) return nullptr;
-    QueryTask* t = queue.front();
-    queue.pop_front();
-    matrix.IncrementCount(t->query_index, p);
-    return t;
+    // FCFS takes the first task this processor is *allowed* to run — the
+    // head in the common case; failover-narrowed retries make the mask
+    // meaningful. Per-task eligibility is fixed, so a refused prefix stays
+    // refused and the scan resumes where it last stopped.
+    size_t pos = scan == nullptr ? 0 : std::min(scan->resume_pos, queue.size());
+    for (; pos < queue.size(); ++pos) {
+      QueryTask* t = queue[pos];
+      if (MaskHas(t->allowed, p)) {
+        queue.erase(queue.begin() + static_cast<long>(pos));
+        matrix.IncrementCount(t->query_index, p);
+        return t;
+      }
+    }
+    if (scan != nullptr) scan->resume_pos = pos;
+    return nullptr;
+  }
+
+  ProcessorMask EligibleProcessors(const QueryTask& task, bool /*was_empty*/,
+                                   const ThroughputMatrix& /*matrix*/)
+      const override {
+    return task.allowed;
   }
 
   bool RemovalChangesEligibility() const override { return false; }
@@ -137,15 +152,14 @@ class StaticScheduler final : public Scheduler {
   QueryTask* Select(std::deque<QueryTask*>& queue, Processor p,
                     ThroughputMatrix& matrix,
                     ScanState* scan = nullptr) override {
-    // Assignment is fixed per query, so a previously refused prefix stays
-    // refused: resume where the last failed scan stopped.
+    // Assignment is fixed per query and the allowed mask per task, so a
+    // previously refused prefix stays refused: resume where the last failed
+    // scan stopped.
     size_t pos = scan == nullptr ? 0 : std::min(scan->resume_pos, queue.size());
     for (; pos < queue.size(); ++pos) {
-      if (Assigned((*(queue.begin() + static_cast<long>(pos)))->query_index) ==
-          p) {
-        auto it = queue.begin() + static_cast<long>(pos);
-        QueryTask* t = *it;
-        queue.erase(it);
+      QueryTask* t = queue[pos];
+      if (Eligible(*t, p)) {
+        queue.erase(queue.begin() + static_cast<long>(pos));
         matrix.IncrementCount(t->query_index, p);
         return t;
       }
@@ -157,12 +171,23 @@ class StaticScheduler final : public Scheduler {
   ProcessorMask EligibleProcessors(const QueryTask& task, bool /*was_empty*/,
                                    const ThroughputMatrix& /*matrix*/)
       const override {
-    return ProcessorBit(Assigned(task.query_index));
+    const Processor a = Assigned(task.query_index);
+    return MaskHas(task.allowed, a) ? ProcessorBit(a) : task.allowed;
   }
 
   bool RemovalChangesEligibility() const override { return false; }
 
  private:
+  /// The assigned processor runs the task if the mask allows it; a task
+  /// whose mask *excludes* its assignment (GPGPU failover retry under a
+  /// GPGPU-assigned query) may run on any allowed processor — the
+  /// alternative is a permanently stuck task.
+  bool Eligible(const QueryTask& t, Processor p) const {
+    if (!MaskHas(t.allowed, p)) return false;
+    const Processor a = Assigned(t.query_index);
+    return a == p || !MaskHas(t.allowed, a);
+  }
+
   Processor Assigned(int query) const {
     auto a = assignment_.find(query);
     return a == assignment_.end() ? Processor::kCpu : a->second;
@@ -229,9 +254,15 @@ class HlsScheduler final : public Scheduler {
       const int q = v->query_index;                         // line 4
       Processor ppref = matrix.Preferred(q);                // line 5
       if (!enabled_[static_cast<int>(ppref)]) ppref = p;
+      // A failover-narrowed task prefers whatever its mask still allows
+      // (two processors, so "not ppref" is the other one).
+      if (!MaskHas(v->allowed, ppref)) {
+        ppref = ppref == Processor::kCpu ? Processor::kGpu : Processor::kCpu;
+      }
       // Only a query's earliest queued task may be selected (per-query id
       // order); later tasks of a candidate query still count as queued work.
-      if (!candidate_query.test(static_cast<size_t>(q) % kMaxQuerySlots)) {
+      if (MaskHas(v->allowed, p) &&
+          !candidate_query.test(static_cast<size_t>(q) % kMaxQuerySlots)) {
         const double rate_p = matrix.Rate(q, p);
         // Line 6: take the task if (i) this is the preferred processor and
         // the switch threshold has not been exceeded, or (ii) this is not
@@ -307,6 +338,18 @@ class HlsScheduler final : public Scheduler {
   ProcessorMask EligibleProcessors(const QueryTask& task, bool queue_was_empty,
                                    const ThroughputMatrix& matrix)
       const override {
+    const ProcessorMask m = EligibleUnmasked(task, queue_was_empty, matrix);
+    // A failover-narrowed task can only wake allowed processors. The
+    // intersection cannot be empty in practice (the engine narrows only
+    // toward processors that have workers), but fall back to the mask
+    // itself rather than waking nobody.
+    const ProcessorMask allowed = static_cast<ProcessorMask>(m & task.allowed);
+    return allowed != 0 ? allowed : task.allowed;
+  }
+
+ private:
+  ProcessorMask EligibleUnmasked(const QueryTask& task, bool queue_was_empty,
+                                 const ThroughputMatrix& matrix) const {
     const int q = task.query_index;
     const Processor ppref = matrix.Preferred(q);
     if (!enabled_[static_cast<int>(ppref)]) {
@@ -402,6 +445,25 @@ class TaskQueue {
     // One appended task enables at most one selection per processor, and
     // workers of the same processor are interchangeable: notify_one.
     NotifyLocked(mask, /*everyone=*/false);
+    return true;
+  }
+
+  /// Returns a failed task to the queue *front*, bypassing the capacity
+  /// bound (the task was already admitted once; blocking here would wedge
+  /// the requeueing worker). Front placement is load-bearing: policies
+  /// select a query's tasks in id order and the result stage's slot ring
+  /// admits a task only within kSlots of the assembly cursor, so a retried
+  /// task parked behind its query's younger tasks could spin every worker.
+  /// Returns false when the queue is closed (caller recycles the task).
+  bool Requeue(QueryTask* task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    tasks_.push_front(task);
+    // Unlike an append, a front insert changes the prefix ahead of every
+    // queued task (HLS delay accounting), so all scans are stale and any
+    // processor's eligibility may have changed: wake everyone.
+    InvalidateScansLocked();
+    NotifyLocked(kAllProcessors, /*everyone=*/true);
     return true;
   }
 

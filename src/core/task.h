@@ -60,6 +60,12 @@ struct QueryTask {
 
   int64_t dispatched_nanos = 0;  // for end-to-end latency accounting
   int64_t total_bytes = 0;       // query task size contribution (Σ|b_i|)
+
+  /// Processors allowed to execute this task. Dispatch creates every task
+  /// with kAllProcessors; the GPGPU failover path narrows a failed task to
+  /// the CPU before requeueing it, so the schedulers route the retry away
+  /// from the failing device.
+  ProcessorMask allowed = kAllProcessors;
 };
 
 }  // namespace saber

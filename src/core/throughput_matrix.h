@@ -116,6 +116,21 @@ class ThroughputMatrix {
     cell(query, p).exec_count.store(0, std::memory_order_relaxed);
   }
 
+  /// Multiplies the published rate for (q, p) by `factor` (in (0, 1]),
+  /// floored at kMinRate. The GPGPU failover path decays a failing device's
+  /// rate so HLS steers new tasks away immediately, without waiting out the
+  /// refresh interval; the next MaybeRefresh that publishes a *measured*
+  /// rate (e.g. after successful probe tasks) overwrites the decayed value,
+  /// which is the natural re-admission path.
+  void DecayRate(int query, Processor p, double factor) {
+    Cell& c = cell(query, p);
+    const double cur =
+        std::max(c.rate.load(std::memory_order_relaxed), kMinRate);
+    c.rate.store(std::max(cur * factor, kMinRate), std::memory_order_relaxed);
+    c.published.store(true, std::memory_order_release);
+    if (refresh_listener_) refresh_listener_();
+  }
+
   /// Forces a rate (tests and the Fig. 5 worked example).
   void SetRate(int query, Processor p, double rate) {
     Cell& c = cell(query, p);

@@ -1,0 +1,181 @@
+#include "fault/fault_registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/strcat.h"
+
+namespace saber::fault {
+
+namespace {
+
+/// splitmix64: tiny, seedable, and statistically fine for per-point fire
+/// decisions. Each armed point owns one stream.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t& state) {
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& ps = points_[point];
+  if (!ps.armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  ps.spec = spec;
+  ps.armed = true;
+  ps.rng_state = spec.seed;
+  ps.hits = 0;
+  ps.fires = 0;
+}
+
+Status FaultRegistry::ArmFromString(const std::string& directive) {
+  const size_t eq = directive.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument(
+        StrCat("fault directive '", directive, "': expected <point>=<spec>"));
+  }
+  const std::string point = directive.substr(0, eq);
+  FaultSpec spec;
+  bool have_trigger = false;
+  size_t pos = eq + 1;
+  while (pos < directive.size()) {
+    size_t comma = directive.find(',', pos);
+    if (comma == std::string::npos) comma = directive.size();
+    const std::string part = directive.substr(pos, comma - pos);
+    char* end = nullptr;
+    if (part.rfind("p:", 0) == 0) {
+      spec.probability = std::strtod(part.c_str() + 2, &end);
+      if (end == part.c_str() + 2 || *end != '\0' || spec.probability < 0.0 ||
+          spec.probability > 1.0) {
+        return Status::InvalidArgument(
+            StrCat("fault directive '", directive,
+                   "': probability must be in [0, 1]"));
+      }
+      have_trigger = true;
+    } else if (part.rfind("n:", 0) == 0) {
+      spec.every_n = std::strtoll(part.c_str() + 2, &end, 10);
+      if (end == part.c_str() + 2 || *end != '\0' || spec.every_n <= 0) {
+        return Status::InvalidArgument(StrCat(
+            "fault directive '", directive, "': every-n must be positive"));
+      }
+      have_trigger = true;
+    } else if (part.rfind("seed:", 0) == 0) {
+      spec.seed = std::strtoull(part.c_str() + 5, &end, 10);
+      if (end == part.c_str() + 5 || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("fault directive '", directive, "': bad seed"));
+      }
+    } else if (part == "once") {
+      spec.one_shot = true;
+    } else {
+      return Status::InvalidArgument(StrCat("fault directive '", directive,
+                                            "': unknown part '", part, "'"));
+    }
+    pos = comma + 1;
+  }
+  if (!have_trigger) {
+    return Status::InvalidArgument(StrCat(
+        "fault directive '", directive, "': needs a p:<prob> or n:<N> trigger"));
+  }
+  Arm(point, spec);
+  return Status::OK();
+}
+
+int FaultRegistry::ArmFromEnv(const char* env_var) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || *value == '\0') return 0;
+  int armed = 0;
+  const std::string all(value);
+  size_t pos = 0;
+  while (pos < all.size()) {
+    size_t semi = all.find(';', pos);
+    if (semi == std::string::npos) semi = all.size();
+    const std::string directive = all.substr(pos, semi - pos);
+    if (!directive.empty()) {
+      const Status s = ArmFromString(directive);
+      if (s.ok()) {
+        ++armed;
+      } else {
+        std::fprintf(stderr, "%s: %s\n", env_var, s.ToString().c_str());
+      }
+    }
+    pos = semi + 1;
+  }
+  return armed;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, ps] : points_) {
+    if (ps.armed) {
+      ps.armed = false;
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool FaultRegistry::InjectSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return false;
+  PointState& ps = it->second;
+  ++ps.hits;
+  bool fire = false;
+  if (ps.spec.probability > 0.0) {
+    fire = UnitUniform(ps.rng_state) < ps.spec.probability;
+  } else if (ps.spec.every_n > 0) {
+    fire = ps.hits % ps.spec.every_n == 0;
+  }
+  if (fire) {
+    ++ps.fires;
+    if (ps.spec.one_shot) {
+      ps.armed = false;
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return fire;
+}
+
+int64_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultRegistry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, ps] : points_) {
+    if (ps.armed) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace saber::fault

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/status.h"
+
+/// \file fault_registry.h
+/// Seeded, deterministic fault injection. Production code declares *named
+/// fault points* by calling `SABER_FAULT_POINT("gpu.kernel_fault")` (or
+/// FaultRegistry::Global().Inject(...)) at the place a failure would be
+/// observed; tests, benchmarks and the CLI tools arm points with a
+/// probability, an every-Nth trigger or a one-shot, and the guarded code
+/// takes its failure path when Inject returns true.
+///
+/// Design constraints:
+///  - *Zero cost when disabled*: an unarmed registry answers Inject with a
+///    single relaxed atomic load (the global armed-point count) and no lock.
+///  - *Deterministic*: each armed point owns a splitmix64 stream seeded from
+///    FaultSpec::seed, so a seeded run fires the same hit numbers every
+///    time regardless of thread interleaving at *other* points. (Hits at
+///    one point race only with themselves under the registry lock.)
+///  - *Composable wiring*: specs parse from `point=p:0.01`-style directives
+///    (CLI flags, the SABER_FAULTS environment variable), so any binary can
+///    inject faults without code changes.
+///
+/// Known fault points (see docs/architecture.md §14 for the full table):
+///   gpu.submit_reject        device rejects the job at submission
+///   gpu.kernel_fault         kernel dies mid-execution
+///   gpu.completion_timeout   result transfer never completes
+///   net.server.drop_data_conn  server force-drops a producer connection
+
+namespace saber::fault {
+
+/// How an armed fault point decides to fire. Exactly one trigger should be
+/// set; `probability` wins when both are.
+struct FaultSpec {
+  /// Fire on each hit with this probability (0 disables). Seeded, so a
+  /// given hit sequence fires identically across runs.
+  double probability = 0.0;
+  /// Fire on every Nth hit (hit numbers N, 2N, 3N, ...; 0 disables).
+  int64_t every_n = 0;
+  /// Disarm the point after its first fire.
+  bool one_shot = false;
+  /// Seed for the point's private RNG stream.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class FaultRegistry {
+ public:
+  /// The process-wide registry used by SABER_FAULT_POINT.
+  static FaultRegistry& Global();
+
+  /// Arms (or re-arms, resetting counters) a fault point.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Arms from a directive string:
+  ///   "<point>=p:<probability>"   e.g. "gpu.kernel_fault=p:0.01"
+  ///   "<point>=n:<every_n>"       e.g. "gpu.submit_reject=n:7"
+  /// with optional ",once" and ",seed:<u64>" suffixes (any order).
+  Status ArmFromString(const std::string& directive);
+
+  /// Arms every ';'-separated directive in the environment variable
+  /// (default SABER_FAULTS). Returns the number of points armed; malformed
+  /// directives are reported on stderr and skipped.
+  int ArmFromEnv(const char* env_var = "SABER_FAULTS");
+
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// The fault-point check. Returns true if `point` is armed and its
+  /// trigger fires for this hit. One relaxed load when nothing is armed.
+  bool Inject(const char* point) {
+    if (armed_points_.load(std::memory_order_relaxed) == 0) return false;
+    return InjectSlow(point);
+  }
+
+  /// Counters for assertions: how often the point was evaluated / fired.
+  /// Both survive Disarm (they reset on the next Arm of the same point).
+  int64_t hits(const std::string& point) const;
+  int64_t fires(const std::string& point) const;
+
+  std::vector<std::string> ArmedPoints() const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t rng_state = 0;
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  bool InjectSlow(const char* point);
+
+  /// Number of currently armed points; the Inject fast-path gate.
+  std::atomic<int> armed_points_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+/// Convenience macro for guarding a failure path:
+///   if (SABER_FAULT_POINT("gpu.submit_reject")) { ...fail... }
+#define SABER_FAULT_POINT(point) \
+  (::saber::fault::FaultRegistry::Global().Inject(point))
+
+}  // namespace saber::fault

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fault/fault_registry.h"
+
 namespace saber {
 
 SimDevice::SimDevice(SimDeviceOptions options)
@@ -54,7 +56,18 @@ GpuJob* SimDevice::AcquireJob() {
   return *slot;
 }
 
-void SimDevice::Submit(GpuJob* job) { to_copyin_.Push(job); }
+void SimDevice::Submit(GpuJob* job) {
+  if (SABER_FAULT_POINT("gpu.submit_reject")) {
+    // The device refuses the job at the submission boundary: skip the
+    // pipeline entirely and deliver the failure through the normal copyout
+    // completion path, so callers need no second error channel.
+    job->failed = true;
+    stats_.submit_rejects.fetch_add(1, std::memory_order_relaxed);
+    to_copyout_.Push(job);
+    return;
+  }
+  to_copyin_.Push(job);
+}
 
 void SimDevice::ReleaseJob(GpuJob* job) { free_slots_.Push(job); }
 
@@ -122,7 +135,13 @@ void SimDevice::ExecuteLoop() {
     if (!job.has_value()) return;
     GpuJob& j = **job;
     const int64_t t0 = NowNanos();
-    j.kernel(*this, j);
+    if (SABER_FAULT_POINT("gpu.kernel_fault")) {
+      // Kernel dies mid-execution: no output metadata is produced; the job
+      // rides the remaining stages in the failed state.
+      j.failed = true;
+    } else {
+      j.kernel(*this, j);
+    }
     if (options_.pace_transfers) {
       PaceNanos(t0, options_.launch_overhead_nanos);
     }
@@ -139,6 +158,15 @@ void SimDevice::MoveoutLoop() {
     auto job = to_moveout_.Pop();
     if (!job.has_value()) return;
     GpuJob& j = **job;
+    if (SABER_FAULT_POINT("gpu.completion_timeout")) {
+      // The result transfer times out: the device gives up on moving the
+      // payload back and surfaces the job as failed.
+      j.failed = true;
+    }
+    if (j.failed) {
+      to_copyout_.Push(*job);
+      continue;
+    }
     const int64_t t0 = NowNanos();
     const size_t payload = j.complete_bytes + j.partials_bytes;
     j.pinned_out.Resize(payload);
@@ -165,14 +193,22 @@ void SimDevice::CopyoutLoop() {
     GpuJob& j = **job;
     const int64_t t0 = NowNanos();
     TaskResult* r = j.result;
-    r->complete.Clear();
-    r->partials.Clear();
-    r->complete.Append(j.pinned_out.data(), j.complete_bytes);
-    r->partials.Append(j.pinned_out.data() + j.complete_bytes, j.partials_bytes);
-    r->panes = j.panes;
-    r->axis_p = j.axis_p;
-    r->axis_q = j.axis_q;
-    stats_.jobs.fetch_add(1, std::memory_order_relaxed);
+    if (j.failed) {
+      // No payload to copy out; tell the submitter the device failed the
+      // task so it can retry elsewhere.
+      if (r != nullptr) r->device_failed = true;
+      stats_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      r->complete.Clear();
+      r->partials.Clear();
+      r->complete.Append(j.pinned_out.data(), j.complete_bytes);
+      r->partials.Append(j.pinned_out.data() + j.complete_bytes,
+                         j.partials_bytes);
+      r->panes = j.panes;
+      r->axis_p = j.axis_p;
+      r->axis_q = j.axis_q;
+      stats_.jobs.fetch_add(1, std::memory_order_relaxed);
+    }
     stats_.copyout_nanos.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
     // Move the callback out before invoking it: on_complete conventionally
     // calls ReleaseJob, after which the slot can be re-acquired and its

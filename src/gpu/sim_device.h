@@ -84,7 +84,14 @@ struct GpuJob {
   std::vector<PaneEntry> panes;
   int64_t axis_p = 0, axis_q = 0;
 
+  /// Set by an injected failure mode (submit rejection, kernel fault,
+  /// completion timeout): the job skips the remaining pipeline work and
+  /// reaches copyout with no valid payload; copyout marks the TaskResult
+  /// device_failed instead of populating it.
+  bool failed = false;
+
   void ResetForSubmit() {
+    failed = false;
     pinned_in.Clear();
     device_in.Clear();
     device_out.Clear();
@@ -115,7 +122,10 @@ class SimDevice {
   /// in flight (this is the pipeline's backpressure).
   GpuJob* AcquireJob();
 
-  /// Enqueues a prepared job into the copyin stage.
+  /// Enqueues a prepared job into the copyin stage. Under an armed
+  /// gpu.submit_reject fault point the job bypasses the pipeline and is
+  /// delivered straight to copyout as failed (on_complete still runs, with
+  /// the TaskResult marked device_failed).
   void Submit(GpuJob* job);
 
   /// Returns a slot to the pool after on_complete has consumed the result.
@@ -128,6 +138,10 @@ class SimDevice {
 
   struct Stats {
     std::atomic<int64_t> jobs{0};
+    /// Jobs that reached copyout in the failed state (injected faults).
+    std::atomic<int64_t> jobs_failed{0};
+    /// Failed jobs that never entered the pipeline (gpu.submit_reject).
+    std::atomic<int64_t> submit_rejects{0};
     std::atomic<int64_t> bytes_in{0};
     std::atomic<int64_t> bytes_out{0};
     std::atomic<int64_t> copyin_nanos{0};

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 /// \file ingress_options.h
@@ -102,6 +103,26 @@ struct IngressOptions {
   /// `tuples_per_tick × allowed_lateness × tuple_size` to make overflow
   /// impossible.
   size_t reorder_buffer_bytes = size_t{1} << 20;
+
+  /// Watermark watchdog: a liveness monitor on the sealing watermark. When
+  /// > 0, a dedicated thread polls the merge progress and *trips* —
+  /// IngressStats::watchdog_trips plus a stderr diagnostic naming the
+  /// pinning shard — once bytes sit staged but nothing has merged for this
+  /// long (a producer is holding the watermark back: disconnected-but-open
+  /// shard, never-appended shard, stuck client). Detection latency is at
+  /// most 1.5× this interval (the thread polls at half of it). Unit:
+  /// nanoseconds. Default: 0 (off).
+  int64_t watchdog_nanos = 0;
+
+  /// When the watchdog trips, also revoke the pinning shard so the
+  /// watermark releases and the remaining shards merge (the revoked shard's
+  /// reorder tail is abandoned — liveness bought with that shard's
+  /// sub-lateness data). Default: off — observe only.
+  bool watchdog_force_close = false;
+
+  /// Prefix for the watchdog's stderr diagnostics (e.g. "query 3 input 0"
+  /// when the server owns the ingress). Default: empty.
+  std::string watchdog_label;
 };
 
 /// Per-producer counters (monotone; readable from any thread while the
@@ -138,6 +159,13 @@ struct IngressStats {
   int64_t merged_batches = 0;
   int64_t merged_bytes = 0;
   int64_t merged_tuples = 0;
+
+  /// Watermark-watchdog detections: staged bytes pending but no merge
+  /// progress for a full watchdog interval (edge-triggered — one trip per
+  /// continuous stall, re-armed when the merge moves again).
+  int64_t watchdog_trips = 0;
+  /// Shards the watchdog revoked under IngressOptions::watchdog_force_close.
+  int64_t watchdog_force_closes = 0;
 };
 
 }  // namespace saber::ingest

@@ -1,6 +1,10 @@
 #include "ingest/sharded_ingress.h"
 
+#include <chrono>
+#include <cstdio>
+
 #include "core/engine.h"
+#include "runtime/clock.h"
 #include "runtime/status.h"
 
 namespace saber::ingest {
@@ -20,6 +24,9 @@ ShardedIngress::ShardedIngress(size_t tuple_size, const IngressOptions& options,
       std::move(raw), tuple_size_, options_.merge_batch_bytes,
       std::move(downstream));
   merger_thread_ = std::thread([this] { MergerLoop(); });
+  if (options_.watchdog_nanos > 0) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 std::unique_ptr<ShardedIngress> ShardedIngress::ForQuery(
@@ -67,12 +74,14 @@ void ShardedIngress::Stop() {
     for (auto& p : producers_) p->staging_.WakeProducer();
     BumpIngestEpoch();
     ingest_epoch_.notify_all();
+    watchdog_cv_.notify_all();
   }
   {
     // Serializes concurrent Stop callers (e.g. an explicit Stop racing the
     // destructor's) around the one legal join.
     std::lock_guard<std::mutex> lock(join_mu_);
     if (merger_thread_.joinable()) merger_thread_.join();
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
   }
   done_epoch_.fetch_add(1, std::memory_order_release);
   done_epoch_.notify_all();
@@ -99,6 +108,9 @@ IngressStats ShardedIngress::stats() const {
   s.merged_batches = merger_->merged_batches();
   s.merged_bytes = merger_->merged_bytes();
   s.merged_tuples = merger_->merged_tuples();
+  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.watchdog_force_closes =
+      watchdog_force_closes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -138,6 +150,86 @@ void ShardedIngress::MergerLoop() {
     merger_waiting_.store(true, std::memory_order_seq_cst);
     ingest_epoch_.wait(seen, std::memory_order_acquire);
     merger_waiting_.store(false, std::memory_order_seq_cst);
+  }
+}
+
+void ShardedIngress::WatchdogLoop() {
+  const int64_t interval = options_.watchdog_nanos;
+  int64_t last_merged = merger_->merged_bytes();
+  int64_t last_progress = NowNanos();
+  bool tripped = false;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!stop_.load(std::memory_order_acquire) &&
+         !drained_.load(std::memory_order_acquire)) {
+    watchdog_cv_.wait_for(lock, std::chrono::nanoseconds(interval / 2));
+    if (stop_.load(std::memory_order_acquire) ||
+        drained_.load(std::memory_order_acquire)) {
+      break;
+    }
+    const int64_t now = NowNanos();
+    const int64_t merged = merger_->merged_bytes();
+    if (merged != last_merged) {  // the merge moved: re-arm
+      last_merged = merged;
+      last_progress = now;
+      tripped = false;
+      continue;
+    }
+    int64_t staged = 0;
+    for (auto& p : producers_) staged += p->bytes();
+    if (staged <= merged) {  // nothing pending: idle, not stalled
+      last_progress = now;
+      tripped = false;
+      continue;
+    }
+    if (tripped || now - last_progress < interval) continue;
+
+    // Pinned: bytes staged, no merge progress for a full interval. Name the
+    // shard holding the watermark back — the unfinished producer with the
+    // lowest published timestamp; a shard that never appended pins hardest
+    // (its first tuple could still carry any timestamp).
+    tripped = true;
+    watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+    ProducerHandle* pin = nullptr;
+    bool pin_virgin = false;
+    int64_t pin_ts = 0;
+    for (auto& p : producers_) {
+      if (p->finished()) continue;
+      const bool virgin = !p->has_appended_.load(std::memory_order_acquire);
+      const int64_t ts =
+          virgin ? 0 : p->last_ts_.load(std::memory_order_acquire);
+      if (pin == nullptr || (virgin && !pin_virgin) ||
+          (virgin == pin_virgin && ts < pin_ts)) {
+        pin = p.get();
+        pin_virgin = virgin;
+        pin_ts = ts;
+      }
+    }
+    const char* label =
+        options_.watchdog_label.empty() ? "ingress" : options_.watchdog_label.c_str();
+    if (pin != nullptr) {
+      std::fprintf(
+          stderr,
+          "[saber] watermark watchdog: %s stalled for %.1f ms with %lld "
+          "byte(s) staged; shard %d pins the watermark (%s)%s\n",
+          label, static_cast<double>(now - last_progress) / 1e6,
+          static_cast<long long>(staged - merged), pin->index(),
+          pin_virgin ? "never appended"
+                     : "lowest published timestamp",
+          options_.watchdog_force_close ? "; force-closing" : "");
+      if (options_.watchdog_force_close) {
+        pin->Revoke();
+        watchdog_force_closes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // Every shard is finished yet bytes sit unmerged — the merger itself
+      // is stuck (most plausibly blocked in a downstream InsertInto).
+      std::fprintf(
+          stderr,
+          "[saber] watermark watchdog: %s stalled for %.1f ms with %lld "
+          "byte(s) staged and no open shard; downstream back-pressure\n",
+          label, static_cast<double>(now - last_progress) / 1e6,
+          static_cast<long long>(staged - merged));
+    }
   }
 }
 

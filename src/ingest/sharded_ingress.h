@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -123,6 +124,15 @@ class ShardedIngress {
 
   IngressStats stats() const;
 
+  /// Watermark-watchdog counters (cheap; see IngressOptions::watchdog_nanos
+  /// and IngressStats for semantics).
+  int64_t watchdog_trips() const {
+    return watchdog_trips_.load(std::memory_order_relaxed);
+  }
+  int64_t watchdog_force_closes() const {
+    return watchdog_force_closes_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class ProducerHandle;
 
@@ -132,6 +142,11 @@ class ShardedIngress {
   /// wake syscall on the append fast path while the merger is running.
   void BumpIngestEpoch();
   void MergerLoop();
+  /// Liveness monitor on the sealing watermark (armed iff
+  /// options_.watchdog_nanos > 0; see IngressOptions). Polls at half the
+  /// interval; trips once per continuous stall; optionally revokes the
+  /// pinning shard.
+  void WatchdogLoop();
 
   const size_t tuple_size_;
   const IngressOptions options_;
@@ -151,6 +166,14 @@ class ShardedIngress {
 
   std::mutex join_mu_;
   std::thread merger_thread_;
+
+  /// Watermark watchdog (see WatchdogLoop). The cv lets Stop wake the
+  /// half-interval sleep immediately instead of waiting it out.
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_thread_;
+  std::atomic<int64_t> watchdog_trips_{0};
+  std::atomic<int64_t> watchdog_force_closes_{0};
 };
 
 }  // namespace saber::ingest

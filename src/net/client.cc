@@ -1,7 +1,9 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "runtime/strcat.h"
 
@@ -31,9 +33,19 @@ Status ExpectFrame(int fd, FrameType want, std::vector<uint8_t>* payload) {
 
 }  // namespace
 
-Result<ControlClient> ControlClient::Connect(const std::string& host,
-                                             int port) {
-  auto sock = Dial(host, port);
+Result<ControlClient> ControlClient::Connect(const std::string& host, int port,
+                                             int connect_timeout_ms,
+                                             int connect_attempts) {
+  Result<Socket> sock = Status::Unavailable("no connect attempt made");
+  int backoff_ms = 50;
+  for (int attempt = 0; attempt < std::max(1, connect_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 2'000);
+    }
+    sock = Dial(host, port, connect_timeout_ms);
+    if (sock.ok()) break;
+  }
   if (!sock.ok()) return sock.status();
   ControlClient c;
   c.sock_ = std::move(sock).value();
@@ -113,11 +125,12 @@ Result<bool> ControlClient::NextBatch(std::vector<uint8_t>* batch) {
 }
 
 Result<ProducerClient> ProducerClient::Connect(const std::string& host,
-                                               int port, DataHello hello) {
+                                               int port, DataHello hello,
+                                               ReconnectPolicy policy) {
   if (hello.tuple_size == 0) {
     return Status::InvalidArgument("hello.tuple_size must be set");
   }
-  auto sock = Dial(host, port);
+  auto sock = Dial(host, port, policy.connect_timeout_ms);
   if (!sock.ok()) return sock.status();
   ProducerClient p;
   p.sock_ = std::move(sock).value();
@@ -125,12 +138,128 @@ Result<ProducerClient> ProducerClient::Connect(const std::string& host,
   // Largest whole-tuple payload within the frame bound.
   p.max_chunk_ = kMaxFramePayload / hello.tuple_size * hello.tuple_size;
   hello.version = kProtocolVersion;
+  p.host_ = host;
+  p.port_ = port;
+  p.policy_ = policy;
   const std::vector<uint8_t> payload = EncodeDataHello(hello);
   SABER_RETURN_NOT_OK(SendFrame(p.sock_.fd(), FrameType::kHelloData,
                                 payload.data(), payload.size()));
   std::vector<uint8_t> reply;
   SABER_RETURN_NOT_OK(ExpectFrame(p.sock_.fd(), FrameType::kHelloOk, &reply));
+  // Data-plane kHelloOk: {u32 version, u64 token, i64 acked}. A version-1
+  // server that predates resume sends the bare version; the token then
+  // stays 0 and reconnection is effectively off.
+  WireReader r(reply.data(), reply.size());
+  uint32_t version = 0;
+  (void)r.ReadU32(&version);
+  if (r.remaining() >= 16) {
+    (void)r.ReadU64(&p.resume_token_);
+    int64_t acked = 0;
+    (void)r.ReadI64(&acked);
+  }
+  p.hello_ = hello;
   return p;
+}
+
+void ProducerClient::RecordSent(const uint8_t* p, size_t n) {
+  if (policy_.max_attempts > 0 && policy_.replay_buffer_bytes > 0) {
+    replay_.insert(replay_.end(), p, p + n);
+    if (replay_.size() > policy_.replay_buffer_bytes) {
+      replay_.erase(replay_.begin(),
+                    replay_.begin() +
+                        static_cast<ptrdiff_t>(replay_.size() -
+                                               policy_.replay_buffer_bytes));
+    }
+  }
+  sent_bytes_ += static_cast<int64_t>(n);
+}
+
+Status ProducerClient::Reconnect(Status cause) {
+  if (policy_.max_attempts <= 0 || resume_token_ == 0) return cause;
+  Status last = std::move(cause);
+  int backoff_ms = policy_.initial_backoff_ms;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    sock_.Close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
+    auto dial = Dial(host_, port_, policy_.connect_timeout_ms);
+    if (!dial.ok()) {
+      last = dial.status();
+      continue;
+    }
+    Socket s = std::move(dial).value();
+    DataHello hello = hello_;
+    hello.resume_token = resume_token_;
+    const std::vector<uint8_t> payload = EncodeDataHello(hello);
+    if (Status ss = SendFrame(s.fd(), FrameType::kHelloData, payload.data(),
+                              payload.size());
+        !ss.ok()) {
+      last = std::move(ss);
+      continue;
+    }
+    std::vector<uint8_t> reply;
+    auto h = RecvFrame(s.fd(), kMaxFramePayload, &reply);
+    if (!h.ok()) {
+      last = h.status();
+      continue;
+    }
+    if (h.value().type == FrameType::kError) {
+      Status err = DecodeError(reply.data(), reply.size());
+      // "Already bound" during a resume is the previous epoch's reader
+      // still draining: the client can observe the severed connection
+      // before the server's reader thread parks the shard. Back off and
+      // retry; every other rejection (grace expired, stale token, shard
+      // finished) is terminal — the same token cannot succeed later.
+      if (err.code() == StatusCode::kAlreadyExists) {
+        last = std::move(err);
+        continue;
+      }
+      return err;
+    }
+    if (h.value().type != FrameType::kHelloOk) {
+      last = Status::Internal(StrCat("expected kHelloOk, got ",
+                                     FrameTypeName(h.value().type)));
+      continue;
+    }
+    WireReader r(reply.data(), reply.size());
+    uint32_t version = 0;
+    uint64_t token = 0;
+    int64_t acked = 0;
+    if (!r.ReadU32(&version) || !r.ReadU64(&token) || !r.ReadI64(&acked)) {
+      return Status::Internal("resume kHelloOk without token/acked payload");
+    }
+    const int64_t base = sent_bytes_ - static_cast<int64_t>(replay_.size());
+    if (acked < base) {
+      return Status::ResourceExhausted(
+          StrCat("cannot resume: server acked ", acked,
+                 " bytes but the replay buffer starts at ", base,
+                 " (grow ReconnectPolicy::replay_buffer_bytes)"));
+    }
+    if (acked > sent_bytes_) {
+      return Status::Internal(StrCat("server acked ", acked,
+                                     " bytes of a ", sent_bytes_,
+                                     "-byte stream"));
+    }
+    // Replay the unacked tail, chunked like Send.
+    const uint8_t* tail = replay_.data() + (acked - base);
+    const size_t tail_bytes = static_cast<size_t>(sent_bytes_ - acked);
+    bool replay_ok = true;
+    for (size_t off = 0; off < tail_bytes; off += max_chunk_) {
+      const size_t n = std::min<size_t>(max_chunk_, tail_bytes - off);
+      if (Status ss = SendFrame(s.fd(), FrameType::kTuples, tail + off, n);
+          !ss.ok()) {
+        last = std::move(ss);
+        replay_ok = false;
+        break;
+      }
+    }
+    if (!replay_ok) continue;  // connection died again mid-replay
+    sock_ = std::move(s);
+    resume_token_ = token;
+    ++reconnects_;
+    return Status::OK();
+  }
+  return last;
 }
 
 Status ProducerClient::Send(const void* tuples, size_t bytes) {
@@ -143,16 +272,40 @@ Status ProducerClient::Send(const void* tuples, size_t bytes) {
   const uint8_t* p = static_cast<const uint8_t*>(tuples);
   for (size_t off = 0; off < bytes; off += max_chunk_) {
     const size_t n = std::min<size_t>(max_chunk_, bytes - off);
-    SABER_RETURN_NOT_OK(SendFrame(sock_.fd(), FrameType::kTuples, p + off, n));
+    // Recorded before the write: a chunk that dies on the wire is already
+    // in the replay ring, so the resume resends it from the acked boundary.
+    RecordSent(p + off, n);
+    Status s = SendFrame(sock_.fd(), FrameType::kTuples, p + off, n);
+    if (!s.ok()) {
+      SABER_RETURN_NOT_OK(Reconnect(std::move(s)));
+    }
   }
   return Status::OK();
 }
 
 Status ProducerClient::End() {
   if (!sock_.valid()) return Status::Unavailable("not connected");
-  SABER_RETURN_NOT_OK(SendFrame(sock_.fd(), FrameType::kDataEnd, nullptr, 0));
   std::vector<uint8_t> payload;
-  const Status s = ExpectFrame(sock_.fd(), FrameType::kDataEndOk, &payload);
+  Status s = SendFrame(sock_.fd(), FrameType::kDataEnd, nullptr, 0);
+  if (s.ok()) s = ExpectFrame(sock_.fd(), FrameType::kDataEndOk, &payload);
+  // The connection may have been severed before the server ever read the
+  // kDataEnd — on a loopback-fast path the client learns of a mid-stream
+  // drop only here (the kernel keeps accepting writes after the peer's
+  // shutdown). Resume and retry: the replay re-delivers anything the
+  // server never acked, then the kDataEnd goes out again. Bounded by the
+  // policy's attempts, since under a sustained drop storm the replayed
+  // tail itself can be severed. A server that already processed the
+  // kDataEnd has closed the shard; its rejection of the resume is
+  // terminal and comes back as the error.
+  for (int round = 0; !s.ok() && round < policy_.max_attempts; ++round) {
+    Status r = Reconnect(std::move(s));
+    if (!r.ok()) {
+      sock_.Close();
+      return r;
+    }
+    s = SendFrame(sock_.fd(), FrameType::kDataEnd, nullptr, 0);
+    if (s.ok()) s = ExpectFrame(sock_.fd(), FrameType::kDataEndOk, &payload);
+  }
   sock_.Close();
   return s;
 }

@@ -24,8 +24,13 @@ namespace saber::net {
 
 class ControlClient {
  public:
-  /// Dials and runs the control handshake.
-  static Result<ControlClient> Connect(const std::string& host, int port);
+  /// Dials and runs the control handshake. `connect_timeout_ms > 0` bounds
+  /// each TCP connect (see Dial); `connect_attempts > 1` retries a failed
+  /// dial with bounded exponential backoff (50 ms doubling to 2 s) — for
+  /// racing a server that is still binding its port.
+  static Result<ControlClient> Connect(const std::string& host, int port,
+                                       int connect_timeout_ms = 0,
+                                       int connect_attempts = 1);
 
   ControlClient() = default;
   ControlClient(ControlClient&&) = default;
@@ -66,6 +71,30 @@ class ControlClient {
   Socket sock_;
 };
 
+/// Reconnect/resume behavior of a ProducerClient. Off by default (a lost
+/// connection fails the Send, the historical contract). With
+/// `max_attempts > 0` — and a server running a reconnect grace window
+/// (ServerOptions::reconnect_grace_ms) — a mid-stream connection loss is
+/// repaired transparently: the client redials with bounded exponential
+/// backoff, presents its resume token, and replays every byte past the
+/// acked sequence the server reports, so the appended stream is
+/// byte-identical to the uninterrupted run.
+struct ReconnectPolicy {
+  /// Bound on each TCP connect, initial dial included (see Dial). 0 keeps
+  /// the OS-default blocking connect.
+  int connect_timeout_ms = 0;
+  /// Reconnect attempts after a mid-stream loss; 0 disables reconnection.
+  int max_attempts = 0;
+  /// Backoff before the first / between attempts, doubling per attempt.
+  int initial_backoff_ms = 50;
+  int max_backoff_ms = 2'000;
+  /// Replay ring capacity: the newest sent-but-possibly-unacked bytes kept
+  /// for resume. Must exceed the server's in-flight window (TCP buffers +
+  /// one frame); a resume whose gap outgrew the ring fails with
+  /// ResourceExhausted rather than splicing a hole into the stream.
+  size_t replay_buffer_bytes = size_t{8} << 20;
+};
+
 class ProducerClient {
  public:
   /// Dials and binds to producer shard `hello.producer` of input
@@ -73,8 +102,11 @@ class ProducerClient {
   /// everything else (num_producers, tuple_size, lateness, policy, rate) is
   /// the caller's negotiation. Fails if the shard is already bound or the
   /// hello does not match the query (the server's error comes back as-is).
+  /// The server's resume token is captured from the kHelloOk; `policy`
+  /// governs reconnection (see ReconnectPolicy).
   static Result<ProducerClient> Connect(const std::string& host, int port,
-                                        DataHello hello);
+                                        DataHello hello,
+                                        ReconnectPolicy policy = {});
 
   ProducerClient() = default;
   ProducerClient(ProducerClient&&) = default;
@@ -85,11 +117,20 @@ class ProducerClient {
   /// server back-pressure. The data plane is one-way until End(), so a
   /// server-side rejection (late tuple under abort semantics, framing
   /// violation) typically surfaces as an IOError on a later Send — call
-  /// LastServerError() for the kError the server left behind.
+  /// LastServerError() for the kError the server left behind. With a
+  /// ReconnectPolicy armed, a connection loss is repaired in place (see
+  /// ReconnectPolicy); Send fails only once the attempts are exhausted or
+  /// the server rejects the resume.
   Status Send(const void* tuples, size_t bytes);
 
   /// Ends the stream: kDataEnd, awaits kDataEndOk. The shard closes and the
-  /// watermark releases. The connection is unusable afterwards.
+  /// watermark releases. The connection is unusable afterwards. Both a send
+  /// failure and a failed kDataEndOk read are repaired via the
+  /// ReconnectPolicy, up to max_attempts resume rounds (a drop the kernel
+  /// absorbed silently often surfaces only here, and under a sustained
+  /// storm the replayed tail itself can be severed again); a server that
+  /// already closed the shard rejects the resume and that rejection is
+  /// returned.
   Status End();
 
   /// Abandons the stream (no kDataEnd). The server treats the disconnect
@@ -102,11 +143,36 @@ class ProducerClient {
 
   bool valid() const { return sock_.valid(); }
   size_t tuple_size() const { return tuple_size_; }
+  /// Successful mid-stream reconnects (resume handshakes that replayed).
+  int64_t reconnects() const { return reconnects_; }
+  /// The server-issued resume token (0 before Connect / from old servers).
+  uint64_t resume_token() const { return resume_token_; }
 
  private:
+  /// Appends `n` bytes to the replay ring (evicting the oldest beyond
+  /// capacity) and advances the sent sequence.
+  void RecordSent(const uint8_t* p, size_t n);
+  /// Bounded-backoff redial + resume handshake + tail replay. `cause` is
+  /// returned when reconnection is disabled or exhausted; a server-side
+  /// rejection of the resume is returned immediately (retrying a rejected
+  /// token cannot succeed).
+  Status Reconnect(Status cause);
+
   Socket sock_;
   size_t tuple_size_ = 0;
   uint32_t max_chunk_ = kMaxFramePayload;
+
+  /// Resume state (see ReconnectPolicy).
+  std::string host_;
+  int port_ = 0;
+  DataHello hello_;
+  ReconnectPolicy policy_;
+  uint64_t resume_token_ = 0;
+  int64_t reconnects_ = 0;
+  /// Replay ring: the last `replay_.size()` bytes of the sent sequence;
+  /// `sent_bytes_ - replay_.size()` is the stream offset of replay_[0].
+  std::vector<uint8_t> replay_;
+  int64_t sent_bytes_ = 0;
 };
 
 }  // namespace saber::net

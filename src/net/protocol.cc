@@ -72,6 +72,7 @@ std::vector<uint8_t> EncodeDataHello(const DataHello& h) {
   w.I64(h.allowed_lateness);
   w.U8(h.late_policy);
   w.F64(h.rate_bytes_per_sec);
+  w.U64(h.resume_token);
   return w.Take();
 }
 
@@ -85,6 +86,9 @@ Result<DataHello> DecodeDataHello(const uint8_t* payload, size_t len) {
       !r.ReadF64(&h.rate_bytes_per_sec)) {
     return Status::InvalidArgument("truncated kHelloData payload");
   }
+  // Optional trailing resume token (absent from version-1 hellos that
+  // predate reconnect/resume; absence means a fresh bind).
+  if (r.remaining() >= 8) (void)r.ReadU64(&h.resume_token);
   if (r.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after kHelloData payload");
   }

@@ -51,7 +51,8 @@ inline constexpr uint32_t kMaxFramePayload = 4u << 20;
 enum class FrameType : uint8_t {
   kHelloControl = 1,  ///< c→s: open a control session  {u32 version}
   kHelloData = 2,     ///< c→s: open a data session     {DataHello}
-  kHelloOk = 3,       ///< s→c: hello accepted          {u32 version}
+  kHelloOk = 3,       ///< s→c: hello accepted          {u32 version} —
+                      ///< data plane appends {u64 token, i64 acked_bytes}
   kSubmit = 4,        ///< c→s: SQL statement           {bytes sql}
   kQueryInfo = 5,     ///< s→c: submit result           {QueryInfo}
   kRemove = 6,        ///< c→s: remove query            {u32 query_id}
@@ -107,6 +108,14 @@ struct DataHello {
   uint8_t late_policy = 0;
   /// Token-bucket rate for this producer (bytes/s; <= 0 unmetered).
   double rate_bytes_per_sec = 0.0;
+  /// Reconnect/resume token. 0 on a fresh bind; the server issues a token in
+  /// the data-plane kHelloOk ({u32 version, u64 token, i64 acked_bytes}) and
+  /// a client that lost its connection presents it to reclaim a *parked*
+  /// shard (see ServerOptions::reconnect_grace_ms). A stale or unknown token
+  /// is rejected with kError. Encoded last so version-1 peers that omit it
+  /// stay wire-compatible (the decoder treats a hello without the trailing
+  /// 8 bytes as token 0).
+  uint64_t resume_token = 0;
 };
 
 std::vector<uint8_t> EncodeDataHello(const DataHello& h);
@@ -140,6 +149,7 @@ class WireReader {
   bool ReadU8(uint8_t* v) { return ReadRaw(v, 1); }
   bool ReadU16(uint16_t* v) { return ReadRaw(v, 2); }
   bool ReadU32(uint32_t* v) { return ReadRaw(v, 4); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, 8); }
   bool ReadI64(int64_t* v) { return ReadRaw(v, 8); }
   bool ReadF64(double* v) { return ReadRaw(v, 8); }
   /// u32 length + bytes.
@@ -166,6 +176,7 @@ class WireWriter {
   void U8(uint8_t v) { Raw(&v, 1); }
   void U16(uint16_t v) { Raw(&v, 2); }
   void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
   void I64(int64_t v) { Raw(&v, 8); }
   void F64(double v) { Raw(&v, 8); }
   void String(const std::string& s) {

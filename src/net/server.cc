@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "fault/fault_registry.h"
 #include "runtime/clock.h"
 #include "runtime/strcat.h"
 
@@ -49,6 +51,18 @@ int64_t FirstLateViolation(const uint8_t* tuples, size_t bytes, size_t tsz,
   return -1;
 }
 
+/// SplitMix64 finalizer over the token counter: resume tokens are
+/// distinctive in logs and across server restarts within a test, without a
+/// dependency on a randomness source. Never returns 0 (0 marks a fresh
+/// hello on the wire).
+uint64_t MixToken(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
+
 }  // namespace
 
 /// Monotone server counters (atomic mirror of ServerStats).
@@ -64,6 +78,12 @@ struct SaberServer::Counters {
   std::atomic<int64_t> result_batches{0};
   std::atomic<int64_t> subscriber_overflows{0};
   std::atomic<int64_t> timeouts{0};
+  std::atomic<int64_t> shards_parked{0};
+  std::atomic<int64_t> producer_reconnects{0};
+  std::atomic<int64_t> grace_expiries{0};
+  /// Watchdog trips of ingresses already torn down (live ones are summed
+  /// from their ShardedIngress at stats() time).
+  std::atomic<int64_t> watchdog_trips_retired{0};
 };
 
 /// One control-plane (or not-yet-classified) connection. The epoll thread
@@ -84,12 +104,41 @@ struct SaberServer::Conn {
   std::atomic<bool> dead{false};
 };
 
+/// The sharded ingress in front of one input of one query. Created by the
+/// first data hello for that input; later hellos must match its shape.
+struct SaberServer::InputFront {
+  std::unique_ptr<ingest::ShardedIngress> ingress;
+  uint16_t num_producers = 0;
+  int64_t allowed_lateness = 0;
+  uint8_t wire_policy = 0;  ///< LatePolicy as negotiated on the wire
+
+  /// Bind/park/resume state of one producer shard. Guarded by `mu` except
+  /// acked_bytes, which the reader thread bumps once per appended frame and
+  /// the handshake reads to tell a resuming client where to replay from.
+  struct ShardSlot {
+    uint64_t token = 0;        ///< resume token, issued at the first bind
+    bool bound = false;        ///< a live DataConn owns the shard
+    bool parked = false;       ///< disconnected; awaiting a resume
+    bool closed = false;       ///< terminal (kDataEnd, violation, expiry)
+    int64_t park_deadline_nanos = 0;
+    /// Strict-policy (kAbort semantics) lateness horizon; persisted across
+    /// parks so a resumed stream is validated as one contiguous stream.
+    int64_t max_seen = INT64_MIN;
+    std::atomic<int64_t> acked_bytes{0};
+  };
+  std::mutex mu;
+  std::vector<std::unique_ptr<ShardSlot>> slots;
+};
+
 /// One data-plane connection: a socket bound 1:1 to a ProducerHandle shard,
-/// drained by its own blocking reader thread.
+/// drained by its own blocking reader thread. Grace-expiry reapers reuse
+/// the struct with no socket: just a thread running the blocking Close.
 struct SaberServer::DataConn {
   Socket sock;
   std::thread thread;
   ingest::ProducerHandle* producer = nullptr;
+  SaberServer::InputFront* front = nullptr;
+  SaberServer::InputFront::ShardSlot* slot = nullptr;
   uint16_t input = 0;
   uint16_t producer_index = 0;
   size_t tuple_size = 0;
@@ -98,16 +147,9 @@ struct SaberServer::DataConn {
   int64_t allowed_lateness = 0;
   int64_t max_seen = INT64_MIN;
   std::vector<uint8_t> carry;  ///< bytes pipelined behind the hello frame
-};
-
-/// The sharded ingress in front of one input of one query. Created by the
-/// first data hello for that input; later hellos must match its shape.
-struct SaberServer::InputFront {
-  std::unique_ptr<ingest::ShardedIngress> ingress;
-  uint16_t num_producers = 0;
-  int64_t allowed_lateness = 0;
-  uint8_t wire_policy = 0;  ///< LatePolicy as negotiated on the wire
-  std::vector<bool> bound;  ///< producer slot → already claimed
+  /// Set by the thread on exit; lets StartDataConn opportunistically join
+  /// retired readers so a reconnect-heavy stream does not accumulate them.
+  std::atomic<bool> done{false};
 };
 
 struct SaberServer::QueryEntry {
@@ -161,6 +203,9 @@ Status SaberServer::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   loop_ = std::thread([this] { EventLoop(); });
+  if (options_.reconnect_grace_ms > 0) {
+    park_sweeper_ = std::thread([this] { ParkSweeperLoop(); });
+  }
   return Status::OK();
 }
 
@@ -182,7 +227,11 @@ void SaberServer::Stop() {
     }
   }
   WakeLoop();
+  sweep_cv_.notify_all();
   if (loop_.joinable()) loop_.join();
+  // Join the sweeper before reaping: no new grace-expiry reapers may be
+  // spawned once the data connections below are joined.
+  if (park_sweeper_.joinable()) park_sweeper_.join();
   {
     std::lock_guard<std::mutex> lock(queries_mu_);
     for (auto& [id, e] : queries_) {
@@ -191,7 +240,11 @@ void SaberServer::Stop() {
       // engine is alive (or stopping, which also unblocks inserts) per the
       // stop-order contract in the file comment, so Stop returns.
       for (auto& f : e->fronts) {
-        if (f && f->ingress) f->ingress->Stop();
+        if (f && f->ingress) {
+          f->ingress->Stop();
+          counters_->watchdog_trips_retired.fetch_add(
+              f->ingress->watchdog_trips());
+        }
       }
     }
     queries_.clear();
@@ -216,6 +269,20 @@ ServerStats SaberServer::stats() const {
   s.result_batches = counters_->result_batches.load();
   s.subscriber_overflows = counters_->subscriber_overflows.load();
   s.timeouts = counters_->timeouts.load();
+  s.shards_parked = counters_->shards_parked.load();
+  s.producer_reconnects = counters_->producer_reconnects.load();
+  s.grace_expiries = counters_->grace_expiries.load();
+  s.watermark_watchdog_trips = counters_->watchdog_trips_retired.load();
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    for (const auto& [id, e] : queries_) {
+      for (const auto& f : e->fronts) {
+        if (f && f->ingress) {
+          s.watermark_watchdog_trips += f->ingress->watchdog_trips();
+        }
+      }
+    }
+  }
   return s;
 }
 
@@ -283,6 +350,18 @@ void SaberServer::EventLoop() {
   }
 }
 
+void SaberServer::ParkSweeperLoop() {
+  // Own thread, own cadence: a Drain/Remove command blocking the event
+  // loop may itself be waiting for a grace window to expire, so expiry
+  // must never depend on the loop making progress.
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  while (!stop_.load()) {
+    sweep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (stop_.load()) break;
+    SweepParkedShards(NowNanos());
+  }
+}
+
 void SaberServer::AcceptNew() {
   for (;;) {
     const int fd = ::accept(listener_.fd(), nullptr, nullptr);
@@ -332,6 +411,50 @@ void SaberServer::SweepIdle(int64_t now_nanos) {
     }
   }
   for (int fd : expired) CloseConn(fd);
+}
+
+void SaberServer::SweepParkedShards(int64_t now_nanos) {
+  if (options_.reconnect_grace_ms <= 0) return;
+  // Phase 1 under the locks: flip expired slots to closed (a racing resume
+  // hello now gets a clean kError instead of a vanished shard).
+  std::vector<std::pair<std::shared_ptr<QueryEntry>, ingest::ProducerHandle*>>
+      expired;
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    for (auto& [id, e] : queries_) {
+      for (auto& f : e->fronts) {
+        if (!f || !f->ingress) continue;
+        std::lock_guard<std::mutex> sl(f->mu);
+        for (size_t i = 0; i < f->slots.size(); ++i) {
+          InputFront::ShardSlot* slot = f->slots[i].get();
+          if (!slot->parked || now_nanos < slot->park_deadline_nanos) {
+            continue;
+          }
+          slot->parked = false;
+          slot->closed = true;
+          counters_->grace_expiries.fetch_add(1);
+          expired.emplace_back(e, f->ingress->producer(static_cast<int>(i)));
+        }
+      }
+    }
+  }
+  // Phase 2 off the event loop: Close flushes the shard's reorder tail and
+  // can block on staging back-pressure, so it runs on a reaper thread
+  // joined with the data-plane readers (ReapDataConns / the opportunistic
+  // join in StartDataConn).
+  for (auto& [e, p] : expired) {
+    auto dc = std::make_unique<DataConn>();
+    dc->producer = p;
+    DataConn* raw = dc.get();
+    {
+      std::lock_guard<std::mutex> cl(e->conns_mu);
+      e->data_conns.push_back(std::move(dc));
+    }
+    raw->thread = std::thread([raw] {
+      raw->producer->Close();
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
 }
 
 void SaberServer::HandleReadable(const std::shared_ptr<Conn>& c) {
@@ -577,6 +700,8 @@ Status SaberServer::RemoveEntry(const std::shared_ptr<QueryEntry>& e) {
     if (f && f->ingress) {
       f->ingress->Drain();
       f->ingress->Stop();
+      counters_->watchdog_trips_retired.fetch_add(
+          f->ingress->watchdog_trips());
     }
   }
   // Flush the sub-φ remainder through the sink (subscribers see the final
@@ -718,16 +843,26 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
                                ? hello.allowed_lateness
                                : e->spec.allowed_lateness;
 
-  InputFront* front = e->fronts[hello.input].get();
+  // fronts[] is written here (epoll thread) and read by the grace sweeper
+  // on its own thread, so creation publishes under queries_mu_ — taken
+  // before front->mu, the same order the sweep uses.
+  InputFront* front;
+  std::unique_lock<std::mutex> fronts_lock(queries_mu_);
+  front = e->fronts[hello.input].get();
   if (front == nullptr) {
     auto nf = std::make_unique<InputFront>();
     nf->num_producers = hello.num_producers;
     nf->allowed_lateness = lateness;
     nf->wire_policy = hello.late_policy;
-    nf->bound.assign(hello.num_producers, false);
+    nf->slots.reserve(hello.num_producers);
+    for (uint16_t i = 0; i < hello.num_producers; ++i) {
+      nf->slots.push_back(std::make_unique<InputFront::ShardSlot>());
+    }
     ingest::IngressOptions iopts = options_.ingress;
     iopts.num_producers = hello.num_producers;
     iopts.allowed_lateness = lateness;
+    iopts.watchdog_label = StrCat("query ", hello.query_id, " input ",
+                                  hello.input);
     // Never kAbort inside the server: a remote peer must not be able to
     // bring the process down (late tuples under kAbort semantics are
     // rejected by the reader thread with kError instead — see DataLoop).
@@ -755,12 +890,42 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
                  hello.input));
     }
   }
-  if (front->bound[hello.producer]) {
-    return Status::AlreadyExists(StrCat("producer ", hello.producer,
-                                        " of input ", hello.input,
-                                        " is already bound"));
+  fronts_lock.unlock();
+  InputFront::ShardSlot* slot = front->slots[hello.producer].get();
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> sl(front->mu);
+    if (slot->closed) {
+      return Status::InvalidArgument(
+          StrCat("producer ", hello.producer, " of input ", hello.input,
+                 " has already finished; the shard cannot be rebound"));
+    }
+    if (slot->bound) {
+      return Status::AlreadyExists(StrCat("producer ", hello.producer,
+                                          " of input ", hello.input,
+                                          " is already bound"));
+    }
+    if (slot->parked) {
+      // Resume: only the token issued to the disconnected epoch reclaims
+      // the shard (a stale or replayed token must not splice a stranger
+      // into the byte sequence).
+      if (hello.resume_token != slot->token) {
+        return Status::InvalidArgument(
+            StrCat("stale or unknown resume token for producer ",
+                   hello.producer, " of input ", hello.input));
+      }
+      slot->parked = false;
+      resumed = true;
+    } else {
+      if (hello.resume_token != 0) {
+        return Status::InvalidArgument(
+            StrCat("resume token presented for producer ", hello.producer,
+                   " of input ", hello.input, ", which is not parked"));
+      }
+      slot->token = MixToken(next_token_.fetch_add(1));
+    }
+    slot->bound = true;
   }
-  front->bound[hello.producer] = true;
   if (hello.rate_bytes_per_sec > 0) {
     front->ingress->SetProducerRate(hello.producer, hello.rate_bytes_per_sec);
   }
@@ -768,6 +933,8 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
   auto dc = std::make_unique<DataConn>();
   DataConn* dcp = dc.get();
   dc->producer = front->ingress->producer(hello.producer);
+  dc->front = front;
+  dc->slot = slot;
   dc->input = hello.input;
   dc->producer_index = hello.producer;
   dc->tuple_size = tsz;
@@ -775,6 +942,7 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
       static_cast<ingest::LatePolicy>(hello.late_policy) ==
       ingest::LatePolicy::kAbort;
   dc->allowed_lateness = lateness;
+  dc->max_seen = slot->max_seen;
   dc->carry = std::move(carry);
 
   // Transfer the socket out of the event loop: blocking mode, receive
@@ -791,20 +959,47 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
   }
   WireWriter w;
   w.U32(kProtocolVersion);
+  w.U64(slot->token);
+  w.I64(slot->acked_bytes.load(std::memory_order_relaxed));
   const Status hello_ok =
       SendFrame(fd, FrameType::kHelloOk, w.buf().data(), w.buf().size());
   if (!hello_ok.ok()) {
     // Peer vanished between connect and hello-ok: release the shard so a
-    // reconnect can claim it, nothing was appended yet.
-    front->bound[hello.producer] = false;
+    // (re)connect can claim it, nothing new was appended. A failed resume
+    // re-parks with a fresh grace window rather than silently closing.
+    std::lock_guard<std::mutex> sl(front->mu);
+    slot->bound = false;
+    if (resumed) {
+      slot->parked = true;
+      slot->park_deadline_nanos =
+          NowNanos() +
+          static_cast<int64_t>(options_.reconnect_grace_ms) * 1'000'000;
+    }
     return hello_ok;
   }
+  if (resumed) counters_->producer_reconnects.fetch_add(1);
   counters_->data_connections.fetch_add(1);
   {
     std::lock_guard<std::mutex> cl(e->conns_mu);
-    e->data_conns.push_back(std::move(dc));
+    // Opportunistically join readers that already exited (parked shards,
+    // earlier epochs of this one) so reconnect-heavy streams do not
+    // accumulate retired threads until query teardown.
+    auto& v = e->data_conns;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [](const std::unique_ptr<DataConn>& d) {
+                             if (!d->done.load(std::memory_order_acquire)) {
+                               return false;
+                             }
+                             if (d->thread.joinable()) d->thread.join();
+                             return true;
+                           }),
+            v.end());
+    v.push_back(std::move(dc));
   }
-  dcp->thread = std::thread([this, e, dcp] { DataLoop(e, dcp); });
+  dcp->thread = std::thread([this, e, dcp] {
+    DataLoop(e, dcp);
+    dcp->done.store(true, std::memory_order_release);
+  });
   return Status::OK();
 }
 
@@ -828,26 +1023,73 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
     return ReadFull(fd, out + from_carry, n - from_carry);
   };
 
+  // Marks the shard terminal so no resume token can rebind it.
+  auto seal_slot = [&] {
+    std::lock_guard<std::mutex> sl(dc->front->mu);
+    dc->slot->bound = false;
+    dc->slot->closed = true;
+  };
+
   auto fail = [&](const Status& s) {
     counters_->protocol_errors.fetch_add(1);
     (void)SendFrame(fd, FrameType::kError, EncodeError(s));
     // The stream is untrustworthy past the violation: revoke rather than
     // close, so the reorder buffer's tail is abandoned with it. Either way
     // the shard counts as finished and the watermark releases.
+    seal_slot();
     dc->producer->Revoke();
     dc->sock.ShutdownBoth();
   };
 
+  // Disconnect with a grace window: *park* the shard instead of closing it.
+  // The producer stays open — the watermark holds, nothing seals past the
+  // gap — until a resume-token reconnect rebinds it or the grace sweep
+  // expires it. Returns false when parking is off or the shard is already
+  // finished (then the caller falls back to the historical clean close).
+  auto park = [&]() -> bool {
+    if (options_.reconnect_grace_ms <= 0 || stop_.load()) return false;
+    if (dc->producer->closed() || dc->producer->revoked()) return false;
+    std::lock_guard<std::mutex> sl(dc->front->mu);
+    if (dc->slot->closed) return false;
+    dc->slot->bound = false;
+    dc->slot->parked = true;
+    dc->slot->park_deadline_nanos =
+        NowNanos() +
+        static_cast<int64_t>(options_.reconnect_grace_ms) * 1'000'000;
+    dc->slot->max_seen = dc->max_seen;
+    counters_->shards_parked.fetch_add(1);
+    return true;
+  };
+
   for (;;) {
+    // Fault injection: sever this data connection as if the network (or a
+    // proxy, or the peer's NIC) dropped it. The client sees a reset; the
+    // shard parks (grace window) or closes (historical contract) exactly as
+    // it would on a real loss.
+    if (SABER_FAULT_POINT("net.server.drop_data_conn")) {
+      // Park before severing: the client observes the FIN within
+      // microseconds on loopback and redials, and its resume must find the
+      // shard already parked.
+      if (!park()) {
+        seal_slot();
+        dc->producer->Close();
+      }
+      dc->sock.ShutdownBoth();
+      return;
+    }
     uint8_t header[kFrameHeaderBytes];
     const Status hs = read_exact(header, sizeof(header));
     if (!hs.ok()) {
-      // EOF, timeout, reset, or server shutdown: the disconnect contract —
-      // the shard closes and the watermark releases without it.
+      // EOF, timeout, reset, or server shutdown: park when a grace window
+      // is configured; otherwise the disconnect contract — the shard
+      // closes and the watermark releases without it.
       if (hs.code() == StatusCode::kUnavailable) {
         counters_->timeouts.fetch_add(1);
       }
-      dc->producer->Close();
+      if (!park()) {
+        seal_slot();
+        dc->producer->Close();
+      }
       return;
     }
     auto h = DecodeFrameHeader(header, options_.max_frame_bytes);
@@ -860,7 +1102,12 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
     if (!payload.empty()) {
       const Status ps = read_exact(payload.data(), payload.size());
       if (!ps.ok()) {
-        dc->producer->Close();
+        // Mid-frame disconnect: the partial frame was never appended, so a
+        // resume replays it from the acked boundary.
+        if (!park()) {
+          seal_slot();
+          dc->producer->Close();
+        }
         return;
       }
     }
@@ -891,12 +1138,17 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
         if (!payload.empty() &&
             !dc->producer->Append(payload.data(), payload.size())) {
           // Revoked (query removal / server stop): drop the connection.
+          seal_slot();
           dc->sock.ShutdownBoth();
           return;
         }
+        // Acked: fully appended, so a resumed client replays nothing of it.
+        dc->slot->acked_bytes.fetch_add(
+            static_cast<int64_t>(payload.size()), std::memory_order_relaxed);
         break;
       }
       case FrameType::kDataEnd: {
+        seal_slot();
         dc->producer->Close();
         (void)SendFrame(fd, FrameType::kDataEndOk, nullptr, 0);
         return;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -89,9 +90,21 @@ struct ServerOptions {
   /// must never reach the engine's result stage). Unit: bytes.
   size_t subscriber_buffer_bytes = size_t{64} << 20;
   /// Template for the per-(query, input) ShardedIngress: staging ring,
-  /// merge batch and reorder-buffer sizes. num_producers / lateness /
-  /// late policy / rate come from the data-plane handshake.
+  /// merge batch and reorder-buffer sizes, watermark-watchdog knobs
+  /// (watchdog_nanos / watchdog_force_close — the server labels each
+  /// ingress "query N input M" for the watchdog's diagnostics).
+  /// num_producers / lateness / late policy / rate come from the data-plane
+  /// handshake.
   ingest::IngressOptions ingress;
+  /// Producer reconnect grace window. 0 (the default) keeps the historical
+  /// contract: a data-plane disconnect closes the shard and the watermark
+  /// releases without it. > 0 *parks* the shard instead — the producer stays
+  /// open (holding the watermark, so no data is sealed past the gap) for up
+  /// to this long, and a client reconnecting with the shard's resume token
+  /// rebinds and resumes from the acked byte sequence the kHelloOk reports.
+  /// A park that outlives the grace window degrades to the clean close.
+  /// Unit: ms.
+  int reconnect_grace_ms = 0;
 };
 
 /// Monotone counters (racy snapshot; see stats()).
@@ -107,6 +120,15 @@ struct ServerStats {
   int64_t result_batches = 0;
   int64_t subscriber_overflows = 0;
   int64_t timeouts = 0;
+  /// Data-plane shards parked on disconnect (reconnect_grace_ms > 0).
+  int64_t shards_parked = 0;
+  /// Parked shards reclaimed by a resume-token reconnect.
+  int64_t producer_reconnects = 0;
+  /// Parked shards whose grace window expired (degraded to a clean close).
+  int64_t grace_expiries = 0;
+  /// Watermark-watchdog detections across every ingress this server owns
+  /// (live queries plus already-removed ones).
+  int64_t watermark_watchdog_trips = 0;
 };
 
 class SaberServer {
@@ -168,6 +190,14 @@ class SaberServer {
   bool FlushConn(Conn& c);
   void CloseConn(int fd);
   void SweepIdle(int64_t now_nanos);
+  /// Closes parked shards whose reconnect grace window expired. Runs on the
+  /// dedicated sweeper thread, NOT the event loop — a blocking Drain/Remove
+  /// command on the loop must not stall grace expiry (the Drain itself may
+  /// be waiting on the expiry). The close runs on a reaper thread (it can
+  /// block on staging back-pressure) joined with the data-plane readers.
+  void SweepParkedShards(int64_t now_nanos);
+  /// The sweeper thread body: ticks SweepParkedShards until Stop.
+  void ParkSweeperLoop();
   void WakeLoop();
   /// Joins every data-connection thread of `e` exactly once (guarded).
   void ReapDataConns(QueryEntry& e);
@@ -184,6 +214,10 @@ class SaberServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::thread loop_;
+  /// Grace-window sweeper (started only when reconnect_grace_ms > 0).
+  std::thread park_sweeper_;
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
@@ -196,6 +230,8 @@ class SaberServer {
   mutable std::mutex queries_mu_;
   std::map<uint32_t, std::shared_ptr<QueryEntry>> queries_;
   uint32_t next_query_id_ = 1;
+  /// Resume-token source (mixed so tokens are distinctive; never 0).
+  std::atomic<uint64_t> next_token_{1};
 
   struct Counters;
   std::unique_ptr<Counters> counters_;

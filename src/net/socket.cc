@@ -1,9 +1,11 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -48,7 +50,47 @@ void Socket::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-Result<Socket> Dial(const std::string& host, int port) {
+namespace {
+
+/// Bounded connect: non-blocking connect + poll(POLLOUT), then SO_ERROR to
+/// recover the real connect(2) verdict. Restores blocking mode on success.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                          int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) return Status::Unavailable(Errno("connect"));
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) {
+      return Status::Unavailable(
+          StrCat("connect timed out after ", timeout_ms, " ms"));
+    }
+    if (pr < 0) return Status::IOError(Errno("poll"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::IOError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      errno = err;
+      return Status::Unavailable(Errno("connect"));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::IOError(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Socket> Dial(const std::string& host, int port,
+                    int connect_timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -64,6 +106,16 @@ Result<Socket> Dial(const std::string& host, int port) {
     Socket s(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
     if (!s.valid()) {
       last = Status::IOError(Errno("socket"));
+      continue;
+    }
+    if (connect_timeout_ms > 0) {
+      const Status ts = ConnectWithTimeout(s.fd(), ai->ai_addr, ai->ai_addrlen,
+                                           connect_timeout_ms);
+      if (ts.ok()) {
+        ::freeaddrinfo(res);
+        return s;
+      }
+      last = ts;
       continue;
     }
     if (::connect(s.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {

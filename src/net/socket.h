@@ -43,7 +43,12 @@ class Socket {
 };
 
 /// Connects to host:port (numeric IPv4 or a resolvable name).
-Result<Socket> Dial(const std::string& host, int port);
+/// `connect_timeout_ms > 0` bounds the TCP connect itself (non-blocking
+/// connect + poll): a peer that is unreachable or not accepting fails with
+/// Unavailable after the timeout instead of hanging for the OS default
+/// (minutes). 0 keeps the historical blocking connect.
+Result<Socket> Dial(const std::string& host, int port,
+                    int connect_timeout_ms = 0);
 
 /// Binds + listens on `bind_addr:port` (port 0 picks an ephemeral port;
 /// read it back with LocalPort). SO_REUSEADDR is set.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -52,6 +53,21 @@ class BlockingQueue {
     }
     if (!out.empty()) not_full_.notify_all();
     return out;
+  }
+
+  /// Pop with a deadline: blocks up to `timeout` for an item; nullopt on
+  /// timeout (or close-and-drained). The GPGPU worker uses it to wake at a
+  /// quarantine expiry while still absorbing completions promptly.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
   }
 
   /// Non-blocking pop.

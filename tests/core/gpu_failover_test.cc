@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "fault/fault_registry.h"
+#include "reference/reference.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+/// \file gpu_failover_test.cc
+/// GPGPU task failover under seeded fault injection: a task whose device
+/// execution fails (kernel fault, submit rejection, completion timeout) is
+/// re-queued CPU-only and the query's output stays byte-identical to the
+/// fault-free run — the failure is a scheduling event, never a correctness
+/// event. Sustained failure quarantines the device (probe readmits it);
+/// the gpu_task_retries / device_quarantines counters surface everything.
+
+namespace saber {
+namespace {
+
+using testing::BuffersEqual;
+
+class GpuFailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+};
+
+EngineOptions GpuEngineOptions() {
+  EngineOptions o;
+  o.num_cpu_workers = 2;
+  o.use_gpu = true;
+  o.device.pace_transfers = false;
+  o.task_size = 1024;  // many tasks, so faults actually hit some
+  return o;
+}
+
+/// Runs `q` over `data` with the current fault arming and returns the
+/// output bytes plus the engine's failover counters.
+struct FailoverRun {
+  ByteBuffer out;
+  int64_t gpu_retries = 0;
+  int64_t quarantines = 0;
+};
+
+FailoverRun RunWithFaults(const QueryDef& q, const std::vector<uint8_t>& data,
+                EngineOptions o = GpuEngineOptions()) {
+  FailoverRun r;
+  Engine engine(o);
+  QueryHandle* h = engine.AddQuery(q);
+  h->SetSink([&](const uint8_t* d, size_t m) { r.out.Append(d, m); });
+  engine.Start();
+  h->Insert(data.data(), data.size());
+  engine.Drain();
+  r.gpu_retries = engine.gpu_task_retries();
+  r.quarantines = engine.device_quarantines();
+  return r;
+}
+
+TEST_F(GpuFailoverTest, KernelFaultsLeaveOutputByteIdentical) {
+  const QueryDef q = syn::MakeGroupBy(4, WindowDefinition::Count(128, 32));
+  const auto data = syn::Generate(60000);
+  const ByteBuffer want = ReferenceEvaluate(q, data);
+
+  fault::FaultSpec spec;
+  spec.probability = 0.05;
+  spec.seed = 7;
+  fault::FaultRegistry::Global().Arm("gpu.kernel_fault", spec);
+
+  const FailoverRun r = RunWithFaults(q, data);
+  EXPECT_GT(r.gpu_retries, 0) << "the fault must actually have fired";
+  EXPECT_TRUE(BuffersEqual(r.out, want, q.output_schema.tuple_size()))
+      << "failed GPGPU tasks must replay on the CPU path byte-exactly";
+}
+
+TEST_F(GpuFailoverTest, SubmitRejectionsAreRetriedOnCpu) {
+  const QueryDef q = syn::MakeAggregation(AggregateFunction::kSum,
+                                          WindowDefinition::Count(256, 64));
+  const auto data = syn::Generate(60000);
+  const ByteBuffer want = ReferenceEvaluate(q, data);
+
+  fault::FaultSpec spec;
+  spec.every_n = 5;
+  fault::FaultRegistry::Global().Arm("gpu.submit_reject", spec);
+
+  const FailoverRun r = RunWithFaults(q, data);
+  EXPECT_GT(r.gpu_retries, 0);
+  EXPECT_TRUE(BuffersEqual(r.out, want, q.output_schema.tuple_size()));
+}
+
+TEST_F(GpuFailoverTest, CompletionTimeoutsAreRetriedOnCpu) {
+  const QueryDef q = syn::MakeSelection(2, 10, WindowDefinition::Count(64, 64));
+  const auto data = syn::Generate(60000);
+  const ByteBuffer want = ReferenceEvaluate(q, data);
+
+  fault::FaultSpec spec;
+  spec.probability = 0.1;
+  spec.seed = 99;
+  fault::FaultRegistry::Global().Arm("gpu.completion_timeout", spec);
+
+  const FailoverRun r = RunWithFaults(q, data);
+  EXPECT_GT(r.gpu_retries, 0);
+  EXPECT_TRUE(BuffersEqual(r.out, want, q.output_schema.tuple_size()));
+}
+
+TEST_F(GpuFailoverTest, SustainedFailureQuarantinesDeviceAndStillCompletes) {
+  // Every kernel dies: after gpu_quarantine_threshold consecutive failures
+  // the GPGPU worker must stop submitting (quarantine) and the whole stream
+  // must complete on the CPU path, still byte-exact.
+  const QueryDef q = syn::MakeGroupBy(4, WindowDefinition::Count(128, 32));
+  const auto data = syn::Generate(40000);
+  const ByteBuffer want = ReferenceEvaluate(q, data);
+
+  fault::FaultSpec spec;
+  spec.probability = 1.0;
+  fault::FaultRegistry::Global().Arm("gpu.kernel_fault", spec);
+
+  EngineOptions o = GpuEngineOptions();
+  o.gpu_quarantine_threshold = 2;
+  o.gpu_quarantine_nanos = 5'000'000;  // 5 ms: several probe cycles fit
+  const FailoverRun r = RunWithFaults(q, data, o);
+  EXPECT_GT(r.quarantines, 0) << "sustained failure must trip the quarantine";
+  EXPECT_TRUE(BuffersEqual(r.out, want, q.output_schema.tuple_size()));
+}
+
+TEST_F(GpuFailoverTest, ProbeReadmitsDeviceAfterFaultClears) {
+  // A one-shot burst: the first kernels die (tripping the quarantine), the
+  // fault then clears, and the post-quarantine probe readmits the device —
+  // afterwards GPGPU tasks flow again. Correctness is unconditional; the
+  // readmission shows up as the device finishing real work post-burst.
+  const QueryDef q = syn::MakeAggregation(AggregateFunction::kSum,
+                                          WindowDefinition::Count(256, 64));
+  const auto data = syn::Generate(120000);
+  const ByteBuffer want = ReferenceEvaluate(q, data);
+
+  fault::FaultSpec spec;
+  spec.every_n = 1;  // fire on every hit ...
+  spec.one_shot = false;
+  fault::FaultRegistry::Global().Arm("gpu.kernel_fault", spec);
+
+  EngineOptions o = GpuEngineOptions();
+  o.gpu_quarantine_threshold = 2;
+  o.gpu_quarantine_nanos = 1'000'000;  // 1 ms quarantine, then probe
+
+  FailoverRun r;
+  Engine engine(o);
+  QueryHandle* h = engine.AddQuery(q);
+  h->SetSink([&](const uint8_t* d, size_t m) { r.out.Append(d, m); });
+  engine.Start();
+  const size_t half = data.size() / 2;
+  h->Insert(data.data(), half);
+  // Let the burst play out, then clear the fault mid-stream.
+  while (fault::FaultRegistry::Global().fires("gpu.kernel_fault") < 2) {
+    std::this_thread::yield();
+  }
+  fault::FaultRegistry::Global().Disarm("gpu.kernel_fault");
+  h->Insert(data.data() + half, data.size() - half);
+  engine.Drain();
+  EXPECT_GT(engine.device_quarantines(), 0);
+  EXPECT_TRUE(BuffersEqual(r.out, want, q.output_schema.tuple_size()));
+}
+
+}  // namespace
+}  // namespace saber

@@ -1,0 +1,189 @@
+#include "fault/fault_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file fault_registry_test.cc
+/// The seeded fault-injection registry: directive parsing, trigger
+/// semantics (probability, every-N, one-shot), determinism under a fixed
+/// seed, the zero-cost disarmed fast path, and env-var arming. The
+/// registry under test is the process-global instance (the one
+/// SABER_FAULT_POINT reaches), so every test disarms on entry and exit.
+
+namespace saber::fault {
+namespace {
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  FaultRegistry& reg() { return FaultRegistry::Global(); }
+};
+
+TEST_F(FaultRegistryTest, DisarmedNeverFiresAndCountsNothing) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(reg().Inject("test.unarmed"));
+  }
+  EXPECT_EQ(reg().hits("test.unarmed"), 0);
+  EXPECT_EQ(reg().fires("test.unarmed"), 0);
+  EXPECT_TRUE(reg().ArmedPoints().empty());
+}
+
+TEST_F(FaultRegistryTest, EveryNFiresOnExactMultiples) {
+  FaultSpec spec;
+  spec.every_n = 7;
+  reg().Arm("test.every", spec);
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 21; ++i) {
+    if (reg().Inject("test.every")) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{7, 14, 21}));
+  EXPECT_EQ(reg().hits("test.every"), 21);
+  EXPECT_EQ(reg().fires("test.every"), 3);
+}
+
+TEST_F(FaultRegistryTest, OneShotDisarmsAfterFirstFire) {
+  FaultSpec spec;
+  spec.every_n = 3;
+  spec.one_shot = true;
+  reg().Arm("test.once", spec);
+  int fires = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (reg().Inject("test.once")) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(reg().fires("test.once"), 1);
+  // The point disarmed itself; the armed list no longer carries it.
+  EXPECT_TRUE(reg().ArmedPoints().empty());
+}
+
+TEST_F(FaultRegistryTest, ProbabilityIsDeterministicUnderSeed) {
+  auto run = [&](uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = 0.25;
+    spec.seed = seed;
+    reg().Arm("test.prob", spec);
+    std::vector<int> fired_at;
+    for (int i = 0; i < 400; ++i) {
+      if (reg().Inject("test.prob")) fired_at.push_back(i);
+    }
+    return fired_at;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a, b) << "same seed must fire the same hit numbers";
+  // Roughly a quarter of the hits fire (loose bound: 4 sigma).
+  EXPECT_GT(a.size(), 60u);
+  EXPECT_LT(a.size(), 140u);
+  const auto c = run(43);
+  EXPECT_NE(a, c) << "a different seed should fire a different sequence";
+}
+
+TEST_F(FaultRegistryTest, ProbabilityOneFiresAlways) {
+  FaultSpec spec;
+  spec.probability = 1.0;
+  reg().Arm("test.always", spec);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(reg().Inject("test.always"));
+  }
+  EXPECT_EQ(reg().fires("test.always"), 100);
+}
+
+TEST_F(FaultRegistryTest, RearmResetsCounters) {
+  FaultSpec spec;
+  spec.every_n = 2;
+  reg().Arm("test.rearm", spec);
+  (void)reg().Inject("test.rearm");
+  (void)reg().Inject("test.rearm");
+  EXPECT_EQ(reg().hits("test.rearm"), 2);
+  EXPECT_EQ(reg().fires("test.rearm"), 1);
+  reg().Arm("test.rearm", spec);  // re-arm resets
+  EXPECT_EQ(reg().hits("test.rearm"), 0);
+  EXPECT_EQ(reg().fires("test.rearm"), 0);
+}
+
+TEST_F(FaultRegistryTest, CountersSurviveDisarm) {
+  FaultSpec spec;
+  spec.every_n = 1;
+  reg().Arm("test.counters", spec);
+  (void)reg().Inject("test.counters");
+  reg().Disarm("test.counters");
+  EXPECT_EQ(reg().hits("test.counters"), 1);
+  EXPECT_EQ(reg().fires("test.counters"), 1);
+  EXPECT_FALSE(reg().Inject("test.counters"));
+  EXPECT_EQ(reg().hits("test.counters"), 1) << "disarmed hits don't count";
+}
+
+TEST_F(FaultRegistryTest, ArmFromStringParsesProbability) {
+  ASSERT_TRUE(reg().ArmFromString("gpu.kernel_fault=p:0.5").ok());
+  const auto armed = reg().ArmedPoints();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0], "gpu.kernel_fault");
+}
+
+TEST_F(FaultRegistryTest, ArmFromStringParsesEveryNOnceSeed) {
+  ASSERT_TRUE(
+      reg().ArmFromString("net.server.drop_data_conn=n:7,once,seed:123").ok());
+  int fires = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (reg().Inject("net.server.drop_data_conn")) ++fires;
+  }
+  EXPECT_EQ(fires, 1) << "once: fires at hit 7, then disarms";
+}
+
+TEST_F(FaultRegistryTest, ArmFromStringRejectsMalformedDirectives) {
+  EXPECT_FALSE(reg().ArmFromString("").ok());
+  EXPECT_FALSE(reg().ArmFromString("no_equals").ok());
+  EXPECT_FALSE(reg().ArmFromString("point=").ok());
+  EXPECT_FALSE(reg().ArmFromString("point=x:1").ok());
+  EXPECT_FALSE(reg().ArmFromString("point=p:not_a_number").ok());
+  EXPECT_FALSE(reg().ArmFromString("point=p:2.0").ok()) << "p out of [0,1]";
+  EXPECT_FALSE(reg().ArmFromString("point=n:0").ok()) << "n must be >= 1";
+  EXPECT_FALSE(reg().ArmFromString("point=n:3,bogus").ok());
+  EXPECT_TRUE(reg().ArmedPoints().empty())
+      << "rejected directives must not half-arm";
+}
+
+TEST_F(FaultRegistryTest, ArmFromEnvArmsSemicolonSeparatedList) {
+  ::setenv("SABER_FAULTS_TEST",
+           "test.env_a=p:1.0;test.env_b=n:2,seed:9", /*overwrite=*/1);
+  EXPECT_EQ(reg().ArmFromEnv("SABER_FAULTS_TEST"), 2);
+  EXPECT_EQ(reg().ArmedPoints().size(), 2u);
+  EXPECT_TRUE(reg().Inject("test.env_a"));
+  ::unsetenv("SABER_FAULTS_TEST");
+}
+
+TEST_F(FaultRegistryTest, ArmFromEnvMissingVariableArmsNothing) {
+  ::unsetenv("SABER_FAULTS_TEST_MISSING");
+  EXPECT_EQ(reg().ArmFromEnv("SABER_FAULTS_TEST_MISSING"), 0);
+  EXPECT_TRUE(reg().ArmedPoints().empty());
+}
+
+TEST_F(FaultRegistryTest, ConcurrentInjectCountsEveryHit) {
+  FaultSpec spec;
+  spec.every_n = 10;
+  reg().Arm("test.mt", spec);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<int64_t> fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (reg().Inject("test.mt")) fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg().hits("test.mt"), kThreads * kPerThread);
+  EXPECT_EQ(fires.load(), kThreads * kPerThread / 10);
+  EXPECT_EQ(reg().fires("test.mt"), fires.load());
+}
+
+}  // namespace
+}  // namespace saber::fault

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "ingest/sharded_ingress.h"
+#include "runtime/clock.h"
+#include "workloads/sharding.h"
+#include "workloads/synthetic.h"
+
+/// \file watchdog_test.cc
+/// The watermark watchdog: a liveness monitor on the sharded ingress that
+/// detects a *pinned* sealing watermark — staged bytes waiting while the
+/// merge makes no progress because one open shard never advances. A trip
+/// is a diagnostic (edge-triggered counter + stderr line); with
+/// force-close armed the watchdog revokes the pinning shard so the
+/// watermark releases and the staged data flows.
+
+namespace saber {
+namespace {
+
+using ingest::IngressOptions;
+using ingest::ShardedIngress;
+
+struct Capture {
+  std::vector<uint8_t> bytes;
+  ShardedIngress::Downstream fn() {
+    return [this](const uint8_t* data, size_t n) {
+      bytes.insert(bytes.end(), data, data + n);
+    };
+  }
+};
+
+/// Polls `pred` until it holds or `budget` elapses.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+TEST(WatermarkWatchdog, TripsOnShardThatNeverAppends) {
+  // Shard 0 stages real data; shard 1 stays silent (a virgin shard holds
+  // the watermark at -inf, so nothing merges). The watchdog must detect
+  // the pin within ~2x its interval and count exactly one trip (edge-
+  // triggered) while the stall persists.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  const auto stream = syn::Generate(2000);
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 2;
+  opts.watchdog_nanos = 50'000'000;  // 50 ms
+  opts.watchdog_label = "watchdog-test";
+  ShardedIngress ingress(tsz, opts, cap.fn());
+
+  const auto shard0 =
+      workloads::ExtractTimestampShard(stream, tsz, 0, 2).value();
+  ASSERT_TRUE(ingress.producer(0)->Append(shard0.data(), shard0.size()));
+  ingress.producer(0)->Close();
+
+  EXPECT_TRUE(WaitFor([&] { return ingress.watchdog_trips() >= 1; },
+                      std::chrono::milliseconds(2'000)))
+      << "pinned watermark not detected";
+  // Edge-triggered: the same stall must not re-count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(ingress.watchdog_trips(), 1);
+  EXPECT_EQ(ingress.watchdog_force_closes(), 0);
+
+  // Releasing the pin ourselves drains everything normally.
+  ingress.producer(1)->Close();
+  ingress.Drain();
+  EXPECT_EQ(cap.bytes.size(), shard0.size());
+}
+
+TEST(WatermarkWatchdog, ForceCloseReleasesTheWatermark) {
+  // Same stall, but force-close armed: the watchdog revokes the pinning
+  // shard, the watermark releases, and shard 0's staged bytes reach the
+  // downstream without any outside help.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  const auto stream = syn::Generate(2000);
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 2;
+  opts.watchdog_nanos = 50'000'000;
+  opts.watchdog_force_close = true;
+  opts.watchdog_label = "watchdog-test-force";
+  ShardedIngress ingress(tsz, opts, cap.fn());
+
+  const auto shard0 =
+      workloads::ExtractTimestampShard(stream, tsz, 0, 2).value();
+  ASSERT_TRUE(ingress.producer(0)->Append(shard0.data(), shard0.size()));
+  ingress.producer(0)->Close();
+
+  EXPECT_TRUE(WaitFor([&] { return ingress.watchdog_force_closes() >= 1; },
+                      std::chrono::milliseconds(2'000)));
+  // The revoked shard no longer holds the watermark: Drain completes and
+  // the staged bytes arrived intact.
+  ingress.Drain();
+  ASSERT_EQ(cap.bytes.size(), shard0.size());
+  EXPECT_EQ(std::memcmp(cap.bytes.data(), shard0.data(), shard0.size()), 0);
+  EXPECT_GE(ingress.watchdog_trips(), 1);
+}
+
+TEST(WatermarkWatchdog, QuietOnHealthyStream) {
+  // A normal two-shard run with the watchdog armed: progress and idle
+  // phases must both re-arm silently — zero trips.
+  const size_t tsz = syn::SyntheticSchema().tuple_size();
+  const auto stream = syn::Generate(20'000);
+  Capture cap;
+  IngressOptions opts;
+  opts.num_producers = 2;
+  opts.watchdog_nanos = 30'000'000;  // 30 ms, many poll cycles in this run
+  ShardedIngress ingress(tsz, opts, cap.fn());
+
+  std::vector<std::thread> shards;
+  for (int s = 0; s < 2; ++s) {
+    shards.emplace_back([&, s] {
+      const auto shard =
+          workloads::ExtractTimestampShard(stream, tsz, s, 2).value();
+      const size_t chunk = 128 * tsz;
+      for (size_t off = 0; off < shard.size(); off += chunk) {
+        ASSERT_TRUE(ingress.producer(s)->Append(
+            shard.data() + off, std::min(chunk, shard.size() - off)));
+        // Slow trickle, but far inside the watchdog interval.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      ingress.producer(s)->Close();
+    });
+  }
+  for (auto& t : shards) t.join();
+  ingress.Drain();
+  // An extra idle period after the drain must not trip either.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(ingress.watchdog_trips(), 0);
+  EXPECT_EQ(cap.bytes.size(), stream.size());
+}
+
+}  // namespace
+}  // namespace saber

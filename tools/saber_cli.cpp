@@ -389,6 +389,7 @@ int RunRemote(const CliOptions& cli, const sql::Catalog& catalog) {
   Stopwatch wall;
   std::atomic<int64_t> tuples_sent{0};
   std::atomic<int64_t> bytes_sent{0};
+  std::atomic<int64_t> reconnects{0};
   std::mutex err_mu;
   std::string feed_error;
   auto record_error = [&](const Status& s) {
@@ -413,7 +414,13 @@ int RunRemote(const CliOptions& cli, const sql::Catalog& catalog) {
         hello.allowed_lateness = cli.lateness_set ? cli.lateness : -1;
         hello.late_policy = static_cast<uint8_t>(cli.late_policy);
         hello.rate_bytes_per_sec = cli.rate;
-        auto conn = net::ProducerClient::Connect(host, port, hello);
+        // Ride out transient connection losses when the server runs a
+        // reconnect grace window; without one the resume is rejected and
+        // the send fails exactly as it did historically.
+        net::ReconnectPolicy rp;
+        rp.connect_timeout_ms = 5'000;
+        rp.max_attempts = 5;
+        auto conn = net::ProducerClient::Connect(host, port, hello, rp);
         if (!conn.ok()) {
           record_error(conn.status());
           return;
@@ -442,6 +449,7 @@ int RunRemote(const CliOptions& cli, const sql::Catalog& catalog) {
         tuples_sent.fetch_add(static_cast<int64_t>(shard.size() / tsz));
         bytes_sent.fetch_add(static_cast<int64_t>(shard.size()));
         if (Status s = producer.End(); !s.ok()) record_error(s);
+        reconnects.fetch_add(producer.reconnects());
       });
     }
   }
@@ -469,6 +477,10 @@ int RunRemote(const CliOptions& cli, const sql::Catalog& catalog) {
   std::printf("throughput   : %.2f Mtuples/s (%.3f GB/s) over TCP\n",
               static_cast<double>(tuples_sent.load()) / secs / 1e6,
               static_cast<double>(bytes_sent.load()) / secs / (1 << 30));
+  if (reconnects.load() > 0) {
+    std::printf("reconnects   : %lld mid-stream producer resumes\n",
+                static_cast<long long>(reconnects.load()));
+  }
   if (!feed_error.empty()) {
     std::fprintf(stderr, "feed error   : %s\n", feed_error.c_str());
     exit_code = 1;
@@ -802,6 +814,11 @@ int main(int argc, char** argv) {
         static_cast<long long>(cs.clamp_events), cs.last_p99_nanos / 1e6);
   }
   std::printf("\n");
+  if (engine.gpu_task_retries() > 0 || engine.device_quarantines() > 0) {
+    std::printf("gpu failover : %lld task retries on CPU, %lld quarantines\n",
+                static_cast<long long>(engine.gpu_task_retries()),
+                static_cast<long long>(engine.device_quarantines()));
+  }
   std::printf("weight       : %.1f (weighted-fair HLS share)\n",
               q->def().weight);
   if (cli.churn > 0) {
@@ -823,11 +840,17 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < ingresses.size(); ++i) {
     const ingest::IngressStats is = ingresses[i]->stats();
     std::printf("ingest in%zu   : %d producers, %lld merged batches, "
-                "%lld merge runs, %lld watermark stalls\n",
+                "%lld merge runs, %lld watermark stalls",
                 i, static_cast<int>(is.producers.size()),
                 static_cast<long long>(is.merged_batches),
                 static_cast<long long>(is.merge_runs),
                 static_cast<long long>(is.watermark_stalls));
+    if (is.watchdog_trips > 0) {
+      std::printf(", %lld watchdog trips (%lld force-closes)",
+                  static_cast<long long>(is.watchdog_trips),
+                  static_cast<long long>(is.watchdog_force_closes));
+    }
+    std::printf("\n");
     for (size_t p = 0; p < is.producers.size(); ++p) {
       std::printf("  producer %zu : %lld tuples, %.1f MB, %lld appends, "
                   "%lld backpressure waits, %lld throttle waits",

@@ -19,10 +19,21 @@
 ///   --max-frame B        per-frame payload bound (default 4 MiB)
 ///   --staging B          per-producer staging ring bytes (default 4 MiB)
 ///   --stats-secs N       print a stats line every N seconds (0 = quiet)
+///   --reconnect-grace-ms N  park a disconnected producer shard for N ms
+///                        awaiting a resume-token reconnect (default 0 =
+///                        close on disconnect, the historical contract)
+///   --watchdog-ms N      watermark watchdog interval: log ingresses whose
+///                        sealing watermark is pinned (default 0 = off)
+///   --watchdog-force-close  when the watchdog trips, revoke the pinning
+///                        shard so the watermark releases
+///   --faults SPEC        arm fault-injection points (';'-separated
+///                        directives, e.g. "gpu.kernel_fault=p:0.01");
+///                        the SABER_FAULTS env var is honored too
 ///
 /// Teardown order matters (see src/net/server.h): the server stops first —
 /// revoking shards and waking every blocked reader — and only then the
-/// engine.
+/// engine. SIGINT/SIGTERM shut down gracefully: stop serving, drain, print
+/// a final stats line.
 
 #include <chrono>
 #include <csignal>
@@ -33,6 +44,7 @@
 #include <thread>
 
 #include "core/engine.h"
+#include "fault/fault_registry.h"
 #include "net/server.h"
 #include "runtime/clock.h"
 #include "sql/parser.h"
@@ -55,13 +67,18 @@ struct ServerCliOptions {
   uint32_t max_frame = net::kMaxFramePayload;
   size_t staging_bytes = size_t{4} << 20;
   int stats_secs = 0;
+  int reconnect_grace_ms = 0;
+  int watchdog_ms = 0;
+  bool watchdog_force_close = false;
+  std::string faults;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--bind A] [--workers N] [--no-gpu] "
                "[--task-size B] [--idle-timeout-ms N] [--max-frame B] "
-               "[--staging B] [--stats-secs N]\n",
+               "[--staging B] [--stats-secs N] [--reconnect-grace-ms N] "
+               "[--watchdog-ms N] [--watchdog-force-close] [--faults SPEC]\n",
                argv0);
   std::exit(2);
 }
@@ -117,6 +134,14 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* o) {
       o->staging_bytes = static_cast<size_t>(v);
     } else if (a == "--stats-secs") {
       o->stats_secs = std::atoi(next());
+    } else if (a == "--reconnect-grace-ms") {
+      o->reconnect_grace_ms = std::atoi(next());
+    } else if (a == "--watchdog-ms") {
+      o->watchdog_ms = std::atoi(next());
+    } else if (a == "--watchdog-force-close") {
+      o->watchdog_force_close = true;
+    } else if (a == "--faults") {
+      o->faults = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -130,9 +155,56 @@ void OnSignal(int) { g_stop = 1; }
 
 }  // namespace
 
+void PrintStats(const net::SaberServer& server, const Engine& engine,
+                size_t num_queries) {
+  const net::ServerStats st = server.stats();
+  std::printf(
+      "[stats] conns=%lld (ctl %lld data %lld) queries=%zu "
+      "submitted=%lld removed=%lld frames=%lld bytes=%lld "
+      "batches=%lld proto_errs=%lld timeouts=%lld "
+      "parked=%lld reconnects=%lld grace_expiries=%lld "
+      "watchdog_trips=%lld gpu_retries=%lld quarantines=%lld\n",
+      static_cast<long long>(st.connections_accepted),
+      static_cast<long long>(st.control_connections),
+      static_cast<long long>(st.data_connections), num_queries,
+      static_cast<long long>(st.queries_submitted),
+      static_cast<long long>(st.queries_removed),
+      static_cast<long long>(st.tuple_frames),
+      static_cast<long long>(st.tuple_bytes),
+      static_cast<long long>(st.result_batches),
+      static_cast<long long>(st.protocol_errors),
+      static_cast<long long>(st.timeouts),
+      static_cast<long long>(st.shards_parked),
+      static_cast<long long>(st.producer_reconnects),
+      static_cast<long long>(st.grace_expiries),
+      static_cast<long long>(st.watermark_watchdog_trips),
+      static_cast<long long>(engine.gpu_task_retries()),
+      static_cast<long long>(engine.device_quarantines()));
+  std::fflush(stdout);
+}
+
 int main(int argc, char** argv) {
   ServerCliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) Usage(argv[0]);
+
+  // Fault injection: the env var first, then --faults directives on top.
+  fault::FaultRegistry::Global().ArmFromEnv();
+  if (!cli.faults.empty()) {
+    size_t start = 0;
+    while (start <= cli.faults.size()) {
+      size_t end = cli.faults.find(';', start);
+      if (end == std::string::npos) end = cli.faults.size();
+      const std::string directive = cli.faults.substr(start, end - start);
+      if (!directive.empty()) {
+        if (Status s = fault::FaultRegistry::Global().ArmFromString(directive);
+            !s.ok()) {
+          std::fprintf(stderr, "--faults: %s\n", s.ToString().c_str());
+          return 2;
+        }
+      }
+      start = end + 1;
+    }
+  }
 
   sql::Catalog catalog;
   catalog["Syn"] = syn::SyntheticSchema();
@@ -154,6 +226,10 @@ int main(int argc, char** argv) {
   sopts.idle_timeout_ms = cli.idle_timeout_ms;
   sopts.max_frame_bytes = cli.max_frame;
   sopts.ingress.staging_buffer_bytes = cli.staging_bytes;
+  sopts.reconnect_grace_ms = cli.reconnect_grace_ms;
+  sopts.ingress.watchdog_nanos =
+      static_cast<int64_t>(cli.watchdog_ms) * 1'000'000;
+  sopts.ingress.watchdog_force_close = cli.watchdog_force_close;
   net::SaberServer server(&engine, catalog, sopts);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n", s.ToString().c_str());
@@ -176,28 +252,18 @@ int main(int argc, char** argv) {
     if (cli.stats_secs > 0 &&
         NowNanos() - last_stats >=
             static_cast<int64_t>(cli.stats_secs) * 1'000'000'000) {
-      const net::ServerStats st = server.stats();
-      std::printf(
-          "[stats] conns=%lld (ctl %lld data %lld) queries=%zu "
-          "submitted=%lld removed=%lld frames=%lld bytes=%lld "
-          "batches=%lld proto_errs=%lld timeouts=%lld\n",
-          static_cast<long long>(st.connections_accepted),
-          static_cast<long long>(st.control_connections),
-          static_cast<long long>(st.data_connections), server.num_queries(),
-          static_cast<long long>(st.queries_submitted),
-          static_cast<long long>(st.queries_removed),
-          static_cast<long long>(st.tuple_frames),
-          static_cast<long long>(st.tuple_bytes),
-          static_cast<long long>(st.result_batches),
-          static_cast<long long>(st.protocol_errors),
-          static_cast<long long>(st.timeouts));
-      std::fflush(stdout);
+      PrintStats(server, engine, server.num_queries());
       last_stats = NowNanos();
     }
   }
 
+  // Graceful shutdown: stop serving (wakes/joins the data plane, drains
+  // staged tuples where possible, stops ingresses), then the engine (the
+  // merger may be parked downstream), then one final stats line.
   std::printf("shutting down\n");
-  server.Stop();   // first: wakes/joins the data plane, stops ingresses
-  engine.Stop();   // then the engine (merger may be parked downstream)
+  const size_t final_queries = server.num_queries();
+  server.Stop();
+  engine.Stop();
+  PrintStats(server, engine, final_queries);
   return 0;
 }
