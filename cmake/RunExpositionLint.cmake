@@ -1,0 +1,43 @@
+# Run ${CLI_BINARY} --metrics (with ${CLI_ARGS}, a semicolon list), cut the
+# Prometheus exposition block out of its stdout, and pipe it through
+# tools/check_prometheus_exposition.py (${LINT_SCRIPT}, via ${PYTHON}).
+# Fails when the run fails, the block is missing, or the linter rejects it —
+# the same gate the release CI job applies to a live /metrics scrape.
+foreach(var CLI_BINARY CLI_ARGS LINT_SCRIPT PYTHON OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLI_BINARY} ${CLI_ARGS}
+  RESULT_VARIABLE cli_exit
+  OUTPUT_VARIABLE cli_stdout
+  ERROR_VARIABLE cli_stderr)
+if(NOT cli_exit EQUAL 0)
+  message(FATAL_ERROR
+    "${CLI_BINARY} exited with ${cli_exit}\nstdout:\n${cli_stdout}\nstderr:\n${cli_stderr}")
+endif()
+
+# Everything after the marker line is the exposition.
+string(FIND "${cli_stdout}" "-- metrics (Prometheus exposition) --\n" marker_pos)
+if(marker_pos EQUAL -1)
+  message(FATAL_ERROR "no exposition block in output:\n${cli_stdout}")
+endif()
+string(LENGTH "-- metrics (Prometheus exposition) --\n" marker_len)
+math(EXPR body_pos "${marker_pos} + ${marker_len}")
+string(SUBSTRING "${cli_stdout}" ${body_pos} -1 exposition)
+
+set(expo_file "${OUT_DIR}/exposition_lint_input.txt")
+file(WRITE "${expo_file}" "${exposition}")
+
+execute_process(
+  COMMAND ${PYTHON} ${LINT_SCRIPT} ${expo_file} --require-help
+  RESULT_VARIABLE lint_exit
+  OUTPUT_VARIABLE lint_stdout
+  ERROR_VARIABLE lint_stderr)
+if(NOT lint_exit EQUAL 0)
+  message(FATAL_ERROR
+    "exposition lint failed:\n${lint_stdout}${lint_stderr}\nexposition:\n${exposition}")
+endif()
+message(STATUS "exposition lint OK: ${lint_stdout}")

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "cpu/cpu_operators.h"
+#include "fault/fault_registry.h"
 #include "ingest/ingress_options.h"
 #include "ingest/sharded_ingress.h"
 #include "relational/tuple_ref.h"
@@ -17,6 +18,17 @@ namespace saber {
 namespace {
 constexpr int kEmpty = 0;
 constexpr int kStored = 1;
+
+/// Bucket bounds for saber_task_latency_nanos: 100 µs .. 5 s, roughly
+/// 1-2.5-5 per decade. The precise per-query percentiles stay with the
+/// log-linear LatencyHistogram (QueryHandle::latency()); this fixed-bucket
+/// copy is the exposition surface a scraper can aggregate across queries.
+std::vector<int64_t> TaskLatencyBounds() {
+  return {100'000,     250'000,     500'000,       1'000'000,
+          2'500'000,   5'000'000,   10'000'000,    25'000'000,
+          50'000'000,  100'000'000, 250'000'000,   500'000'000,
+          1'000'000'000, 2'500'000'000, 5'000'000'000};
+}
 }  // namespace
 
 thread_local bool Engine::in_worker_thread_ = false;
@@ -47,7 +59,7 @@ struct QueryState {
   /// before it may touch the buffers. notify on the 1 -> 0 edge.
   std::atomic<int> insert_refs{0};
   /// Tuples rejected because they arrived at a Draining/Retired query.
-  std::atomic<int64_t> tuples_dropped{0};
+  obs::Counter tuples_dropped;
   /// Claimed by the (single) RemoveQuery call that will retire this query.
   std::atomic<bool> removal_started{false};
 
@@ -95,14 +107,33 @@ struct QueryState {
   ByteBuffer assembly_scratch;
   std::function<void(const uint8_t*, size_t)> sink;
 
-  // Statistics.
-  std::atomic<int64_t> bytes_in{0};
-  std::atomic<int64_t> tuples_in{0};
-  std::atomic<int64_t> rows_out{0};
-  std::atomic<int64_t> tasks_on[kNumProcessors] = {};
-  std::atomic<int64_t> bytes_on[kNumProcessors] = {};
+  // Statistics. The obs::Counter members *are* the metrics-registry series
+  // for this query (registered externally by the engine at admission with
+  // labels {query, slot}); the handle accessors read the same storage, so a
+  // /metrics scrape and QueryHandle::bytes_in() can never diverge. A handle
+  // keeps the state — and with it the series storage — alive past
+  // retirement; the engine repoints the series when the slot is recycled.
+  obs::Counter bytes_in;
+  obs::Counter tuples_in;
+  obs::Counter rows_out;
+  obs::Counter tasks_on[kNumProcessors];
+  obs::Counter bytes_on[kNumProcessors];
   LatencyHistogram latency;
+  /// Fixed-bucket exposition twin of `latency` (see TaskLatencyBounds).
+  obs::Histogram latency_hist{TaskLatencyBounds()};
+  /// Wall clock of the newest insert (any input); the trace span's insert
+  /// stage start. Only stamped while tracing is armed.
+  std::atomic<int64_t> last_insert_nanos{0};
 };
+
+namespace {
+/// Registry labels for one query's series: the slot uniquely identifies a
+/// live query even when names collide or are empty.
+obs::Labels QueryMetricLabels(const QueryState& qs) {
+  return {{"query", qs.def.name.empty() ? StrCat("q", qs.index) : qs.def.name},
+          {"slot", StrCat(qs.index)}};
+}
+}  // namespace
 
 namespace {
 using Slot = QueryState::Slot;
@@ -146,17 +177,20 @@ const Schema& QueryHandle::output_schema() const {
 }
 QueryLifecycle QueryHandle::lifecycle() const { return qs_->lifecycle.load(); }
 double QueryHandle::weight() const { return qs_->def.weight; }
-int64_t QueryHandle::bytes_in() const { return qs_->bytes_in.load(); }
-int64_t QueryHandle::tuples_in() const { return qs_->tuples_in.load(); }
-int64_t QueryHandle::rows_out() const { return qs_->rows_out.load(); }
+int64_t QueryHandle::bytes_in() const { return qs_->bytes_in.value(); }
+int64_t QueryHandle::tuples_in() const { return qs_->tuples_in.value(); }
+int64_t QueryHandle::rows_out() const { return qs_->rows_out.value(); }
 int64_t QueryHandle::tuples_dropped() const {
-  return qs_->tuples_dropped.load();
+  return qs_->tuples_dropped.value();
 }
 int64_t QueryHandle::tasks_on(Processor p) const {
-  return qs_->tasks_on[static_cast<int>(p)].load();
+  return qs_->tasks_on[static_cast<int>(p)].value();
 }
 int64_t QueryHandle::bytes_on(Processor p) const {
-  return qs_->bytes_on[static_cast<int>(p)].load();
+  return qs_->bytes_on[static_cast<int>(p)].value();
+}
+obs::Labels QueryHandle::metric_labels() const {
+  return QueryMetricLabels(*qs_);
 }
 const LatencyHistogram& QueryHandle::latency() const { return qs_->latency; }
 size_t QueryHandle::current_task_size() const {
@@ -173,6 +207,16 @@ ControllerStats QueryHandle::controller_stats() const {
 Engine::Engine(EngineOptions options) : options_(options) {
   SABER_CHECK(options_.max_queries > 0 &&
               options_.max_queries <= kMaxQuerySlots);
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options_.trace_sample_rate > 0.0) {
+    trace_ = std::make_unique<obs::TraceRing>(options_.trace_sample_rate,
+                                              options_.trace_ring_spans);
+  }
   if (options_.use_gpu) {
     device_ = std::make_unique<SimDevice>(options_.device);
   }
@@ -206,9 +250,85 @@ Engine::Engine(EngineOptions options) : options_(options) {
   registry_.resize(options_.max_queries);
   live_.reset(new std::atomic<QueryState*>[options_.max_queries]);
   for (size_t i = 0; i < options_.max_queries; ++i) live_[i].store(nullptr);
+
+  metrics_->RegisterCounter(
+      "saber_gpu_task_retries_total", {}, &gpu_task_retries_, this,
+      "Device-failed tasks requeued (CPU-narrowed) by GPGPU failover");
+  metrics_->RegisterCounter("saber_gpu_quarantines_total", {},
+                            &device_quarantines_, this,
+                            "GPGPU quarantine episodes entered");
+  // Point-in-time values and lazily-owned counters fold in at snapshot time
+  // (the collector contract in obs/metrics.h).
+  obs::Gauge* queue_depth_gauge = metrics_->GetGauge(
+      "saber_engine_queue_depth", {}, "Tasks in the system-wide task queue");
+  obs::Gauge* live_queries_gauge = metrics_->GetGauge(
+      "saber_engine_live_queries", {},
+      "Queries occupying a slot (Admitted/Running/Draining)");
+  // Collectors run while the registry holds its collector lock, and query
+  // admission/retirement register and unregister series while holding
+  // registry_mu_ — so a collector that took registry_mu_ (SnapshotQueries,
+  // num_live_queries) would form an ABBA cycle with a concurrent
+  // TryAddQuery/RemoveQuery scrape. The collector therefore reads the
+  // lock-free live_ view instead: QueryState pointers published there stay
+  // valid for the engine's lifetime (each handle co-owns its state), and a
+  // query that retires mid-scrape simply keeps its last published gauges.
+  metrics_->AddCollector(
+      [this, queue_depth_gauge, live_queries_gauge] {
+        queue_depth_gauge->Set(static_cast<double>(task_queue_->size()));
+        size_t live = 0;
+        for (size_t i = 0; i < options_.max_queries; ++i) {
+          QueryState* qs = live_[i].load(std::memory_order_acquire);
+          if (qs == nullptr) continue;
+          ++live;
+          const ControllerStats cs = qs->controller->Stats();
+          const obs::Labels labels = QueryMetricLabels(*qs);
+          metrics_
+              ->GetGauge("saber_controller_phi_bytes", labels,
+                         "Live query task size (phi)")
+              ->Set(static_cast<double>(cs.current_phi));
+          metrics_
+              ->GetGauge("saber_controller_last_p99_nanos", labels,
+                         "p99 task latency of the last closed controller "
+                         "interval")
+              ->Set(static_cast<double>(cs.last_p99_nanos));
+        }
+        live_queries_gauge->Set(static_cast<double>(live));
+      },
+      this);
+  // Fault-point counters live in the process-global FaultRegistry (which
+  // stays obs-free); a collector mirrors them into registry series. Points
+  // are remembered across Disarm so their final counts keep exposing.
+  metrics_->AddCollector(
+      [this, seen = std::vector<std::string>()]() mutable {
+        auto& faults = fault::FaultRegistry::Global();
+        for (std::string& p : faults.ArmedPoints()) {
+          if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+            seen.push_back(std::move(p));
+          }
+        }
+        for (const std::string& p : seen) {
+          const obs::Labels labels = {{"point", p}};
+          metrics_
+              ->GetCounter("saber_fault_hits_total", labels,
+                           "Fault-point evaluations")
+              ->StoreForCollector(faults.hits(p));
+          metrics_
+              ->GetCounter("saber_fault_fires_total", labels,
+                           "Fault-point fires (injected failures)")
+              ->StoreForCollector(faults.fires(p));
+        }
+      },
+      this);
 }
 
-Engine::~Engine() { Stop(); }
+Engine::~Engine() {
+  Stop();
+  // With a borrowed registry the external series (query stats, controller
+  // and failover counters) and the collectors reference engine-owned
+  // storage; detach them so the registry remains scrapable after this
+  // engine is gone. No-op side effects for an owned registry.
+  metrics_->Unregister(this);
+}
 
 QueryHandle* Engine::AddQuery(QueryDef def) {
   Result<QueryHandle*> added = TryAddQuery(std::move(def));
@@ -279,11 +399,41 @@ Result<QueryHandle*> Engine::TryAddQuery(QueryDef def) {
   registry_[slot] = qs;
   live_[slot].store(qs.get(), std::memory_order_release);
   handles_.emplace_back(new QueryHandle(this, qs->index, qs));
+  RegisterQueryMetricsLocked(*qs);
   if (live_engine) {
     // Blocked workers re-derive eligibility now that the topology changed.
     task_queue_->OnEligibilityChanged();
   }
   return handles_.back().get();
+}
+
+void Engine::RegisterQueryMetricsLocked(QueryState& qs) {
+  const obs::Labels labels = QueryMetricLabels(qs);
+  metrics_->RegisterCounter("saber_engine_bytes_in_total", labels, &qs.bytes_in,
+                            this,
+                            "Bytes accepted into the query's input buffers");
+  metrics_->RegisterCounter("saber_engine_tuples_in_total", labels,
+                            &qs.tuples_in, this, "Tuples accepted");
+  metrics_->RegisterCounter("saber_engine_rows_out_total", labels,
+                            &qs.rows_out, this, "Output rows emitted in order");
+  metrics_->RegisterCounter(
+      "saber_engine_tuples_dropped_total", labels, &qs.tuples_dropped, this,
+      "Tuples rejected because the query was Draining or Retired");
+  for (int p = 0; p < kNumProcessors; ++p) {
+    obs::Labels pl = labels;
+    pl.emplace_back("processor", p == static_cast<int>(Processor::kCpu)
+                                     ? "cpu"
+                                     : "gpu");
+    metrics_->RegisterCounter("saber_engine_tasks_total", pl, &qs.tasks_on[p],
+                              this, "Query tasks executed per processor");
+    metrics_->RegisterCounter("saber_engine_task_bytes_total", pl,
+                              &qs.bytes_on[p], this,
+                              "Task input bytes executed per processor");
+  }
+  metrics_->RegisterHistogram(
+      "saber_task_latency_nanos", labels, &qs.latency_hist, this,
+      "End-to-end task latency (dispatch to output emission)");
+  qs.controller->RegisterMetrics(metrics_, labels, this);
 }
 
 Status Engine::RemoveQuery(QueryHandle* query) {
@@ -455,7 +605,14 @@ Result<ingest::ShardedIngress*> Engine::AttachIngress(
         StrCat("AttachIngress('", qs->def.name, "'): input ", input,
                " already has an engine-managed ingress"));
   }
-  qs->ingress[input] = ingest::ShardedIngress::ForQuery(q, input, options);
+  ingest::IngressOptions opts = options;
+  if (opts.metrics == nullptr) opts.metrics = metrics_;
+  if (opts.metrics_label.empty()) {
+    opts.metrics_label = StrCat(
+        qs->def.name.empty() ? StrCat("q", qs->index) : qs->def.name, "/in",
+        input);
+  }
+  qs->ingress[input] = ingest::ShardedIngress::ForQuery(q, input, opts);
   return qs->ingress[input].get();
 }
 
@@ -627,7 +784,7 @@ void Engine::InsertInto(QueryState& qs, int input, const void* tuples,
   // Admitted/Running here can safely dereference them for the whole insert.
   InsertPin pin(qs);
   if (!AcceptingInserts(qs)) {
-    qs.tuples_dropped.fetch_add(static_cast<int64_t>(bytes / tsz));
+    qs.tuples_dropped.Increment(static_cast<int64_t>(bytes / tsz));
     return;
   }
   // Timestamp order is validated only where the engine consumes time:
@@ -678,7 +835,7 @@ void Engine::InsertInto(QueryState& qs, int input, const void* tuples,
         // The query went Draining while we were parked: drop the rest of
         // the block (RemoveQuery's WakeProducer bumped the free epoch, so
         // this re-check is reached promptly).
-        qs.tuples_dropped.fetch_add(
+        qs.tuples_dropped.Increment(
             static_cast<int64_t>((bytes - off) / tsz));
         return;
       }
@@ -692,8 +849,11 @@ void Engine::InsertInto(QueryState& qs, int input, const void* tuples,
       std::lock_guard<std::mutex> lock(qs.dispatch_mu);
       qs.last_ingest_ts[input] = last_ts;
     }
-    qs.bytes_in.fetch_add(static_cast<int64_t>(chunk));
-    qs.tuples_in.fetch_add(static_cast<int64_t>(chunk / tsz));
+    qs.bytes_in.Increment(static_cast<int64_t>(chunk));
+    qs.tuples_in.Increment(static_cast<int64_t>(chunk / tsz));
+    if (trace_ != nullptr) {
+      qs.last_insert_nanos.store(NowNanos(), std::memory_order_relaxed);
+    }
     TryCreateTasks(qs);
   }
 }
@@ -754,6 +914,7 @@ void Engine::CreateSingleInputTask(QueryState& qs, int64_t end_pos) {
   in.free_pos = end_pos;  // single-input operators never look back
   t->dispatched_nanos = NowNanos();
   t->total_bytes = end_pos - start_pos;
+  SampleForTrace(qs, t);
 
   qs.tuples_dispatched[0] += n;
   qs.prev_last_ts[0] = in.last_ts;
@@ -840,6 +1001,7 @@ bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
   t->dispatched_nanos = NowNanos();
   t->total_bytes = (end_pos[0] - t->in[0].start_pos) +
                    (end_pos[1] - t->in[1].start_pos);
+  SampleForTrace(qs, t);
 
   // UDF tasks copy their panes into the task result, so no history has to
   // stay alive in the input buffers (unlike the θ-join partner windows).
@@ -895,7 +1057,24 @@ bool Engine::TryCreateJoinTask(QueryState& qs, bool flush) {
   return true;
 }
 
+void Engine::SampleForTrace(QueryState& qs, QueryTask* t) {
+  // Tasks are pooled: `traced` must be (re)written on every dispatch. With
+  // tracing off this is the whole per-task cost — one pointer test.
+  t->traced = trace_ != nullptr && trace_->Sample();
+  if (t->traced) {
+    t->trace_insert_nanos =
+        qs.last_insert_nanos.load(std::memory_order_relaxed);
+    t->trace_backend = 0;
+    t->trace_queued_nanos = 0;
+    t->trace_select_nanos = 0;
+    t->trace_exec_end_nanos = 0;
+  }
+}
+
 void Engine::PushTask(QueryState& qs, QueryTask* task) {
+  // Stamped before Push: once queued the task may execute (and its span
+  // fields be written) on another thread immediately.
+  if (task->traced) task->trace_queued_nanos = NowNanos();
   qs.tasks_dispatched.fetch_add(1);
   // policy/matrix let Push wake only the processors that could select this
   // task. Worker threads dispatch connected-query tasks from inside the
@@ -960,6 +1139,7 @@ void Engine::CpuWorkerLoop(int /*worker_id*/) {
     QueryState* qsp = LiveSlot(t->query_index);
     SABER_CHECK(qsp != nullptr);
     QueryState& qs = *qsp;
+    if (t->traced) t->trace_select_nanos = NowNanos();
     TaskContext ctx = BuildContext(qs, *t);
     std::unique_ptr<TaskResult> holder = result_pool_->Acquire();
     TaskResult* r = holder.release();
@@ -968,6 +1148,10 @@ void Engine::CpuWorkerLoop(int /*worker_id*/) {
     r->dispatched_nanos = t->dispatched_nanos;
     r->input_bytes = t->total_bytes;
     qs.cpu_op->ProcessBatch(ctx, r);
+    if (t->traced) {
+      t->trace_exec_end_nanos = NowNanos();
+      t->trace_backend = static_cast<int32_t>(Processor::kCpu);
+    }
     matrix_->RecordCompletion(t->query_index, Processor::kCpu);
     StoreAndAssemble(qs, t, r, Processor::kCpu);
   }
@@ -1022,14 +1206,14 @@ void Engine::GpuWorkerLoop() {
       // CPU workers exist — a GPGPU-only engine retries in place) and put
       // it back at the queue *front* to preserve per-query id order. No
       // RecordCompletion: a failure is not a throughput sample.
-      gpu_task_retries_.fetch_add(1);
+      gpu_task_retries_.Increment();
       matrix_->DecayRate(e.task->query_index, Processor::kGpu,
                          options_.gpu_failure_decay);
       if (options_.num_cpu_workers > 0) {
         e.task->allowed = ProcessorBit(Processor::kCpu);
       }
       if (++consecutive_failures >= options_.gpu_quarantine_threshold) {
-        if (quarantined_until == 0) device_quarantines_.fetch_add(1);
+        if (quarantined_until == 0) device_quarantines_.Increment();
         quarantined_until = NowNanos() + options_.gpu_quarantine_nanos;
       }
       result_pool_->Release(std::unique_ptr<TaskResult>(e.result));
@@ -1045,6 +1229,10 @@ void Engine::GpuWorkerLoop() {
       // matrix re-publishes measured rates as completions accumulate.
       consecutive_failures = 0;
       quarantined_until = 0;
+    }
+    if (e.task->traced) {
+      e.task->trace_exec_end_nanos = NowNanos();
+      e.task->trace_backend = static_cast<int32_t>(Processor::kGpu);
     }
     matrix_->RecordCompletion(e.task->query_index, Processor::kGpu);
     StoreAndAssemble(*qsp, e.task, e.result, Processor::kGpu);
@@ -1065,6 +1253,7 @@ void Engine::GpuWorkerLoop() {
         QueryState* qsp = LiveSlot(t->query_index);
         SABER_CHECK(qsp != nullptr);
         QueryState& qs = *qsp;
+        if (t->traced) t->trace_select_nanos = NowNanos();
         TaskContext ctx = BuildContext(qs, *t);
         std::unique_ptr<TaskResult> holder = result_pool_->Acquire();
         TaskResult* r = holder.release();
@@ -1108,8 +1297,8 @@ void Engine::GpuWorkerLoop() {
 
 void Engine::StoreAndAssemble(QueryState& qs, QueryTask* task,
                               TaskResult* result, Processor p) {
-  qs.tasks_on[static_cast<int>(p)].fetch_add(1);
-  qs.bytes_on[static_cast<int>(p)].fetch_add(task->total_bytes);
+  qs.tasks_on[static_cast<int>(p)].Increment();
+  qs.bytes_on[static_cast<int>(p)].Increment(task->total_bytes);
 
   Slot& slot = *qs.slots[static_cast<size_t>(task->id) % QueryState::kSlots];
   // The slot ring advances strictly in task-id order: this task may store
@@ -1152,11 +1341,16 @@ void Engine::TryAssemble(QueryState& qs) {
       SABER_CHECK(task->id == id);
       SABER_CHECK(result->task_id == id);
 
+      // The span's sink stage starts when the ordered output is ready to
+      // emit — after the Assemble call for re-buffered assembly, immediately
+      // for concatenation.
+      int64_t sink_begin_nanos = 0;
       if (qs.concat_assembly) {
         // Window results are the concatenation of fragment results (§4.3):
         // forward the task's output bytes without re-buffering.
+        if (task->traced) sink_begin_nanos = NowNanos();
         if (result->complete.size() > 0) {
-          qs.rows_out.fetch_add(static_cast<int64_t>(
+          qs.rows_out.Increment(static_cast<int64_t>(
               result->complete.size() / qs.def.output_schema.tuple_size()));
           if (qs.sink) qs.sink(result->complete.data(), result->complete.size());
         }
@@ -1164,8 +1358,9 @@ void Engine::TryAssemble(QueryState& qs) {
         qs.assembly_scratch.Clear();
         qs.cpu_op->Assemble(*result, qs.assembly_state.get(),
                             &qs.assembly_scratch);
+        if (task->traced) sink_begin_nanos = NowNanos();
         if (qs.assembly_scratch.size() > 0) {
-          qs.rows_out.fetch_add(static_cast<int64_t>(
+          qs.rows_out.Increment(static_cast<int64_t>(
               qs.assembly_scratch.size() / qs.def.output_schema.tuple_size()));
           if (qs.sink) {
             qs.sink(qs.assembly_scratch.data(), qs.assembly_scratch.size());
@@ -1174,7 +1369,23 @@ void Engine::TryAssemble(QueryState& qs) {
       }
       const int64_t task_latency = NowNanos() - result->dispatched_nanos;
       qs.latency.RecordNanos(task_latency);
+      qs.latency_hist.Record(task_latency);
       qs.controller->Observe(task_latency);
+      if (task->traced && trace_ != nullptr) {
+        obs::TaskSpan span;
+        span.task_id = task->id;
+        span.query_index = task->query_index;
+        span.backend = task->trace_backend;
+        span.bytes = task->total_bytes;
+        span.insert_nanos = task->trace_insert_nanos;
+        span.create_nanos = task->dispatched_nanos;
+        span.queued_nanos = task->trace_queued_nanos;
+        span.select_nanos = task->trace_select_nanos;
+        span.exec_end_nanos = task->trace_exec_end_nanos;
+        span.sink_begin_nanos = sink_begin_nanos;
+        span.done_nanos = NowNanos();
+        trace_->Push(span);
+      }
 
       for (int i = 0; i < task->num_inputs; ++i) {
         qs.buffer[i]->FreeUpTo(task->in[i].free_pos);

@@ -14,6 +14,8 @@
 #include "core/task_size_controller.h"
 #include "core/throughput_matrix.h"
 #include "gpu/gpu_operators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/circular_buffer.h"
 #include "runtime/histogram.h"
 #include "runtime/object_pool.h"
@@ -144,6 +146,23 @@ struct EngineOptions {
   int gpu_quarantine_threshold = 3;
   int64_t gpu_quarantine_nanos = 50'000'000;
   double gpu_failure_decay = 0.5;
+
+  /// Metrics registry every engine counter registers on (obs/metrics.h).
+  /// Null (the default) makes the engine own a private registry, readable
+  /// via Engine::metrics(); pass one to aggregate several engines — or an
+  /// engine plus its network front end — into a single /metrics exposition.
+  /// A borrowed registry must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Task-path tracing sample rate in [0, 1] (obs/trace.h). 0 (default)
+  /// disables tracing entirely — the trace ring is not even constructed and
+  /// the per-task cost is one pointer test. At rate r each dispatched task
+  /// is sampled independently; sampled tasks stamp six stage timestamps and
+  /// publish a span on completion.
+  double trace_sample_rate = 0.0;
+  /// Completed spans retained by the bounded trace ring (oldest overwritten
+  /// past this). Unit: spans. Default: 8192 (~1 MiB).
+  size_t trace_ring_spans = 8192;
 };
 
 class Engine;
@@ -217,6 +236,11 @@ class QueryHandle {
   int64_t bytes_on(Processor p) const;
   /// End-to-end task latency: dispatch -> output emission.
   const LatencyHistogram& latency() const;
+  /// Labels identifying this query's registry series: {query=<name or
+  /// q<index>>, slot=<index>}. The slot disambiguates same-named live
+  /// queries; a recycled slot restarts its series (a counter reset on the
+  /// wire).
+  obs::Labels metric_labels() const;
 
  private:
   friend class Engine;
@@ -296,8 +320,15 @@ class Engine {
   /// Device-failed tasks retried (requeued CPU-narrowed) by the failover
   /// path, and quarantine episodes entered (gpu_quarantine_threshold
   /// consecutive failures). Both zero in fault-free runs.
-  int64_t gpu_task_retries() const { return gpu_task_retries_.load(); }
-  int64_t device_quarantines() const { return device_quarantines_.load(); }
+  int64_t gpu_task_retries() const { return gpu_task_retries_.value(); }
+  int64_t device_quarantines() const { return device_quarantines_.value(); }
+
+  /// The metrics registry this engine's counters live on — owned unless
+  /// EngineOptions::metrics supplied one. `metrics()->Snapshot()` is the
+  /// DumpMetrics API; net::HttpMetricsServer serves the same registry.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// The task-path trace ring, or nullptr when trace_sample_rate == 0.
+  obs::TraceRing* trace() const { return trace_.get(); }
 
  private:
   friend class QueryHandle;
@@ -309,6 +340,9 @@ class Engine {
   bool FlushRemainder(QueryState& qs);
   void CreateSingleInputTask(QueryState& qs, int64_t end_pos);
   bool TryCreateJoinTask(QueryState& qs, bool flush);
+  /// Trace-sampling decision for a freshly cut task (resets the pooled
+  /// task's span fields). One pointer test when tracing is off.
+  void SampleForTrace(QueryState& qs, QueryTask* t);
   void PushTask(QueryState& qs, QueryTask* task);
 
   TaskContext BuildContext(QueryState& qs, const QueryTask& t) const;
@@ -334,7 +368,17 @@ class Engine {
   /// Final teardown of a quiesced query. Caller holds registry_mu_.
   void RetireLocked(const std::shared_ptr<QueryState>& qs);
 
+  /// Registers a freshly admitted query's counters on metrics_. Caller
+  /// holds registry_mu_.
+  void RegisterQueryMetricsLocked(QueryState& qs);
+
   EngineOptions options_;
+  /// Declared first so it is destroyed last: external series registered by
+  /// engine-owned components stay valid for any Snapshot taken while the
+  /// engine is alive. (With a borrowed registry, ~Engine unregisters.)
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::TraceRing> trace_;
   // Destruction order: queries (operators) must die before the device, so
   // every QueryState owner (registry_, handles_) is declared after device_.
   std::unique_ptr<SimDevice> device_;
@@ -364,9 +408,10 @@ class Engine {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  /// GPGPU failover counters (see the public accessors).
-  std::atomic<int64_t> gpu_task_retries_{0};
-  std::atomic<int64_t> device_quarantines_{0};
+  /// GPGPU failover counters (see the public accessors); registered on
+  /// metrics_ as saber_gpu_task_retries_total / saber_gpu_quarantines_total.
+  obs::Counter gpu_task_retries_;
+  obs::Counter device_quarantines_;
 
   /// True on engine worker threads (CPU workers and the GPGPU worker).
   /// Worker-context task dispatch — a connected query's sink running inside

@@ -63,12 +63,16 @@ inline constexpr size_t kMaxQuerySlots = 256;
 /// Resumable scan state: positions [0, resume_pos) of the queue have been
 /// proven ineligible for one processor under the current rates and switch
 /// counts, with `resume_delay` the preferred-processor delay accumulated
-/// over that prefix (Alg. 1 line 10). Valid only between a failed scan and
-/// the next eligibility mutation; appends are the only queue change that
-/// preserves it.
+/// over that prefix (Alg. 1 line 10) and `seen_queries` the queries with a
+/// task in that prefix — a resumed scan may not select an appended task of
+/// a query whose (refused) earlier task it skipped, or it would run the
+/// query out of id order. Valid only between a failed scan and the next
+/// eligibility mutation; appends are the only queue change that preserves
+/// it.
 struct ScanState {
   size_t resume_pos = 0;
   double resume_delay = 0.0;
+  std::bitset<kMaxQuerySlots> seen_queries;
 };
 
 class Scheduler {
@@ -248,7 +252,19 @@ class HlsScheduler final : public Scheduler {
     Processor best_ppref = p;
     double best_norm = 0.0;
     double min_norm = 0.0;  // least service among candidate tenants
-    std::bitset<kMaxQuerySlots> candidate_query;
+    // Queries with a task at an earlier position (including a resumed scan's
+    // skipped prefix). Only a query's *earliest* queued task may be selected:
+    // the result stage's slot ring admits a task only within kSlots of the
+    // assembly cursor, so per-query id order bounds the
+    // completed-but-unassembled gap by the tasks concurrently held by
+    // workers. A later task selected past a refused earlier one (delay
+    // accrues between positions, so the delay steal can qualify a position
+    // the head failed; a resumed scan starts past the head entirely) breaks
+    // that bound: a pipelined device worker laps the ring, wedges spinning in
+    // the store, and — no longer scheduling — can never satisfy the switch
+    // threshold that made the head ineligible for everyone else.
+    std::bitset<kMaxQuerySlots> seen_query =
+        scan == nullptr ? std::bitset<kMaxQuerySlots>{} : scan->seen_queries;
     for (; pos < limit; ++pos) {                            // line 3
       QueryTask* v = queue[pos];
       const int q = v->query_index;                         // line 4
@@ -259,23 +275,33 @@ class HlsScheduler final : public Scheduler {
       if (!MaskHas(v->allowed, ppref)) {
         ppref = ppref == Processor::kCpu ? Processor::kGpu : Processor::kCpu;
       }
-      // Only a query's earliest queued task may be selected (per-query id
-      // order); later tasks of a candidate query still count as queued work.
-      if (MaskHas(v->allowed, p) &&
-          !candidate_query.test(static_cast<size_t>(q) % kMaxQuerySlots)) {
+      const size_t qbit = static_cast<size_t>(q) % kMaxQuerySlots;
+      const bool earliest_of_query = !seen_query.test(qbit);
+      seen_query.set(qbit);
+      if (MaskHas(v->allowed, p) && earliest_of_query) {
         const double rate_p = matrix.Rate(q, p);
         // Line 6: take the task if (i) this is the preferred processor and
         // the switch threshold has not been exceeded, or (ii) this is not
         // the preferred processor but either the threshold forces a switch
         // or the accumulated delay on the preferred processor exceeds this
         // processor's execution time for the task.
+        //
+        // The threshold exists to force observation of the *other*
+        // processor, so it is bypassed when the task's mask excludes that
+        // processor (a failover-narrowed retry): the only worker type that
+        // could reset the count is the one the mask forbids, so honoring
+        // the threshold would refuse the task forever — the requeued task
+        // gates its query's assembly ring and the refusal wedges the whole
+        // engine (observed as a GPGPU worker spinning in StoreAndAssemble
+        // while every CPU worker sleeps on a full queue).
+        const bool task_has_other = MaskHas(v->allowed, other);
         const bool preferred_ok =
-            p == ppref && (!have_other || matrix.Count(q, p) < st_);
+            p == ppref &&
+            (!have_other || !task_has_other || matrix.Count(q, p) < st_);
         const bool steal_ok =
             p != ppref &&
             (matrix.Count(q, ppref) >= st_ || delay >= 1.0 / rate_p);
         if (preferred_ok || steal_ok) {
-          candidate_query.set(static_cast<size_t>(q) % kMaxQuerySlots);
           const double norm = NormServiceOf(q);
           if (best == nullptr) {
             min_norm = norm;
@@ -313,6 +339,7 @@ class HlsScheduler final : public Scheduler {
     if (scan != nullptr) {
       scan->resume_pos = pos;
       scan->resume_delay = delay;
+      scan->seen_queries = seen_query;
     }
     return nullptr;                                         // nothing eligible
   }

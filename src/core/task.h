@@ -66,6 +66,18 @@ struct QueryTask {
   /// the CPU before requeueing it, so the schedulers route the retry away
   /// from the failing device.
   ProcessorMask allowed = kAllProcessors;
+
+  /// Sampled task-path tracing (obs/trace.h). Tasks are pooled, so dispatch
+  /// must reset `traced` on every (re)initialization; the remaining stamps
+  /// are only read when `traced` is set. Keeping the span inline bounds
+  /// trace memory by the number of in-flight tasks — no per-span allocation.
+  bool traced = false;
+  /// Executing backend for the span: 0 = CPU worker, 1 = GPGPU.
+  int32_t trace_backend = 0;
+  int64_t trace_insert_nanos = 0;    // newest insert feeding the batch
+  int64_t trace_queued_nanos = 0;    // pushed to the system-wide queue
+  int64_t trace_select_nanos = 0;    // scheduler handed it to a worker
+  int64_t trace_exec_end_nanos = 0;  // operator / device pipeline finished
 };
 
 }  // namespace saber

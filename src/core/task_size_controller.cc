@@ -46,7 +46,7 @@ size_t TaskSizeController::RoundToTuple(size_t bytes) const {
 }
 
 void TaskSizeController::Observe(int64_t latency_nanos) {
-  observations_.fetch_add(1, std::memory_order_relaxed);
+  observations_.Increment();
   if (options_.policy == TaskSizePolicy::kFixedPhi) return;
 
   interval_latency_.RecordNanos(latency_nanos);
@@ -109,23 +109,42 @@ void TaskSizeController::Adjust(int64_t window_max) {
   size_t next = std::clamp(proposal, min_task_size_, max_task_size_);
   next = RoundToTuple(next);
   clamped = clamped || next != RoundToTuple(std::max(proposal, tuple_size_));
-  if (clamped) clamp_events_.fetch_add(1, std::memory_order_relaxed);
+  if (clamped) clamp_events_.Increment();
   if (next == cur) return;
-  (next < cur ? shrink_count_ : grow_count_)
-      .fetch_add(1, std::memory_order_relaxed);
-  adjust_count_.fetch_add(1, std::memory_order_relaxed);
+  (next < cur ? shrink_count_ : grow_count_).Increment();
+  adjust_count_.Increment();
   phi_.store(next, std::memory_order_relaxed);
+}
+
+void TaskSizeController::RegisterMetrics(obs::MetricsRegistry* registry,
+                                         const obs::Labels& labels,
+                                         const void* owner) const {
+  registry->RegisterCounter(
+      "saber_controller_observations_total", labels, &observations_, owner,
+      "Task latency observations fed to the task-size controller");
+  registry->RegisterCounter("saber_controller_adjusts_total", labels,
+                            &adjust_count_, owner,
+                            "Applied task-size (phi) changes");
+  registry->RegisterCounter("saber_controller_shrinks_total", labels,
+                            &shrink_count_, owner,
+                            "Multiplicative-decrease phi changes");
+  registry->RegisterCounter("saber_controller_grows_total", labels,
+                            &grow_count_, owner,
+                            "Additive-increase phi changes");
+  registry->RegisterCounter(
+      "saber_controller_clamps_total", labels, &clamp_events_, owner,
+      "Phi proposals limited by bounds or the throughput guard");
 }
 
 ControllerStats TaskSizeController::Stats() const {
   ControllerStats s;
   s.policy = options_.policy;
   s.current_phi = phi_.load(std::memory_order_relaxed);
-  s.observations = observations_.load(std::memory_order_relaxed);
-  s.adjust_count = adjust_count_.load(std::memory_order_relaxed);
-  s.shrink_count = shrink_count_.load(std::memory_order_relaxed);
-  s.grow_count = grow_count_.load(std::memory_order_relaxed);
-  s.clamp_events = clamp_events_.load(std::memory_order_relaxed);
+  s.observations = observations_.value();
+  s.adjust_count = adjust_count_.value();
+  s.shrink_count = shrink_count_.value();
+  s.grow_count = grow_count_.value();
+  s.clamp_events = clamp_events_.value();
   s.last_p99_nanos = last_p99_nanos_.load(std::memory_order_relaxed);
   s.last_window_max_nanos =
       last_window_max_nanos_.load(std::memory_order_relaxed);

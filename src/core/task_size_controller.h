@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.h"
 #include "runtime/histogram.h"
 
 /// \file task_size_controller.h
@@ -135,6 +136,13 @@ class TaskSizeController {
 
   ControllerStats Stats() const;
 
+  /// Publishes this controller's monotone counters as external series on
+  /// `registry` under `labels` (saber_controller_*_total). Gauges derived
+  /// from Stats() — φ, last-interval p99 — are the engine collector's job.
+  /// The caller owns the unregistration contract tied to `owner`.
+  void RegisterMetrics(obs::MetricsRegistry* registry, const obs::Labels& labels,
+                       const void* owner) const;
+
   const TaskSizeControllerOptions& options() const { return options_; }
 
   /// "fixed" / "aimd" / "guard" (stable names, used by saber_cli and the
@@ -164,11 +172,14 @@ class TaskSizeController {
   /// preserving the original engine behavior.
   LatencyHistogram interval_latency_;
 
-  std::atomic<int64_t> observations_{0};
-  std::atomic<int64_t> adjust_count_{0};
-  std::atomic<int64_t> shrink_count_{0};
-  std::atomic<int64_t> grow_count_{0};
-  std::atomic<int64_t> clamp_events_{0};
+  /// Monotone counters double as the metrics-registry series for this
+  /// controller (registered by RegisterMetrics); Stats() reads the same
+  /// storage, so the CLI summary and a /metrics scrape can never diverge.
+  obs::Counter observations_;
+  obs::Counter adjust_count_;
+  obs::Counter shrink_count_;
+  obs::Counter grow_count_;
+  obs::Counter clamp_events_;
   std::atomic<int64_t> last_p99_nanos_{0};
   std::atomic<int64_t> last_window_max_nanos_{0};
 };

@@ -6,6 +6,10 @@
 #include <string>
 #include <vector>
 
+namespace saber::obs {
+class MetricsRegistry;
+}  // namespace saber::obs
+
 /// \file ingress_options.h
 /// Configuration and statistics surface of the sharded ingestion stage
 /// (src/ingest/). See sharded_ingress.h for the stage overview and
@@ -123,6 +127,17 @@ struct IngressOptions {
   /// Prefix for the watchdog's stderr diagnostics (e.g. "query 3 input 0"
   /// when the server owns the ingress). Default: empty.
   std::string watchdog_label;
+
+  /// Metrics registry this ingress registers its counters on
+  /// (saber_ingest_* / saber_watermark_* / saber_watchdog_* series, labeled
+  /// {ingress=metrics_label} and, per shard, {producer=i}). Null (default)
+  /// keeps the counters private to stats(). The engine fills this in for
+  /// engine-managed ingresses (Engine::AttachIngress); the registry must
+  /// outlive the ingress, which unregisters on destruction.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Value of the `ingress` label; empty falls back to "ingress" (or, for
+  /// engine-managed ingresses, to "<query>/in<input>").
+  std::string metrics_label;
 };
 
 /// Per-producer counters (monotone; readable from any thread while the

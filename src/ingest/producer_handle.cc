@@ -81,7 +81,7 @@ bool ProducerHandle::Append(const void* tuples, size_t bytes) {
   const bool ok =
       disordered() ? AppendDisordered(src, bytes) : StageBytes(src, bytes);
   if (!ok) return false;
-  appends_.fetch_add(1, std::memory_order_relaxed);
+  appends_.Increment();
   return true;
 }
 
@@ -104,7 +104,7 @@ bool ProducerHandle::StageBytes(const uint8_t* src, size_t bytes) {
       // awake (it may be waiting for this shard to pass the watermark),
       // then sleep on the staging free channel.
       owner_->BumpIngestEpoch();
-      waits_.fetch_add(1, std::memory_order_relaxed);
+      waits_.Increment();
       staging_.WaitFreeEpoch(epoch);
     }
     off += chunk;
@@ -115,9 +115,8 @@ bool ProducerHandle::StageBytes(const uint8_t* src, size_t bytes) {
     // counted under it (the sealing proof in watermark_merger.cc needs it).
     last_ts_.store(chunk_last_ts, std::memory_order_release);
     has_appended_.store(true, std::memory_order_release);
-    tuples_.fetch_add(static_cast<int64_t>(chunk / tuple_size_),
-                      std::memory_order_relaxed);
-    bytes_.fetch_add(static_cast<int64_t>(chunk), std::memory_order_relaxed);
+    tuples_.Increment(static_cast<int64_t>(chunk / tuple_size_));
+    bytes_.Increment(static_cast<int64_t>(chunk));
     owner_->BumpIngestEpoch();
   }
   return true;
@@ -277,11 +276,11 @@ void ProducerHandle::HandleLateTuple(const uint8_t* tuple) {
           static_cast<long long>(lateness_));
       std::abort();
     case LatePolicy::kDropAndCount:
-      late_dropped_.fetch_add(1, std::memory_order_relaxed);
+      late_dropped_.Increment();
       break;
     case LatePolicy::kDeadLetter:
       if (dead_letter_) dead_letter_(index_, tuple, tuple_size_);
-      dead_lettered_.fetch_add(1, std::memory_order_relaxed);
+      dead_lettered_.Increment();
       break;
   }
 }
@@ -322,6 +321,26 @@ void ProducerHandle::Revoke() {
   // Re-derive the watermark: if no Append is in flight this shard is now
   // finished and stops pinning W; if one is, its exit bumps the epoch again.
   owner_->BumpIngestEpoch();
+}
+
+void ProducerHandle::RegisterMetrics(obs::MetricsRegistry* registry,
+                                     const obs::Labels& labels,
+                                     const void* owner) const {
+  registry->RegisterCounter("saber_ingest_tuples_total", labels, &tuples_,
+                            owner, "Tuples accepted by Append");
+  registry->RegisterCounter("saber_ingest_bytes_total", labels, &bytes_,
+                            owner, "Bytes accepted by Append");
+  registry->RegisterCounter("saber_ingest_appends_total", labels, &appends_,
+                            owner, "Successful Append calls");
+  registry->RegisterCounter("saber_ingest_backpressure_waits_total", labels,
+                            &waits_, owner,
+                            "Producer sleeps on the staging free channel");
+  registry->RegisterCounter(
+      "saber_ingest_late_dropped_total", labels, &late_dropped_, owner,
+      "Late tuples dropped under LatePolicy::kDropAndCount");
+  registry->RegisterCounter(
+      "saber_ingest_dead_lettered_total", labels, &dead_lettered_, owner,
+      "Late tuples routed to the dead-letter sink");
 }
 
 }  // namespace saber::ingest

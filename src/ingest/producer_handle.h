@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ingest/ingress_options.h"
+#include "obs/metrics.h"
 #include "runtime/circular_buffer.h"
 #include "runtime/rate_limiter.h"
 
@@ -111,24 +112,24 @@ class ProducerHandle {
   void SetRate(double bytes_per_second) { limiter_.SetRate(bytes_per_second); }
   double rate_bytes_per_sec() const { return limiter_.rate_bytes_per_sec(); }
 
-  int64_t tuples() const { return tuples_.load(std::memory_order_relaxed); }
-  int64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
-  int64_t appends() const { return appends_.load(std::memory_order_relaxed); }
-  int64_t backpressure_waits() const {
-    return waits_.load(std::memory_order_relaxed);
-  }
+  int64_t tuples() const { return tuples_.value(); }
+  int64_t bytes() const { return bytes_.value(); }
+  int64_t appends() const { return appends_.value(); }
+  int64_t backpressure_waits() const { return waits_.value(); }
   /// Sleeps forced by the rate limiter (throttle pressure, distinct from
   /// staging back-pressure).
   int64_t throttle_waits() const { return limiter_.throttle_waits(); }
   /// Late tuples dropped under LatePolicy::kDropAndCount.
-  int64_t late_dropped() const {
-    return late_dropped_.load(std::memory_order_relaxed);
-  }
+  int64_t late_dropped() const { return late_dropped_.value(); }
   /// Late tuples routed to the dead-letter sink under LatePolicy::kDeadLetter
   /// (counted even when no sink is configured).
-  int64_t dead_lettered() const {
-    return dead_lettered_.load(std::memory_order_relaxed);
-  }
+  int64_t dead_lettered() const { return dead_lettered_.value(); }
+
+  /// Publishes this shard's counters as external series on `registry`
+  /// (labels should carry {ingress, producer}); the owning ShardedIngress
+  /// unregisters with `owner` before the handles die.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const obs::Labels& labels, const void* owner) const;
 
  private:
   friend class ShardedIngress;
@@ -283,12 +284,14 @@ class ProducerHandle {
   int64_t late_floor_ = kNoTimestamp;
   bool has_seen_ts_ = false;
 
-  std::atomic<int64_t> tuples_{0};
-  std::atomic<int64_t> bytes_{0};
-  std::atomic<int64_t> appends_{0};
-  std::atomic<int64_t> waits_{0};
-  std::atomic<int64_t> late_dropped_{0};
-  std::atomic<int64_t> dead_lettered_{0};
+  /// Monotone shard counters; doubled as metrics-registry series via
+  /// RegisterMetrics, so stats() and a /metrics scrape read one storage.
+  obs::Counter tuples_;
+  obs::Counter bytes_;
+  obs::Counter appends_;
+  obs::Counter waits_;
+  obs::Counter late_dropped_;
+  obs::Counter dead_lettered_;
 };
 
 }  // namespace saber::ingest

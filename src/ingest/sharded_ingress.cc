@@ -23,10 +23,45 @@ ShardedIngress::ShardedIngress(size_t tuple_size, const IngressOptions& options,
   merger_ = std::make_unique<WatermarkMerger>(
       std::move(raw), tuple_size_, options_.merge_batch_bytes,
       std::move(downstream));
+  if (options_.metrics != nullptr) RegisterMetrics();
   merger_thread_ = std::thread([this] { MergerLoop(); });
   if (options_.watchdog_nanos > 0) {
     watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   }
+}
+
+void ShardedIngress::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  const std::string& ingress_label =
+      options_.metrics_label.empty() ? std::string("ingress")
+                                     : options_.metrics_label;
+  const obs::Labels base = {{"ingress", ingress_label}};
+  merger_->RegisterMetrics(registry, base, this);
+  registry->RegisterCounter(
+      "saber_watchdog_trips_total", base, &watchdog_trips_, this,
+      "Watermark-watchdog detections (staged bytes, no merge progress)");
+  registry->RegisterCounter(
+      "saber_watchdog_force_closes_total", base, &watchdog_force_closes_,
+      this, "Shards revoked by the watchdog (watchdog_force_close)");
+  for (const auto& p : producers_) {
+    obs::Labels labels = base;
+    labels.emplace_back("producer", std::to_string(p->index()));
+    p->RegisterMetrics(registry, labels, this);
+  }
+  // Throttle waits are owned by each shard's rate limiter; fold them in at
+  // snapshot time (the collector contract in obs/metrics.h).
+  registry->AddCollector(
+      [this, registry, base] {
+        for (const auto& p : producers_) {
+          obs::Labels labels = base;
+          labels.emplace_back("producer", std::to_string(p->index()));
+          registry
+              ->GetCounter("saber_ingest_throttle_waits_total", labels,
+                           "Producer sleeps forced by the rate limiter")
+              ->StoreForCollector(p->throttle_waits());
+        }
+      },
+      this);
 }
 
 std::unique_ptr<ShardedIngress> ShardedIngress::ForQuery(
@@ -38,7 +73,12 @@ std::unique_ptr<ShardedIngress> ShardedIngress::ForQuery(
       });
 }
 
-ShardedIngress::~ShardedIngress() { Stop(); }
+ShardedIngress::~ShardedIngress() {
+  Stop();
+  // Detach the external series and the throttle collector before the
+  // producer handles and merger (their storage) are destroyed.
+  if (options_.metrics != nullptr) options_.metrics->Unregister(this);
+}
 
 void ShardedIngress::CloseAll() {
   for (auto& p : producers_) p->Close();
@@ -108,9 +148,9 @@ IngressStats ShardedIngress::stats() const {
   s.merged_batches = merger_->merged_batches();
   s.merged_bytes = merger_->merged_bytes();
   s.merged_tuples = merger_->merged_tuples();
-  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.watchdog_trips = watchdog_trips_.value();
   s.watchdog_force_closes =
-      watchdog_force_closes_.load(std::memory_order_relaxed);
+      watchdog_force_closes_.value();
   return s;
 }
 
@@ -188,7 +228,7 @@ void ShardedIngress::WatchdogLoop() {
     // lowest published timestamp; a shard that never appended pins hardest
     // (its first tuple could still carry any timestamp).
     tripped = true;
-    watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+    watchdog_trips_.Increment();
     ProducerHandle* pin = nullptr;
     bool pin_virgin = false;
     int64_t pin_ts = 0;
@@ -218,7 +258,7 @@ void ShardedIngress::WatchdogLoop() {
           options_.watchdog_force_close ? "; force-closing" : "");
       if (options_.watchdog_force_close) {
         pin->Revoke();
-        watchdog_force_closes_.fetch_add(1, std::memory_order_relaxed);
+        watchdog_force_closes_.Increment();
       }
     } else {
       // Every shard is finished yet bytes sit unmerged — the merger itself

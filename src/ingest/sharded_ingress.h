@@ -11,6 +11,7 @@
 #include "ingest/ingress_options.h"
 #include "ingest/producer_handle.h"
 #include "ingest/watermark_merger.h"
+#include "obs/metrics.h"
 
 /// \file sharded_ingress.h
 /// Sharded multi-producer ingestion: the first pipeline stage *in front of*
@@ -126,15 +127,18 @@ class ShardedIngress {
 
   /// Watermark-watchdog counters (cheap; see IngressOptions::watchdog_nanos
   /// and IngressStats for semantics).
-  int64_t watchdog_trips() const {
-    return watchdog_trips_.load(std::memory_order_relaxed);
-  }
+  int64_t watchdog_trips() const { return watchdog_trips_.value(); }
   int64_t watchdog_force_closes() const {
-    return watchdog_force_closes_.load(std::memory_order_relaxed);
+    return watchdog_force_closes_.value();
   }
 
  private:
   friend class ProducerHandle;
+
+  /// Registers every shard, merger and watchdog counter on
+  /// IngressOptions::metrics (called from the constructor when set; the
+  /// destructor unregisters before any counter storage dies).
+  void RegisterMetrics();
 
   /// Producers bump this futex epoch after publishing data, on Close, and
   /// when they hit staging back-pressure; the merger sleeps on it when a
@@ -172,8 +176,8 @@ class ShardedIngress {
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;
   std::thread watchdog_thread_;
-  std::atomic<int64_t> watchdog_trips_{0};
-  std::atomic<int64_t> watchdog_force_closes_{0};
+  obs::Counter watchdog_trips_;
+  obs::Counter watchdog_force_closes_;
 };
 
 }  // namespace saber::ingest

@@ -69,9 +69,8 @@ void WatermarkMerger::Flush() {
     }
   }
   downstream_(scratch_.data(), scratch_used_);
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  merged_bytes_.fetch_add(static_cast<int64_t>(scratch_used_),
-                          std::memory_order_relaxed);
+  batches_.Increment();
+  merged_bytes_.Increment(static_cast<int64_t>(scratch_used_));
   scratch_used_ = 0;
 }
 
@@ -219,7 +218,7 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
         UpperBound(*producers_[best], read_pos_[best], end[best], limit);
     int64_t run_bytes = run_end - read_pos_[best];
     SABER_DCHECK(run_bytes > 0);
-    runs_.fetch_add(1, std::memory_order_relaxed);
+    runs_.Increment();
     while (run_bytes > 0) {
       size_t room = merge_batch_bytes_ - scratch_used_;
       if (room < tuple_size_) {
@@ -239,11 +238,11 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
   Flush();
 
   if (produced > 0) {
-    cycles_.fetch_add(1, std::memory_order_relaxed);
+    cycles_.Increment();
   } else {
     // Staged bytes exist but none sealed: a shard is holding the watermark
     // back (stalled producer, or one that never appended and never closed).
-    stalls_.fetch_add(1, std::memory_order_relaxed);
+    stalls_.Increment();
   }
 
   bool drained = all_finished;
@@ -251,6 +250,26 @@ WatermarkMerger::CycleResult WatermarkMerger::RunCycle() {
     drained = read_pos_[i] >= end[i];
   }
   return CycleResult{produced, drained};
+}
+
+void WatermarkMerger::RegisterMetrics(obs::MetricsRegistry* registry,
+                                      const obs::Labels& labels,
+                                      const void* owner) const {
+  registry->RegisterCounter("saber_ingest_merge_cycles_total", labels,
+                            &cycles_, owner,
+                            "Merge cycles that sealed at least one tuple");
+  registry->RegisterCounter(
+      "saber_watermark_stalls_total", labels, &stalls_, owner,
+      "Merge cycles with staged bytes but nothing sealable (a producer is "
+      "holding the watermark back)");
+  registry->RegisterCounter(
+      "saber_ingest_merge_runs_total", labels, &runs_, owner,
+      "Contiguous single-producer spans copied by the k-way merge");
+  registry->RegisterCounter("saber_ingest_merged_batches_total", labels,
+                            &batches_, owner, "Downstream deliveries");
+  registry->RegisterCounter("saber_ingest_merged_bytes_total", labels,
+                            &merged_bytes_, owner,
+                            "Bytes merged and delivered downstream");
 }
 
 }  // namespace saber::ingest

@@ -7,6 +7,7 @@
 
 #include "ingest/ingress_options.h"
 #include "ingest/producer_handle.h"
+#include "obs/metrics.h"
 
 /// \file watermark_merger.h
 /// The sealing + ordering core of the sharded ingestion stage: turns N
@@ -67,20 +68,20 @@ class WatermarkMerger {
   /// Engine::InsertInto, which blocks on input-buffer back-pressure).
   CycleResult RunCycle();
 
-  int64_t merge_cycles() const { return cycles_.load(std::memory_order_relaxed); }
-  int64_t watermark_stalls() const {
-    return stalls_.load(std::memory_order_relaxed);
-  }
-  int64_t merge_runs() const { return runs_.load(std::memory_order_relaxed); }
-  int64_t merged_batches() const {
-    return batches_.load(std::memory_order_relaxed);
-  }
-  int64_t merged_bytes() const {
-    return merged_bytes_.load(std::memory_order_relaxed);
-  }
+  int64_t merge_cycles() const { return cycles_.value(); }
+  int64_t watermark_stalls() const { return stalls_.value(); }
+  int64_t merge_runs() const { return runs_.value(); }
+  int64_t merged_batches() const { return batches_.value(); }
+  int64_t merged_bytes() const { return merged_bytes_.value(); }
   int64_t merged_tuples() const {
     return merged_bytes() / static_cast<int64_t>(tuple_size_);
   }
+
+  /// Publishes the merge counters as external series on `registry` (labels
+  /// should carry {ingress}); the owning ShardedIngress unregisters with
+  /// `owner` before this merger dies.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const obs::Labels& labels, const void* owner) const;
 
  private:
   /// Timestamp of the staged tuple at absolute staging position `pos`.
@@ -104,11 +105,11 @@ class WatermarkMerger {
   std::vector<uint8_t> scratch_;
   size_t scratch_used_ = 0;
 
-  std::atomic<int64_t> cycles_{0};
-  std::atomic<int64_t> stalls_{0};
-  std::atomic<int64_t> runs_{0};
-  std::atomic<int64_t> batches_{0};
-  std::atomic<int64_t> merged_bytes_{0};
+  obs::Counter cycles_;
+  obs::Counter stalls_;
+  obs::Counter runs_;
+  obs::Counter batches_;
+  obs::Counter merged_bytes_;
 };
 
 }  // namespace saber::ingest

@@ -1,0 +1,104 @@
+#include "net/http_metrics.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "runtime/strcat.h"
+
+namespace saber::net {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+constexpr int kRequestTimeoutMs = 5'000;
+
+void SendResponse(int fd, const char* status_line, const char* content_type,
+                  const std::string& body) {
+  std::string resp = StrCat("HTTP/1.1 ", status_line,
+                            "\r\nContent-Type: ", content_type,
+                            "\r\nContent-Length: ", body.size(),
+                            "\r\nConnection: close\r\n\r\n");
+  resp += body;
+  (void)WriteFull(fd, resp.data(), resp.size());
+}
+
+}  // namespace
+
+HttpMetricsServer::HttpMetricsServer(const obs::MetricsRegistry* registry,
+                                     std::string bind_addr)
+    : registry_(registry), bind_addr_(std::move(bind_addr)) {
+  SABER_CHECK(registry_ != nullptr);
+}
+
+HttpMetricsServer::~HttpMetricsServer() { Stop(); }
+
+Status HttpMetricsServer::Start(int port) {
+  SABER_CHECK(!started_.exchange(true));
+  auto listener = ListenOn(bind_addr_, port, /*backlog=*/16);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  auto bound = LocalPort(listener_.fd());
+  if (!bound.ok()) return bound.status();
+  port_ = bound.value();
+  loop_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpMetricsServer::Stop() {
+  if (!started_.load() || stop_.exchange(true)) return;
+  if (loop_.joinable()) loop_.join();
+  listener_.Close();
+}
+
+void HttpMetricsServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) continue;
+    ServeOne(Socket(fd));
+  }
+}
+
+void HttpMetricsServer::ServeOne(Socket conn) {
+  (void)SetRecvTimeout(conn.fd(), kRequestTimeoutMs);
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(conn.fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // no complete request line
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendResponse(conn.fd(), "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    SendResponse(conn.fd(), "405 Method Not Allowed", "text/plain",
+                 "only GET is supported\n");
+    return;
+  }
+  if (path == "/metrics") {
+    SendResponse(conn.fd(), "200 OK", "text/plain; version=0.0.4",
+                 obs::RenderPrometheusText(registry_->Snapshot()));
+  } else if (path == "/healthz") {
+    SendResponse(conn.fd(), "200 OK", "text/plain", "ok\n");
+  } else {
+    SendResponse(conn.fd(), "404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace saber::net

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+/// \file http_metrics.h
+/// A deliberately minimal HTTP/1.x responder that serves the Prometheus
+/// text exposition of one `obs::MetricsRegistry` — the `saber_server
+/// --metrics-port` endpoint. It reuses the src/net/socket wrappers and
+/// nothing else: one accept thread, connections served sequentially (a
+/// scrape is tiny and low-rate by design), every response
+/// `Connection: close`.
+///
+///   GET /metrics  → 200, Content-Type text/plain; version=0.0.4
+///   GET /healthz  → 200 "ok"
+///   anything else → 404 (or 405 for non-GET methods)
+///
+/// Robustness over features: the request read is bounded (8 KiB) and
+/// deadlined (SO_RCVTIMEO), so a slow or hostile client stalls one scrape,
+/// never the process; request bodies, keep-alive, and chunked encoding are
+/// intentionally unsupported.
+
+namespace saber::net {
+
+class HttpMetricsServer {
+ public:
+  /// `registry` must outlive the server.
+  HttpMetricsServer(const obs::MetricsRegistry* registry,
+                    std::string bind_addr = "127.0.0.1");
+  ~HttpMetricsServer();
+
+  HttpMetricsServer(const HttpMetricsServer&) = delete;
+  HttpMetricsServer& operator=(const HttpMetricsServer&) = delete;
+
+  /// Binds `port` (0 picks an ephemeral port; read it back with port())
+  /// and starts the accept loop. IOError if the bind fails.
+  Status Start(int port);
+  /// Idempotent; joins the accept loop.
+  void Stop();
+
+  int port() const { return port_; }
+  /// Scrapes served (any path, any status); for tests and the summary.
+  int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(Socket conn);
+
+  const obs::MetricsRegistry* const registry_;
+  const std::string bind_addr_;
+  Socket listener_;
+  int port_ = -1;
+  std::thread loop_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_{0};
+};
+
+}  // namespace saber::net

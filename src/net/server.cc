@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "fault/fault_registry.h"
+#include "obs/metrics.h"
 #include "runtime/clock.h"
 #include "runtime/strcat.h"
 
@@ -65,25 +66,28 @@ uint64_t MixToken(uint64_t x) {
 
 }  // namespace
 
-/// Monotone server counters (atomic mirror of ServerStats).
+/// Monotone server counters. Registered as saber_net_* on the engine's
+/// metrics registry by the constructor (stats() and a /metrics scrape read
+/// the same storage); the destructor unregisters before this struct dies.
 struct SaberServer::Counters {
-  std::atomic<int64_t> connections_accepted{0};
-  std::atomic<int64_t> control_connections{0};
-  std::atomic<int64_t> data_connections{0};
-  std::atomic<int64_t> protocol_errors{0};
-  std::atomic<int64_t> queries_submitted{0};
-  std::atomic<int64_t> queries_removed{0};
-  std::atomic<int64_t> tuple_frames{0};
-  std::atomic<int64_t> tuple_bytes{0};
-  std::atomic<int64_t> result_batches{0};
-  std::atomic<int64_t> subscriber_overflows{0};
-  std::atomic<int64_t> timeouts{0};
-  std::atomic<int64_t> shards_parked{0};
-  std::atomic<int64_t> producer_reconnects{0};
-  std::atomic<int64_t> grace_expiries{0};
+  obs::Counter connections_accepted;
+  obs::Counter control_connections;
+  obs::Counter data_connections;
+  obs::Counter protocol_errors;
+  obs::Counter queries_submitted;
+  obs::Counter queries_removed;
+  obs::Counter tuple_frames;
+  obs::Counter tuple_bytes;
+  obs::Counter result_batches;
+  obs::Counter subscriber_overflows;
+  obs::Counter timeouts;
+  obs::Counter shards_parked;
+  obs::Counter producer_reconnects;
+  obs::Counter grace_expiries;
   /// Watchdog trips of ingresses already torn down (live ones are summed
-  /// from their ShardedIngress at stats() time).
-  std::atomic<int64_t> watchdog_trips_retired{0};
+  /// from their ShardedIngress at stats() time; on the /metrics side each
+  /// live ingress exposes its own saber_watchdog_trips_total series).
+  obs::Counter watchdog_trips_retired;
 };
 
 /// One control-plane (or not-yet-classified) connection. The epoll thread
@@ -175,9 +179,48 @@ SaberServer::SaberServer(Engine* engine, sql::Catalog catalog,
       counters_(new Counters) {
   SABER_CHECK(engine_ != nullptr);
   SABER_CHECK(options_.max_frame_bytes <= kMaxFramePayload);
+  obs::MetricsRegistry* reg = engine_->metrics();
+  const auto c = [&](std::string_view name, const obs::Counter* ptr,
+                     std::string_view help) {
+    reg->RegisterCounter(name, {}, ptr, this, help);
+  };
+  c("saber_net_connections_accepted_total", &counters_->connections_accepted,
+    "TCP connections accepted by the front end");
+  c("saber_net_control_connections_total", &counters_->control_connections,
+    "Connections that completed the control-plane hello");
+  c("saber_net_data_connections_total", &counters_->data_connections,
+    "Connections bound to a producer shard (data-plane hellos)");
+  c("saber_net_protocol_errors_total", &counters_->protocol_errors,
+    "Malformed frames / handshake violations (connection dropped)");
+  c("saber_net_queries_submitted_total", &counters_->queries_submitted,
+    "Queries accepted over the wire (SQL or spec submissions)");
+  c("saber_net_queries_removed_total", &counters_->queries_removed,
+    "Queries removed over the wire or at shutdown");
+  c("saber_net_tuple_frames_total", &counters_->tuple_frames,
+    "Data-plane tuple frames appended to an ingress shard");
+  c("saber_net_tuple_bytes_total", &counters_->tuple_bytes,
+    "Payload bytes carried by those tuple frames");
+  c("saber_net_result_batches_total", &counters_->result_batches,
+    "Sink batches fanned out toward subscribers");
+  c("saber_net_subscriber_overflows_total", &counters_->subscriber_overflows,
+    "Subscribers dropped for exceeding the outbox cap");
+  c("saber_net_timeouts_total", &counters_->timeouts,
+    "Idle control connections and data reads timed out");
+  c("saber_net_shards_parked_total", &counters_->shards_parked,
+    "Producer shards parked on disconnect (reconnect grace)");
+  c("saber_net_producer_reconnects_total", &counters_->producer_reconnects,
+    "Parked shards reclaimed by a resume-token reconnect");
+  c("saber_net_grace_expiries_total", &counters_->grace_expiries,
+    "Parked shards whose grace window expired (clean close)");
+  c("saber_net_watchdog_trips_retired_total",
+    &counters_->watchdog_trips_retired,
+    "Watchdog trips of ingresses already torn down");
 }
 
-SaberServer::~SaberServer() { Stop(); }
+SaberServer::~SaberServer() {
+  Stop();
+  engine_->metrics()->Unregister(this);
+}
 
 Status SaberServer::Start() {
   SABER_CHECK(!started_.exchange(true));
@@ -242,7 +285,7 @@ void SaberServer::Stop() {
       for (auto& f : e->fronts) {
         if (f && f->ingress) {
           f->ingress->Stop();
-          counters_->watchdog_trips_retired.fetch_add(
+          counters_->watchdog_trips_retired.Increment(
               f->ingress->watchdog_trips());
         }
       }
@@ -258,21 +301,21 @@ void SaberServer::Stop() {
 
 ServerStats SaberServer::stats() const {
   ServerStats s;
-  s.connections_accepted = counters_->connections_accepted.load();
-  s.control_connections = counters_->control_connections.load();
-  s.data_connections = counters_->data_connections.load();
-  s.protocol_errors = counters_->protocol_errors.load();
-  s.queries_submitted = counters_->queries_submitted.load();
-  s.queries_removed = counters_->queries_removed.load();
-  s.tuple_frames = counters_->tuple_frames.load();
-  s.tuple_bytes = counters_->tuple_bytes.load();
-  s.result_batches = counters_->result_batches.load();
-  s.subscriber_overflows = counters_->subscriber_overflows.load();
-  s.timeouts = counters_->timeouts.load();
-  s.shards_parked = counters_->shards_parked.load();
-  s.producer_reconnects = counters_->producer_reconnects.load();
-  s.grace_expiries = counters_->grace_expiries.load();
-  s.watermark_watchdog_trips = counters_->watchdog_trips_retired.load();
+  s.connections_accepted = counters_->connections_accepted.value();
+  s.control_connections = counters_->control_connections.value();
+  s.data_connections = counters_->data_connections.value();
+  s.protocol_errors = counters_->protocol_errors.value();
+  s.queries_submitted = counters_->queries_submitted.value();
+  s.queries_removed = counters_->queries_removed.value();
+  s.tuple_frames = counters_->tuple_frames.value();
+  s.tuple_bytes = counters_->tuple_bytes.value();
+  s.result_batches = counters_->result_batches.value();
+  s.subscriber_overflows = counters_->subscriber_overflows.value();
+  s.timeouts = counters_->timeouts.value();
+  s.shards_parked = counters_->shards_parked.value();
+  s.producer_reconnects = counters_->producer_reconnects.value();
+  s.grace_expiries = counters_->grace_expiries.value();
+  s.watermark_watchdog_trips = counters_->watchdog_trips_retired.value();
   {
     std::lock_guard<std::mutex> lock(queries_mu_);
     for (const auto& [id, e] : queries_) {
@@ -366,7 +409,7 @@ void SaberServer::AcceptNew() {
   for (;;) {
     const int fd = ::accept(listener_.fd(), nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or a transient error: try again on epoll
-    counters_->connections_accepted.fetch_add(1);
+    counters_->connections_accepted.Increment();
     if (!SetNonBlocking(fd, true).ok()) {
       ::close(fd);
       continue;
@@ -406,7 +449,7 @@ void SaberServer::SweepIdle(int64_t now_nanos) {
     // idle-but-quiescent control connection may live indefinitely.
     const bool owes = !c->hello_done || !c->rbuf.empty();
     if (owes && now_nanos - c->last_activity_nanos > budget) {
-      counters_->timeouts.fetch_add(1);
+      counters_->timeouts.Increment();
       expired.push_back(fd);
     }
   }
@@ -432,7 +475,7 @@ void SaberServer::SweepParkedShards(int64_t now_nanos) {
           }
           slot->parked = false;
           slot->closed = true;
-          counters_->grace_expiries.fetch_add(1);
+          counters_->grace_expiries.Increment();
           expired.emplace_back(e, f->ingress->producer(static_cast<int>(i)));
         }
       }
@@ -487,7 +530,7 @@ bool SaberServer::DrainReadBuffer(const std::shared_ptr<Conn>& c) {
         DecodeFrameHeader(c->rbuf.data() + off, options_.max_frame_bytes);
     if (!header.ok()) {
       // Framing is unrecoverable: report and tear down.
-      counters_->protocol_errors.fetch_add(1);
+      counters_->protocol_errors.Increment();
       EnqueueError(*c, header.status());
       (void)FlushConn(*c);
       return false;
@@ -503,7 +546,7 @@ bool SaberServer::DrainReadBuffer(const std::shared_ptr<Conn>& c) {
       // dedicated reader thread; this Conn object retires either way.
       auto hello = DecodeDataHello(payload, len);
       if (!hello.ok()) {
-        counters_->protocol_errors.fetch_add(1);
+        counters_->protocol_errors.Increment();
         EnqueueError(*c, hello.status());
         (void)FlushConn(*c);
         return false;
@@ -513,7 +556,7 @@ bool SaberServer::DrainReadBuffer(const std::shared_ptr<Conn>& c) {
       c->rbuf.clear();
       const Status s = StartDataConn(c, hello.value(), std::move(carry));
       if (!s.ok()) {
-        counters_->protocol_errors.fetch_add(1);
+        counters_->protocol_errors.Increment();
         EnqueueError(*c, s);
         (void)FlushConn(*c);
       }
@@ -531,7 +574,7 @@ bool SaberServer::ProcessFrame(const std::shared_ptr<Conn>& c, FrameType type,
                                const uint8_t* payload, size_t len) {
   if (!c->hello_done) {
     if (type != FrameType::kHelloControl) {
-      counters_->protocol_errors.fetch_add(1);
+      counters_->protocol_errors.Increment();
       EnqueueError(*c, Status::InvalidArgument(
                            StrCat("expected a hello frame, got ",
                                   FrameTypeName(type))));
@@ -541,14 +584,14 @@ bool SaberServer::ProcessFrame(const std::shared_ptr<Conn>& c, FrameType type,
     WireReader r(payload, len);
     uint32_t version = 0;
     if (!r.ReadU32(&version) || version != kProtocolVersion) {
-      counters_->protocol_errors.fetch_add(1);
+      counters_->protocol_errors.Increment();
       EnqueueError(*c, Status::InvalidArgument(
                            StrCat("unsupported protocol version ", version)));
       (void)FlushConn(*c);
       return false;
     }
     c->hello_done = true;
-    counters_->control_connections.fetch_add(1);
+    counters_->control_connections.Increment();
     WireWriter w;
     w.U32(kProtocolVersion);
     EnqueueFrame(*c, FrameType::kHelloOk, w.buf().data(), w.buf().size());
@@ -565,7 +608,7 @@ bool SaberServer::ProcessFrame(const std::shared_ptr<Conn>& c, FrameType type,
       WireReader r(payload, len);
       uint32_t id = 0;
       if (!r.ReadU32(&id)) {
-        counters_->protocol_errors.fetch_add(1);
+        counters_->protocol_errors.Increment();
         EnqueueError(*c, Status::InvalidArgument(
                              StrCat("truncated ", FrameTypeName(type),
                                     " payload")));
@@ -578,7 +621,7 @@ bool SaberServer::ProcessFrame(const std::shared_ptr<Conn>& c, FrameType type,
       return FlushConn(*c);
     }
     default:
-      counters_->protocol_errors.fetch_add(1);
+      counters_->protocol_errors.Increment();
       EnqueueError(*c, Status::InvalidArgument(
                            StrCat(FrameTypeName(type),
                                   " is not a control-plane request")));
@@ -626,7 +669,7 @@ void SaberServer::HandleSubmit(const std::shared_ptr<Conn>& c,
       [this, weak, out_tsz, cap, max_frame](const uint8_t* data, size_t bytes) {
         auto e = weak.lock();
         if (!e) return;
-        counters_->result_batches.fetch_add(1);
+        counters_->result_batches.Increment();
         std::lock_guard<std::mutex> sl(e->subs_mu);
         bool any = false;
         for (auto& ws : e->subscribers) {
@@ -638,7 +681,7 @@ void SaberServer::HandleSubmit(const std::shared_ptr<Conn>& c,
           for (size_t o = 0; o < bytes; o += max_rows_bytes) {
             const size_t n = std::min(max_rows_bytes, bytes - o);
             if (sub->outbox_bytes + n > cap) {
-              counters_->subscriber_overflows.fetch_add(1);
+              counters_->subscriber_overflows.Increment();
               sub->dead.store(true);
               break;
             }
@@ -666,7 +709,7 @@ void SaberServer::HandleSubmit(const std::shared_ptr<Conn>& c,
     std::lock_guard<std::mutex> lock(queries_mu_);
     queries_[id] = entry;
   }
-  counters_->queries_submitted.fetch_add(1);
+  counters_->queries_submitted.Increment();
 
   QueryInfo info;
   info.query_id = id;
@@ -700,7 +743,7 @@ Status SaberServer::RemoveEntry(const std::shared_ptr<QueryEntry>& e) {
     if (f && f->ingress) {
       f->ingress->Drain();
       f->ingress->Stop();
-      counters_->watchdog_trips_retired.fetch_add(
+      counters_->watchdog_trips_retired.Increment(
           f->ingress->watchdog_trips());
     }
   }
@@ -731,7 +774,7 @@ void SaberServer::HandleRemove(const std::shared_ptr<Conn>& c,
     EnqueueError(*c, s);
     return;
   }
-  counters_->queries_removed.fetch_add(1);
+  counters_->queries_removed.Increment();
   EnqueueFrame(*c, FrameType::kOk, nullptr, 0);
 }
 
@@ -871,6 +914,8 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
                             ? ingest::LatePolicy::kDropAndCount
                             : wire;
     iopts.producer_rate_bytes_per_sec = 0.0;  // per-shard rate set below
+    iopts.metrics = engine_->metrics();
+    iopts.metrics_label = StrCat("q", hello.query_id, "/in", hello.input);
     nf->ingress =
         ingest::ShardedIngress::ForQuery(e->handle, hello.input, iopts);
     front = nf.get();
@@ -977,8 +1022,8 @@ Status SaberServer::StartDataConn(const std::shared_ptr<Conn>& c,
     }
     return hello_ok;
   }
-  if (resumed) counters_->producer_reconnects.fetch_add(1);
-  counters_->data_connections.fetch_add(1);
+  if (resumed) counters_->producer_reconnects.Increment();
+  counters_->data_connections.Increment();
   {
     std::lock_guard<std::mutex> cl(e->conns_mu);
     // Opportunistically join readers that already exited (parked shards,
@@ -1031,7 +1076,7 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
   };
 
   auto fail = [&](const Status& s) {
-    counters_->protocol_errors.fetch_add(1);
+    counters_->protocol_errors.Increment();
     (void)SendFrame(fd, FrameType::kError, EncodeError(s));
     // The stream is untrustworthy past the violation: revoke rather than
     // close, so the reorder buffer's tail is abandoned with it. Either way
@@ -1057,7 +1102,7 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
         NowNanos() +
         static_cast<int64_t>(options_.reconnect_grace_ms) * 1'000'000;
     dc->slot->max_seen = dc->max_seen;
-    counters_->shards_parked.fetch_add(1);
+    counters_->shards_parked.Increment();
     return true;
   };
 
@@ -1084,7 +1129,7 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
       // is configured; otherwise the disconnect contract — the shard
       // closes and the watermark releases without it.
       if (hs.code() == StatusCode::kUnavailable) {
-        counters_->timeouts.fetch_add(1);
+        counters_->timeouts.Increment();
       }
       if (!park()) {
         seal_slot();
@@ -1132,8 +1177,8 @@ void SaberServer::DataLoop(std::shared_ptr<QueryEntry> keepalive,
             return;
           }
         }
-        counters_->tuple_frames.fetch_add(1);
-        counters_->tuple_bytes.fetch_add(
+        counters_->tuple_frames.Increment();
+        counters_->tuple_bytes.Increment(
             static_cast<int64_t>(payload.size()));
         if (!payload.empty() &&
             !dc->producer->Append(payload.data(), payload.size())) {

@@ -5,6 +5,7 @@
 
 #include "core/engine.h"
 #include "ingest/sharded_ingress.h"
+#include "obs/metrics.h"
 #include "reference/reference.h"
 #include "runtime/clock.h"
 #include "test_util.h"
@@ -293,6 +294,46 @@ TEST(QueryLifecycle, WeightedSharesBiasProgressUnderContention) {
   // Weight share says light had ~total/8 done; accept [total/16, total/2].
   EXPECT_GE(at_done, total_out / 16) << "light tenant starved";
   EXPECT_LE(at_done, total_out / 2) << "weights had no effect";
+}
+
+TEST(QueryLifecycle, MetricsScrapeConcurrentWithLifecycle) {
+  // Lock-order regression: Snapshot() runs collectors under the registry's
+  // collector lock, while admission/retirement hold the engine's query-
+  // registry mutex and call back into the metrics registry (series
+  // registration at admission; AttachIngress adds a collector; retirement
+  // destroys the ingress, which unregisters it). The engine's collector
+  // used to read the query set under that same mutex — an ABBA cycle a
+  // concurrent scrape could deadlock on. The collector now reads the
+  // lock-free live_ view; TSan flags any reintroduced inversion even when
+  // the timing doesn't wedge.
+  obs::MetricsRegistry registry;
+  EngineOptions o = LifecycleOptions();
+  o.metrics = &registry;
+  Engine engine(o);
+  engine.Start();
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      (void)registry.Snapshot();
+    }
+  });
+  const auto stream = RandomStream(SynSchema(), 2000, /*seed=*/11);
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    Result<QueryHandle*> added = engine.TryAddQuery(Selection("scraped", -1));
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+    QueryHandle* q = added.value();
+    ASSERT_TRUE(q->SetSink([](const uint8_t*, size_t) {}).ok());
+    ingest::IngressOptions io;
+    io.num_producers = 1;
+    Result<ingest::ShardedIngress*> ing = q->AttachIngress(io);
+    ASSERT_TRUE(ing.ok()) << ing.status().ToString();
+    ASSERT_TRUE(
+        ing.value()->producer(0)->Append(stream.data(), stream.size()));
+    ASSERT_TRUE(engine.RemoveQuery(q).ok());
+  }
+  stop.store(true);
+  scraper.join();
+  engine.Stop();
 }
 
 }  // namespace

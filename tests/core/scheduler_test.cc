@@ -116,6 +116,94 @@ TEST(HlsScheduler, SwitchThresholdForcesExploration) {
   EXPECT_EQ(gpu_runs, 2);  // every 4th task explores the GPGPU
 }
 
+TEST(HlsScheduler, NarrowedRetryBypassesSwitchThreshold) {
+  // GPGPU-failover regression: a device-failed task is requeued at the
+  // queue front narrowed to the CPU. The switch threshold exists to force
+  // the *other* processor to observe the query — but the other processor is
+  // exactly what the retry's mask forbids, so honoring the threshold would
+  // refuse the task forever on the only processor allowed to run it (and
+  // the count could never reset, since only a GPGPU selection of the query
+  // resets it). Observed as a whole-engine wedge: the retry gates its
+  // query's assembly ring while every CPU worker sleeps on a full queue.
+  ThroughputMatrix m(1);
+  m.SetRate(0, Processor::kCpu, 10);
+  m.SetRate(0, Processor::kGpu, 100);  // device-preferred query
+  HlsScheduler hls(/*switch_threshold=*/3);
+  // The query ran on the CPU past the threshold with no GPGPU observation.
+  for (int i = 0; i < 5; ++i) m.IncrementCount(0, Processor::kCpu);
+
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> q;
+  QueryTask* retry = MakeTask(owner, 0, /*id=*/7);
+  retry->allowed = ProcessorBit(Processor::kCpu);  // failover-narrowed
+  q.push_back(retry);                  // Requeue puts the retry at the front
+  q.push_back(MakeTask(owner, 0, 8));  // younger hybrid tasks of the query
+  q.push_back(MakeTask(owner, 0, 9));
+
+  QueryTask* t = hls.Select(q, Processor::kCpu, m);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 7);  // the narrowed retry, despite Count(q, CPU) >= st
+}
+
+TEST(HlsScheduler, DelayStealNeverSelectsPastAQuerysEarlierTask) {
+  // The delay steal (Alg. 1 line 6 case ii) accrues delay between queue
+  // positions, so it can qualify a position whose query's *head* task was
+  // just refused — selecting the query out of task-id order. The result
+  // stage's slot ring depends on per-query id order to bound the
+  // completed-but-unassembled gap below kSlots; running ahead of a refused
+  // head wedges the runahead worker in the slot-ring spin, after which the
+  // switch threshold that refused the head can never be satisfied (observed
+  // as a whole-engine wedge under GPGPU failover). A later task of a query
+  // whose earlier task was scanned must never be a candidate.
+  ThroughputMatrix m(1);
+  m.SetRate(0, Processor::kCpu, 4);  // CPU-preferred query
+  m.SetRate(0, Processor::kGpu, 2);
+  HlsScheduler hls(/*switch_threshold=*/100);
+
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> q;
+  q.push_back(MakeTask(owner, 0, 7));
+  q.push_back(MakeTask(owner, 0, 8));
+  q.push_back(MakeTask(owner, 0, 9));
+  // GPGPU scan: head refused (delay 0 < 1/rate_gpu), and by position 2 the
+  // accumulated delay (2/rate_cpu = 0.5 >= 1/rate_gpu = 0.5) would have
+  // qualified task 9 as a steal. It must refuse instead: task 7 gates the
+  // assembly ring.
+  EXPECT_EQ(hls.Select(q, Processor::kGpu, m), nullptr);
+  // The preferred processor takes the head in order.
+  QueryTask* t = hls.Select(q, Processor::kCpu, m);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 7);
+}
+
+TEST(HlsScheduler, ResumedScanKeepsPerQueryOrder) {
+  // A failed scan persists its position and delay so appends re-scan only
+  // the tail — but the skipped prefix holds earlier tasks of the same query,
+  // so the resumed scan must also remember which queries it saw, or an
+  // appended task rides the accumulated delay into an out-of-order steal.
+  ThroughputMatrix m(1);
+  m.SetRate(0, Processor::kCpu, 4);
+  m.SetRate(0, Processor::kGpu, 2);
+  HlsScheduler hls(/*switch_threshold=*/100);
+
+  std::vector<std::unique_ptr<QueryTask>> owner;
+  std::deque<QueryTask*> q;
+  q.push_back(MakeTask(owner, 0, 7));
+  ScanState scan;
+  EXPECT_EQ(hls.Select(q, Processor::kGpu, m, &scan), nullptr);
+  EXPECT_EQ(scan.resume_pos, 1u);
+  // Appends arrive while task 7 is still queued (refused above).
+  q.push_back(MakeTask(owner, 0, 8));
+  q.push_back(MakeTask(owner, 0, 9));
+  // Resumed scan: delay reaches the steal bar at task 9, but its query's
+  // head is in the skipped prefix — still ineligible.
+  EXPECT_EQ(hls.Select(q, Processor::kGpu, m, &scan), nullptr);
+  // A fresh scan (prefix invalidated) on the CPU takes the head.
+  QueryTask* t = hls.Select(q, Processor::kCpu, m);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 7);
+}
+
 TEST(HlsScheduler, WeightedSharesServeProportionally) {
   // Two always-backlogged tenants with weights 8:1 on a single processor.
   // The deficit discipline charges service as bytes/weight, so over N
@@ -428,11 +516,17 @@ TEST(TaskQueue, StealEnabledByLaterPushWakesOtherProcessor) {
   // stays blocked. Later pushes accumulate delay ahead of the new tail —
   // with C(q, GPGPU) = 101 and C(q, CPU) = 100, two queued tasks give
   // 2/101 >= 1/100 — so the third push's eligibility mask must include
-  // (and wake) the CPU, which steals the tail task.
+  // (and wake) the CPU, which steals the delayed task. The stolen task
+  // belongs to a *different* query than the backlog: a query's own later
+  // task is never stolen past its queued head (per-query id order — see
+  // DelayStealNeverSelectsPastAQuerysEarlierTask), so the steal target is
+  // the other query's earliest task, queued behind the delay.
   TaskQueue q(8);
-  ThroughputMatrix m(1);
-  m.SetRate(0, Processor::kCpu, 100);   // stealing is cheap for the CPU
-  m.SetRate(0, Processor::kGpu, 101);   // ...but the GPGPU is preferred
+  ThroughputMatrix m(2);
+  for (int query = 0; query < 2; ++query) {
+    m.SetRate(query, Processor::kCpu, 100);  // stealing is cheap for the CPU
+    m.SetRate(query, Processor::kGpu, 101);  // ...but the GPGPU is preferred
+  }
   HlsScheduler hls(/*switch_threshold=*/1000);
   std::vector<std::unique_ptr<QueryTask>> owner;
 
@@ -442,10 +536,10 @@ TEST(TaskQueue, StealEnabledByLaterPushWakesOtherProcessor) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_EQ(got.load(), nullptr);  // delay 0: no steal possible
   ASSERT_TRUE(q.Push(MakeTask(owner, 0, 2), &hls, &m));  // 1/101 < 1/100
-  ASSERT_TRUE(q.Push(MakeTask(owner, 0, 3), &hls, &m));  // 2/101 >= 1/100
+  ASSERT_TRUE(q.Push(MakeTask(owner, 1, 3), &hls, &m));  // 2/101 >= 1/100
   worker.join();  // hangs if the enabling push does not wake the CPU
   ASSERT_NE(got.load(), nullptr);
-  EXPECT_EQ(got.load()->id, 3);  // stole the task behind the queued delay
+  EXPECT_EQ(got.load()->id, 3);  // stole q1's head behind q0's queued delay
 }
 
 TEST(TaskQueue, AvailabilityListenerFiresOnEligiblePush) {

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition linter for the /metrics endpoint (stdlib only).
+
+Usage: check_prometheus_exposition.py [FILE]        (default: stdin)
+
+Validates a text-format (version 0.0.4) exposition the way the release CI
+job consumes it: ``saber_server --metrics-port`` is scraped with curl and the
+body is piped through this script. Checks, per family:
+
+  * metric and label names are legal (``[a-zA-Z_:][a-zA-Z0-9_:]*`` /
+    ``[a-zA-Z_][a-zA-Z0-9_]*``);
+  * every sample line parses: name, optional ``{label="value",...}`` block
+    with correctly escaped values (``\\``, ``\"``, ``\n`` only), and a
+    numeric value (int, float, or ``+Inf``/``-Inf``/``NaN``);
+  * every family has ``# TYPE`` (and it precedes the samples); ``# HELP``
+    is warned about when absent, required with ``--require-help``;
+  * counter families end in ``_total`` and never decrease across the file;
+  * histogram families expose ``_bucket`` with cumulative, monotone
+    non-decreasing counts ending in ``le="+Inf"``, plus ``_sum`` and
+    ``_count``, with ``_count`` equal to the ``+Inf`` bucket;
+  * no duplicate series (same name + label set).
+
+Exit status: 0 when the exposition is well-formed, 1 otherwise (one line per
+violation). ``-v`` prints a per-family summary.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALUE_RE = re.compile(r"^[+-]?(?:\d+(?:\.\d*)?(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|Inf|inf|NaN|nan)$")
+
+
+def parse_labels(block, lineno, errors):
+    """Parses the inside of a {...} label block; returns ((name, value), ...)."""
+    labels = []
+    i = 0
+    while i < len(block):
+        m = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", block[i:])
+        if not m:
+            errors.append(f"line {lineno}: bad label name at ...{block[i:i+20]!r}")
+            return None
+        name = m.group(0)
+        i += m.end()
+        if not block.startswith('="', i):
+            errors.append(f"line {lineno}: label {name} missing =\"...\"")
+            return None
+        i += 2
+        value = []
+        while i < len(block):
+            c = block[i]
+            if c == "\\":
+                if i + 1 >= len(block) or block[i + 1] not in ('\\', '"', 'n'):
+                    errors.append(
+                        f"line {lineno}: label {name}: bad escape "
+                        f"{block[i:i+2]!r} (only \\\\, \\\", \\n are legal)")
+                    return None
+                value.append(block[i:i + 2])
+                i += 2
+            elif c == '"':
+                break
+            elif c == "\n":
+                errors.append(f"line {lineno}: label {name}: raw newline in value")
+                return None
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"line {lineno}: label {name}: unterminated value")
+            return None
+        i += 1  # closing quote
+        labels.append((name, "".join(value)))
+        if i < len(block):
+            if block[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return None
+            i += 1
+    return tuple(labels)
+
+
+def family_of(sample_name):
+    """The family a sample belongs to: histogram samples drop their suffix."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)], suffix
+    return sample_name, ""
+
+
+def lint(text, require_help=False, verbose=False):
+    errors = []
+    warnings = []
+    types = {}      # family -> declared type
+    helps = set()   # families with # HELP
+    # family -> {labels-without-le: {le-value-as-float: count}}
+    buckets = {}
+    sums = {}
+    counts = {}
+    seen_series = set()
+    samples_before_type = set()
+    counter_values = {}  # (name, labels) -> last value, for monotonicity
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            family = parts[2]
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comment
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+\d+)?$",
+                     line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, _, label_block, value_str = m.group(1, 2, 3, 4)
+        labels = ()
+        if label_block is not None:
+            labels = parse_labels(label_block, lineno, errors)
+            if labels is None:
+                continue
+        if not VALUE_RE.match(value_str):
+            errors.append(f"line {lineno}: bad sample value {value_str!r}")
+            continue
+        value = float(value_str.replace("Inf", "inf").replace("NaN", "nan"))
+
+        series = (name, labels)
+        if series in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{{{label_block or ''}}}")
+        seen_series.add(series)
+
+        family, suffix = family_of(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            samples_before_type.add(family if suffix else name)
+        ftype = types.get(family) if suffix and types.get(family) == "histogram" else types.get(name)
+
+        if suffix and types.get(family) == "histogram":
+            base_labels = tuple(l for l in labels if l[0] != "le")
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: {name} sample without le label")
+                    continue
+                le_val = float("inf") if le == "+Inf" else None
+                if le_val is None:
+                    try:
+                        le_val = float(le)
+                    except ValueError:
+                        errors.append(f"line {lineno}: bad le value {le!r}")
+                        continue
+                buckets.setdefault(family, {}).setdefault(base_labels, []).append(
+                    (le_val, value, lineno))
+            elif suffix == "_sum":
+                sums.setdefault(family, {})[base_labels] = value
+            else:
+                counts.setdefault(family, {})[base_labels] = (value, lineno)
+            continue
+
+        if ftype == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter {name} must end in _total")
+            if value < 0:
+                errors.append(f"line {lineno}: counter {name} is negative")
+            prev = counter_values.get(series)
+            if prev is not None and value < prev:
+                errors.append(
+                    f"line {lineno}: counter {name} decreased ({prev} -> {value})")
+            counter_values[series] = value
+
+    for family in samples_before_type:
+        errors.append(f"family {family}: samples without a # TYPE declaration")
+    for family, ftype in types.items():
+        if family not in helps:
+            msg = f"family {family}: no # HELP line"
+            (errors if require_help else warnings).append(msg)
+        if ftype != "histogram":
+            continue
+        for base_labels, entries in buckets.get(family, {}).items():
+            entries.sort(key=lambda e: e[0])
+            if not entries or entries[-1][0] != float("inf"):
+                errors.append(f"family {family}{dict(base_labels)}: no le=\"+Inf\" bucket")
+                continue
+            last = -1.0
+            for le_val, value, lineno in entries:
+                if value < last:
+                    errors.append(
+                        f"line {lineno}: {family}_bucket le={le_val} count "
+                        f"{value} below previous bucket {last} (buckets are cumulative)")
+                last = value
+            cnt = counts.get(family, {}).get(base_labels)
+            if cnt is None:
+                errors.append(f"family {family}{dict(base_labels)}: missing _count")
+            elif cnt[0] != entries[-1][1]:
+                errors.append(
+                    f"line {cnt[1]}: {family}_count {cnt[0]} != +Inf bucket "
+                    f"{entries[-1][1]}")
+            if base_labels not in sums.get(family, {}):
+                errors.append(f"family {family}{dict(base_labels)}: missing _sum")
+
+    if verbose:
+        for family in sorted(types):
+            n = sum(1 for s in seen_series if family_of(s[0])[0] in (family,)
+                    or s[0] == family)
+            print(f"  {types[family]:9s} {family} ({n} samples)")
+
+    return errors, warnings
+
+
+def main(argv):
+    require_help = "--require-help" in argv
+    verbose = "-v" in argv
+    paths = [a for a in argv[1:] if not a.startswith("-")]
+    if paths:
+        text = open(paths[0], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    errors, warnings = lint(text, require_help=require_help, verbose=verbose)
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} exposition error(s)", file=sys.stderr)
+        return 1
+    print(f"exposition ok: {len([l for l in text.splitlines() if l and not l.startswith('#')])} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

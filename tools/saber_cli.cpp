@@ -52,6 +52,13 @@
 ///                   cycles of a synthetic selection (weight 2) against the
 ///                   live engine; admission/removal latency percentiles are
 ///                   reported with the statistics
+///   --metrics       after the run, dump the full metrics snapshot in the
+///                   Prometheus text exposition format (the same bytes a
+///                   saber_server /metrics scrape returns; local-only)
+///   --trace FILE    write sampled task spans as Chrome trace_event JSON
+///                   (chrome://tracing / Perfetto; local-only). Samples
+///                   every task unless --trace-sample lowers the rate.
+///   --trace-sample R  task-path trace sampling rate in [0,1]
 ///   --input F.csv   read input stream 0 from a CSV file (header expected;
 ///                   streamed in bounded chunks for single-input queries)
 ///   --output F.csv  write the ordered output stream to a CSV file
@@ -82,6 +89,8 @@
 
 #include "core/engine.h"
 #include "ingest/sharded_ingress.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "io/csv.h"
 #include "net/client.h"
 #include "runtime/blocking_queue.h"
@@ -115,6 +124,9 @@ struct CliOptions {
   uint32_t seed = 42;
   std::string input_csv;   // read stream 0 from a CSV file instead
   std::string output_csv;  // append result rows to a CSV file
+  bool dump_metrics = false;  // print the Prometheus exposition after the run
+  std::string trace_out;      // Chrome trace JSON output path
+  double trace_sample = -1.0;  // < 0 = default (1.0 with --trace, else off)
   std::string sql;
 };
 
@@ -125,6 +137,7 @@ struct CliOptions {
                "[--min-task-size B] [--producers N] [--rate B] [--churn N] "
                "[--disorder J] [--lateness L] "
                "[--late-policy abort|drop|dead-letter] [--connect H:P] "
+               "[--metrics] [--trace FILE] [--trace-sample R] "
                "[--limit N] [--seed N] \"SQL\"\n",
                argv0);
   std::exit(2);
@@ -208,6 +221,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* o) {
       o->limit = std::atoll(next());
     } else if (a == "--seed") {
       o->seed = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (a == "--metrics") {
+      o->dump_metrics = true;
+    } else if (a == "--trace") {
+      o->trace_out = next();
+    } else if (a == "--trace-sample") {
+      o->trace_sample = std::atof(next());
+      if (o->trace_sample < 0.0 || o->trace_sample > 1.0) {
+        std::fprintf(stderr, "--trace-sample must be in [0,1]\n");
+        return false;
+      }
     } else if (a == "--input") {
       o->input_csv = next();
     } else if (a == "--output") {
@@ -528,6 +551,11 @@ int main(int argc, char** argv) {
   options.use_gpu = cli.use_gpu;
   options.task_size = cli.task_size;
   options.task_sizing = cli.task_sizing;
+  // --trace alone samples everything (CLI runs are short and the ring is
+  // bounded anyway); an explicit --trace-sample wins.
+  options.trace_sample_rate =
+      cli.trace_sample >= 0.0 ? cli.trace_sample
+                              : (cli.trace_out.empty() ? 0.0 : 1.0);
   Engine engine(options);
   const int num_inputs = query.num_inputs;
   QueryHandle* q = engine.AddQuery(std::move(query));
@@ -648,6 +676,8 @@ int main(int argc, char** argv) {
       };
     }
     for (int i = 0; i < num_inputs; ++i) {
+      iopts.metrics = engine.metrics();
+      iopts.metrics_label = "in" + std::to_string(i);
       ingresses.push_back(ingest::ShardedIngress::ForQuery(q, i, iopts));
     }
     std::vector<std::thread> feeders;
@@ -788,7 +818,6 @@ int main(int argc, char** argv) {
   const double secs = wall.ElapsedSeconds();
 
   std::printf("\n-- statistics --\n");
-  std::printf("tuples in    : %lld\n", static_cast<long long>(q->tuples_in()));
   std::printf("rows out     : %lld\n", static_cast<long long>(rows));
   std::printf("throughput   : %.2f Mtuples/s (%.3f GB/s)\n",
               q->tuples_in() / secs / 1e6,
@@ -797,28 +826,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(q->latency().PercentileNanos(50) / 1000));
   std::printf("p99 latency  : %lld us\n",
               static_cast<long long>(q->latency().PercentileNanos(99) / 1000));
-  const int64_t cpu_tasks = q->tasks_on(Processor::kCpu);
-  const int64_t gpu_tasks = q->tasks_on(Processor::kGpu);
-  std::printf("task split   : %lld CPU / %lld GPGPU\n",
-              static_cast<long long>(cpu_tasks),
-              static_cast<long long>(gpu_tasks));
   const ControllerStats cs = q->controller_stats();
-  std::printf("task sizing  : policy=%s phi=%zu B",
+  std::printf("task sizing  : policy=%s phi=%zu B\n",
               TaskSizeController::PolicyName(cs.policy), cs.current_phi);
-  if (cs.policy != TaskSizePolicy::kFixedPhi) {
-    std::printf(
-        " adjusts=%lld (%lld shrink / %lld grow) clamps=%lld last-p99=%.2f ms",
-        static_cast<long long>(cs.adjust_count),
-        static_cast<long long>(cs.shrink_count),
-        static_cast<long long>(cs.grow_count),
-        static_cast<long long>(cs.clamp_events), cs.last_p99_nanos / 1e6);
-  }
-  std::printf("\n");
-  if (engine.gpu_task_retries() > 0 || engine.device_quarantines() > 0) {
-    std::printf("gpu failover : %lld task retries on CPU, %lld quarantines\n",
-                static_cast<long long>(engine.gpu_task_retries()),
-                static_cast<long long>(engine.device_quarantines()));
-  }
   std::printf("weight       : %.1f (weighted-fair HLS share)\n",
               q->def().weight);
   if (cli.churn > 0) {
@@ -837,43 +847,11 @@ int main(int argc, char** argv) {
     }
     std::printf("queries live : %zu\n", engine.num_live_queries());
   }
-  for (size_t i = 0; i < ingresses.size(); ++i) {
-    const ingest::IngressStats is = ingresses[i]->stats();
-    std::printf("ingest in%zu   : %d producers, %lld merged batches, "
-                "%lld merge runs, %lld watermark stalls",
-                i, static_cast<int>(is.producers.size()),
-                static_cast<long long>(is.merged_batches),
-                static_cast<long long>(is.merge_runs),
-                static_cast<long long>(is.watermark_stalls));
-    if (is.watchdog_trips > 0) {
-      std::printf(", %lld watchdog trips (%lld force-closes)",
-                  static_cast<long long>(is.watchdog_trips),
-                  static_cast<long long>(is.watchdog_force_closes));
-    }
-    std::printf("\n");
-    for (size_t p = 0; p < is.producers.size(); ++p) {
-      std::printf("  producer %zu : %lld tuples, %.1f MB, %lld appends, "
-                  "%lld backpressure waits, %lld throttle waits",
-                  p, static_cast<long long>(is.producers[p].tuples),
-                  static_cast<double>(is.producers[p].bytes) / (1 << 20),
-                  static_cast<long long>(is.producers[p].appends),
-                  static_cast<long long>(is.producers[p].backpressure_waits),
-                  static_cast<long long>(is.producers[p].throttle_waits));
-      if (is.producers[p].rate_limit_bytes_per_sec > 0) {
-        std::printf(" (metered %.1f MB/s)",
-                    is.producers[p].rate_limit_bytes_per_sec / (1 << 20));
-      }
-      if (cli.lateness > 0 ||
-          cli.late_policy != ingest::LatePolicy::kAbort ||
-          is.producers[p].late_dropped > 0 ||
-          is.producers[p].dead_lettered > 0) {
-        std::printf(", %lld late-dropped, %lld dead-lettered",
-                    static_cast<long long>(is.producers[p].late_dropped),
-                    static_cast<long long>(is.producers[p].dead_lettered));
-      }
-      std::printf("\n");
-    }
-  }
+  // Every raw counter — tuples/bytes in, the CPU/GPGPU task split, GPGPU
+  // failover, controller adjusts, per-producer ingest — now renders through
+  // the registry formatter: the same snapshot a /metrics scrape serves.
+  const obs::MetricsSnapshot snap = engine.metrics()->Snapshot();
+  std::printf("%s", obs::FormatMetricsSummary(snap, "  ").c_str());
   if (cli.late_policy == ingest::LatePolicy::kDeadLetter) {
     std::printf("dead letters : %lld tuples diverted to the side sink\n",
                 static_cast<long long>(
@@ -888,6 +866,20 @@ int main(int argc, char** argv) {
     f << csv_out;
     std::printf("output file  : %s (%lld rows)\n", cli.output_csv.c_str(),
                 static_cast<long long>(rows));
+  }
+  if (cli.dump_metrics) {
+    std::printf("\n-- metrics (Prometheus exposition) --\n%s",
+                obs::RenderPrometheusText(snap).c_str());
+  }
+  if (!cli.trace_out.empty()) {
+    if (!obs::WriteChromeTraceFile(engine.trace(), cli.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", cli.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace file   : %s (%lld spans sampled)\n",
+                cli.trace_out.c_str(),
+                static_cast<long long>(
+                    engine.trace() ? engine.trace()->total_pushed() : 0));
   }
   return 0;
 }

@@ -18,7 +18,15 @@
 ///                        (default 30000; <= 0 disables)
 ///   --max-frame B        per-frame payload bound (default 4 MiB)
 ///   --staging B          per-producer staging ring bytes (default 4 MiB)
-///   --stats-secs N       print a stats line every N seconds (0 = quiet)
+///   --stats-secs N       print a metrics summary every N seconds
+///                        (0 = quiet); rendered from the same registry
+///                        snapshot the /metrics endpoint serves
+///   --metrics-port P     serve GET /metrics (Prometheus text exposition)
+///                        on this port (0 picks ephemeral; omit to disable)
+///   --trace-sample R     task-path trace sampling rate in [0,1]
+///                        (default 0 = tracing compiled out of the hot path)
+///   --trace-out FILE     write sampled task spans as Chrome trace_event
+///                        JSON (chrome://tracing / Perfetto) at shutdown
 ///   --reconnect-grace-ms N  park a disconnected producer shard for N ms
 ///                        awaiting a resume-token reconnect (default 0 =
 ///                        close on disconnect, the historical contract)
@@ -45,7 +53,10 @@
 
 #include "core/engine.h"
 #include "fault/fault_registry.h"
+#include "net/http_metrics.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/clock.h"
 #include "sql/parser.h"
 #include "workloads/cluster_monitoring.h"
@@ -67,6 +78,9 @@ struct ServerCliOptions {
   uint32_t max_frame = net::kMaxFramePayload;
   size_t staging_bytes = size_t{4} << 20;
   int stats_secs = 0;
+  int metrics_port = -1;  // < 0 = endpoint disabled
+  double trace_sample = 0.0;
+  std::string trace_out;
   int reconnect_grace_ms = 0;
   int watchdog_ms = 0;
   bool watchdog_force_close = false;
@@ -77,8 +91,10 @@ struct ServerCliOptions {
   std::fprintf(stderr,
                "usage: %s [--port P] [--bind A] [--workers N] [--no-gpu] "
                "[--task-size B] [--idle-timeout-ms N] [--max-frame B] "
-               "[--staging B] [--stats-secs N] [--reconnect-grace-ms N] "
-               "[--watchdog-ms N] [--watchdog-force-close] [--faults SPEC]\n",
+               "[--staging B] [--stats-secs N] [--metrics-port P] "
+               "[--trace-sample R] [--trace-out FILE] "
+               "[--reconnect-grace-ms N] [--watchdog-ms N] "
+               "[--watchdog-force-close] [--faults SPEC]\n",
                argv0);
   std::exit(2);
 }
@@ -134,6 +150,20 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* o) {
       o->staging_bytes = static_cast<size_t>(v);
     } else if (a == "--stats-secs") {
       o->stats_secs = std::atoi(next());
+    } else if (a == "--metrics-port") {
+      o->metrics_port = std::atoi(next());
+      if (o->metrics_port < 0 || o->metrics_port > 65535) {
+        std::fprintf(stderr, "--metrics-port must be 0..65535\n");
+        return false;
+      }
+    } else if (a == "--trace-sample") {
+      o->trace_sample = std::atof(next());
+      if (o->trace_sample < 0.0 || o->trace_sample > 1.0) {
+        std::fprintf(stderr, "--trace-sample must be in [0,1]\n");
+        return false;
+      }
+    } else if (a == "--trace-out") {
+      o->trace_out = next();
     } else if (a == "--reconnect-grace-ms") {
       o->reconnect_grace_ms = std::atoi(next());
     } else if (a == "--watchdog-ms") {
@@ -155,31 +185,13 @@ void OnSignal(int) { g_stop = 1; }
 
 }  // namespace
 
-void PrintStats(const net::SaberServer& server, const Engine& engine,
-                size_t num_queries) {
-  const net::ServerStats st = server.stats();
-  std::printf(
-      "[stats] conns=%lld (ctl %lld data %lld) queries=%zu "
-      "submitted=%lld removed=%lld frames=%lld bytes=%lld "
-      "batches=%lld proto_errs=%lld timeouts=%lld "
-      "parked=%lld reconnects=%lld grace_expiries=%lld "
-      "watchdog_trips=%lld gpu_retries=%lld quarantines=%lld\n",
-      static_cast<long long>(st.connections_accepted),
-      static_cast<long long>(st.control_connections),
-      static_cast<long long>(st.data_connections), num_queries,
-      static_cast<long long>(st.queries_submitted),
-      static_cast<long long>(st.queries_removed),
-      static_cast<long long>(st.tuple_frames),
-      static_cast<long long>(st.tuple_bytes),
-      static_cast<long long>(st.result_batches),
-      static_cast<long long>(st.protocol_errors),
-      static_cast<long long>(st.timeouts),
-      static_cast<long long>(st.shards_parked),
-      static_cast<long long>(st.producer_reconnects),
-      static_cast<long long>(st.grace_expiries),
-      static_cast<long long>(st.watermark_watchdog_trips),
-      static_cast<long long>(engine.gpu_task_retries()),
-      static_cast<long long>(engine.device_quarantines()));
+/// One stats tick: a single registry snapshot formatted for humans — the
+/// very numbers a concurrent /metrics scrape would read, not a second
+/// bookkeeping pass over per-subsystem stats structs.
+void PrintStats(const Engine& engine, size_t num_queries) {
+  const obs::MetricsSnapshot snap = engine.metrics()->Snapshot();
+  std::printf("[stats] queries=%zu\n%s", num_queries,
+              obs::FormatMetricsSummary(snap, "[stats]   ").c_str());
   std::fflush(stdout);
 }
 
@@ -217,6 +229,7 @@ int main(int argc, char** argv) {
   eopts.num_cpu_workers = cli.workers;
   eopts.use_gpu = cli.use_gpu;
   eopts.task_size = cli.task_size;
+  eopts.trace_sample_rate = cli.trace_sample;
   Engine engine(eopts);
   engine.Start();
 
@@ -237,6 +250,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  net::HttpMetricsServer metrics_server(engine.metrics(), cli.bind);
+  if (cli.metrics_port >= 0) {
+    if (Status s = metrics_server.Start(cli.metrics_port); !s.ok()) {
+      std::fprintf(stderr, "cannot start metrics endpoint: %s\n",
+                   s.ToString().c_str());
+      server.Stop();
+      engine.Stop();
+      return 1;
+    }
+    std::printf("metrics on http://%s:%d/metrics\n", cli.bind.c_str(),
+                metrics_server.port());
+  }
+
   std::printf("saber_server listening on %s:%d (%d workers, gpu %s)\n",
               cli.bind.c_str(), server.port(), cli.workers,
               cli.use_gpu ? "on" : "off");
@@ -252,7 +278,7 @@ int main(int argc, char** argv) {
     if (cli.stats_secs > 0 &&
         NowNanos() - last_stats >=
             static_cast<int64_t>(cli.stats_secs) * 1'000'000'000) {
-      PrintStats(server, engine, server.num_queries());
+      PrintStats(engine, server.num_queries());
       last_stats = NowNanos();
     }
   }
@@ -262,8 +288,17 @@ int main(int argc, char** argv) {
   // merger may be parked downstream), then one final stats line.
   std::printf("shutting down\n");
   const size_t final_queries = server.num_queries();
+  metrics_server.Stop();
   server.Stop();
   engine.Stop();
-  PrintStats(server, engine, final_queries);
+  PrintStats(engine, final_queries);
+  if (!cli.trace_out.empty()) {
+    if (!obs::WriteChromeTraceFile(engine.trace(), cli.trace_out)) {
+      std::fprintf(stderr, "--trace-out: cannot write %s\n",
+                   cli.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", cli.trace_out.c_str());
+  }
   return 0;
 }
